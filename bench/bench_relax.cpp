@@ -1,0 +1,131 @@
+// E3 - Discrete relaxation behaviour (Sec. V.B).
+//
+// The paper argues that because DPTRACE pre-selects paths, the value systems
+// handed to DPRELAX are usually underdetermined and relaxation converges
+// quickly, while the method remains incomplete. This bench measures
+// iteration counts and success rates as the constraint systems grow from
+// underdetermined to overdetermined.
+#include <cstdio>
+#include <vector>
+
+#include "core/dprelax.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace hltg;
+
+namespace {
+
+RelaxConstraint eq(const DlxModel& m, const char* net, unsigned cycle,
+                   std::uint64_t value, std::uint64_t mask = ~0ull) {
+  RelaxConstraint c;
+  c.net = m.dp.find_net(net);
+  c.cycle = cycle;
+  c.value = value;
+  c.mask = mask;
+  c.why = net;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E3: discrete relaxation convergence ==\n\n");
+  const DlxModel m = build_dlx();
+  Rng rng(2024);
+
+  // Families of constraint systems, increasing determination.
+  struct Family {
+    const char* name;
+    unsigned num_constraints;
+  };
+  const std::vector<const char*> nets = {"ex.a_byp", "ex.alu_add",
+                                         "ex.alu_xor", "ex.op2",
+                                         "exmem.result", "memwb.value"};
+
+  TextTable t({"system", "#constraints", "trials", "solved", "avg iterations",
+               "max iterations"});
+  for (unsigned k = 1; k <= 6; ++k) {
+    unsigned solved = 0, iter_sum = 0, iter_max = 0;
+    const unsigned trials = 20;
+    for (unsigned trial = 0; trial < trials; ++trial) {
+      std::vector<RelaxConstraint> cons;
+      for (unsigned i = 0; i < k; ++i) {
+        // Distinct (net, cycle) pairs; random 16-bit targets keep the
+        // system satisfiable with high probability.
+        cons.push_back(eq(m, nets[i % nets.size()], 2 + i,
+                          rng.word(16)));
+      }
+      DpRelaxConfig cfg;
+      cfg.seed = 77 + trial;
+      DpRelax relax(m, 14, cfg);
+      RelaxVars vars;
+      const DpRelaxResult r = relax.solve(vars, cons, {});
+      if (r.status == TgStatus::kSuccess) {
+        ++solved;
+        iter_sum += r.iterations;
+        iter_max = std::max(iter_max, r.iterations);
+      }
+    }
+    // At k = 6 the cycle alignment makes memwb.value@7 equal
+    // exmem.result@6 structurally, so the two random targets conflict:
+    // the system becomes overdetermined and (correctly) unsolvable.
+    t.add_row({k < 6 ? "independent targets" : "overdetermined (conflicting)",
+               std::to_string(k), std::to_string(trials),
+               std::to_string(solved),
+               solved ? fmt_double(double(iter_sum) / solved, 1) : "-",
+               std::to_string(iter_max)});
+  }
+
+  // Coupled systems: several constraints on the same bus in consecutive
+  // cycles plus an arithmetic coupling - harder, still mostly solvable.
+  {
+    unsigned solved = 0, iter_sum = 0, iter_max = 0;
+    const unsigned trials = 20;
+    for (unsigned trial = 0; trial < trials; ++trial) {
+      const std::uint64_t x = rng.word(16);
+      std::vector<RelaxConstraint> cons = {
+          eq(m, "ex.a_byp", 2, x),
+          eq(m, "ex.a_byp", 3, x + 1),
+          eq(m, "ex.alu_add", 4, 2 * x),
+          eq(m, "sts.dest_ex_nz", 3, 1, 1),
+      };
+      DpRelaxConfig cfg;
+      cfg.seed = 991 + trial;
+      DpRelax relax(m, 14, cfg);
+      RelaxVars vars;
+      const DpRelaxResult r = relax.solve(vars, cons, {});
+      if (r.status == TgStatus::kSuccess) {
+        ++solved;
+        iter_sum += r.iterations;
+        iter_max = std::max(iter_max, r.iterations);
+      }
+    }
+    t.add_row({"coupled (same bus + STS)", "4", std::to_string(trials),
+               std::to_string(solved),
+               solved ? fmt_double(double(iter_sum) / solved, 1) : "-",
+               std::to_string(iter_max)});
+  }
+
+  // Infeasible system: relaxation must give up within budget, not hang -
+  // the documented incompleteness.
+  {
+    // The fixed word 0 (all-NOP, rs1 = r0) is in ID at cycle 1.
+    std::vector<RelaxConstraint> cons = {eq(m, "id.rf_a", 1, 5)};
+    // Force rs1 = r0 by fixing all instruction bits of word 0.
+    RelaxVars vars;
+    vars.ensure_size(1);
+    vars.imem_fixed[0] = 0xFFFFFFFFu;
+    DpRelax relax(m, 14);
+    const DpRelaxResult r = relax.solve(vars, cons, {});
+    t.add_row({"infeasible (R0 must be 5)", "1", "1",
+               r.status == TgStatus::kSuccess ? "1 (BUG)" : "0",
+               "-", std::to_string(r.iterations)});
+  }
+  t.print();
+  std::printf(
+      "\nshape check (paper): underdetermined systems converge in a handful\n"
+      "of sweeps; determination raises effort; infeasibility is abandoned\n"
+      "within the iteration budget (the method cannot prove insolubility).\n");
+  return 0;
+}

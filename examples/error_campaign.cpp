@@ -1,0 +1,113 @@
+// Error campaign: run the generator over a configurable error population
+// and print the Table-1 style summary plus per-error outcomes.
+//
+//   $ ./error_campaign [--stages EX,MEM,WB] [--model ssl|mse|boe|bse] [-v]
+//                      [--csv out.csv] [--save-tests dir]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/tg.h"
+#include "errors/redundancy.h"
+#include "errors/report.h"
+#include "isa/testcase_io.h"
+#include "util/table.h"
+
+using namespace hltg;
+
+namespace {
+
+std::vector<Stage> parse_stages(const std::string& s) {
+  std::vector<Stage> out;
+  if (s.find("IF") != std::string::npos) out.push_back(Stage::kIF);
+  if (s.find("ID") != std::string::npos) out.push_back(Stage::kID);
+  if (s.find("EX") != std::string::npos) out.push_back(Stage::kEX);
+  if (s.find("MEM") != std::string::npos) out.push_back(Stage::kMEM);
+  if (s.find("WB") != std::string::npos) out.push_back(Stage::kWB);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Stage> stages = {Stage::kEX, Stage::kMEM, Stage::kWB};
+  std::string emodel = "ssl";
+  std::string csv_path, save_dir;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--stages") && i + 1 < argc)
+      stages = parse_stages(argv[++i]);
+    else if (!std::strcmp(argv[i], "--model") && i + 1 < argc)
+      emodel = argv[++i];
+    else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
+      csv_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--save-tests") && i + 1 < argc)
+      save_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "-v"))
+      verbose = true;
+  }
+  if (stages.empty()) {
+    std::fprintf(stderr, "no valid stages\n");
+    return 1;
+  }
+
+  const DlxModel m = build_dlx();
+  std::vector<DesignError> errors;
+  if (emodel == "ssl") {
+    BusSslConfig cfg;
+    cfg.stages = stages;
+    errors = wrap(enumerate_bus_ssl(m.dp, cfg));
+  } else if (emodel == "mse") {
+    errors = wrap(enumerate_mse(m.dp, stages));
+  } else if (emodel == "boe") {
+    errors = wrap(enumerate_boe(m.dp, stages));
+  } else if (emodel == "bse") {
+    BseConfig cfg;
+    cfg.stages = stages;
+    errors = wrap(enumerate_bse(m.dp, cfg));
+  } else {
+    std::fprintf(stderr, "unknown error model '%s'\n", emodel.c_str());
+    return 1;
+  }
+  std::printf("error model %s, %zu errors\n", emodel.c_str(), errors.size());
+
+  TestGenerator tg(m);
+  const CampaignResult res = run_campaign(m.dp, errors, tg.strategy(), verbose);
+  std::printf("%s\n", res.stats.table1("campaign summary").c_str());
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << campaign_csv(m.dp, res);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (!save_dir.empty()) {
+    unsigned saved = 0;
+    for (std::size_t i = 0; i < res.rows.size(); ++i) {
+      const ErrorAttempt& a = res.rows[i].attempt;
+      if (!a.generated || !a.sim_confirmed) continue;
+      save_test(a.test, save_dir + "/test_" + std::to_string(i) + ".txt");
+      ++saved;
+    }
+    std::printf("saved %u tests to %s/\n", saved, save_dir.c_str());
+  }
+
+  // Post-mortem on aborted errors: separate provable redundancy from
+  // genuine generator give-ups.
+  if (emodel == "ssl") {
+    const BitConstants bc = analyze_bit_constants(m.dp);
+    std::size_t redundant = 0;
+    std::printf("aborted errors:\n");
+    for (const CampaignRow& row : res.rows) {
+      if (row.attempt.generated && row.attempt.sim_confirmed) continue;
+      const auto& e = std::get<BusSslError>(row.error.e);
+      const bool red = is_redundant(bc, e);
+      redundant += red;
+      std::printf("  %-44s %s\n", row.error.describe(m.dp).c_str(),
+                  red ? "provably undetectable" : "generator gave up");
+    }
+    std::printf("%zu of %zu aborted errors are provably undetectable\n",
+                redundant, res.stats.aborted);
+  }
+  return 0;
+}

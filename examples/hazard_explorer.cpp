@@ -1,0 +1,80 @@
+// Hazard explorer: drive CTRLJUST directly to synthesize instruction
+// sequences that excite specific pipeline interactions - stalls, bypasses,
+// squashes. This is the Iwashita-style "test case" use of the controller
+// search (Sec. II.B), exposed as a library API.
+#include <cstdio>
+
+#include "core/ctrljust.h"
+#include "core/emit.h"
+#include "isa/disasm.h"
+#include "sim/trace.h"
+
+using namespace hltg;
+
+namespace {
+
+GateId ctrl_bit(const DlxModel& m, const char* net, unsigned bit = 0) {
+  return m.find_ctrl(m.dp.find_net(net))->bits[bit];
+}
+
+void explore(const DlxModel& m, const char* what,
+             const std::vector<CtrlObjective>& objs) {
+  std::printf("=== test case: %s ===\n", what);
+  CtrlJust cj(m.ctrl, 12);
+  const CtrlJustResult r = cj.solve(objs);
+  if (r.status != TgStatus::kSuccess) {
+    std::printf("  unjustifiable within the window\n\n");
+    return;
+  }
+  RelaxVars vars;
+  const EmitResult er = emit_cpi_assignments(m, cj.window(), r.cpi_assignments, &vars);
+  if (!er.ok) {
+    std::printf("  emission failed: %s\n\n", er.note.c_str());
+    return;
+  }
+  // The controller search pins opcodes; give the data side simple operands
+  // so the hazard conditions (register matches) actually hold: make every
+  // pinned instruction use r1 as both source and destination.
+  for (std::size_t i = 0; i < vars.imem.size(); ++i) {
+    if (vars.imem[i] == 0) continue;
+    const std::uint32_t keep = vars.imem_fixed[i];
+    std::uint32_t word = vars.imem[i] & keep;
+    word |= (1u << 21) & ~keep;  // rs1 = r1
+    word |= (1u << 16) & ~keep;  // rs2 / I-type rd = r1
+    word |= (1u << 11) & ~keep;  // R-type rd = r1
+    vars.imem[i] = word;
+  }
+  TestCase tc = vars.to_test();
+  trim_trailing_nops(&tc.imem);
+  tc.rf_init[1] = 0x40;
+  std::printf("%s", disassemble_program(tc.imem).c_str());
+  std::printf("%s\n", trace_pipeline(m, tc, 12).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const DlxModel m = build_dlx();
+
+  // A store committing right after the pipeline fills.
+  explore(m, "store commits at cycle 3",
+          {{ctrl_bit(m, "ctrl.mem_we"), 3, true}});
+
+  // A load-use stall: the interlock fires in cycle 3.
+  explore(m, "load-use interlock (stall@3)",
+          {{m.ctrl.find("cg.stall"), 3, true}});
+
+  // Operand-A bypass from EX/MEM.
+  explore(m, "bypass A from EX/MEM (fwd_a[0]@4)",
+          {{ctrl_bit(m, "ctrl.fwd_a"), 4, true}});
+
+  // Operand-A bypass from MEM/WB (distance-2 dependency).
+  explore(m, "bypass A from MEM/WB (fwd_a[1]@4)",
+          {{ctrl_bit(m, "ctrl.fwd_a", 1), 4, true}});
+
+  // Back-to-back stores in MEM at cycles 4 and 5.
+  explore(m, "consecutive stores",
+          {{ctrl_bit(m, "ctrl.mem_we"), 4, true},
+           {ctrl_bit(m, "ctrl.mem_we"), 5, true}});
+  return 0;
+}

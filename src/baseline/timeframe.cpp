@@ -1,0 +1,204 @@
+#include "baseline/timeframe.h"
+
+#include <algorithm>
+#include <map>
+
+#include "gatenet/eval3.h"
+
+namespace hltg {
+
+TimeframeJust::TimeframeJust(const GateNet& gn, unsigned cycles,
+                             TimeframeConfig cfg)
+    : gn_(gn), T_(cycles), cfg_(cfg) {}
+
+bool TimeframeJust::solve_frame(const std::vector<FrameObjective>& objs,
+                                bool frame0,
+                                std::vector<FrameObjective>* state_out,
+                                TimeframeResult* stats) {
+  // Free variables: kVar gates, plus kDff outputs when not frame 0.
+  std::vector<L3> assign(gn_.num_gates(), L3::X);
+  std::vector<L3> vals(gn_.num_gates(), L3::X);
+  auto is_free = [&](GateId g) {
+    const GateKind k = gn_.gate(g).kind;
+    if (k == GateKind::kVar) return true;
+    if (k == GateKind::kDff) return !frame0;
+    return false;
+  };
+  auto imply = [&] {
+    ++stats->implications;
+    for (GateId g = 0; g < gn_.num_gates(); ++g) {
+      const Gate& gate = gn_.gate(g);
+      if (gate.kind == GateKind::kDff)
+        vals[g] = frame0 ? l3_from_bool(gate.reset_value) : assign[g];
+      else if (gate.kind == GateKind::kVar)
+        vals[g] = assign[g];
+    }
+    eval_cycle3(gn_, vals);
+  };
+
+  struct Decision {
+    GateId gate;
+    bool value;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+
+  auto backtrace = [&](GateId g, bool v, Decision* out) -> bool {
+    for (int guard = 0; guard < 100000; ++guard) {
+      const Gate& gate = gn_.gate(g);
+      if (is_free(g)) {
+        if (vals[g] != L3::X) return false;
+        *out = {g, v, false};
+        return true;
+      }
+      switch (gate.kind) {
+        case GateKind::kDff:  // frame0: pinned to reset
+          return false;
+        case GateKind::kBuf:
+          g = gate.fanin[0];
+          break;
+        case GateKind::kNot:
+          g = gate.fanin[0];
+          v = !v;
+          break;
+        case GateKind::kAnd:
+        case GateKind::kOr: {
+          GateId pick = kNoGate;
+          for (GateId in : gate.fanin)
+            if (vals[in] == L3::X) {
+              pick = in;
+              break;
+            }
+          if (pick == kNoGate) return false;
+          g = pick;
+          break;
+        }
+        case GateKind::kXor: {
+          const L3 a = vals[gate.fanin[0]], b = vals[gate.fanin[1]];
+          if (a == L3::X) {
+            if (b != L3::X) v = v != (b == L3::T);
+            g = gate.fanin[0];
+          } else if (b == L3::X) {
+            v = v != (a == L3::T);
+            g = gate.fanin[1];
+          } else {
+            return false;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  };
+
+  std::uint64_t frame_backtracks = 0;
+  imply();
+  for (;;) {
+    if (frame_backtracks > cfg_.max_backtracks_per_frame ||
+        stats->decisions > cfg_.max_decisions)
+      return false;
+    bool violated = false;
+    const FrameObjective* open = nullptr;
+    for (const FrameObjective& o : objs) {
+      const L3 v = vals[o.gate];
+      if (v == L3::X) {
+        if (!open) open = &o;
+      } else if ((v == L3::T) != o.value) {
+        violated = true;
+        break;
+      }
+    }
+    Decision next{};
+    bool have = false;
+    if (!violated) {
+      if (!open) break;  // all satisfied
+      have = backtrace(open->gate, open->value, &next);
+      if (!have) violated = true;
+    }
+    if (violated) {
+      ++stats->backtracks;
+      ++frame_backtracks;
+      bool resumed = false;
+      while (!stack.empty()) {
+        Decision& d = stack.back();
+        assign[d.gate] = L3::X;
+        if (!d.flipped) {
+          d.flipped = true;
+          d.value = !d.value;
+          assign[d.gate] = l3_from_bool(d.value);
+          resumed = true;
+          break;
+        }
+        stack.pop_back();
+      }
+      if (!resumed) return false;
+      imply();
+      continue;
+    }
+    ++stats->decisions;
+    assign[next.gate] = l3_from_bool(next.value);
+    stack.push_back(next);
+    imply();
+  }
+
+  // Export decided state bits as previous-frame obligations.
+  for (GateId g = 0; g < gn_.num_gates(); ++g)
+    if (gn_.gate(g).kind == GateKind::kDff && assign[g] != L3::X) {
+      ++stats->state_bits_decided;
+      state_out->push_back({g, assign[g] == L3::T});
+    }
+  return true;
+}
+
+TimeframeResult TimeframeJust::solve(
+    const std::vector<CtrlObjective>& objectives) {
+  TimeframeResult res;
+  // Group objectives by cycle.
+  std::map<unsigned, std::vector<FrameObjective>> by_cycle;
+  for (const CtrlObjective& o : objectives)
+    by_cycle[o.cycle].push_back({o.gate, o.value});
+  if (by_cycle.empty()) {
+    res.status = TgStatus::kSuccess;
+    return res;
+  }
+  const unsigned top = by_cycle.rbegin()->first;
+  if (top >= T_) {
+    res.note = "objective beyond window";
+    return res;
+  }
+
+  // Sweep frames from the latest objective down to the reset frame,
+  // justifying decided state vectors one frame earlier each time.
+  std::vector<FrameObjective> carried;  // obligations on this frame's CSOs
+  for (int t = static_cast<int>(top); t >= 0; --t) {
+    std::vector<FrameObjective> objs;
+    // Carried state obligations attach to the DFFs' D inputs in frame t-1;
+    // while processing frame t they were returned as (dff, value): convert
+    // to this frame's D cones.
+    for (const FrameObjective& c : carried)
+      objs.push_back({gn_.gate(c.gate).fanin[0], c.value});
+    if (auto it = by_cycle.find(static_cast<unsigned>(t));
+        it != by_cycle.end())
+      for (const FrameObjective& o : it->second) objs.push_back(o);
+
+    std::vector<FrameObjective> state;
+    if (!solve_frame(objs, t == 0, &state, &res)) {
+      res.status = TgStatus::kFailure;
+      res.note = "frame " + std::to_string(t) + " unjustifiable";
+      return res;
+    }
+    carried = std::move(state);
+  }
+  if (!carried.empty()) {
+    // Reset-frame justification left state demands: unreachable.
+    res.status = TgStatus::kFailure;
+    res.note = "state demands at reset";
+    return res;
+  }
+  res.status = TgStatus::kSuccess;
+  return res;
+}
+
+}  // namespace hltg

@@ -1,0 +1,64 @@
+// Conventional timeframe-organization justification - the Sec.-IV baseline.
+//
+// In the usual iterative-array organization, each timeframe's decision
+// variables are the CPIs *and the CSIs* (controller state bits), and every
+// decided CSI must itself be justified in the previous frame. This class
+// implements exactly that: a per-frame PODEM whose backtrace stops at DFF
+// outputs and turns them into decisions, propagating the decided state
+// vector backwards frame by frame until the reset state. Decisions on
+// unreachable state values dead-end only when frame 0 is reached - the
+// conflict class the pipeframe organization eliminates by construction
+// ("conflicts due to invalid (unreachable) states cannot arise as decisions
+// are made only on the CPIs").
+//
+// The bench bench_pipeframe runs this and CTRLJUST (the pipeframe
+// organization) on identical objective sets and compares decision counts,
+// backtracks, and solve rates.
+#pragma once
+
+#include <vector>
+
+#include "core/objectives.h"
+#include "gatenet/gatenet.h"
+#include "util/status.h"
+
+namespace hltg {
+
+struct TimeframeConfig {
+  std::uint64_t max_backtracks_per_frame = 400;
+  std::uint64_t max_decisions = 50000;
+};
+
+struct TimeframeResult {
+  TgStatus status = TgStatus::kFailure;
+  std::uint64_t decisions = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t implications = 0;
+  std::uint64_t state_bits_decided = 0;  ///< CSI decisions (need justification)
+  std::string note;
+};
+
+class TimeframeJust {
+ public:
+  TimeframeJust(const GateNet& gn, unsigned cycles, TimeframeConfig cfg = {});
+
+  TimeframeResult solve(const std::vector<CtrlObjective>& objectives);
+
+ private:
+  struct FrameObjective {
+    GateId gate;
+    bool value;
+  };
+  /// Single-frame PODEM: satisfy `objs` by deciding CPI/STS vars and DFF
+  /// outputs (unless `frame0`, where DFFs are pinned to reset values).
+  /// On success appends the decided DFF values to `state_out`.
+  bool solve_frame(const std::vector<FrameObjective>& objs, bool frame0,
+                   std::vector<FrameObjective>* state_out,
+                   TimeframeResult* stats);
+
+  const GateNet& gn_;
+  unsigned T_;
+  TimeframeConfig cfg_;
+};
+
+}  // namespace hltg

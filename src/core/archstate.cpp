@@ -1,0 +1,52 @@
+#include "core/archstate.h"
+
+namespace hltg {
+
+WindowCapture capture_window(const DlxModel& m, const TestCase& tc,
+                             unsigned cycles, const ErrorInjection& inj) {
+  WindowCapture cap;
+  cap.nets.reserve(cycles);
+  cap.gates.reserve(cycles);
+  ProcSim sim(m, tc, inj);
+  for (unsigned t = 0; t < cycles; ++t) {
+    sim.begin_cycle();
+    std::vector<std::uint64_t> nv(m.dp.num_nets());
+    for (NetId n = 0; n < m.dp.num_nets(); ++n) nv[n] = sim.net_value(n);
+    std::vector<std::uint8_t> gv(m.ctrl.num_gates());
+    for (GateId g = 0; g < m.ctrl.num_gates(); ++g)
+      gv[g] = sim.gate_value(g) ? 1 : 0;
+    cap.nets.push_back(std::move(nv));
+    cap.gates.push_back(std::move(gv));
+    sim.end_cycle();
+  }
+  return cap;
+}
+
+int last_rf_write(const DlxModel& m, const WindowCapture& cap, unsigned reg,
+                  unsigned t) {
+  const Module& rfw = m.dp.module(m.rf_write_mod);
+  for (int t2 = static_cast<int>(t); t2 >= 0; --t2) {
+    const bool we = cap.net(t2, rfw.ctrl_in[0]) & 1;
+    const unsigned waddr = static_cast<unsigned>(cap.net(t2, rfw.data_in[0]) & 31);
+    if (we && waddr == reg && reg != 0) return t2;
+  }
+  return -1;
+}
+
+int last_mem_write(const DlxModel& m, const WindowCapture& cap,
+                   std::uint32_t aligned_addr, unsigned t, bool* full_word) {
+  const Module& mw = m.dp.module(m.mem_write_mod);
+  for (int t2 = static_cast<int>(t) - 1; t2 >= 0; --t2) {
+    const bool we = cap.net(t2, mw.ctrl_in[0]) & 1;
+    const std::uint32_t a =
+        static_cast<std::uint32_t>(cap.net(t2, mw.data_in[0])) & ~3u;
+    if (we && a == aligned_addr) {
+      if (full_word)
+        *full_word = (cap.net(t2, mw.data_in[2]) & 0xF) == 0xF;
+      return t2;
+    }
+  }
+  return -1;
+}
+
+}  // namespace hltg

@@ -1,0 +1,47 @@
+// Window capture and architectural-state bookkeeping for DPRELAX.
+//
+// DPRELAX evaluates consistency by simulating the implementation over the
+// window and capturing every net/gate value per cycle; its backsolve walks
+// run backwards through those captured values. The helpers here answer the
+// register-file / memory questions that walk needs: which write feeds a
+// read observed at cycle t?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct WindowCapture {
+  /// nets[t][n]: combinationally settled value of net n during cycle t.
+  std::vector<std::vector<std::uint64_t>> nets;
+  /// gates[t][g]: controller gate value during cycle t.
+  std::vector<std::vector<std::uint8_t>> gates;
+
+  std::uint64_t net(unsigned t, NetId n) const { return nets[t][n]; }
+  bool gate(unsigned t, GateId g) const { return gates[t][g] != 0; }
+  unsigned cycles() const { return static_cast<unsigned>(nets.size()); }
+};
+
+/// Simulate `cycles` cycles of the (optionally erroneous) implementation and
+/// capture all values.
+WindowCapture capture_window(const DlxModel& m, const TestCase& tc,
+                             unsigned cycles,
+                             const ErrorInjection& inj = {});
+
+/// Latest cycle t' <= t whose register-file write targets `reg` (write-
+/// through makes a same-cycle write visible). -1 if none: the read sees the
+/// initial register file.
+int last_rf_write(const DlxModel& m, const WindowCapture& cap, unsigned reg,
+                  unsigned t);
+
+/// Latest cycle t' < t whose memory write hits the aligned address. Returns
+/// the cycle, and sets `full_word` to whether all four byte lanes were
+/// written (partial writes cannot be backsolved through). -1 if none.
+int last_mem_write(const DlxModel& m, const WindowCapture& cap,
+                   std::uint32_t aligned_addr, unsigned t, bool* full_word);
+
+}  // namespace hltg

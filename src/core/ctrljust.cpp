@@ -1,0 +1,193 @@
+#include "core/ctrljust.h"
+
+#include <sstream>
+
+namespace hltg {
+
+std::string render_trace(const GateNet& gn,
+                         const std::vector<SearchEvent>& trace) {
+  std::ostringstream os;
+  int depth = 0;
+  for (const SearchEvent& e : trace) {
+    const char* what = e.kind == SearchEvent::kDecide ? "decide"
+                       : e.kind == SearchEvent::kFlip ? "flip  "
+                                                      : "pop   ";
+    if (e.kind == SearchEvent::kPop) --depth;
+    os << std::string(std::max(depth, 0) * 2, ' ') << what << " "
+       << gn.gate(e.gate).name << "@" << e.cycle << " = " << (e.value ? 1 : 0)
+       << "\n";
+    if (e.kind == SearchEvent::kDecide) ++depth;
+  }
+  return os.str();
+}
+
+CtrlJust::CtrlJust(const GateNet& gn, unsigned cycles, CtrlJustConfig cfg)
+    : gn_(gn), win_(gn, cycles), cfg_(cfg) {}
+
+CtrlJust::ObjState CtrlJust::objective_state(const CtrlObjective& o) const {
+  const L3 v = win_.value(o.gate, o.cycle);
+  if (v == L3::X) return ObjState::kOpen;
+  return (v == L3::T) == o.value ? ObjState::kSatisfied : ObjState::kViolated;
+}
+
+bool CtrlJust::backtrace(CtrlObjective o, Decision* out) const {
+  GateId g = o.gate;
+  unsigned t = o.cycle;
+  bool v = o.value;
+  for (int guard = 0; guard < 100000; ++guard) {
+    const Gate& gate = gn_.gate(g);
+    switch (gate.kind) {
+      case GateKind::kVar:
+        if (win_.value(g, t) != L3::X) return false;  // already determined
+        *out = {g, t, v, false};
+        return true;
+      case GateKind::kDff:
+        if (t == 0) return false;  // cannot justify against the reset state
+        g = gate.fanin[0];
+        --t;
+        break;
+      case GateKind::kBuf:
+        g = gate.fanin[0];
+        break;
+      case GateKind::kNot:
+        g = gate.fanin[0];
+        v = !v;
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr: {
+        // For the controlling objective value pick any X input; for the
+        // non-controlling value every input must comply - also pick an X
+        // input (the others follow in later iterations).
+        GateId pick = kNoGate;
+        for (GateId in : gate.fanin)
+          if (win_.value(in, t) == L3::X) {
+            pick = in;
+            break;
+          }
+        if (pick == kNoGate) return false;
+        g = pick;
+        // AND wants 1 -> inputs 1; AND wants 0 -> drive picked input 0.
+        // OR mirrors.
+        break;
+      }
+      case GateKind::kXor: {
+        const L3 a = win_.value(gate.fanin[0], t);
+        const L3 b = win_.value(gate.fanin[1], t);
+        if (a == L3::X && b == L3::X) {
+          g = gate.fanin[0];
+          // target value for fanin0 is arbitrary; keep v.
+        } else if (a == L3::X) {
+          v = v != (b == L3::T);
+          g = gate.fanin[0];
+        } else if (b == L3::X) {
+          v = v != (a == L3::T);
+          g = gate.fanin[1];
+        } else {
+          return false;
+        }
+        break;
+      }
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        return false;
+    }
+  }
+  return false;
+}
+
+CtrlJustResult CtrlJust::solve(const std::vector<CtrlObjective>& objectives) {
+  CtrlJustResult res;
+  win_.clear();
+  std::vector<Decision> stack;
+
+  auto imply = [&] {
+    win_.imply();
+    ++res.stats.implications;
+  };
+
+  imply();
+  for (std::uint64_t iter = 0;; ++iter) {
+    if (res.stats.backtracks > cfg_.max_backtracks ||
+        res.stats.decisions > cfg_.max_decisions) {
+      res.status = TgStatus::kFailure;
+      break;
+    }
+    // Classify objectives. Prefer backtracing an objective that wants a 1:
+    // on the decoder's one-hot OR planes a 1-objective pins a complete
+    // instruction term, after which the sibling 0-objectives usually follow
+    // by implication; starting from a 0-objective assigns near-arbitrary
+    // CPI bits and walks into conflicts.
+    bool violated = false;
+    const CtrlObjective* open = nullptr;
+    for (const CtrlObjective& o : objectives) {
+      const ObjState st = objective_state(o);
+      if (st == ObjState::kViolated) {
+        violated = true;
+        break;
+      }
+      if (st == ObjState::kOpen && (!open || (o.value && !open->value)))
+        open = &o;
+    }
+
+    Decision next{};
+    bool have_next = false;
+    if (!violated) {
+      if (!open) {
+        res.status = TgStatus::kSuccess;
+        break;
+      }
+      have_next = backtrace(*open, &next);
+      if (!have_next) violated = true;  // objective unreachable: conflict
+    }
+
+    if (violated) {
+      // Backtrack: flip the most recent unflipped decision.
+      ++res.stats.backtracks;
+      bool resumed = false;
+      while (!stack.empty()) {
+        Decision& d = stack.back();
+        win_.assign(d.gate, d.cycle, L3::X);
+        if (!d.flipped) {
+          d.flipped = true;
+          d.value = !d.value;
+          win_.assign(d.gate, d.cycle, l3_from_bool(d.value));
+          if (cfg_.record_trace)
+            res.trace.push_back(
+                {SearchEvent::kFlip, d.gate, d.cycle, d.value});
+          resumed = true;
+          break;
+        }
+        if (cfg_.record_trace)
+          res.trace.push_back({SearchEvent::kPop, d.gate, d.cycle, d.value});
+        stack.pop_back();
+      }
+      if (!resumed) {
+        res.status = TgStatus::kFailure;
+        break;
+      }
+      imply();
+      continue;
+    }
+
+    // Take the decision.
+    ++res.stats.decisions;
+    win_.assign(next.gate, next.cycle, l3_from_bool(next.value));
+    if (cfg_.record_trace)
+      res.trace.push_back(
+          {SearchEvent::kDecide, next.gate, next.cycle, next.value});
+    stack.push_back(next);
+    imply();
+  }
+
+  if (res.status == TgStatus::kSuccess) {
+    for (auto [g, t, v] : win_.assignments()) {
+      if (gn_.gate(g).role == SigRole::kSts)
+        res.sts_assignments.emplace_back(g, t, v);
+      else if (gn_.gate(g).role == SigRole::kCPI)
+        res.cpi_assignments.emplace_back(g, t, v);
+    }
+  }
+  return res;
+}
+
+}  // namespace hltg

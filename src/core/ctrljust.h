@@ -1,0 +1,90 @@
+// CTRLJUST: justification of CTRL signals in the controller (Sec. V.C).
+//
+// A PODEM-based branch-and-bound search over the pipeframe decision
+// variables - the CPI and STS bits of each cycle of the unrolled window
+// (never the CSI state bits; that is the Sec.-IV transformation). Given a
+// set of objectives (c_i, v_i) on controller signals, it determines an
+// input sequence starting from the controller's reset state that satisfies
+// all of them, or proves none exists within the window / budget.
+//
+// Decisions on STS variables must later be justified by the datapath: they
+// are returned so TG can hand them to DPRELAX (Sec. V.C / Fig. 4).
+#pragma once
+
+#include <vector>
+
+#include "core/objectives.h"
+#include "core/unroll.h"
+#include "util/status.h"
+
+namespace hltg {
+
+/// One entry of the recorded search trace.
+struct SearchEvent {
+  enum Kind : std::uint8_t { kDecide, kFlip, kPop } kind;
+  GateId gate;
+  unsigned cycle;
+  bool value;
+};
+
+struct CtrlJustStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t implications = 0;
+};
+
+struct CtrlJustResult {
+  TgStatus status = TgStatus::kFailure;
+  /// Decisions/implied values on STS variables: (gate, cycle, value). Every
+  /// entry becomes a datapath justification obligation for DPRELAX.
+  std::vector<std::tuple<GateId, unsigned, bool>> sts_assignments;
+  /// Assignments on CPI variables: (gate, cycle, value) - fixed instruction
+  /// bits for the emitter.
+  std::vector<std::tuple<GateId, unsigned, bool>> cpi_assignments;
+  CtrlJustStats stats;
+  std::vector<SearchEvent> trace;  ///< populated when record_trace is set
+};
+
+/// Human-readable rendering of a recorded search trace.
+std::string render_trace(const GateNet& gn,
+                         const std::vector<SearchEvent>& trace);
+
+struct CtrlJustConfig {
+  std::uint64_t max_backtracks = 64;
+  std::uint64_t max_decisions = 5000;
+  bool record_trace = false;  ///< keep the decision sequence for debugging
+};
+
+class CtrlJust {
+ public:
+  CtrlJust(const GateNet& gn, unsigned cycles, CtrlJustConfig cfg = {});
+
+  /// Solve for the given objectives, starting from an empty assignment.
+  CtrlJustResult solve(const std::vector<CtrlObjective>& objectives);
+
+  /// The window (exposed so TG can read the full implied CTRL trajectory
+  /// after a successful solve).
+  const ControllerWindow& window() const { return win_; }
+
+ private:
+  struct Decision {
+    GateId gate;
+    unsigned cycle;
+    bool value;
+    bool flipped = false;
+  };
+
+  /// Objective state under current implications.
+  enum class ObjState { kSatisfied, kViolated, kOpen };
+  ObjState objective_state(const CtrlObjective& o) const;
+
+  /// PODEM backtrace from an open objective to an unassigned free variable.
+  /// Returns false if no route exists (treated as a conflict).
+  bool backtrace(CtrlObjective o, Decision* out) const;
+
+  const GateNet& gn_;
+  ControllerWindow win_;
+  CtrlJustConfig cfg_;
+};
+
+}  // namespace hltg

@@ -1,0 +1,85 @@
+// DPRELAX: value selection in the datapath by discrete relaxation
+// (Sec. V.B, after Lee & Patel).
+//
+// The free value variables are the paper's DPI set: instruction-word fields
+// (register specifiers, immediates - the opcode/function bits are already
+// fixed by CTRLJUST's CPI decisions), the initial register file, and the
+// initial data memory. Each iteration:
+//   1. evaluates the whole window (the implementation simulator is the
+//      module-evaluation engine, so semantics can never diverge),
+//   2. finds a violated constraint, and
+//   3. backsolves it through the captured values - module-by-module inverse
+//      rules (add: a = y - b; mux: follow the selected input; register-file
+//      read: adjust the feeding write or the initial state; ...) - until a
+//      free variable is adjusted.
+// The method is incomplete, exactly as the paper notes: it "cannot prove
+// that the system has no solutions, and may fail to find a solution even if
+// there is one"; failures surface as backtracks/aborts in TG. Because
+// DPTRACE selects paths first, the systems handed here are usually
+// underdetermined and convergence is fast.
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "core/archstate.h"
+#include "core/objectives.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hltg {
+
+/// The free value variables (and the fixed-bit discipline on instruction
+/// words imposed by CTRLJUST's CPI assignments).
+struct RelaxVars {
+  std::vector<std::uint32_t> imem;        ///< program words
+  std::vector<std::uint32_t> imem_fixed;  ///< per-word fixed-bit mask
+  std::array<std::uint32_t, 32> rf_init{};
+  std::map<std::uint32_t, std::uint32_t> mem_init;
+
+  TestCase to_test() const;
+  void ensure_size(std::size_t words);
+};
+
+struct DpRelaxConfig {
+  unsigned max_iterations = 80;
+  unsigned max_depth = 64;   ///< backsolve recursion cap
+  std::uint64_t seed = 12345;
+};
+
+struct DpRelaxResult {
+  TgStatus status = TgStatus::kFailure;
+  unsigned iterations = 0;
+  std::string note;
+};
+
+class DpRelax {
+ public:
+  DpRelax(const DlxModel& m, unsigned window, DpRelaxConfig cfg = {});
+
+  /// Iterate until every constraint holds in the good machine (and, for
+  /// kSiteDiffers constraints, the erroneous machine diverges at the site).
+  DpRelaxResult solve(RelaxVars& vars,
+                      const std::vector<RelaxConstraint>& constraints,
+                      const ErrorInjection& inj);
+
+ private:
+  bool violated(const RelaxConstraint& c, const WindowCapture& good,
+                const WindowCapture* err) const;
+  /// Returns true if some free variable was adjusted.
+  bool backsolve(RelaxVars& vars, const WindowCapture& cap, NetId net,
+                 unsigned cycle, std::uint64_t need, unsigned depth);
+  bool perturb_site(RelaxVars& vars, const WindowCapture& cap, NetId site,
+                    unsigned cycle);
+  bool set_instr_word(RelaxVars& vars, const WindowCapture& cap,
+                      unsigned cycle, std::uint64_t need);
+
+  const DlxModel& m_;
+  unsigned T_;
+  DpRelaxConfig cfg_;
+  mutable Rng rng_;
+  unsigned next_reg_ = 0;  ///< rotating register allocator for retargeting
+};
+
+}  // namespace hltg

@@ -1,0 +1,65 @@
+#include "core/emit.h"
+
+#include "util/word.h"
+
+namespace hltg {
+
+int instr_bit_of_cpi(const DlxModel& m, GateId g) {
+  for (std::size_t i = 0; i < m.cpi.size(); ++i)
+    if (m.cpi[i] == g)
+      return i < 6 ? static_cast<int>(26 + i) : static_cast<int>(i - 6);
+  return -1;
+}
+
+EmitResult emit_cpi_assignments(
+    const DlxModel& m, const ControllerWindow& win,
+    const std::vector<std::tuple<GateId, unsigned, bool>>& cpi,
+    RelaxVars* vars) {
+  EmitResult res;
+  const GateId stall = m.ctrl.find("cg.stall");
+  const GateId redirect = m.ctrl.find("cg.redirect");
+
+  unsigned pc_words = 0;
+  res.fetch_index.reserve(win.cycles());
+  for (unsigned t = 0; t < win.cycles(); ++t) {
+    if (win.value(redirect, t) == L3::T) {
+      res.note = "redirect implied in window: emission unsupported";
+      return res;
+    }
+    res.fetch_index.push_back(pc_words);
+    if (win.value(stall, t) != L3::T) ++pc_words;
+  }
+  vars->ensure_size(pc_words + 1);
+
+  for (auto [g, t, v] : cpi) {
+    const int bit = instr_bit_of_cpi(m, g);
+    if (bit < 0) {
+      res.note = "non-CPI gate in CPI assignment list";
+      return res;
+    }
+    if (t >= res.fetch_index.size()) {
+      res.note = "CPI assignment beyond window";
+      return res;
+    }
+    const unsigned idx = res.fetch_index[t];
+    const std::uint32_t mask = 1u << bit;
+    if ((vars->imem_fixed[idx] & mask) &&
+        ((vars->imem[idx] & mask) != 0) != v) {
+      res.note = "conflicting CPI bits for word " + std::to_string(idx);
+      return res;
+    }
+    vars->imem_fixed[idx] |= mask;
+    if (v)
+      vars->imem[idx] |= mask;
+    else
+      vars->imem[idx] &= ~mask;
+  }
+  res.ok = true;
+  return res;
+}
+
+void trim_trailing_nops(std::vector<std::uint32_t>* imem) {
+  while (imem->size() > 1 && imem->back() == 0) imem->pop_back();
+}
+
+}  // namespace hltg

@@ -1,0 +1,44 @@
+// Test emission: mapping CTRLJUST's cycle-indexed CPI decisions onto the
+// program image.
+//
+// CTRLJUST decides instruction bits per *fetch cycle*; the program is
+// indexed by *address*. The two coincide through the PC trajectory, which
+// the controller's own implied stall values determine (a stalled cycle
+// re-fetches the same address). Redirects are not emitted by the generator
+// (plans never require them), so the trajectory is straight-line.
+#pragma once
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dprelax.h"
+#include "core/unroll.h"
+#include "dlx/dlx.h"
+
+namespace hltg {
+
+/// Instruction-word bit position of a CPI gate (opcode bits 26..31, function
+/// bits 0..5); -1 if the gate is not a CPI bit.
+int instr_bit_of_cpi(const DlxModel& m, GateId g);
+
+struct EmitResult {
+  bool ok = false;
+  std::string note;
+  /// addr(t): program word index fetched each cycle.
+  std::vector<unsigned> fetch_index;
+};
+
+/// Apply the CPI assignments to `vars` (setting both value and fixed-bit
+/// mask). Fails if a redirect is implied within the window or two cycles pin
+/// conflicting bits of the same word.
+EmitResult emit_cpi_assignments(
+    const DlxModel& m, const ControllerWindow& win,
+    const std::vector<std::tuple<GateId, unsigned, bool>>& cpi,
+    RelaxVars* vars);
+
+/// Drop trailing all-zero (NOP) words; the fetch unit supplies NOPs past the
+/// end of the program anyway.
+void trim_trailing_nops(std::vector<std::uint32_t>* imem);
+
+}  // namespace hltg

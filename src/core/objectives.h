@@ -1,0 +1,62 @@
+// Shared objective / constraint vocabulary of the three TG engines.
+//
+// DPTRACE (path selection) emits:
+//  - CtrlObjective: a controller CTRL bit that must carry a given value in a
+//    given cycle (justified by CTRLJUST);
+//  - RelaxConstraint: a datapath value requirement (solved by DPRELAX).
+// CTRLJUST's decisions on STS variables flow back to DPRELAX as additional
+// RelaxConstraints (Sec. V.C: "if a decision concerns a STS signal, that
+// STS signal needs to be justified by the datapath").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gatenet/gatenet.h"
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+/// (controller gate, cycle) must evaluate to `value`.
+struct CtrlObjective {
+  GateId gate = kNoGate;
+  unsigned cycle = 0;
+  bool value = false;
+  bool operator==(const CtrlObjective&) const = default;
+};
+
+enum class RelaxKind {
+  kGoodEquals,     ///< good-machine net value (under mask) must equal `value`
+  kGoodNotEquals,  ///< good-machine net value (under mask) must differ
+  kGoodNetsDiffer, ///< two good-machine nets must carry different values
+  kSiteDiffers,    ///< good and erroneous value of net must differ (MSE/BOE)
+};
+
+struct RelaxConstraint {
+  RelaxKind kind = RelaxKind::kGoodEquals;
+  NetId net = kNoNet;
+  unsigned cycle = 0;
+  std::uint64_t mask = ~std::uint64_t{0};
+  std::uint64_t value = 0;
+  NetId net2 = kNoNet;  ///< kGoodNetsDiffer only
+  std::string why;  ///< provenance for debugging ("activation", "side", ...)
+};
+
+/// One hop of a selected propagation path (for reporting / tests).
+struct PathHop {
+  NetId net = kNoNet;
+  unsigned cycle = 0;
+};
+
+/// Everything DPTRACE hands to the rest of TG for one candidate path.
+struct PathPlan {
+  std::vector<PathHop> hops;            ///< site ... observation point
+  std::vector<CtrlObjective> ctrl_objectives;
+  std::vector<RelaxConstraint> relax_constraints;
+  ModId observe_module = kNoMod;        ///< kOutput / kMemWrite / kRfWrite
+  unsigned observe_cycle = 0;
+  unsigned activate_cycle = 0;
+};
+
+}  // namespace hltg

@@ -1,0 +1,280 @@
+#include "core/tg.h"
+
+#include <chrono>
+#include <memory>
+
+#include "core/emit.h"
+#include "isa/asm.h"
+#include "sim/cosim.h"
+#include "util/log.h"
+#include "util/word.h"
+
+namespace hltg {
+
+namespace {
+DpTraceConfig trace_cfg(const TgConfig& c) {
+  DpTraceConfig t = c.trace;
+  t.window = c.window;
+  return t;
+}
+}  // namespace
+
+TestGenerator::TestGenerator(const DlxModel& m, TgConfig cfg)
+    : m_(m), cfg_(cfg), trace_(m, trace_cfg(cfg_)) {}
+
+std::vector<RelaxConstraint> TestGenerator::activation_constraints(
+    const DesignError& err) const {
+  RelaxConstraint act;
+  act.net = err.site_net(m_.dp);
+  act.why = "activation";
+  if (const auto* ssl = std::get_if<BusSslError>(&err.e)) {
+    act.kind = RelaxKind::kGoodEquals;
+    act.mask = std::uint64_t{1} << ssl->bit;
+    act.value = ssl->stuck_value ? 0 : act.mask;  // good bit != stuck value
+    return {act};
+  }
+  if (const auto* bse = std::get_if<BusSourceError>(&err.e)) {
+    // The wrong wiring only matters when the two sources carry different
+    // values in the good machine...
+    RelaxConstraint differ;
+    differ.kind = RelaxKind::kGoodNetsDiffer;
+    differ.net = m_.dp.module(bse->module).data_in[bse->input];
+    differ.net2 = bse->wrong_source;
+    differ.why = "activation-sources-differ";
+    // ... and the difference must survive the module (a shifted zero or a
+    // masked operand swallows it).
+    act.kind = RelaxKind::kSiteDiffers;
+    return {differ, act};
+  }
+  act.kind = RelaxKind::kSiteDiffers;
+  return {act};
+}
+
+std::vector<CtrlObjective> TestGenerator::usage_objectives(
+    const DesignError& err, unsigned cycle) const {
+  std::vector<CtrlObjective> out;
+  const auto* bse = std::get_if<BusSourceError>(&err.e);
+  if (!bse) return out;
+  const Module& mod = m_.dp.module(bse->module);
+  if (mod.kind != ModuleKind::kMux) return out;
+  // The rewired data input must be the selected one, or the error is
+  // invisible regardless of values.
+  const NetId sel = mod.ctrl_in[0];
+  if (m_.dp.net(sel).role != NetRole::kCtrl) return out;  // data-dependent
+  const CtrlBind* cb = m_.find_ctrl(sel);
+  for (unsigned b = 0; b < m_.dp.net(sel).width; ++b)
+    out.push_back({cb->bits[b], cycle, ((bse->input >> b) & 1) != 0});
+  return out;
+}
+
+TgResult TestGenerator::generate(const DesignError& err) {
+  TgResult first = generate_with_window(err, cfg_.window);
+  if (first.status == TgStatus::kSuccess || cfg_.retry_window <= cfg_.window)
+    return first;
+  TgResult second = generate_with_window(err, cfg_.retry_window);
+  // Carry the accumulated effort of both attempts.
+  second.stats.plans_tried += first.stats.plans_tried;
+  second.stats.plan_retries += first.stats.plan_retries;
+  second.stats.decisions += first.stats.decisions;
+  second.stats.backtracks += first.stats.backtracks;
+  second.stats.implications += first.stats.implications;
+  second.stats.relax_iterations += first.stats.relax_iterations;
+  if (second.status != TgStatus::kSuccess && second.note.empty())
+    second.note = first.note;
+  return second;
+}
+
+TgResult TestGenerator::generate_with_window(const DesignError& err,
+                                             unsigned window) {
+  TgResult res;
+  const ErrorInjection inj = err.injection();
+  const NetId site = err.site_net(m_.dp);
+  const bool base_window = window == cfg_.window;
+  std::unique_ptr<DpTrace> retry_tracer;
+  if (!base_window) {
+    DpTraceConfig tcfg = cfg_.trace;
+    tcfg.window = window;
+    retry_tracer = std::make_unique<DpTrace>(m_, tcfg);
+  }
+  const DpTrace& tracer = base_window ? trace_ : *retry_tracer;
+  if (!tracer.observable_without_redirect(site)) {
+    // Control-transfer-path site: the only routes to an observation point
+    // run through a taken branch; use the divergence templates directly.
+    TgResult macro = cfg_.control_flow_macros ? try_control_flow_macro(err)
+                                              : TgResult{};
+    if (macro.status == TgStatus::kSuccess) {
+      macro.note = "control-flow macro";
+      return macro;
+    }
+    res.note = "control-path site: macro templates failed";
+    return res;
+  }
+
+  const auto plans = tracer.plans(site, activation_constraints(err));
+  if (plans.empty()) {
+    res.note = "DPTRACE: no propagation path";
+    return res;
+  }
+
+  // A plan that produced a test but failed dual-simulation confirmation
+  // would produce the same masked difference from any activation cycle;
+  // remember its shape and skip repeats.
+  std::set<std::string> unconfirmed_shapes;
+  auto shape_of = [&](const PathPlan& plan) {
+    std::string s = std::to_string(plan.observe_module) + ":";
+    for (const PathHop& h : plan.hops) s += std::to_string(h.net) + ",";
+    return s;
+  };
+
+  // Reset-trajectory pre-check: with no assignments, the window already
+  // implies every gate value forced by the reset state; a plan demanding the
+  // opposite (typically: an objective before the pipeline can fill) can be
+  // skipped without a search.
+  ControllerWindow reset_win(m_.ctrl, window);
+  auto reset_violates = [&](const PathPlan& plan) {
+    for (const CtrlObjective& o : plan.ctrl_objectives) {
+      const L3 v = reset_win.value(o.gate, o.cycle);
+      if (v != L3::X && (v == L3::T) != o.value) return true;
+    }
+    return false;
+  };
+
+  for (const PathPlan& plan : plans) {
+    if (cfg_.shape_dedup && unconfirmed_shapes.count(shape_of(plan))) continue;
+    if (cfg_.reset_precheck && reset_violates(plan)) continue;
+    ++res.stats.plans_tried;
+    if (res.stats.plans_tried > 1) ++res.stats.plan_retries;
+
+    auto fail_note = [&](const std::string& what) {
+      if (!res.note.empty()) res.note += "; ";
+      res.note += "plan" + std::to_string(res.stats.plans_tried) + "@" +
+                  std::to_string(plan.activate_cycle) + ": " + what;
+    };
+
+    std::vector<CtrlObjective> objectives = plan.ctrl_objectives;
+    for (const CtrlObjective& o :
+         usage_objectives(err, plan.activate_cycle))
+      objectives.push_back(o);
+
+    CtrlJust cj(m_.ctrl, window, cfg_.ctrljust);
+    const CtrlJustResult cr = cj.solve(objectives);
+    res.stats.decisions += cr.stats.decisions;
+    res.stats.backtracks += cr.stats.backtracks;
+    res.stats.implications += cr.stats.implications;
+    if (cr.status != TgStatus::kSuccess) {
+      fail_note("CTRLJUST failed");
+      continue;
+    }
+
+    RelaxVars vars;
+    const EmitResult er =
+        emit_cpi_assignments(m_, cj.window(), cr.cpi_assignments, &vars);
+    if (!er.ok) {
+      fail_note("emit: " + er.note);
+      continue;
+    }
+
+    std::vector<RelaxConstraint> cons = plan.relax_constraints;
+    for (auto [g, t, v] : cr.sts_assignments) {
+      // Locate the datapath STS net bound to this controller variable.
+      for (const StsBind& sb : m_.sts_binds) {
+        if (sb.gate != g) continue;
+        RelaxConstraint rc;
+        rc.net = sb.dp_net;
+        rc.cycle = t;
+        rc.mask = 1;
+        rc.value = v ? 1 : 0;
+        rc.why = "sts";
+        cons.push_back(rc);
+        break;
+      }
+    }
+
+    DpRelaxConfig rcfg = cfg_.relax;
+    rcfg.seed ^= static_cast<std::uint64_t>(err.site_net(m_.dp)) * 0x9E3779B9u +
+                 res.stats.plans_tried;
+    DpRelax relax(m_, window, rcfg);
+    const DpRelaxResult rr = relax.solve(vars, cons, inj);
+    res.stats.relax_iterations += rr.iterations;
+    if (rr.status != TgStatus::kSuccess) {
+      fail_note("DPRELAX: " + rr.note);
+      continue;
+    }
+
+    TestCase tc = vars.to_test();
+    trim_trailing_nops(&tc.imem);
+    if (cfg_.confirm_by_simulation && !detects(m_, tc, inj)) {
+      fail_note("not confirmed by dual simulation");
+      unconfirmed_shapes.insert(shape_of(plan));
+      continue;
+    }
+    res.status = TgStatus::kSuccess;
+    res.test = std::move(tc);
+    res.test_length = plan.observe_cycle + 1;
+    return res;
+  }
+  TgResult macro = cfg_.control_flow_macros ? try_control_flow_macro(err)
+                                            : TgResult{};
+  if (macro.status == TgStatus::kSuccess) {
+    macro.stats = res.stats;
+    macro.note = res.note.empty() ? "control-flow macro"
+                                  : res.note + "; control-flow macro";
+    return macro;
+  }
+
+  res.status = TgStatus::kFailure;
+  if (res.note.empty()) res.note = "all plans exhausted";
+  return res;
+}
+
+TgResult TestGenerator::try_control_flow_macro(const DesignError& err) const {
+  TgResult res;
+  const ErrorInjection inj = err.injection();
+  // Variant A: branch taken in the good machine (beqz r0). Variant B:
+  // branch not taken (beqz r1 with r1 != 0). Marker stores bracket both
+  // outcomes; any flip of the decision or corruption of the target changes
+  // the committed store sequence.
+  for (int variant = 0; variant < 2; ++variant) {
+    TestCase tc;
+    Instr br;
+    br.op = Op::kBeqz;
+    br.rs1 = variant == 0 ? 0u : 1u;
+    br.imm = 2;  // skip the two fall-through markers
+    Instr st1{Op::kSw, 0, 0, 2, 0x100};   // fall-through marker
+    Instr st2{Op::kSw, 0, 0, 3, 0x104};   // second fall-through marker
+    Instr st3{Op::kSw, 0, 0, 4, 0x108};   // target marker
+    tc.imem = encode_program({br, st1, st2, st3});
+    tc.rf_init[1] = 1;
+    tc.rf_init[2] = 0x11111111;
+    tc.rf_init[3] = 0x22222222;
+    tc.rf_init[4] = 0x33333333;
+    if (detects(m_, tc, inj)) {
+      res.status = TgStatus::kSuccess;
+      res.test = tc;
+      res.test_length = static_cast<unsigned>(tc.imem.size()) + 2;
+      return res;
+    }
+  }
+  return res;
+}
+
+TestGenFn TestGenerator::strategy() {
+  return [this](const DesignError& err) {
+    ErrorAttempt a;
+    const auto t0 = std::chrono::steady_clock::now();
+    const TgResult r = generate(err);
+    a.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    a.generated = r.status == TgStatus::kSuccess;
+    a.sim_confirmed = a.generated;  // generate() confirms before returning
+    a.test = r.test;
+    a.test_length = r.test_length;
+    a.backtracks = r.stats.backtracks + r.stats.plan_retries;
+    a.decisions = r.stats.decisions;
+    a.note = r.note;
+    return a;
+  };
+}
+
+}  // namespace hltg

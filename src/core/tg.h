@@ -1,0 +1,95 @@
+// TG: the overall test-generation algorithm (Fig. 3 / Fig. 4).
+//
+// Per design error:
+//   1. DPTRACE derives candidate justification/propagation path plans with
+//      their CTRL objectives and value constraints (step 2 of Fig. 3).
+//   2. For each plan, CTRLJUST runs its branch-and-bound search over the
+//      pipeframe decision variables (CPI / STS per cycle) to justify the
+//      CTRL objectives from the reset state.
+//   3. DPRELAX selects data values satisfying the plan's constraints plus
+//      the STS obligations CTRLJUST incurred.
+//   4. The emitted test is confirmed by dual simulation (spec vs erroneous
+//      implementation); only confirmed tests count as detections.
+// A plan whose CTRLJUST search or relaxation fails sends TG back to the
+// next candidate path - the coarse-grained realization of the
+// CONFLICT -> backtrack arrows of Fig. 3 (granularity note in DESIGN.md).
+#pragma once
+
+#include "core/ctrljust.h"
+#include "core/dprelax.h"
+#include "core/dptrace.h"
+#include "errors/campaign.h"
+
+namespace hltg {
+
+struct TgConfig {
+  unsigned window = 14;
+  /// When every plan in the base window fails, retry once with this window
+  /// (0 disables). Longer windows admit later activation cycles and longer
+  /// propagation chains at higher search cost.
+  unsigned retry_window = 20;
+  DpTraceConfig trace;
+  CtrlJustConfig ctrljust;
+  DpRelaxConfig relax;
+  bool confirm_by_simulation = true;
+  // Ablation toggles for the design choices DESIGN.md calls out.
+  bool shape_dedup = true;     ///< skip plans whose shape failed confirmation
+  bool reset_precheck = true;  ///< skip plans violated by the reset trajectory
+  bool control_flow_macros = true;  ///< divergence templates for branch path
+
+  TgConfig() { trace.window = window; }
+};
+
+struct TgStats {
+  std::uint64_t plans_tried = 0;
+  std::uint64_t plan_retries = 0;   ///< coarse Fig.-3 backtracks (path level)
+  std::uint64_t decisions = 0;
+  std::uint64_t backtracks = 0;     ///< CTRLJUST search backtracks
+  std::uint64_t implications = 0;
+  std::uint64_t relax_iterations = 0;
+};
+
+struct TgResult {
+  TgStatus status = TgStatus::kFailure;
+  TestCase test;
+  unsigned test_length = 0;  ///< instructions issued through observation
+  TgStats stats;
+  std::string note;
+};
+
+class TestGenerator {
+ public:
+  TestGenerator(const DlxModel& m, TgConfig cfg = {});
+
+  TgResult generate(const DesignError& err);
+
+  /// One attempt with a fixed window (generate() adds the window retry).
+  TgResult generate_with_window(const DesignError& err, unsigned window);
+
+  /// Adapter for the campaign driver.
+  TestGenFn strategy();
+
+  /// Last-resort templates for errors in the control-transfer path (branch
+  /// condition / target buses): a taken branch plus marker stores on the
+  /// fall-through and target paths. A condition error flips which markers
+  /// execute; a target error strands the erroneous machine on a misaligned
+  /// or far PC, so the target marker never commits. Tried only after the
+  /// path-based plans are exhausted.
+  TgResult try_control_flow_macro(const DesignError& err) const;
+
+  const DpTrace& tracer() const { return trace_; }
+
+ private:
+  std::vector<RelaxConstraint> activation_constraints(
+      const DesignError& err) const;
+  /// Extra CTRL objectives making the error site *used* at the activation
+  /// cycle (e.g. a rewired mux input must be selected for a BSE to matter).
+  std::vector<CtrlObjective> usage_objectives(const DesignError& err,
+                                              unsigned cycle) const;
+
+  const DlxModel& m_;
+  TgConfig cfg_;
+  DpTrace trace_;
+};
+
+}  // namespace hltg

@@ -1,0 +1,57 @@
+#include "core/unroll.h"
+
+#include <cassert>
+
+namespace hltg {
+
+ControllerWindow::ControllerWindow(const GateNet& gn, unsigned cycles)
+    : gn_(gn), T_(cycles) {
+  assign_.assign(T_, std::vector<L3>(gn_.num_gates(), L3::X));
+  vals_.assign(T_, std::vector<L3>(gn_.num_gates(), L3::X));
+  imply();
+}
+
+void ControllerWindow::assign(GateId g, unsigned cycle, L3 v) {
+  assert(gn_.gate(g).kind == GateKind::kVar);
+  assert(cycle < T_);
+  assign_[cycle][g] = v;
+}
+
+L3 ControllerWindow::assignment(GateId g, unsigned cycle) const {
+  return assign_[cycle][g];
+}
+
+std::vector<std::tuple<GateId, unsigned, bool>> ControllerWindow::assignments()
+    const {
+  std::vector<std::tuple<GateId, unsigned, bool>> out;
+  for (unsigned t = 0; t < T_; ++t)
+    for (GateId g = 0; g < gn_.num_gates(); ++g)
+      if (assign_[t][g] != L3::X)
+        out.emplace_back(g, t, assign_[t][g] == L3::T);
+  return out;
+}
+
+void ControllerWindow::imply() {
+  ++implies_;
+  for (unsigned t = 0; t < T_; ++t) {
+    std::vector<L3>& v = vals_[t];
+    // DFF outputs: reset at t=0, previous D otherwise.
+    for (GateId g = 0; g < gn_.num_gates(); ++g) {
+      const Gate& gate = gn_.gate(g);
+      if (gate.kind == GateKind::kDff) {
+        v[g] = t == 0 ? l3_from_bool(gate.reset_value)
+                      : vals_[t - 1][gate.fanin[0]];
+      } else if (gate.kind == GateKind::kVar) {
+        v[g] = assign_[t][g];
+      }
+    }
+    eval_cycle3(gn_, v);
+  }
+}
+
+void ControllerWindow::clear() {
+  for (auto& a : assign_) std::fill(a.begin(), a.end(), L3::X);
+  imply();
+}
+
+}  // namespace hltg

@@ -1,0 +1,55 @@
+// Unrolled three-valued controller model (the iterative-array of Fig. 2,
+// organized for the pipeframe search of Sec. IV).
+//
+// The window holds T copies of the controller's combinational logic. DFFs
+// carry values across copies; cycle 0 starts from the reset state, as the
+// paper's justification problem demands ("an input sequence ... that starts
+// from the controller's reset state"). Free variables are the CPI and STS
+// bits of every cycle - precisely the pipeframe decision variables
+// (n1 + p*n3 flavored), never the CSI state bits.
+#pragma once
+
+#include <tuple>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "gatenet/eval3.h"
+#include "util/logic3.h"
+
+namespace hltg {
+
+class ControllerWindow {
+ public:
+  ControllerWindow(const GateNet& gn, unsigned cycles);
+
+  unsigned cycles() const { return T_; }
+  const GateNet& net() const { return gn_; }
+
+  /// Assign a free variable (kVar gate) for a cycle; L3::X clears it.
+  void assign(GateId g, unsigned cycle, L3 v);
+  L3 assignment(GateId g, unsigned cycle) const;
+  /// All currently assigned (gate, cycle, value) triples.
+  std::vector<std::tuple<GateId, unsigned, bool>> assignments() const;
+
+  /// Recompute implications of all assignments from the reset state.
+  /// Returns false if an assignment contradicts itself (cannot happen for
+  /// pure var assignments; kept for interface symmetry).
+  void imply();
+
+  /// Value of a gate in a cycle after imply().
+  L3 value(GateId g, unsigned cycle) const { return vals_[cycle][g]; }
+
+  /// Number of imply() sweeps performed (implication-effort statistic).
+  std::uint64_t imply_count() const { return implies_; }
+
+  void clear();
+
+ private:
+  const GateNet& gn_;
+  unsigned T_;
+  std::vector<std::vector<L3>> vals_;    ///< [cycle][gate]
+  std::vector<std::vector<L3>> assign_;  ///< [cycle][gate] for kVar gates
+  std::uint64_t implies_ = 0;
+};
+
+}  // namespace hltg

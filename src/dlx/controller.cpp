@@ -1,0 +1,482 @@
+// Gate-level controller of the pipelined DLX.
+//
+// The controller is a PLA-style decoder (one AND term per instruction over
+// the 12 CPI bits opcode[5:0]/func[5:0], OR planes for each control bit)
+// plus control pipe registers per stage and the global hazard logic (CG in
+// Fig. 2): load-use stall, EX redirect/squash, and the bypass selects. The
+// hazard logic consumes STS bits computed by datapath comparators.
+#include "dlx/dlx.h"
+
+#include <stdexcept>
+
+#include "isa/encode.h"
+
+namespace hltg {
+
+DecodedCtrl decoded_ctrl(Op op) {
+  DecodedCtrl c;
+  auto alu_r = [&](AluSel a) {
+    c.alu_sel = a;
+    c.reads_rs1 = true;
+    c.reads_rsB = true;
+    c.wb_en = true;
+    c.dest_sel = DestSel::kRdR;
+  };
+  auto alu_i = [&](AluSel a) {
+    c.alu_sel = a;
+    c.use_imm = true;
+    c.reads_rs1 = true;
+    c.wb_en = true;
+    c.dest_sel = DestSel::kRdI;
+    c.imm_sel = zero_extends_imm(op) ? ImmSel::kZext16 : ImmSel::kSext16;
+  };
+  auto load = [&](MemSize sz, LoadExt ext) {
+    c.alu_sel = AluSel::kAdd;
+    c.use_imm = true;
+    c.reads_rs1 = true;
+    c.wb_en = true;
+    c.dest_sel = DestSel::kRdI;
+    c.is_load = true;
+    c.mem_size = sz;
+    c.load_ext = ext;
+  };
+  auto store = [&](MemSize sz) {
+    c.alu_sel = AluSel::kAdd;
+    c.use_imm = true;
+    c.reads_rs1 = true;
+    c.reads_rsB = true;  // store datum from R[instr[20:16]]
+    c.is_store = true;
+    c.mem_size = sz;
+  };
+  switch (op) {
+    case Op::kNop: break;
+    case Op::kAdd: case Op::kAddu: alu_r(AluSel::kAdd); break;
+    case Op::kSub: case Op::kSubu: alu_r(AluSel::kSub); break;
+    case Op::kAnd: alu_r(AluSel::kAnd); break;
+    case Op::kOr: alu_r(AluSel::kOr); break;
+    case Op::kXor: alu_r(AluSel::kXor); break;
+    case Op::kSll: alu_r(AluSel::kShl); break;
+    case Op::kSrl: alu_r(AluSel::kSrl); break;
+    case Op::kSra: alu_r(AluSel::kSra); break;
+    case Op::kSlt: alu_r(AluSel::kSlt); break;
+    case Op::kSltu: alu_r(AluSel::kSltu); break;
+    case Op::kSeq: alu_r(AluSel::kSeq); break;
+    case Op::kSne: alu_r(AluSel::kSne); break;
+    case Op::kAddi: case Op::kAddui: alu_i(AluSel::kAdd); break;
+    case Op::kSubi: case Op::kSubui: alu_i(AluSel::kSub); break;
+    case Op::kAndi: alu_i(AluSel::kAnd); break;
+    case Op::kOri: alu_i(AluSel::kOr); break;
+    case Op::kXori: alu_i(AluSel::kXor); break;
+    case Op::kSlli: alu_i(AluSel::kShl); break;
+    case Op::kSrli: alu_i(AluSel::kSrl); break;
+    case Op::kSrai: alu_i(AluSel::kSra); break;
+    case Op::kSlti: alu_i(AluSel::kSlt); break;
+    case Op::kSltui: alu_i(AluSel::kSltu); break;
+    case Op::kSeqi: alu_i(AluSel::kSeq); break;
+    case Op::kSnei: alu_i(AluSel::kSne); break;
+    case Op::kLhi:
+      alu_i(AluSel::kLhi);
+      c.reads_rs1 = false;  // rd = imm << 16 only
+      break;
+    case Op::kLb: load(MemSize::kByte, LoadExt::kByteS); break;
+    case Op::kLbu: load(MemSize::kByte, LoadExt::kByteU); break;
+    case Op::kLh: load(MemSize::kHalf, LoadExt::kHalfS); break;
+    case Op::kLhu: load(MemSize::kHalf, LoadExt::kHalfU); break;
+    case Op::kLw: load(MemSize::kWord, LoadExt::kWord); break;
+    case Op::kSb: store(MemSize::kByte); break;
+    case Op::kSh: store(MemSize::kHalf); break;
+    case Op::kSw: store(MemSize::kWord); break;
+    case Op::kBeqz:
+      c.reads_rs1 = true;
+      c.use_imm = true;
+      c.is_beqz = true;
+      break;
+    case Op::kBnez:
+      c.reads_rs1 = true;
+      c.use_imm = true;
+      c.is_bnez = true;
+      break;
+    case Op::kJ:
+      c.imm_sel = ImmSel::kSext26;
+      c.is_jump = true;
+      break;
+    case Op::kJal:
+      c.imm_sel = ImmSel::kSext26;
+      c.is_jump = true;
+      c.wb_en = true;
+      c.dest_sel = DestSel::kR31;
+      c.alu_sel = AluSel::kLink;
+      break;
+    case Op::kJr:
+      c.reads_rs1 = true;
+      c.is_jreg = true;
+      break;
+    case Op::kJalr:
+      c.reads_rs1 = true;
+      c.is_jreg = true;
+      c.wb_en = true;
+      c.dest_sel = DestSel::kR31;
+      c.alu_sel = AluSel::kLink;
+      break;
+    default:
+      throw std::logic_error("decoded_ctrl: bad op");
+  }
+  return c;
+}
+
+namespace {
+
+/// OR-plane helper: one output bit = OR of the one-hot terms of all ops for
+/// which `pred` yields a set bit.
+GateId or_plane(GateBuilder& g, const std::string& name,
+                const std::vector<GateId>& onehot,
+                const std::vector<DecodedCtrl>& table, bool (*pred)(const DecodedCtrl&)) {
+  std::vector<GateId> terms;
+  for (int i = 0; i < kNumInstructions; ++i)
+    if (pred(table[i])) terms.push_back(onehot[i]);
+  return g.any(name, std::move(terms));
+}
+
+}  // namespace
+
+void build_dlx_controller(DlxModel& m) {
+  GateBuilder g(m.ctrl);
+
+  // ---- CPI: opcode and func bits of the fetched instruction --------------
+  g.set_stage(Stage::kIF);
+  const GateVec op_if = g.var_vec("cpi.opcode", 6, SigRole::kCPI);
+  const GateVec fn_if = g.var_vec("cpi.func", 6, SigRole::kCPI);
+  m.cpi.clear();
+  for (GateId b : op_if) m.cpi.push_back(b);
+  for (GateId b : fn_if) m.cpi.push_back(b);
+
+  // ---- STS variables -------------------------------------------------------
+  auto sts = [&](const char* name, Stage st, NetId dp_net) {
+    g.set_stage(st);
+    const GateId v = g.var(name, SigRole::kSts);
+    m.sts_binds.push_back({dp_net, v});
+    return v;
+  };
+  const DlxSignals& s = m.sig;
+  const bool bp = m.cfg.branch_predictor;
+  const GateId v_a_zero = sts("sts.a_zero", Stage::kEX, s.s_a_zero);
+  const GateId v_fwda_mem = sts("sts.fwda_mem", Stage::kEX, s.s_fwda_mem);
+  const GateId v_fwdb_mem = sts("sts.fwdb_mem", Stage::kEX, s.s_fwdb_mem);
+  const GateId v_fwda_wb = sts("sts.fwda_wb", Stage::kEX, s.s_fwda_wb);
+  const GateId v_fwdb_wb = sts("sts.fwdb_wb", Stage::kEX, s.s_fwdb_wb);
+  const GateId v_dest_mem_nz =
+      sts("sts.dest_mem_nz", Stage::kEX, s.s_dest_mem_nz);
+  const GateId v_dest_wb_nz = sts("sts.dest_wb_nz", Stage::kEX, s.s_dest_wb_nz);
+  const GateId v_dest_ex_nz = sts("sts.dest_ex_nz", Stage::kID, s.s_dest_ex_nz);
+  const GateId v_ld_rs1 = sts("sts.ld_rs1", Stage::kID, s.s_ld_rs1);
+  const GateId v_ld_rsb = sts("sts.ld_rsb", Stage::kID, s.s_ld_rsb);
+  const GateId v_btb_hit =
+      bp ? sts("sts.btb_hit", Stage::kIF, s.s_btb_hit) : kNoGate;
+  const GateId v_ptarget_eq =
+      bp ? sts("sts.ptarget_eq", Stage::kEX, s.s_ptarget_eq) : kNoGate;
+  const bool bypassing = m.cfg.bypassing;
+  const GateId v_haz_rs1_mem =
+      bypassing ? kNoGate : sts("sts.haz_rs1_mem", Stage::kID, s.s_haz_rs1_mem);
+  const GateId v_haz_rsb_mem =
+      bypassing ? kNoGate : sts("sts.haz_rsb_mem", Stage::kID, s.s_haz_rsb_mem);
+
+  // ---- decode table --------------------------------------------------------
+  std::vector<DecodedCtrl> table(kNumInstructions);
+  for (int i = 0; i < kNumInstructions; ++i)
+    table[i] = decoded_ctrl(static_cast<Op>(i));
+
+  // The hazard signals are needed before the pipeline latches can be built;
+  // declare placeholders wired up at the end via buffers is not possible
+  // with this IR, so we build in dependency order instead:
+  //  (1) IF/ID CPR needs stall/redirect -> but stall needs ID decode, which
+  //      needs the IF/ID CPR outputs. We break the cycle the same way the
+  //      hardware does: the IF/ID latch is a DFF (state), so its *output* is
+  //      a source; only its enable/clear inputs come from later logic. The
+  //      gate builder's dff_en_clr patches the D-side cone after creation,
+  //      so we create the latches first with placeholder controls and patch.
+  // To keep this readable we instead create stall/redirect as forward
+  // OR-gates with empty fanin and patch their fanin at the end.
+  Gate fwd_stall;
+  fwd_stall.name = "cg.stall";
+  fwd_stall.kind = GateKind::kOr;
+  fwd_stall.stage = Stage::kID;
+  fwd_stall.fanin = {g.const0(), g.const0()};  // patched below
+  const GateId stall = m.ctrl.add_gate(std::move(fwd_stall));
+  Gate fwd_redir;
+  fwd_redir.name = "cg.redirect";
+  fwd_redir.kind = GateKind::kOr;
+  fwd_redir.stage = Stage::kEX;
+  fwd_redir.fanin = {g.const0(), g.const0()};  // patched below
+  const GateId redirect = m.ctrl.add_gate(std::move(fwd_redir));
+  g.mark_tertiary(stall);
+  g.mark_tertiary(redirect);
+
+  // ---- IF/ID control pipe register: opcode/func latch ---------------------
+  g.set_stage(Stage::kID);
+  const GateId nstall = g.not_("cg.nstall", stall);
+  GateVec op_id(6), fn_id(6);
+  for (int i = 0; i < 6; ++i) {
+    op_id[i] = g.dff_en_clr("cpr.ifid_op[" + std::to_string(i) + "]",
+                            op_if[i], nstall, redirect);
+    fn_id[i] = g.dff_en_clr("cpr.ifid_fn[" + std::to_string(i) + "]",
+                            fn_if[i], nstall, redirect);
+  }
+
+  // ---- one-hot decode (ID) -------------------------------------------------
+  GateVec bits12;
+  for (GateId b : op_id) bits12.push_back(b);
+  for (GateId b : fn_id) bits12.push_back(b);
+  std::vector<GateId> onehot(kNumInstructions);
+  for (int i = 0; i < kNumInstructions; ++i) {
+    const Op op = static_cast<Op>(i);
+    const std::string nm = std::string("dec.") + std::string(mnemonic(op));
+    if (op == Op::kNop) {
+      onehot[i] = g.const0();  // NOP asserts no control bit
+    } else if (format_of(op) == Format::kR) {
+      onehot[i] =
+          g.eq_const(nm, bits12, (static_cast<std::uint64_t>(func_of(op)) << 6));
+    } else {
+      onehot[i] = g.eq_const(nm, op_id, opcode_of(op));
+    }
+  }
+  // Note on bit order: bits12 = opcode[0..5] ++ func[0..5], so an R-type
+  // term matches opcode == 0 and func == func_of(op); eq_const's value has
+  // the func code shifted past the 6 opcode bits.
+
+  auto plane = [&](const char* name, bool (*pred)(const DecodedCtrl&)) {
+    return or_plane(g, name, onehot, table, pred);
+  };
+  auto plane_bit = [&](const char* name, unsigned bit,
+                       unsigned (*field)(const DecodedCtrl&)) {
+    std::vector<GateId> terms;
+    for (int i = 0; i < kNumInstructions; ++i)
+      if ((field(table[i]) >> bit) & 1u) terms.push_back(onehot[i]);
+    return g.any(name, std::move(terms));
+  };
+
+  // ID-stage decoded control bits.
+  const GateId d_use_imm =
+      plane("dec.use_imm", [](const DecodedCtrl& c) { return c.use_imm; });
+  const GateId d_wb_en =
+      plane("dec.wb_en", [](const DecodedCtrl& c) { return c.wb_en; });
+  const GateId d_reads_rs1 =
+      plane("dec.reads_rs1", [](const DecodedCtrl& c) { return c.reads_rs1; });
+  const GateId d_reads_rsb =
+      plane("dec.reads_rsb", [](const DecodedCtrl& c) { return c.reads_rsB; });
+  const GateId d_is_load =
+      plane("dec.is_load", [](const DecodedCtrl& c) { return c.is_load; });
+  const GateId d_is_store =
+      plane("dec.is_store", [](const DecodedCtrl& c) { return c.is_store; });
+  const GateId d_is_beqz =
+      plane("dec.is_beqz", [](const DecodedCtrl& c) { return c.is_beqz; });
+  const GateId d_is_bnez =
+      plane("dec.is_bnez", [](const DecodedCtrl& c) { return c.is_bnez; });
+  const GateId d_is_jump =
+      plane("dec.is_jump", [](const DecodedCtrl& c) { return c.is_jump; });
+  const GateId d_is_jreg =
+      plane("dec.is_jreg", [](const DecodedCtrl& c) { return c.is_jreg; });
+  GateVec d_alu_sel(kAluSelW), d_imm_sel(2), d_dest_sel(2), d_size(2),
+      d_load_ext(3);
+  for (unsigned bit = 0; bit < kAluSelW; ++bit)
+    d_alu_sel[bit] =
+        plane_bit(("dec.alu_sel" + std::to_string(bit)).c_str(), bit,
+                  [](const DecodedCtrl& c) {
+                    return static_cast<unsigned>(c.alu_sel);
+                  });
+  for (unsigned bit = 0; bit < 2; ++bit)
+    d_imm_sel[bit] =
+        plane_bit(("dec.imm_sel" + std::to_string(bit)).c_str(), bit,
+                  [](const DecodedCtrl& c) {
+                    return static_cast<unsigned>(c.imm_sel);
+                  });
+  for (unsigned bit = 0; bit < 2; ++bit)
+    d_dest_sel[bit] =
+        plane_bit(("dec.dest_sel" + std::to_string(bit)).c_str(), bit,
+                  [](const DecodedCtrl& c) {
+                    return static_cast<unsigned>(c.dest_sel);
+                  });
+  for (unsigned bit = 0; bit < 2; ++bit)
+    d_size[bit] = plane_bit(("dec.size" + std::to_string(bit)).c_str(), bit,
+                            [](const DecodedCtrl& c) {
+                              return static_cast<unsigned>(c.mem_size);
+                            });
+  for (unsigned bit = 0; bit < 3; ++bit)
+    d_load_ext[bit] =
+        plane_bit(("dec.load_ext" + std::to_string(bit)).c_str(), bit,
+                  [](const DecodedCtrl& c) {
+                    return static_cast<unsigned>(c.load_ext);
+                  });
+
+  // ---- ID/EX control pipe registers ----------------------------------------
+  g.set_stage(Stage::kEX);
+  const GateId idex_clr = g.or_("cg.idex_clr", {stall, redirect});
+  auto cpr_ex = [&](const char* name, GateId d) {
+    return g.dff_en_clr(std::string("cpr.idex_") + name, d, kNoGate, idex_clr);
+  };
+  const GateId q_use_imm = cpr_ex("use_imm", d_use_imm);
+  const GateId q_wb_en = cpr_ex("wb_en", d_wb_en);
+  const GateId q_reads_rs1 = cpr_ex("reads_rs1", d_reads_rs1);
+  const GateId q_reads_rsb = cpr_ex("reads_rsb", d_reads_rsb);
+  const GateId q_is_load = cpr_ex("is_load", d_is_load);
+  const GateId q_is_store = cpr_ex("is_store", d_is_store);
+  const GateId q_is_beqz = cpr_ex("is_beqz", d_is_beqz);
+  const GateId q_is_bnez = cpr_ex("is_bnez", d_is_bnez);
+  const GateId q_is_jump = cpr_ex("is_jump", d_is_jump);
+  const GateId q_is_jreg = cpr_ex("is_jreg", d_is_jreg);
+  GateVec q_alu_sel(kAluSelW), q_size(2), q_load_ext(3);
+  for (unsigned i = 0; i < kAluSelW; ++i)
+    q_alu_sel[i] =
+        cpr_ex(("alu_sel" + std::to_string(i)).c_str(), d_alu_sel[i]);
+  for (unsigned i = 0; i < 2; ++i)
+    q_size[i] = cpr_ex(("size" + std::to_string(i)).c_str(), d_size[i]);
+  for (unsigned i = 0; i < 3; ++i)
+    q_load_ext[i] =
+        cpr_ex(("load_ext" + std::to_string(i)).c_str(), d_load_ext[i]);
+
+  // ---- EX/MEM control pipe registers ---------------------------------------
+  g.set_stage(Stage::kMEM);
+  auto cpr_mem = [&](const char* name, GateId d) {
+    return g.dff(std::string("cpr.exmem_") + name, d);
+  };
+  const GateId m_wb_en = cpr_mem("wb_en", q_wb_en);
+  const GateId m_is_load = cpr_mem("is_load", q_is_load);
+  const GateId m_is_store = cpr_mem("is_store", q_is_store);
+  GateVec m_size(2), m_load_ext(3);
+  for (unsigned i = 0; i < 2; ++i)
+    m_size[i] = cpr_mem(("size" + std::to_string(i)).c_str(), q_size[i]);
+  for (unsigned i = 0; i < 3; ++i)
+    m_load_ext[i] =
+        cpr_mem(("load_ext" + std::to_string(i)).c_str(), q_load_ext[i]);
+
+  // ---- MEM/WB control pipe register -----------------------------------------
+  g.set_stage(Stage::kWB);
+  const GateId w_wb_en = g.dff("cpr.memwb_wb_en", m_wb_en);
+
+  // ---- CG: redirect (EX) ------------------------------------------------------
+  g.set_stage(Stage::kEX);
+  const GateId n_a_zero = g.not_("cg.n_a_zero", v_a_zero);
+  const GateId taken_beqz = g.and_("cg.taken_beqz", {q_is_beqz, v_a_zero});
+  const GateId taken_bnez = g.and_("cg.taken_bnez", {q_is_bnez, n_a_zero});
+  const GateId actual_taken = g.or_(
+      "cg.actual_taken", {taken_beqz, taken_bnez, q_is_jump, q_is_jreg});
+  GateId pt_if = kNoGate, pt_ex = kNoGate;
+  if (!bp) {
+    // Predict-not-taken: every actually-taken transfer redirects.
+    m.ctrl.gate(redirect).kind = GateKind::kBuf;
+    m.ctrl.gate(redirect).fanin = {actual_taken};
+  } else {
+    // Predict-taken-on-BTB-hit: the prediction bit travels with the
+    // instruction; EX redirects only on a mispredicted direction or target.
+    g.set_stage(Stage::kIF);
+    pt_if = g.buf("cg.pred_taken_if", v_btb_hit);
+    g.mark_tertiary(pt_if);
+    g.set_stage(Stage::kID);
+    const GateId nstall_pt = g.not_("cg.nstall_pt", stall);
+    const GateId pt_id =
+        g.dff_en_clr("cpr.ifid_pred_taken", pt_if, nstall_pt, redirect);
+    g.set_stage(Stage::kEX);
+    pt_ex = g.dff_en_clr("cpr.idex_pred_taken", pt_id, kNoGate, idex_clr);
+    const GateId wrong_dir = g.xor_("cg.wrong_dir", pt_ex, actual_taken);
+    const GateId n_teq = g.not_("cg.n_ptarget_eq", v_ptarget_eq);
+    const GateId wrong_tgt =
+        g.and_("cg.wrong_tgt", {actual_taken, pt_ex, n_teq});
+    m.ctrl.gate(redirect).fanin = {wrong_dir, wrong_tgt};
+  }
+  m.ctrl.invalidate();
+
+  // ---- CG: interlock stall (ID) ------------------------------------------------
+  g.set_stage(Stage::kID);
+  const GateId dep_rs1 = g.and_("cg.dep_rs1", {v_ld_rs1, d_reads_rs1});
+  const GateId dep_rsb = g.and_("cg.dep_rsb", {v_ld_rsb, d_reads_rsb});
+  const GateId dep_any = g.or_("cg.dep_any", {dep_rs1, dep_rsb});
+  const GateId n_redirect = g.not_("cg.n_redirect", redirect);
+  GateId stall_term;
+  if (bypassing) {
+    // With a full bypass network only the load-use case needs a stall.
+    stall_term =
+        g.and_("cg.stall_t", {q_is_load, v_dest_ex_nz, dep_any, n_redirect});
+  } else {
+    // Interlock-only: stall against ANY register-writing producer in EX or
+    // MEM; write-through covers the WB case.
+    const GateId haz_ex =
+        g.and_("cg.haz_ex", {q_wb_en, v_dest_ex_nz, dep_any});
+    const GateId dep_rs1_m =
+        g.and_("cg.dep_rs1_m", {v_haz_rs1_mem, d_reads_rs1});
+    const GateId dep_rsb_m =
+        g.and_("cg.dep_rsb_m", {v_haz_rsb_mem, d_reads_rsb});
+    const GateId dep_any_m = g.or_("cg.dep_any_m", {dep_rs1_m, dep_rsb_m});
+    const GateId haz_mem =
+        g.and_("cg.haz_mem", {m_wb_en, v_dest_mem_nz, dep_any_m});
+    const GateId haz = g.or_("cg.haz", {haz_ex, haz_mem});
+    stall_term = g.and_("cg.stall_t", {haz, n_redirect});
+  }
+  m.ctrl.gate(stall).kind = GateKind::kBuf;
+  m.ctrl.gate(stall).fanin = {stall_term};
+  m.ctrl.invalidate();
+
+  // ---- CG: bypass selects (EX) ---------------------------------------------------
+  g.set_stage(Stage::kEX);
+  GateId fwda_mem, fwdb_mem, fwda_wb, fwdb_wb;
+  if (bypassing) {
+    const GateId n_m_is_load = g.not_("cg.n_m_is_load", m_is_load);
+    fwda_mem = g.and_("cg.fwda_mem", {v_fwda_mem, v_dest_mem_nz, m_wb_en,
+                                      n_m_is_load, q_reads_rs1});
+    fwdb_mem = g.and_("cg.fwdb_mem", {v_fwdb_mem, v_dest_mem_nz, m_wb_en,
+                                      n_m_is_load, q_reads_rsb});
+    const GateId n_fwda_mem = g.not_("cg.n_fwda_mem", fwda_mem);
+    const GateId n_fwdb_mem = g.not_("cg.n_fwdb_mem", fwdb_mem);
+    fwda_wb = g.and_("cg.fwda_wb", {v_fwda_wb, v_dest_wb_nz, w_wb_en,
+                                    q_reads_rs1, n_fwda_mem});
+    fwdb_wb = g.and_("cg.fwdb_wb", {v_fwdb_wb, v_dest_wb_nz, w_wb_en,
+                                    q_reads_rsb, n_fwdb_mem});
+    for (GateId t : {fwda_mem, fwdb_mem, fwda_wb, fwdb_wb})
+      g.mark_tertiary(t);
+  } else {
+    // Interlock-only: the bypass muxes are permanently on their register
+    // operands.
+    fwda_mem = fwdb_mem = fwda_wb = fwdb_wb = g.const0();
+  }
+
+  // ---- PC / IF-ID latch controls -----------------------------------------------
+  g.set_stage(Stage::kIF);
+  const GateId nstall_if = g.not_("cg.nstall_if", stall);
+  const GateId pc_en = g.or_("cg.pc_en", {nstall_if, redirect});
+
+  // ---- CTRL bindings ---------------------------------------------------------------
+  auto bind = [&](NetId dp_net, const std::string& name, GateVec bits) {
+    m.ctrl_binds.push_back({dp_net, g.mark_ctrl_vec(name, bits)});
+  };
+  bind(s.c_pc_en, "ctrl.pc_en", {pc_en});
+  bind(s.c_ifid_en, "ctrl.ifid_en", {nstall_if});
+  bind(s.c_ifid_clr, "ctrl.ifid_clr", {redirect});
+  bind(s.c_redirect, "ctrl.redirect", {redirect});
+  bind(s.c_idex_clr, "ctrl.idex_clr", {idex_clr});
+  bind(s.c_imm_sel, "ctrl.imm_sel", d_imm_sel);
+  bind(s.c_dest_sel, "ctrl.dest_sel", d_dest_sel);
+  bind(s.c_fwd_a, "ctrl.fwd_a", {fwda_mem, fwda_wb});
+  bind(s.c_fwd_b, "ctrl.fwd_b", {fwdb_mem, fwdb_wb});
+  bind(s.c_use_imm, "ctrl.use_imm", {q_use_imm});
+  bind(s.c_alu_sel, "ctrl.alu_sel", q_alu_sel);
+  bind(s.c_jr_sel, "ctrl.jr_sel", {q_is_jreg});
+  bind(s.c_mem_we, "ctrl.mem_we", {m_is_store});
+  bind(s.c_mem_re, "ctrl.mem_re", {m_is_load});
+  bind(s.c_size_sel, "ctrl.size_sel", m_size);
+  bind(s.c_memres_sel, "ctrl.memres_sel", {m_is_load});
+  bind(s.c_load_ext, "ctrl.load_ext", m_load_ext);
+  bind(s.c_rf_we, "ctrl.rf_we", {w_wb_en});
+  if (bp) {
+    // BTB update on every control transfer, and on a false-positive
+    // prediction (a non-branch predicted taken must invalidate its entry).
+    g.set_stage(Stage::kEX);
+    const GateId is_control = g.or_(
+        "cg.is_control_ex", {q_is_beqz, q_is_bnez, q_is_jump, q_is_jreg});
+    const GateId btb_we = g.or_("cg.btb_we", {is_control, pt_ex});
+    bind(s.c_pred_taken, "ctrl.pred_taken", {pt_if});
+    bind(s.c_actual_taken, "ctrl.actual_taken", {actual_taken});
+    bind(s.c_btb_we, "ctrl.btb_we", {btb_we});
+    bind(s.c_btb_valid_new, "ctrl.btb_valid_new", {actual_taken});
+    g.mark_tertiary(pt_ex);
+  }
+}
+
+}  // namespace hltg

@@ -1,0 +1,346 @@
+// Word-level datapath of the pipelined DLX (see dlx.h for the overview).
+//
+// Construction proceeds stage by stage. Three buses are forward-referenced
+// (consumed by earlier stages than the one that drives them) and are
+// predeclared: the PC, the EX/MEM result bus and the MEM/WB write-back bus.
+#include "dlx/dlx.h"
+
+#include "netlist/builder.h"
+
+namespace hltg {
+
+namespace {
+unsigned log2u(unsigned v) {
+  unsigned l = 0;
+  while ((1u << l) < v) ++l;
+  return l;
+}
+}  // namespace
+
+DlxSignals build_dlx_datapath(Netlist& nl, const DlxConfig& cfg) {
+  NetlistBuilder b(nl);
+  DlxSignals s{};
+
+  // ---- CTRL nets (created up front; the controller drives them) --------
+  b.set_stage(Stage::kIF);
+  s.c_pc_en = b.ctrl("ctrl.pc_en", 1);
+  s.c_ifid_en = b.ctrl("ctrl.ifid_en", 1);
+  s.c_ifid_clr = b.ctrl("ctrl.ifid_clr", 1);
+  s.c_redirect = b.ctrl("ctrl.redirect", 1);
+  b.set_stage(Stage::kID);
+  s.c_idex_clr = b.ctrl("ctrl.idex_clr", 1);
+  s.c_imm_sel = b.ctrl("ctrl.imm_sel", 2);
+  s.c_dest_sel = b.ctrl("ctrl.dest_sel", 2);
+  b.set_stage(Stage::kEX);
+  s.c_fwd_a = b.ctrl("ctrl.fwd_a", 2);
+  s.c_fwd_b = b.ctrl("ctrl.fwd_b", 2);
+  s.c_use_imm = b.ctrl("ctrl.use_imm", 1);
+  s.c_alu_sel = b.ctrl("ctrl.alu_sel", kAluSelW);
+  s.c_jr_sel = b.ctrl("ctrl.jr_sel", 1);
+  b.set_stage(Stage::kMEM);
+  s.c_mem_we = b.ctrl("ctrl.mem_we", 1);
+  s.c_mem_re = b.ctrl("ctrl.mem_re", 1);
+  s.c_size_sel = b.ctrl("ctrl.size_sel", 2);
+  s.c_memres_sel = b.ctrl("ctrl.memres_sel", 1);
+  s.c_load_ext = b.ctrl("ctrl.load_ext", 3);
+  b.set_stage(Stage::kWB);
+  s.c_rf_we = b.ctrl("ctrl.rf_we", 1);
+  if (cfg.branch_predictor) {
+    b.set_stage(Stage::kIF);
+    s.c_pred_taken = b.ctrl("ctrl.pred_taken", 1);
+    b.set_stage(Stage::kEX);
+    s.c_actual_taken = b.ctrl("ctrl.actual_taken", 1);
+    s.c_btb_we = b.ctrl("ctrl.btb_we", 1);
+    s.c_btb_valid_new = b.ctrl("ctrl.btb_valid_new", 1);
+  }
+
+  // ---- forward-referenced buses ----------------------------------------
+  b.set_stage(Stage::kIF);
+  s.pc_q = b.predeclare("pc", 32, NetRole::kDSO);
+  b.set_stage(Stage::kMEM);
+  s.exmem_result_q = b.predeclare("exmem.result", 32, NetRole::kDTO);
+  b.set_stage(Stage::kWB);
+  s.wb_value = b.predeclare("memwb.value", 32, NetRole::kDTO);
+
+  // ---- IF ---------------------------------------------------------------
+  b.set_stage(Stage::kIF);
+  s.instr = b.input("if.instr", 32);
+  const NetId c4 = b.constant("if.c4", 32, 4);
+  const NetId pcplus4 = b.add("if.pcplus4", s.pc_q, c4);
+  const NetId fetch_addr = b.zext("if.fetch_addr", s.pc_q, 32);
+  b.output("if.fetch_addr_out", fetch_addr);
+
+  // ---- IF/ID latch --------------------------------------------------------
+  b.set_stage(Stage::kID);
+  const NetId instr_id =
+      b.reg("ifid.instr", s.instr, s.c_ifid_en, s.c_ifid_clr, 0);
+  const NetId pcp4_id =
+      b.reg("ifid.pcplus4", pcplus4, s.c_ifid_en, s.c_ifid_clr, 0);
+
+  // ---- ID -----------------------------------------------------------------
+  const NetId rs1_f = b.slice("id.rs1_f", instr_id, 21, 5);
+  const NetId rsb_f = b.slice("id.rsb_f", instr_id, 16, 5);
+  const NetId rdr_f = b.slice("id.rdr_f", instr_id, 11, 5);
+  const NetId imm16 = b.slice("id.imm16", instr_id, 0, 16);
+  const NetId imm26 = b.slice("id.imm26", instr_id, 0, 26);
+
+  const NetId a_val = b.rf_read("id.rf_a", rs1_f, /*tag=*/0);
+  const NetId b_val = b.rf_read("id.rf_b", rsb_f, /*tag=*/1);
+
+  const NetId imm_s = b.sext("id.imm_s", imm16, 32);
+  const NetId imm_z = b.zext("id.imm_z", imm16, 32);
+  const NetId imm_j = b.sext("id.imm_j", imm26, 32);
+  const NetId imm_ext =
+      b.mux("id.imm_ext", s.c_imm_sel, {imm_s, imm_z, imm_j, imm_s});
+
+  const NetId c31 = b.constant("id.c31", 5, 31);
+  const NetId dest_id =
+      b.mux("id.dest", s.c_dest_sel, {rdr_f, rsb_f, c31, c31});
+
+  // ---- ID/EX latch (bubble on stall or squash via clear) ------------------
+  b.set_stage(Stage::kEX);
+  const NetId a_ex = b.reg("idex.a", a_val, kNoNet, s.c_idex_clr, 0);
+  const NetId b_ex = b.reg("idex.b", b_val, kNoNet, s.c_idex_clr, 0);
+  const NetId imm_ex = b.reg("idex.imm", imm_ext, kNoNet, s.c_idex_clr, 0);
+  const NetId pcp4_ex =
+      b.reg("idex.pcplus4", pcp4_id, kNoNet, s.c_idex_clr, 0);
+  const NetId dest_ex = b.reg("idex.dest", dest_id, kNoNet, s.c_idex_clr, 0);
+  const NetId rs1_ex = b.reg("idex.rs1", rs1_f, kNoNet, s.c_idex_clr, 0);
+  const NetId rsb_ex = b.reg("idex.rsb", rsb_f, kNoNet, s.c_idex_clr, 0);
+
+  // ---- ID-stage hazard comparators (need dest_ex, hence built here) -------
+  b.set_stage(Stage::kID);
+  const NetId zero5 = b.constant("id.zero5", 5, 0);
+  s.s_ld_rs1 = b.predicate("sts.ld_rs1", ModuleKind::kEq, dest_ex, rs1_f);
+  s.s_ld_rsb = b.predicate("sts.ld_rsb", ModuleKind::kEq, dest_ex, rsb_f);
+  s.s_dest_ex_nz =
+      b.predicate("sts.dest_ex_nz", ModuleKind::kNe, dest_ex, zero5);
+  b.mark_status(s.s_ld_rs1);
+  b.mark_status(s.s_ld_rsb);
+  b.mark_status(s.s_dest_ex_nz);
+
+  // ---- EX -----------------------------------------------------------------
+  b.set_stage(Stage::kEX);
+  const NetId fwd_a = b.mux("ex.a_byp", s.c_fwd_a,
+                            {a_ex, s.exmem_result_q, s.wb_value, a_ex});
+  const NetId fwd_b = b.mux("ex.b_byp", s.c_fwd_b,
+                            {b_ex, s.exmem_result_q, s.wb_value, b_ex});
+  const NetId op2 = b.mux("ex.op2", s.c_use_imm, {fwd_b, imm_ex});
+
+  // ALU as a composition of primitive modules (Sec. V.A).
+  const NetId alu_add = b.add("ex.alu_add", fwd_a, op2);
+  const NetId alu_sub = b.sub("ex.alu_sub", fwd_a, op2);
+  const NetId alu_and = b.and_w("ex.alu_and", fwd_a, op2);
+  const NetId alu_or = b.or_w("ex.alu_or", fwd_a, op2);
+  const NetId alu_xor = b.xor_w("ex.alu_xor", fwd_a, op2);
+  const NetId shamt = b.slice("ex.shamt", op2, 0, 5);
+  const NetId alu_shl = b.shl("ex.alu_shl", fwd_a, shamt);
+  const NetId alu_srl = b.shr_l("ex.alu_srl", fwd_a, shamt);
+  const NetId alu_sra = b.shr_a("ex.alu_sra", fwd_a, shamt);
+  const NetId p_slt = b.predicate("ex.p_slt", ModuleKind::kLt, fwd_a, op2);
+  const NetId p_sltu = b.predicate("ex.p_sltu", ModuleKind::kLtU, fwd_a, op2);
+  const NetId p_seq = b.predicate("ex.p_seq", ModuleKind::kEq, fwd_a, op2);
+  const NetId p_sne = b.predicate("ex.p_sne", ModuleKind::kNe, fwd_a, op2);
+  const NetId slt32 = b.zext("ex.slt32", p_slt, 32);
+  const NetId sltu32 = b.zext("ex.sltu32", p_sltu, 32);
+  const NetId seq32 = b.zext("ex.seq32", p_seq, 32);
+  const NetId sne32 = b.zext("ex.sne32", p_sne, 32);
+  const NetId c16 = b.constant("ex.c16", 5, 16);
+  const NetId alu_lhi = b.shl("ex.alu_lhi", imm_ex, c16);
+
+  const NetId alu_res = b.mux(
+      "ex.alu_res", s.c_alu_sel,
+      {alu_add, alu_sub, alu_and, alu_or, alu_xor, alu_shl, alu_srl, alu_sra,
+       slt32, sltu32, seq32, sne32, pcp4_ex, alu_lhi, alu_add, alu_add});
+
+  // Control-transfer target.
+  const NetId c2 = b.constant("ex.c2", 5, 2);
+  const NetId imm_x4 = b.shl("ex.imm_x4", imm_ex, c2);
+  const NetId btarget = b.add("ex.btarget", pcp4_ex, imm_x4);
+  const NetId taken_target =
+      b.mux("ex.redirect_target", s.c_jr_sel, {btarget, fwd_a});
+  if (cfg.branch_predictor) {
+    // With a predictor, a misprediction may also have to *resume* the
+    // fall-through path (branch predicted taken but actually not taken).
+    s.redirect_target = b.mux("ex.resume_target", s.c_actual_taken,
+                              {pcp4_ex, taken_target});
+  } else {
+    s.redirect_target = taken_target;
+  }
+  b.set_role(s.redirect_target, NetRole::kDTO);
+
+  const NetId zero32 = b.constant("ex.zero32", 32, 0);
+  s.s_a_zero = b.predicate("sts.a_zero", ModuleKind::kEq, fwd_a, zero32);
+  b.mark_status(s.s_a_zero);
+
+  // Bypass comparators (sources in EX vs destinations in MEM / WB).
+  b.set_stage(Stage::kMEM);
+  const NetId dest_mem_pre = b.predeclare("exmem.dest", 5, NetRole::kDSO);
+  b.set_stage(Stage::kWB);
+  const NetId dest_wb_pre = b.predeclare("memwb.dest", 5, NetRole::kDSO);
+  b.set_stage(Stage::kEX);
+  s.s_fwda_mem =
+      b.predicate("sts.fwda_mem", ModuleKind::kEq, rs1_ex, dest_mem_pre);
+  s.s_fwdb_mem =
+      b.predicate("sts.fwdb_mem", ModuleKind::kEq, rsb_ex, dest_mem_pre);
+  s.s_fwda_wb =
+      b.predicate("sts.fwda_wb", ModuleKind::kEq, rs1_ex, dest_wb_pre);
+  s.s_fwdb_wb =
+      b.predicate("sts.fwdb_wb", ModuleKind::kEq, rsb_ex, dest_wb_pre);
+  const NetId zero5e = b.constant("ex.zero5", 5, 0);
+  s.s_dest_mem_nz =
+      b.predicate("sts.dest_mem_nz", ModuleKind::kNe, dest_mem_pre, zero5e);
+  s.s_dest_wb_nz =
+      b.predicate("sts.dest_wb_nz", ModuleKind::kNe, dest_wb_pre, zero5e);
+  for (NetId n : {s.s_fwda_mem, s.s_fwdb_mem, s.s_fwda_wb, s.s_fwdb_wb,
+                  s.s_dest_mem_nz, s.s_dest_wb_nz})
+    b.mark_status(n);
+
+  if (!cfg.bypassing) {
+    // Interlock-only pipeline: the consumer in ID must also see hazards
+    // against the producer in MEM (two-cycle interlock before write-through
+    // covers the read).
+    b.set_stage(Stage::kID);
+    s.s_haz_rs1_mem =
+        b.predicate("sts.haz_rs1_mem", ModuleKind::kEq, dest_mem_pre, rs1_f);
+    s.s_haz_rsb_mem =
+        b.predicate("sts.haz_rsb_mem", ModuleKind::kEq, dest_mem_pre, rsb_f);
+    b.mark_status(s.s_haz_rs1_mem);
+    b.mark_status(s.s_haz_rsb_mem);
+    b.set_stage(Stage::kEX);
+  }
+
+  // ---- EX/MEM latch --------------------------------------------------------
+  b.set_stage(Stage::kMEM);
+  b.reg_into(s.exmem_result_q, "exmem.result", alu_res);
+  const NetId sdata_mem = b.reg("exmem.sdata", fwd_b);
+  b.reg_into(dest_mem_pre, "exmem.dest", dest_ex);
+
+  // ---- MEM ------------------------------------------------------------------
+  const NetId addr = s.exmem_result_q;
+  const NetId offset = b.slice("mem.offset", addr, 0, 2);
+  const NetId off1 = b.slice("mem.off1", offset, 1, 1);
+  // Lane shift amount by access size: byte -> offset*8, half -> (offset&2)*8,
+  // word -> 0. Shared by store alignment and load extraction.
+  const NetId c0_3 = b.constant("mem.c0_3", 3, 0);
+  const NetId c0_4 = b.constant("mem.c0_4", 4, 0);
+  const NetId shamt_b = b.concat("mem.shamt_b", {c0_3, offset});
+  const NetId shamt_h = b.concat("mem.shamt_h", {c0_4, off1});
+  const NetId shamt_w = b.constant("mem.shamt_w", 5, 0);
+  const NetId shamt8 = b.mux("mem.shamt8", s.c_size_sel,
+                             {shamt_b, shamt_h, shamt_w, shamt_w});
+  const NetId sdata_sh = b.shl("mem.sdata_sh", sdata_mem, shamt8);
+
+  const NetId cb1 = b.constant("mem.cb1", 4, 1);
+  const NetId cb2 = b.constant("mem.cb2", 4, 2);
+  const NetId cb4 = b.constant("mem.cb4", 4, 4);
+  const NetId cb8 = b.constant("mem.cb8", 4, 8);
+  const NetId bem_b = b.mux("mem.bem_b", offset, {cb1, cb2, cb4, cb8});
+  const NetId ch3 = b.constant("mem.ch3", 4, 0x3);
+  const NetId chC = b.constant("mem.chC", 4, 0xC);
+  const NetId bem_h = b.mux("mem.bem_h", off1, {ch3, chC});
+  const NetId cF = b.constant("mem.cF", 4, 0xF);
+  const NetId bemask = b.mux("mem.bemask", s.c_size_sel, {bem_b, bem_h, cF, cF});
+
+  b.mem_write("mem.dwrite", addr, sdata_sh, bemask, s.c_mem_we);
+  const NetId rword = b.mem_read("mem.dread", addr, s.c_mem_re);
+  const NetId rshift = b.shr_l("mem.rshift", rword, shamt8);
+  const NetId b8 = b.slice("mem.b8", rshift, 0, 8);
+  const NetId h16 = b.slice("mem.h16", rshift, 0, 16);
+  const NetId lb_s = b.sext("mem.lb_s", b8, 32);
+  const NetId lb_u = b.zext("mem.lb_u", b8, 32);
+  const NetId lh_s = b.sext("mem.lh_s", h16, 32);
+  const NetId lh_u = b.zext("mem.lh_u", h16, 32);
+  const NetId ld_val =
+      b.mux("mem.ld_val", s.c_load_ext,
+            {rword, lb_s, lb_u, lh_s, lh_u, rword, rword, rword});
+  const NetId mem_result =
+      b.mux("mem.result", s.c_memres_sel, {s.exmem_result_q, ld_val});
+
+  // ---- MEM/WB latch ----------------------------------------------------------
+  b.set_stage(Stage::kWB);
+  b.reg_into(s.wb_value, "memwb.value", mem_result);
+  b.reg_into(dest_wb_pre, "memwb.dest", dest_mem_pre);
+
+  // ---- WB ---------------------------------------------------------------------
+  b.rf_write("wb.rf_write", dest_wb_pre, s.wb_value, s.c_rf_we);
+
+  // ---- branch predictor (optional): 4-entry direct-mapped BTB ---------------
+  NetId btb_target_if = kNoNet;
+  if (cfg.branch_predictor) {
+    const unsigned n = cfg.btb_entries;
+    const unsigned idx_w = log2u(n);
+    const unsigned tag_w = 32 - 2 - idx_w;
+
+    // Entry state (predeclared: read at IF, written from EX).
+    b.set_stage(Stage::kIF);
+    std::vector<NetId> v_q(n), tag_q(n), tgt_q(n);
+    for (unsigned i = 0; i < n; ++i) {
+      const std::string sfx = std::to_string(i);
+      v_q[i] = b.predeclare("btb.valid" + sfx, 1, NetRole::kDSO);
+      tag_q[i] = b.predeclare("btb.tag" + sfx, tag_w, NetRole::kDSO);
+      tgt_q[i] = b.predeclare("btb.target" + sfx, 32, NetRole::kDSO);
+    }
+
+    // IF-side lookup.
+    const NetId idx_if = b.slice("btb.idx_if", s.pc_q, 2, idx_w);
+    const NetId v_sel = b.mux("btb.v_sel", idx_if,
+                              std::vector<NetId>(v_q.begin(), v_q.end()));
+    const NetId tag_sel = b.mux("btb.tag_sel", idx_if,
+                                std::vector<NetId>(tag_q.begin(), tag_q.end()));
+    btb_target_if = b.mux("btb.tgt_sel", idx_if,
+                          std::vector<NetId>(tgt_q.begin(), tgt_q.end()));
+    const NetId tag_if = b.slice("btb.tag_if", s.pc_q, 2 + idx_w, tag_w);
+    const NetId tag_eq =
+        b.predicate("btb.tag_eq", ModuleKind::kEq, tag_sel, tag_if);
+    s.s_btb_hit = b.and_w("sts.btb_hit", v_sel, tag_eq);
+    b.mark_status(s.s_btb_hit);
+
+    // Pipeline the fetch PC and the predicted target down to EX.
+    b.set_stage(Stage::kID);
+    const NetId pc_id = b.reg("ifid.pc", s.pc_q, s.c_ifid_en, s.c_ifid_clr, 0);
+    const NetId ptgt_id =
+        b.reg("ifid.ptarget", btb_target_if, s.c_ifid_en, s.c_ifid_clr, 0);
+    b.set_stage(Stage::kEX);
+    const NetId pc_ex = b.reg("idex.pc", pc_id, kNoNet, s.c_idex_clr, 0);
+    const NetId ptgt_ex = b.reg("idex.ptarget", ptgt_id, kNoNet, s.c_idex_clr, 0);
+
+    // EX-side verification and update.
+    s.s_ptarget_eq =
+        b.predicate("sts.ptarget_eq", ModuleKind::kEq, ptgt_ex, taken_target);
+    b.mark_status(s.s_ptarget_eq);
+    const NetId idx_ex = b.slice("btb.idx_ex", pc_ex, 2, idx_w);
+    const NetId tag_ex = b.slice("btb.tag_ex", pc_ex, 2 + idx_w, tag_w);
+    for (unsigned i = 0; i < n; ++i) {
+      const std::string sfx = std::to_string(i);
+      const NetId ci = b.constant("btb.c" + sfx, idx_w, i);
+      const NetId match =
+          b.predicate("btb.match" + sfx, ModuleKind::kEq, idx_ex, ci);
+      const NetId wr = b.and_w("btb.wr" + sfx, match, s.c_btb_we);
+      const NetId v_next =
+          b.mux("btb.v_next" + sfx, wr, {v_q[i], s.c_btb_valid_new});
+      const NetId tag_next = b.mux("btb.tag_next" + sfx, wr, {tag_q[i], tag_ex});
+      const NetId tgt_next =
+          b.mux("btb.tgt_next" + sfx, wr, {tgt_q[i], taken_target});
+      b.set_stage(Stage::kIF);
+      b.reg_into(v_q[i], "btb.valid" + sfx, v_next);
+      b.reg_into(tag_q[i], "btb.tag" + sfx, tag_next);
+      b.reg_into(tgt_q[i], "btb.target" + sfx, tgt_next);
+      b.set_stage(Stage::kEX);
+    }
+  }
+
+  // ---- IF tail: next-PC logic (needs the EX redirect target) -----------------
+  b.set_stage(Stage::kIF);
+  NetId fallthrough = pcplus4;
+  if (cfg.branch_predictor)
+    fallthrough = b.mux("if.next_pc_pred", s.c_pred_taken,
+                        {pcplus4, btb_target_if});
+  const NetId next_pc =
+      b.mux("if.next_pc", s.c_redirect, {fallthrough, s.redirect_target});
+  b.reg_into(s.pc_q, "pc", next_pc, s.c_pc_en, kNoNet, 0);
+
+  return s;
+}
+
+}  // namespace hltg

@@ -1,0 +1,31 @@
+// Structural Verilog export of the two-level model.
+//
+// The paper's prototype consumed the DLX as 1552 lines of structural
+// Verilog; our model is built programmatically, so this writer provides the
+// inverse view: synthesizable-style Verilog-2001 for the word-level
+// datapath and the gate-level controller, plus a top module wiring the two
+// through their CTRL/STS bindings. Useful for inspecting the model in
+// standard EDA tooling and for diffing model revisions.
+#pragma once
+
+#include <string>
+
+#include "dlx/dlx.h"
+
+namespace hltg {
+
+/// Verilog for the datapath netlist (module `dlx_datapath`). State ports
+/// (register file / data memory) become external interfaces.
+std::string export_datapath_verilog(const Netlist& nl);
+
+/// Verilog for the controller gate network (module `dlx_controller`).
+std::string export_controller_verilog(const GateNet& gn);
+
+/// Top module instantiating both and connecting CTRL/STS bindings.
+std::string export_top_verilog(const DlxModel& m);
+
+/// Identifier sanitizer (dots / brackets to underscores) - exposed for
+/// tests.
+std::string verilog_ident(const std::string& name);
+
+}  // namespace hltg

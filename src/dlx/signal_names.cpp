@@ -1,0 +1,62 @@
+#include "dlx/signal_names.h"
+
+#include <array>
+#include <sstream>
+
+#include "gatenet/levelize.h"
+
+namespace hltg {
+
+unsigned datapath_state_bits(const Netlist& dp) {
+  unsigned bits = 0;
+  for (ModId i = 0; i < dp.num_modules(); ++i) {
+    const Module& m = dp.module(i);
+    if (m.kind == ModuleKind::kReg) bits += dp.net(m.out).width;
+  }
+  return bits;
+}
+
+std::string describe_model(const DlxModel& m) {
+  std::ostringstream os;
+  os << "DLX pipelined implementation model\n";
+  os << "==================================\n";
+  os << "datapath: " << m.dp.num_modules() << " modules, " << m.dp.num_nets()
+     << " nets, " << datapath_state_bits(m.dp)
+     << " state bits (excl. register file)\n";
+
+  std::array<int, kNumStages + 1> nets_by_stage{};
+  for (NetId n = 0; n < m.dp.num_nets(); ++n)
+    ++nets_by_stage[static_cast<int>(m.dp.net(n).stage)];
+  os << "datapath nets by stage:";
+  for (int s = 0; s <= kNumStages; ++s)
+    os << " " << to_string(static_cast<Stage>(s)) << "=" << nets_by_stage[s];
+  os << "\n";
+
+  const GateNetStats cs = analyze(m.ctrl);
+  os << "controller: " << cs.to_string() << "\n";
+  os << "controller state bits by stage:";
+  for (int s = 0; s <= kNumStages; ++s)
+    os << " " << to_string(static_cast<Stage>(s)) << "=" << cs.dffs_by_stage[s];
+  os << "\n";
+  os << "tertiary signals by stage:";
+  for (int s = 0; s <= kNumStages; ++s)
+    os << " " << to_string(static_cast<Stage>(s)) << "="
+       << cs.tertiary_by_stage[s];
+  os << "\n";
+  os << "pipeframe vs timeframe justification variables: "
+     << cs.pipeframe_justify_vars() << " vs " << cs.timeframe_justify_vars()
+     << "\n";
+
+  os << "CTRL bindings (" << m.ctrl_binds.size() << "):\n";
+  for (const CtrlBind& cb : m.ctrl_binds)
+    os << "  " << m.dp.net(cb.dp_net).name << " ["
+       << m.dp.net(cb.dp_net).width << "b] stage "
+       << to_string(m.dp.net(cb.dp_net).stage) << "\n";
+  os << "STS bindings (" << m.sts_binds.size() << "):\n";
+  for (const StsBind& sb : m.sts_binds)
+    os << "  " << m.dp.net(sb.dp_net).name << " stage "
+       << to_string(m.dp.net(sb.dp_net).stage) << "\n";
+  return os.str();
+}
+
+}  // namespace hltg

@@ -1,0 +1,18 @@
+// Debug / reporting helpers: human-readable inventories of the DLX model.
+#pragma once
+
+#include <string>
+
+#include "dlx/dlx.h"
+
+namespace hltg {
+
+/// Multi-line inventory: datapath nets by stage/role, controller statistics,
+/// CTRL/STS bindings. Used by examples and DESIGN.md verification.
+std::string describe_model(const DlxModel& m);
+
+/// Count datapath state bits (sum of register widths), excluding the
+/// register file - the paper quotes this as 512 for its DLX.
+unsigned datapath_state_bits(const Netlist& dp);
+
+}  // namespace hltg

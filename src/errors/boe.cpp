@@ -1,0 +1,45 @@
+#include "errors/boe.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+std::string BusOrderError::describe(const Netlist& nl) const {
+  const Module& m = nl.module(module);
+  return m.name + ": operands swapped (" + std::string(to_string(m.stage)) +
+         ")";
+}
+
+bool is_order_sensitive(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::kSub:
+    case ModuleKind::kLt:
+    case ModuleKind::kLe:
+    case ModuleKind::kLtU:
+    case ModuleKind::kLeU:
+    case ModuleKind::kShl:
+    case ModuleKind::kShrL:
+    case ModuleKind::kShrA:
+    case ModuleKind::kSubOvf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<BusOrderError> enumerate_boe(const Netlist& nl,
+                                         const std::vector<Stage>& stages) {
+  std::vector<BusOrderError> out;
+  for (ModId i = 0; i < nl.num_modules(); ++i) {
+    const Module& m = nl.module(i);
+    if (std::find(stages.begin(), stages.end(), m.stage) == stages.end())
+      continue;
+    if (m.data_in.size() != 2 || !is_order_sensitive(m.kind)) continue;
+    // Swapping is only shape-legal when both inputs have the same width.
+    if (nl.net(m.data_in[0]).width != nl.net(m.data_in[1]).width) continue;
+    out.push_back({i});
+  }
+  return out;
+}
+
+}  // namespace hltg

@@ -1,0 +1,31 @@
+// Bus order errors (BOE) - extension error model from [28]: a module's two
+// data-input buses are connected in the wrong order. Only meaningful for
+// non-commutative modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct BusOrderError {
+  ModId module = kNoMod;
+
+  ErrorInjection injection() const {
+    ErrorInjection inj;
+    inj.swap_inputs.insert(module);
+    return inj;
+  }
+  std::string describe(const Netlist& nl) const;
+};
+
+/// True if swapping the module's first two data inputs can change behaviour.
+bool is_order_sensitive(ModuleKind k);
+
+std::vector<BusOrderError> enumerate_boe(const Netlist& nl,
+                                         const std::vector<Stage>& stages);
+
+}  // namespace hltg

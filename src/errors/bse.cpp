@@ -1,0 +1,51 @@
+#include "errors/bse.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+std::string BusSourceError::describe(const Netlist& nl) const {
+  const Module& m = nl.module(module);
+  return m.name + ".in" + std::to_string(input) + ": '" +
+         nl.net(m.data_in[input]).name + "' replaced by '" +
+         nl.net(wrong_source).name + "' (" +
+         std::string(to_string(m.stage)) + ")";
+}
+
+std::vector<BusSourceError> enumerate_bse(const Netlist& nl,
+                                          const BseConfig& cfg) {
+  // Candidate wrong sources per (stage, width): non-constant, non-CTRL
+  // buses of that stage.
+  std::vector<BusSourceError> out;
+  auto candidates = [&](Stage st, unsigned width, NetId exclude) {
+    std::vector<NetId> c;
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      const Net& net = nl.net(n);
+      if (net.stage != st || net.width != width || n == exclude) continue;
+      if (net.role == NetRole::kCtrl) continue;
+      if (net.driver != kNoMod &&
+          nl.module(net.driver).kind == ModuleKind::kConst)
+        continue;
+      c.push_back(n);
+    }
+    return c;
+  };
+  for (ModId mi = 0; mi < nl.num_modules(); ++mi) {
+    const Module& m = nl.module(mi);
+    if (std::find(cfg.stages.begin(), cfg.stages.end(), m.stage) ==
+        cfg.stages.end())
+      continue;
+    if (is_stateful(m.kind) || m.kind == ModuleKind::kOutput) continue;
+    for (unsigned i = 0; i < m.data_in.size(); ++i) {
+      const NetId real = m.data_in[i];
+      const auto cands =
+          candidates(m.stage, nl.net(real).width, real);
+      for (unsigned k = 0; k < cfg.wrong_sources_per_input && k < cands.size();
+           ++k)
+        out.push_back({mi, i, cands[k]});
+    }
+  }
+  return out;
+}
+
+}  // namespace hltg

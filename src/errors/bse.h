@@ -1,0 +1,37 @@
+// Bus source errors (BSE) - extension error model from [28]: a module input
+// is connected to the wrong source bus (a classic wiring / netlist editing
+// mistake). The wrong source must have the same width; enumeration pairs
+// each data input with a few same-width buses from the same pipeline stage
+// to keep the instance count linear.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct BusSourceError {
+  ModId module = kNoMod;
+  unsigned input = 0;      ///< data-input slot
+  NetId wrong_source = kNoNet;
+
+  ErrorInjection injection() const {
+    ErrorInjection inj;
+    inj.rewire[{module, input}] = wrong_source;
+    return inj;
+  }
+  std::string describe(const Netlist& nl) const;
+};
+
+struct BseConfig {
+  std::vector<Stage> stages = {Stage::kEX, Stage::kMEM, Stage::kWB};
+  unsigned wrong_sources_per_input = 1;
+};
+
+std::vector<BusSourceError> enumerate_bse(const Netlist& nl,
+                                          const BseConfig& cfg = {});
+
+}  // namespace hltg

@@ -1,0 +1,40 @@
+#include "errors/bus_ssl.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+std::string BusSslError::describe(const Netlist& nl) const {
+  const Net& n = nl.net(net);
+  return n.name + "[" + std::to_string(bit) + "] stuck-at-" +
+         (stuck_value ? "1" : "0") + " (" + std::string(to_string(n.stage)) +
+         ")";
+}
+
+std::vector<BusSslError> enumerate_bus_ssl(const Netlist& nl,
+                                           const BusSslConfig& cfg) {
+  std::vector<BusSslError> out;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (std::find(cfg.stages.begin(), cfg.stages.end(), net.stage) ==
+        cfg.stages.end())
+      continue;
+    if (cfg.skip_ctrl && net.role == NetRole::kCtrl) continue;
+    if (cfg.skip_const && net.driver != kNoMod &&
+        nl.module(net.driver).kind == ModuleKind::kConst)
+      continue;
+    std::vector<unsigned> bits;
+    for (unsigned b : cfg.bits) {
+      const unsigned clamped = std::min(b, net.width - 1);
+      if (std::find(bits.begin(), bits.end(), clamped) == bits.end())
+        bits.push_back(clamped);
+    }
+    for (unsigned b : bits) {
+      if (cfg.stuck_at_0) out.push_back({n, b, false});
+      if (cfg.stuck_at_1) out.push_back({n, b, true});
+    }
+  }
+  return out;
+}
+
+}  // namespace hltg

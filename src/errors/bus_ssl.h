@@ -1,0 +1,52 @@
+// Bus single-stuck-line (bus SSL) design-error model.
+//
+// Sec. VI: "We targeted our test generation system at all bus single stuck
+// line (bus SSL) errors [Bhattacharya & Hayes] in the execute, memory and
+// write-back stages of the datapath ... it defines a number of error
+// instances linear in the size of the circuit."
+//
+// An error instance is one line (bit) of one bus (net) permanently stuck at
+// 0 or 1. Enumeration is per bus; which bits of each bus are instantiated is
+// configurable (default: lowest and highest line, both polarities), keeping
+// the count linear in the number of buses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct BusSslError {
+  NetId net = kNoNet;
+  unsigned bit = 0;
+  bool stuck_value = false;
+
+  ErrorInjection injection() const {
+    ErrorInjection inj;
+    inj.stuck.push_back({net, bit, stuck_value});
+    return inj;
+  }
+  std::string describe(const Netlist& nl) const;
+};
+
+struct BusSslConfig {
+  std::vector<Stage> stages = {Stage::kEX, Stage::kMEM, Stage::kWB};
+  /// Bit positions per bus; entries >= width are clamped to width-1 and
+  /// deduplicated, so {0, 31} yields one line for a 1-bit bus.
+  std::vector<unsigned> bits = {0, 31};
+  bool stuck_at_0 = true;
+  bool stuck_at_1 = true;
+  /// Skip CTRL-role nets (they belong to the controller interface, not the
+  /// datapath proper) and constant-driven nets (undetectable by design).
+  bool skip_ctrl = true;
+  bool skip_const = true;
+};
+
+/// Enumerate bus SSL error instances over the datapath.
+std::vector<BusSslError> enumerate_bus_ssl(const Netlist& nl,
+                                           const BusSslConfig& cfg = {});
+
+}  // namespace hltg

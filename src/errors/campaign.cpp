@@ -1,0 +1,108 @@
+#include "errors/campaign.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace hltg {
+
+std::string CampaignStats::table1(const std::string& title) const {
+  TextTable t({title, "value"});
+  t.add_kv("No. of errors", std::to_string(total));
+  t.add_kv("No. of errors detected", std::to_string(detected));
+  t.add_kv("No. of errors aborted", std::to_string(aborted));
+  t.add_kv("Average test sequence length", fmt_double(avg_test_length, 1));
+  t.add_kv("No. of backtracks (detected errors only)",
+           std::to_string(backtracks));
+  t.add_kv("CPU time [minutes]", fmt_double(cpu_seconds / 60.0, 2));
+  return t.to_string();
+}
+
+CampaignResult run_campaign(const Netlist& nl,
+                            const std::vector<DesignError>& errors,
+                            const TestGenFn& gen, bool verbose) {
+  CampaignResult res;
+  res.stats.total = errors.size();
+  std::uint64_t length_sum = 0;
+  for (const DesignError& err : errors) {
+    CampaignRow row{err, gen(err)};
+    const ErrorAttempt& a = row.attempt;
+    if (a.generated && a.sim_confirmed) {
+      ++res.stats.detected;
+      length_sum += a.test_length;
+      res.stats.backtracks += a.backtracks;
+      res.stats.decisions += a.decisions;
+      if (res.stats.length_histogram.size() <= a.test_length)
+        res.stats.length_histogram.resize(a.test_length + 1, 0);
+      ++res.stats.length_histogram[a.test_length];
+    } else {
+      ++res.stats.aborted;
+    }
+    res.stats.cpu_seconds += a.seconds;
+    if (verbose)
+      std::fprintf(stderr, "  [%s] %s%s\n",
+                   a.generated && a.sim_confirmed ? "det " : "abrt",
+                   err.describe(nl).c_str(),
+                   a.note.empty() ? "" : ("  (" + a.note + ")").c_str());
+    res.rows.push_back(std::move(row));
+  }
+  if (res.stats.detected > 0)
+    res.stats.avg_test_length =
+        static_cast<double>(length_sum) / res.stats.detected;
+  res.tests_kept = res.stats.detected;
+  return res;
+}
+
+CampaignResult run_campaign_with_dropping(
+    const Netlist& nl, const std::vector<DesignError>& errors,
+    const TestGenFn& gen, const DetectFn& detect, bool verbose) {
+  CampaignResult res;
+  res.stats.total = errors.size();
+  std::uint64_t length_sum = 0;
+  std::vector<bool> done(errors.size(), false);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (done[i]) continue;
+    CampaignRow row{errors[i], gen(errors[i])};
+    const ErrorAttempt& a = row.attempt;
+    if (a.generated && a.sim_confirmed) {
+      ++res.stats.detected;
+      ++res.tests_kept;
+      length_sum += a.test_length;
+      res.stats.backtracks += a.backtracks;
+      res.stats.decisions += a.decisions;
+      done[i] = true;
+      // Error-simulate the new test against every remaining error.
+      for (std::size_t j = i + 1; j < errors.size(); ++j) {
+        if (done[j]) continue;
+        if (detect(a.test, errors[j])) {
+          done[j] = true;
+          ++res.stats.detected;
+          ++res.dropped;
+          if (verbose)
+            std::fprintf(stderr, "  [drop] %s (covered by test for %s)\n",
+                         errors[j].describe(nl).c_str(),
+                         errors[i].describe(nl).c_str());
+        }
+      }
+    } else {
+      ++res.stats.aborted;
+    }
+    if (verbose)
+      std::fprintf(stderr, "  [%s] %s\n",
+                   a.generated && a.sim_confirmed ? "det " : "abrt",
+                   errors[i].describe(nl).c_str());
+    res.rows.push_back(std::move(row));
+  }
+  res.stats.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (res.tests_kept > 0)
+    res.stats.avg_test_length =
+        static_cast<double>(length_sum) / res.tests_kept;
+  return res;
+}
+
+}  // namespace hltg

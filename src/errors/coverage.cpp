@@ -1,0 +1,63 @@
+#include "errors/coverage.h"
+
+#include <sstream>
+
+#include "isa/encode.h"
+#include "sim/cosim.h"
+
+namespace hltg {
+
+unsigned SuiteCoverage::opcodes_covered() const {
+  unsigned n = 0;
+  for (bool b : opcode_used) n += b;
+  return n;
+}
+
+std::string SuiteCoverage::to_string() const {
+  std::ostringstream os;
+  os << tests << " tests, " << instructions << " instructions; opcode "
+     << "coverage " << opcodes_covered() << "/" << kNumInstructions;
+  os << "; stalls " << stalls << ", squashes " << squashes << ", bypasses A/B "
+     << bypasses_a << "/" << bypasses_b << "\nmissing opcodes:";
+  bool any = false;
+  for (int k = 0; k < kNumInstructions; ++k)
+    if (!opcode_used[k]) {
+      os << " " << mnemonic(static_cast<Op>(k));
+      any = true;
+    }
+  if (!any) os << " (none)";
+  return os.str();
+}
+
+SuiteCoverage measure_coverage(const DlxModel& m,
+                               const std::vector<TestCase>& tests) {
+  SuiteCoverage cov;
+  cov.tests = tests.size();
+  const GateId fwda0 = m.ctrl.find("cg.fwda_mem");
+  const GateId fwda1 = m.ctrl.find("cg.fwda_wb");
+  const GateId fwdb0 = m.ctrl.find("cg.fwdb_mem");
+  const GateId fwdb1 = m.ctrl.find("cg.fwdb_wb");
+  for (const TestCase& tc : tests) {
+    for (std::uint32_t w : tc.imem) {
+      cov.opcode_used[static_cast<int>(decode(w).op)] = true;
+      ++cov.instructions;
+    }
+    ProcSim sim(m, tc);
+    const unsigned cycles = drain_cycles(tc.imem.size());
+    for (unsigned c = 0; c < cycles; ++c) {
+      sim.begin_cycle();
+      if (fwda0 != kNoGate &&
+          (sim.gate_value(fwda0) || (fwda1 != kNoGate && sim.gate_value(fwda1))))
+        ++cov.bypasses_a;
+      if (fwdb0 != kNoGate &&
+          (sim.gate_value(fwdb0) || (fwdb1 != kNoGate && sim.gate_value(fwdb1))))
+        ++cov.bypasses_b;
+      sim.end_cycle();
+    }
+    cov.stalls += sim.stall_cycles();
+    cov.squashes += sim.squashes();
+  }
+  return cov;
+}
+
+}  // namespace hltg

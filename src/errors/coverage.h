@@ -1,0 +1,36 @@
+// Verification-coverage metrics over a test set (Sec. I context: coverage
+// metrics are how test suites are judged; here they describe the *generated*
+// suite itself): which of the 44 instructions a test set exercises, and
+// which pipeline interactions (stalls, squashes, bypasses) it provokes.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "isa/spec_sim.h"
+
+namespace hltg {
+
+struct SuiteCoverage {
+  std::array<bool, kNumInstructions> opcode_used{};
+  std::uint64_t stalls = 0;
+  std::uint64_t squashes = 0;
+  std::uint64_t bypasses_a = 0;  ///< cycles with an A-operand bypass active
+  std::uint64_t bypasses_b = 0;
+  std::size_t tests = 0;
+  std::size_t instructions = 0;
+
+  unsigned opcodes_covered() const;
+  double opcode_coverage() const {
+    return 100.0 * opcodes_covered() / kNumInstructions;
+  }
+  std::string to_string() const;
+};
+
+/// Simulate every test and accumulate coverage.
+SuiteCoverage measure_coverage(const DlxModel& m,
+                               const std::vector<TestCase>& tests);
+
+}  // namespace hltg

@@ -1,0 +1,54 @@
+#include "errors/inject.h"
+
+namespace hltg {
+
+ErrorInjection DesignError::injection() const {
+  return std::visit([](const auto& x) { return x.injection(); }, e);
+}
+
+std::string DesignError::describe(const Netlist& nl) const {
+  return std::visit([&](const auto& x) { return x.describe(nl); }, e);
+}
+
+std::string DesignError::model_name() const {
+  if (std::holds_alternative<BusSslError>(e)) return "bus-SSL";
+  if (std::holds_alternative<ModuleSubstitutionError>(e)) return "MSE";
+  if (std::holds_alternative<BusOrderError>(e)) return "BOE";
+  return "BSE";
+}
+
+NetId DesignError::site_net(const Netlist& nl) const {
+  if (const auto* s = std::get_if<BusSslError>(&e)) return s->net;
+  if (const auto* m = std::get_if<ModuleSubstitutionError>(&e))
+    return nl.module(m->module).out;
+  if (const auto* o = std::get_if<BusOrderError>(&e))
+    return nl.module(o->module).out;
+  return nl.module(std::get<BusSourceError>(e).module).out;
+}
+
+std::vector<DesignError> wrap(const std::vector<BusSslError>& v) {
+  std::vector<DesignError> out;
+  out.reserve(v.size());
+  for (const auto& x : v) out.push_back({x});
+  return out;
+}
+std::vector<DesignError> wrap(const std::vector<ModuleSubstitutionError>& v) {
+  std::vector<DesignError> out;
+  out.reserve(v.size());
+  for (const auto& x : v) out.push_back({x});
+  return out;
+}
+std::vector<DesignError> wrap(const std::vector<BusOrderError>& v) {
+  std::vector<DesignError> out;
+  out.reserve(v.size());
+  for (const auto& x : v) out.push_back({x});
+  return out;
+}
+std::vector<DesignError> wrap(const std::vector<BusSourceError>& v) {
+  std::vector<DesignError> out;
+  out.reserve(v.size());
+  for (const auto& x : v) out.push_back({x});
+  return out;
+}
+
+}  // namespace hltg

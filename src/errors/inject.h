@@ -1,0 +1,35 @@
+// Unified handle over the three error models.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "errors/boe.h"
+#include "errors/bse.h"
+#include "errors/bus_ssl.h"
+#include "errors/mse.h"
+
+namespace hltg {
+
+struct DesignError {
+  std::variant<BusSslError, ModuleSubstitutionError, BusOrderError,
+               BusSourceError>
+      e;
+
+  ErrorInjection injection() const;
+  std::string describe(const Netlist& nl) const;
+  std::string model_name() const;  ///< "bus-SSL" / "MSE" / "BOE" / "BSE"
+
+  /// The error site: the net whose (good, erroneous) value pair the test
+  /// generator must make differ. For SSL this is the stuck bus; for MSE/BOE
+  /// it is the module's output net.
+  NetId site_net(const Netlist& nl) const;
+};
+
+std::vector<DesignError> wrap(const std::vector<BusSslError>& v);
+std::vector<DesignError> wrap(const std::vector<ModuleSubstitutionError>& v);
+std::vector<DesignError> wrap(const std::vector<BusOrderError>& v);
+std::vector<DesignError> wrap(const std::vector<BusSourceError>& v);
+
+}  // namespace hltg

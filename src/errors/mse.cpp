@@ -1,0 +1,47 @@
+#include "errors/mse.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+std::string ModuleSubstitutionError::describe(const Netlist& nl) const {
+  const Module& m = nl.module(module);
+  return m.name + ": " + std::string(to_string(m.kind)) + " -> " +
+         std::string(to_string(wrong_kind)) + " (" +
+         std::string(to_string(m.stage)) + ")";
+}
+
+std::vector<ModuleKind> substitution_candidates(ModuleKind k) {
+  // Groups of mutually substitutable kinds: two data inputs, output width
+  // equal to input width (word ops) or 1 (predicates).
+  static const std::vector<std::vector<ModuleKind>> groups = {
+      {ModuleKind::kAdd, ModuleKind::kSub, ModuleKind::kAndW, ModuleKind::kOrW,
+       ModuleKind::kXorW},
+      {ModuleKind::kEq, ModuleKind::kNe, ModuleKind::kLt, ModuleKind::kLtU,
+       ModuleKind::kLe, ModuleKind::kLeU},
+      {ModuleKind::kShl, ModuleKind::kShrL, ModuleKind::kShrA},
+  };
+  for (const auto& grp : groups) {
+    if (std::find(grp.begin(), grp.end(), k) == grp.end()) continue;
+    std::vector<ModuleKind> out;
+    for (ModuleKind g : grp)
+      if (g != k) out.push_back(g);
+    return out;
+  }
+  return {};
+}
+
+std::vector<ModuleSubstitutionError> enumerate_mse(
+    const Netlist& nl, const std::vector<Stage>& stages) {
+  std::vector<ModuleSubstitutionError> out;
+  for (ModId i = 0; i < nl.num_modules(); ++i) {
+    const Module& m = nl.module(i);
+    if (std::find(stages.begin(), stages.end(), m.stage) == stages.end())
+      continue;
+    for (ModuleKind k : substitution_candidates(m.kind))
+      out.push_back({i, k});
+  }
+  return out;
+}
+
+}  // namespace hltg

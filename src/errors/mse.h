@@ -1,0 +1,36 @@
+// Module substitution errors (MSE) - extension error model from [28].
+//
+// The implementation uses a module of the wrong kind (e.g. a subtractor
+// where the specification demands an adder). We substitute within a module's
+// class so port shapes stay legal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlx/dlx.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct ModuleSubstitutionError {
+  ModId module = kNoMod;
+  ModuleKind wrong_kind = ModuleKind::kAdd;
+
+  ErrorInjection injection() const {
+    ErrorInjection inj;
+    inj.substitute[module] = wrong_kind;
+    return inj;
+  }
+  std::string describe(const Netlist& nl) const;
+};
+
+/// Legal substitutions for a kind (same arity / output width discipline).
+std::vector<ModuleKind> substitution_candidates(ModuleKind k);
+
+/// Enumerate one substitution per candidate kind for every eligible module
+/// in the given stages.
+std::vector<ModuleSubstitutionError> enumerate_mse(
+    const Netlist& nl, const std::vector<Stage>& stages);
+
+}  // namespace hltg

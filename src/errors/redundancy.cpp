@@ -1,0 +1,312 @@
+#include "errors/redundancy.h"
+
+#include "util/word.h"
+
+namespace hltg {
+
+namespace {
+
+struct KV {
+  std::uint64_t known = 0;
+  std::uint64_t value = 0;
+};
+
+KV eval_kv(const Netlist& nl, const Module& m, const std::vector<KV>& in) {
+  const unsigned ow = m.out != kNoNet ? nl.net(m.out).width : 1;
+  const std::uint64_t full = mask_bits(ow);
+  KV r;
+  auto a = [&] { return in[0]; };
+  auto b = [&] { return in[1]; };
+  switch (m.kind) {
+    case ModuleKind::kConst:
+      r.known = full;
+      r.value = trunc(m.param, ow);
+      break;
+    case ModuleKind::kZext: {
+      const unsigned wi = nl.net(m.data_in[0]).width;
+      r.known = (a().known & mask_bits(wi)) | (full & ~mask_bits(wi));
+      r.value = a().value & mask_bits(wi);
+      break;
+    }
+    case ModuleKind::kSext: {
+      const unsigned wi = nl.net(m.data_in[0]).width;
+      r.known = a().known & mask_bits(wi);
+      r.value = a().value & mask_bits(wi);
+      // Upper bits known only if the sign bit is known.
+      if ((a().known >> (wi - 1)) & 1) {
+        r.known |= full & ~mask_bits(wi);
+        if ((a().value >> (wi - 1)) & 1) r.value |= full & ~mask_bits(wi);
+      }
+      break;
+    }
+    case ModuleKind::kSlice: {
+      const unsigned lo = static_cast<unsigned>(m.param);
+      r.known = (a().known >> lo) & full;
+      r.value = (a().value >> lo) & full;
+      break;
+    }
+    case ModuleKind::kConcat: {
+      unsigned lo = 0;
+      for (unsigned i = 0; i < m.data_in.size(); ++i) {
+        const unsigned wi = nl.net(m.data_in[i]).width;
+        r.known |= (in[i].known & mask_bits(wi)) << lo;
+        r.value |= (in[i].value & mask_bits(wi)) << lo;
+        lo += wi;
+      }
+      break;
+    }
+    case ModuleKind::kAndW:
+      r.known = (a().known & ~a().value) | (b().known & ~b().value) |
+                (a().known & b().known);
+      r.value = a().value & b().value;
+      r.known &= full;
+      break;
+    case ModuleKind::kOrW:
+      r.known = (a().known & a().value) | (b().known & b().value) |
+                (a().known & b().known);
+      r.value = (a().value | b().value) & r.known;
+      r.known &= full;
+      break;
+    case ModuleKind::kNotW:
+      r.known = a().known & full;
+      r.value = ~a().value & r.known;
+      break;
+    case ModuleKind::kXorW:
+      r.known = a().known & b().known & full;
+      r.value = (a().value ^ b().value) & r.known;
+      break;
+    case ModuleKind::kShl: {
+      // Fully known constant amount: shift the known masks.
+      if ((b().known & mask_bits(nl.net(m.data_in[1]).width)) ==
+          mask_bits(nl.net(m.data_in[1]).width)) {
+        const unsigned sh = static_cast<unsigned>(b().value & 63);
+        if (sh >= ow) {
+          r.known = full;
+          r.value = 0;
+        } else {
+          r.known = ((a().known << sh) | mask_bits(sh)) & full;
+          r.value = (a().value << sh) & r.known;
+        }
+      }
+      break;
+    }
+    case ModuleKind::kMux: {
+      // Bit known when all selectable inputs agree on a known bit.
+      r.known = full;
+      r.value = in[0].value;
+      for (const KV& kv : in) {
+        r.known &= kv.known & ~(r.value ^ kv.value);
+      }
+      r.value &= r.known;
+      break;
+    }
+    case ModuleKind::kReg: {
+      // A register line is constant iff its feed is provably constant and
+      // equal to the reset value (so the constancy survives every cycle),
+      // and - when the register is clearable - that constant is zero.
+      const bool has_clr = m.tag & 2;
+      const std::uint64_t reset = trunc(m.param, ow);
+      r.known = in[0].known & ~(in[0].value ^ reset) & full;
+      if (has_clr) r.known &= ~in[0].value & ~reset;
+      r.value = reset & r.known;
+      break;
+    }
+    default:
+      break;  // unknown
+  }
+  r.value &= r.known;
+  return r;
+}
+
+}  // namespace
+
+BitConstants analyze_bit_constants(const Netlist& nl) {
+  std::vector<KV> kv(nl.num_nets());
+  // Fixpoint: start everything unknown; only constants introduce knowledge,
+  // so iteration monotonically grows `known` along data paths and registers
+  // stabilize quickly.
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    bool changed = false;
+    for (ModId mi = 0; mi < nl.num_modules(); ++mi) {
+      const Module& m = nl.module(mi);
+      if (m.out == kNoNet) continue;
+      std::vector<KV> in;
+      in.reserve(m.data_in.size());
+      for (NetId n : m.data_in) in.push_back(kv[n]);
+      const KV r = eval_kv(nl, m, in);
+      if (r.known != kv[m.out].known || r.value != kv[m.out].value) {
+        kv[m.out] = r;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  BitConstants bc;
+  bc.known.resize(nl.num_nets());
+  bc.value.resize(nl.num_nets());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    bc.known[n] = kv[n].known;
+    bc.value[n] = kv[n].value;
+  }
+  return bc;
+}
+
+ObservableBits analyze_observable_bits(const Netlist& nl) {
+  ObservableBits ob;
+  ob.mask.assign(nl.num_nets(), 0);
+
+  // Smear a mask downward: if output bit i is observable through a carry
+  // chain, every input bit <= i can influence it.
+  auto smear_down = [](std::uint64_t m) {
+    m |= m >> 1;
+    m |= m >> 2;
+    m |= m >> 4;
+    m |= m >> 8;
+    m |= m >> 16;
+    m |= m >> 32;
+    return m;
+  };
+
+  // Seeds: all inputs of the observation sinks, and status signals (they
+  // steer the controller, whose misbehaviour is architecturally visible).
+  for (ModId mi = 0; mi < nl.num_modules(); ++mi) {
+    const Module& m = nl.module(mi);
+    if (m.kind == ModuleKind::kOutput || m.kind == ModuleKind::kRfWrite ||
+        m.kind == ModuleKind::kMemWrite) {
+      for (NetId n : m.data_in) ob.mask[n] = mask_bits(nl.net(n).width);
+    }
+  }
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    if (nl.net(n).role == NetRole::kSts)
+      ob.mask[n] = mask_bits(nl.net(n).width);
+
+  // Backward fixpoint: propagate output observability to inputs.
+  for (int sweep = 0; sweep < 16; ++sweep) {
+    bool changed = false;
+    auto grow = [&](NetId n, std::uint64_t add) {
+      add &= mask_bits(nl.net(n).width);
+      if ((ob.mask[n] | add) != ob.mask[n]) {
+        ob.mask[n] |= add;
+        changed = true;
+      }
+    };
+    for (ModId mi = 0; mi < nl.num_modules(); ++mi) {
+      const Module& m = nl.module(mi);
+      if (m.out == kNoNet) continue;
+      const std::uint64_t out = ob.mask[m.out];
+      if (!out) continue;
+      switch (m.kind) {
+        case ModuleKind::kAdd:
+        case ModuleKind::kSub:
+          // A carry lets input bit i reach any output bit >= i.
+          for (NetId n : m.data_in) grow(n, smear_down(out));
+          break;
+        case ModuleKind::kAndW:
+        case ModuleKind::kNandW:
+        case ModuleKind::kOrW:
+        case ModuleKind::kNorW:
+        case ModuleKind::kXorW:
+        case ModuleKind::kXnorW:
+        case ModuleKind::kNotW:
+        case ModuleKind::kReg:
+          for (NetId n : m.data_in) grow(n, out);
+          break;
+        case ModuleKind::kMux:
+          for (NetId n : m.data_in) grow(n, out);
+          grow(m.ctrl_in[0], mask_bits(nl.net(m.ctrl_in[0]).width));
+          break;
+        case ModuleKind::kShl:
+        case ModuleKind::kShrL:
+        case ModuleKind::kShrA: {
+          // With a constant amount the mapping is exact; with a variable
+          // amount any value bit can land on any observable output bit.
+          const ModId ad = nl.net(m.data_in[1]).driver;
+          if (ad != kNoMod && nl.module(ad).kind == ModuleKind::kConst) {
+            const unsigned sh =
+                static_cast<unsigned>(nl.module(ad).param & 63);
+            if (m.kind == ModuleKind::kShl)
+              grow(m.data_in[0], out >> sh);
+            else
+              grow(m.data_in[0], out << sh);
+            if (m.kind == ModuleKind::kShrA) {
+              const unsigned wi = nl.net(m.data_in[0]).width;
+              if (out) grow(m.data_in[0], std::uint64_t{1} << (wi - 1));
+            }
+          } else {
+            grow(m.data_in[0], mask_bits(nl.net(m.data_in[0]).width));
+          }
+          grow(m.data_in[1], mask_bits(nl.net(m.data_in[1]).width));
+          break;
+        }
+        case ModuleKind::kSlice: {
+          const unsigned lo = static_cast<unsigned>(m.param);
+          grow(m.data_in[0], out << lo);
+          break;
+        }
+        case ModuleKind::kConcat: {
+          unsigned lo = 0;
+          for (NetId n : m.data_in) {
+            const unsigned wi = nl.net(n).width;
+            grow(n, out >> lo);
+            lo += wi;
+          }
+          break;
+        }
+        case ModuleKind::kZext:
+        case ModuleKind::kSext: {
+          grow(m.data_in[0], out);
+          if (m.kind == ModuleKind::kSext) {
+            // The replicated sign bit is observable if any upper bit is.
+            const unsigned wi = nl.net(m.data_in[0]).width;
+            if (out >> wi) grow(m.data_in[0], std::uint64_t{1} << (wi - 1));
+          }
+          break;
+        }
+        case ModuleKind::kEq:
+        case ModuleKind::kNe:
+        case ModuleKind::kLt:
+        case ModuleKind::kLe:
+        case ModuleKind::kLtU:
+        case ModuleKind::kLeU:
+        case ModuleKind::kAddOvf:
+        case ModuleKind::kSubOvf:
+          // Any operand bit can flip a comparison.
+          for (NetId n : m.data_in)
+            grow(n, mask_bits(nl.net(n).width));
+          break;
+        case ModuleKind::kRfRead:
+        case ModuleKind::kMemRead:
+          // Address bits select the returned value.
+          for (NetId n : m.data_in)
+            grow(n, mask_bits(nl.net(n).width));
+          break;
+        default:
+          break;
+      }
+    }
+    if (!changed) break;
+  }
+  return ob;
+}
+
+bool is_redundant(const BitConstants& bc, const BusSslError& e) {
+  return bc.is_known(e.net, e.bit) &&
+         bc.known_value(e.net, e.bit) == e.stuck_value;
+}
+
+bool is_redundant(const BitConstants& bc, const ObservableBits& ob,
+                  const BusSslError& e) {
+  return is_redundant(bc, e) || !ob.is_observable(e.net, e.bit);
+}
+
+std::vector<BusSslError> redundant_subset(const Netlist& nl,
+                                          const std::vector<BusSslError>& v) {
+  const BitConstants bc = analyze_bit_constants(nl);
+  const ObservableBits ob = analyze_observable_bits(nl);
+  std::vector<BusSslError> out;
+  for (const BusSslError& e : v)
+    if (is_redundant(bc, ob, e)) out.push_back(e);
+  return out;
+}
+
+}  // namespace hltg

@@ -1,0 +1,132 @@
+#include "gatenet/eval3.h"
+
+namespace hltg {
+
+void eval_cycle2(const GateNet& gn, std::vector<bool>& vals) {
+  for (GateId g : gn.topo_order()) {
+    const Gate& gate = gn.gate(g);
+    switch (gate.kind) {
+      case GateKind::kVar:
+      case GateKind::kDff:
+        break;  // externally supplied / state
+      case GateKind::kConst0:
+        vals[g] = false;
+        break;
+      case GateKind::kConst1:
+        vals[g] = true;
+        break;
+      case GateKind::kBuf:
+        vals[g] = vals[gate.fanin[0]];
+        break;
+      case GateKind::kNot:
+        vals[g] = !vals[gate.fanin[0]];
+        break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (GateId in : gate.fanin) v = v && vals[in];
+        vals[g] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (GateId in : gate.fanin) v = v || vals[in];
+        vals[g] = v;
+        break;
+      }
+      case GateKind::kXor:
+        vals[g] = vals[gate.fanin[0]] != vals[gate.fanin[1]];
+        break;
+    }
+  }
+}
+
+void clock_dffs2(const GateNet& gn, const std::vector<bool>& vals,
+                 std::vector<bool>& next) {
+  for (GateId g = 0; g < gn.num_gates(); ++g) {
+    const Gate& gate = gn.gate(g);
+    if (gate.kind == GateKind::kDff) next[g] = vals[gate.fanin[0]];
+  }
+}
+
+L3 eval_gate3(const GateNet& gn, GateId g, const std::vector<L3>& vals) {
+  const Gate& gate = gn.gate(g);
+  switch (gate.kind) {
+    case GateKind::kVar:
+    case GateKind::kDff:
+      return vals[g];
+    case GateKind::kConst0:
+      return L3::F;
+    case GateKind::kConst1:
+      return L3::T;
+    case GateKind::kBuf:
+      return vals[gate.fanin[0]];
+    case GateKind::kNot:
+      return l3_not(vals[gate.fanin[0]]);
+    case GateKind::kAnd: {
+      L3 v = L3::T;
+      for (GateId in : gate.fanin) v = l3_and(v, vals[in]);
+      return v;
+    }
+    case GateKind::kOr: {
+      L3 v = L3::F;
+      for (GateId in : gate.fanin) v = l3_or(v, vals[in]);
+      return v;
+    }
+    case GateKind::kXor:
+      return l3_xor(vals[gate.fanin[0]], vals[gate.fanin[1]]);
+  }
+  return L3::X;
+}
+
+bool eval_gate2(const GateNet& gn, GateId g, const std::vector<bool>& vals) {
+  const Gate& gate = gn.gate(g);
+  switch (gate.kind) {
+    case GateKind::kVar:
+    case GateKind::kDff:
+      return vals[g];
+    case GateKind::kConst0:
+      return false;
+    case GateKind::kConst1:
+      return true;
+    case GateKind::kBuf:
+      return vals[gate.fanin[0]];
+    case GateKind::kNot:
+      return !vals[gate.fanin[0]];
+    case GateKind::kAnd: {
+      for (GateId in : gate.fanin)
+        if (!vals[in]) return false;
+      return true;
+    }
+    case GateKind::kOr: {
+      for (GateId in : gate.fanin)
+        if (vals[in]) return true;
+      return false;
+    }
+    case GateKind::kXor:
+      return vals[gate.fanin[0]] != vals[gate.fanin[1]];
+  }
+  return false;
+}
+
+void eval_cycle3(const GateNet& gn, std::vector<L3>& vals) {
+  for (GateId g : gn.topo_order()) {
+    const Gate& gate = gn.gate(g);
+    if (gate.kind == GateKind::kVar || gate.kind == GateKind::kDff) continue;
+    vals[g] = eval_gate3(gn, g, vals);
+  }
+}
+
+void load_reset2(const GateNet& gn, std::vector<bool>& vals) {
+  vals.assign(gn.num_gates(), false);
+  for (GateId g = 0; g < gn.num_gates(); ++g)
+    if (gn.gate(g).kind == GateKind::kDff) vals[g] = gn.gate(g).reset_value;
+}
+
+void load_reset3(const GateNet& gn, std::vector<L3>& vals) {
+  vals.assign(gn.num_gates(), L3::X);
+  for (GateId g = 0; g < gn.num_gates(); ++g)
+    if (gn.gate(g).kind == GateKind::kDff)
+      vals[g] = l3_from_bool(gn.gate(g).reset_value);
+}
+
+}  // namespace hltg

@@ -1,0 +1,196 @@
+#include "gatenet/gate_builder.h"
+
+#include <cassert>
+
+#include "util/word.h"
+
+namespace hltg {
+
+GateId GateBuilder::emit(Gate g) {
+  g.stage = g.stage == Stage::kGlobal && stage_ != Stage::kGlobal ? stage_
+                                                                  : g.stage;
+  return gn_.add_gate(std::move(g));
+}
+
+GateId GateBuilder::var(const std::string& name, SigRole role) {
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kVar;
+  g.role = role;
+  g.stage = stage_;
+  return gn_.add_gate(std::move(g));
+}
+
+GateVec GateBuilder::var_vec(const std::string& name, unsigned width,
+                             SigRole role) {
+  GateVec v(width);
+  for (unsigned i = 0; i < width; ++i)
+    v[i] = var(name + "[" + std::to_string(i) + "]", role);
+  return v;
+}
+
+GateId GateBuilder::const0() {
+  if (const0_ == kNoGate) {
+    Gate g;
+    g.name = "const0";
+    g.kind = GateKind::kConst0;
+    g.stage = Stage::kGlobal;
+    const0_ = gn_.add_gate(std::move(g));
+  }
+  return const0_;
+}
+
+GateId GateBuilder::const1() {
+  if (const1_ == kNoGate) {
+    Gate g;
+    g.name = "const1";
+    g.kind = GateKind::kConst1;
+    g.stage = Stage::kGlobal;
+    const1_ = gn_.add_gate(std::move(g));
+  }
+  return const1_;
+}
+
+GateId GateBuilder::and_(const std::string& name, std::vector<GateId> in) {
+  assert(!in.empty());
+  if (in.size() == 1) return buf(name, in[0]);
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kAnd;
+  g.stage = stage_;
+  g.fanin = std::move(in);
+  return gn_.add_gate(std::move(g));
+}
+
+GateId GateBuilder::or_(const std::string& name, std::vector<GateId> in) {
+  assert(!in.empty());
+  if (in.size() == 1) return buf(name, in[0]);
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kOr;
+  g.stage = stage_;
+  g.fanin = std::move(in);
+  return gn_.add_gate(std::move(g));
+}
+
+GateId GateBuilder::not_(const std::string& name, GateId a) {
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kNot;
+  g.stage = stage_;
+  g.fanin = {a};
+  return gn_.add_gate(std::move(g));
+}
+
+GateId GateBuilder::xor_(const std::string& name, GateId a, GateId b) {
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kXor;
+  g.stage = stage_;
+  g.fanin = {a, b};
+  return gn_.add_gate(std::move(g));
+}
+
+GateId GateBuilder::buf(const std::string& name, GateId a) {
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kBuf;
+  g.stage = stage_;
+  g.fanin = {a};
+  return gn_.add_gate(std::move(g));
+}
+
+GateId GateBuilder::mux(const std::string& name, GateId s, GateId a,
+                        GateId b) {
+  const GateId ns = not_(name + ".ns", s);
+  const GateId ta = and_(name + ".ta", {ns, a});
+  const GateId tb = and_(name + ".tb", {s, b});
+  return or_(name, {ta, tb});
+}
+
+GateId GateBuilder::dff(const std::string& name, GateId d, bool reset_value) {
+  Gate g;
+  g.name = name;
+  g.kind = GateKind::kDff;
+  g.stage = stage_;
+  g.fanin = {d};
+  g.reset_value = reset_value;
+  return gn_.add_gate(std::move(g));
+}
+
+GateVec GateBuilder::dff_vec(const std::string& name, const GateVec& d) {
+  GateVec q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    q[i] = dff(name + "[" + std::to_string(i) + "]", d[i]);
+  return q;
+}
+
+GateId GateBuilder::dff_en_clr(const std::string& name, GateId d,
+                               GateId enable, GateId clear, bool reset_value) {
+  // Build q' = clear ? 0 : enable ? d : q with a feedback DFF. The DFF must
+  // exist first so its output can appear in its own next-state logic; we
+  // therefore create it with a placeholder fanin and patch D afterwards.
+  Gate ff;
+  ff.name = name;
+  ff.kind = GateKind::kDff;
+  ff.stage = stage_;
+  ff.fanin = {const0()};  // patched below
+  ff.reset_value = reset_value;
+  const GateId q = gn_.add_gate(std::move(ff));
+
+  GateId next = d;
+  if (enable != kNoGate) next = mux(name + ".en", enable, q, d);
+  if (clear != kNoGate) {
+    const GateId nclr = not_(name + ".nclr", clear);
+    next = and_(name + ".clr", {nclr, next});
+  }
+  gn_.gate(q).fanin[0] = next;
+  gn_.invalidate();
+  return q;
+}
+
+GateVec GateBuilder::dff_vec_en_clr(const std::string& name, const GateVec& d,
+                                    GateId enable, GateId clear) {
+  GateVec q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    q[i] = dff_en_clr(name + "[" + std::to_string(i) + "]", d[i], enable,
+                      clear);
+  return q;
+}
+
+GateId GateBuilder::eq_const(const std::string& name, const GateVec& bits,
+                             std::uint64_t value) {
+  std::vector<GateId> lits;
+  lits.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (get_bit(value, static_cast<unsigned>(i)))
+      lits.push_back(bits[i]);
+    else
+      lits.push_back(not_(name + ".n" + std::to_string(i), bits[i]));
+  }
+  return and_(name, std::move(lits));
+}
+
+GateId GateBuilder::any(const std::string& name, std::vector<GateId> terms) {
+  if (terms.empty()) return buf(name, const0());
+  return or_(name, std::move(terms));
+}
+
+GateId GateBuilder::mark_ctrl(const std::string& name, GateId g) {
+  // Insert a named buffer so the CTRL signal has a stable identity even if
+  // the driving logic is shared.
+  const GateId b = buf(name, g);
+  gn_.gate(b).role = SigRole::kCtrl;
+  return b;
+}
+
+GateVec GateBuilder::mark_ctrl_vec(const std::string& name, const GateVec& g) {
+  GateVec out(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    out[i] = mark_ctrl(name + "[" + std::to_string(i) + "]", g[i]);
+  return out;
+}
+
+void GateBuilder::mark_tertiary(GateId g) { gn_.gate(g).tertiary = true; }
+
+}  // namespace hltg

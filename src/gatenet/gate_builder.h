@@ -1,0 +1,78 @@
+// Convenience EDSL for building controller gate networks.
+//
+// Wraps GateNet with variadic AND/OR/NOT/XOR helpers, bit-vector signals,
+// and decode helpers (field == constant) used heavily by the DLX controller
+// builder.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "gatenet/gatenet.h"
+
+namespace hltg {
+
+/// A multi-bit controller signal: LSB-first vector of gate ids.
+using GateVec = std::vector<GateId>;
+
+class GateBuilder {
+ public:
+  explicit GateBuilder(GateNet& gn) : gn_(gn) {}
+
+  void set_stage(Stage s) { stage_ = s; }
+  Stage stage() const { return stage_; }
+
+  // --- sources ---------------------------------------------------------
+  GateId var(const std::string& name, SigRole role);
+  GateVec var_vec(const std::string& name, unsigned width, SigRole role);
+  GateId const0();
+  GateId const1();
+
+  // --- combinational ---------------------------------------------------
+  GateId and_(const std::string& name, std::vector<GateId> in);
+  GateId or_(const std::string& name, std::vector<GateId> in);
+  GateId not_(const std::string& name, GateId a);
+  GateId xor_(const std::string& name, GateId a, GateId b);
+  GateId buf(const std::string& name, GateId a);
+  /// s ? b : a built from primitive gates.
+  GateId mux(const std::string& name, GateId s, GateId a, GateId b);
+
+  // --- sequential ------------------------------------------------------
+  GateId dff(const std::string& name, GateId d, bool reset_value = false);
+  /// Register a whole vector; returns Q vector.
+  GateVec dff_vec(const std::string& name, const GateVec& d);
+  /// DFF with synchronous enable and clear:
+  ///   q' = clear ? 0 : (enable ? d : q).
+  /// Pass kNoGate to omit a control. Built from primitive gates + dff.
+  GateId dff_en_clr(const std::string& name, GateId d, GateId enable,
+                    GateId clear, bool reset_value = false);
+  GateVec dff_vec_en_clr(const std::string& name, const GateVec& d,
+                         GateId enable, GateId clear);
+
+  // --- decode helpers ---------------------------------------------------
+  /// AND of literals: bit i of `bits` taken true/complemented so the term is
+  /// 1 iff the vector equals `value`.
+  GateId eq_const(const std::string& name, const GateVec& bits,
+                  std::uint64_t value);
+  /// OR of the given terms (0 terms -> const0; 1 term -> buf).
+  GateId any(const std::string& name, std::vector<GateId> terms);
+
+  // --- labeling ---------------------------------------------------------
+  /// Mark a gate as a CTRL output to the datapath.
+  GateId mark_ctrl(const std::string& name, GateId g);
+  GateVec mark_ctrl_vec(const std::string& name, const GateVec& g);
+  /// Mark a gate as tertiary (a CTO crossing into another stage).
+  void mark_tertiary(GateId g);
+
+  GateNet& net() { return gn_; }
+
+ private:
+  GateId emit(Gate g);
+  GateNet& gn_;
+  Stage stage_ = Stage::kGlobal;
+  GateId const0_ = kNoGate;
+  GateId const1_ = kNoGate;
+};
+
+}  // namespace hltg

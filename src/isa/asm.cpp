@@ -1,0 +1,206 @@
+#include "isa/asm.h"
+
+#include <cctype>
+#include <map>
+#include <tuple>
+#include <sstream>
+
+#include "isa/encode.h"
+
+namespace hltg {
+
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == ','))
+      ++i;
+  }
+  bool done() {
+    skip_ws();
+    return i >= s.size();
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  std::string word() {
+    skip_ws();
+    std::size_t b = i;
+    while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '_'))
+      ++i;
+    return s.substr(b, i - b);
+  }
+  bool number(std::int64_t* out) {
+    skip_ws();
+    std::size_t b = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    if (i + 1 < s.size() && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+      i += 2;
+      while (i < s.size() && std::isxdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    } else {
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+        ++i;
+    }
+    if (i == b || (i == b + 1 && !std::isdigit(static_cast<unsigned char>(s[b]))))
+      return false;
+    *out = std::strtoll(s.c_str() + b, nullptr, 0);
+    return true;
+  }
+  std::string identifier() {
+    skip_ws();
+    std::size_t b = i;
+    if (i < s.size() && (std::isalpha(static_cast<unsigned char>(s[i])) ||
+                         s[i] == '_' || s[i] == '.')) {
+      ++i;
+      while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                              s[i] == '_' || s[i] == '.'))
+        ++i;
+    }
+    return s.substr(b, i - b);
+  }
+  bool reg(unsigned* out) {
+    skip_ws();
+    if (i >= s.size() || (s[i] != 'r' && s[i] != 'R')) return false;
+    ++i;
+    std::int64_t n;
+    if (!number(&n) || n < 0 || n > 31) return false;
+    *out = static_cast<unsigned>(n);
+    return true;
+  }
+};
+
+}  // namespace
+
+AsmResult assemble(const std::string& source) {
+  AsmResult res;
+  std::istringstream in(source);
+  std::string line;
+  int lineno = 0;
+  std::map<std::string, unsigned> labels;          // label -> word index
+  std::vector<std::tuple<std::size_t, std::string, int>> fixups;
+  // (program index, label, source line) for symbolic control offsets
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments.
+    for (std::size_t p = 0; p < line.size(); ++p)
+      if (line[p] == ';' || line[p] == '#') {
+        line.resize(p);
+        break;
+      }
+    Cursor c{line};
+    if (c.done()) continue;
+    auto err = [&](const std::string& m) {
+      res.errors.push_back("line " + std::to_string(lineno) + ": " + m);
+    };
+    std::string mn = c.word();
+    // Label definition: identifier followed by ':'.
+    if (c.eat(':')) {
+      if (labels.count(mn)) {
+        err("duplicate label '" + mn + "'");
+        continue;
+      }
+      labels[mn] = static_cast<unsigned>(res.program.size());
+      if (c.done()) continue;
+      mn = c.word();
+    }
+    const Op op = op_from_mnemonic(mn);
+    if (op == Op::kNumOps) {
+      err("unknown mnemonic '" + mn + "'");
+      continue;
+    }
+    Instr ins;
+    ins.op = op;
+    std::int64_t n = 0;
+    bool good = true;
+    std::string pending_label;  // committed with the instruction
+    switch (op) {
+      case Op::kNop:
+        break;
+      case Op::kJ:
+      case Op::kJal:
+        if (c.number(&n)) {
+          ins.imm = static_cast<std::int32_t>(n);
+        } else {
+          pending_label = c.identifier();
+          good = !pending_label.empty();
+        }
+        break;
+      case Op::kJr:
+      case Op::kJalr:
+        good = c.reg(&ins.rs1);
+        break;
+      case Op::kBeqz:
+      case Op::kBnez:
+        good = c.reg(&ins.rs1);
+        if (good) {
+          if (c.number(&n)) {
+            ins.imm = static_cast<std::int32_t>(n);
+          } else {
+            pending_label = c.identifier();
+            good = !pending_label.empty();
+          }
+        }
+        break;
+      case Op::kLhi:
+        good = c.reg(&ins.rd) && c.number(&n);
+        ins.imm = static_cast<std::int32_t>(n);
+        break;
+      default:
+        if (is_alu_r(op)) {
+          good = c.reg(&ins.rd) && c.reg(&ins.rs1) && c.reg(&ins.rs2);
+        } else if (is_load(op)) {
+          good = c.reg(&ins.rd) && c.number(&n) && c.eat('(') &&
+                 c.reg(&ins.rs1) && c.eat(')');
+          ins.imm = static_cast<std::int32_t>(n);
+        } else if (is_store(op)) {
+          good = c.number(&n) && c.eat('(') && c.reg(&ins.rs1) && c.eat(')') &&
+                 c.reg(&ins.rd);
+          ins.imm = static_cast<std::int32_t>(n);
+        } else {  // I-type ALU
+          good = c.reg(&ins.rd) && c.reg(&ins.rs1) && c.number(&n);
+          ins.imm = static_cast<std::int32_t>(n);
+        }
+        break;
+    }
+    if (!good || !c.done()) {
+      err("malformed operands for '" + mn + "'");
+      continue;
+    }
+    if (!pending_label.empty())
+      fixups.emplace_back(res.program.size(), pending_label, lineno);
+    res.program.push_back(ins);
+  }
+  // Second pass: resolve symbolic control offsets (in instruction words,
+  // relative to the instruction after the branch).
+  for (auto& [idx, lbl, ln] : fixups) {
+    const auto it = labels.find(lbl);
+    if (it == labels.end()) {
+      res.errors.push_back("line " + std::to_string(ln) +
+                           ": undefined label '" + lbl + "'");
+      continue;
+    }
+    res.program[idx].imm =
+        static_cast<std::int32_t>(it->second) - static_cast<std::int32_t>(idx) -
+        1;
+  }
+  return res;
+}
+
+std::vector<std::uint32_t> encode_program(const std::vector<Instr>& prog) {
+  std::vector<std::uint32_t> out;
+  out.reserve(prog.size());
+  for (const Instr& i : prog) out.push_back(encode(i));
+  return out;
+}
+
+}  // namespace hltg

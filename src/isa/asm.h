@@ -1,0 +1,38 @@
+// Tiny DLX text assembler.
+//
+// Accepts one instruction per line in the same syntax `to_string(Instr)`
+// produces, plus comments (`;` or `#` to end of line), blank lines, and
+// labels. Control-transfer offsets may be numeric (instruction words) or
+// symbolic:
+//
+//   loop: addi r1, r1, -1
+//         add  r3, r3, r1
+//         bnez r1, loop
+//         j    done
+//         sw   12(r2), r4
+//   done: nop
+//
+// Used by the examples and tests; the test generator emits Instr structs
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace hltg {
+
+struct AsmResult {
+  std::vector<Instr> program;
+  std::vector<std::string> errors;  ///< "line N: message"
+  bool ok() const { return errors.empty(); }
+};
+
+AsmResult assemble(const std::string& source);
+
+/// Encoded words for a program.
+std::vector<std::uint32_t> encode_program(const std::vector<Instr>& prog);
+
+}  // namespace hltg

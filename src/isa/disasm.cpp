@@ -1,0 +1,25 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+#include "isa/encode.h"
+#include "util/word.h"
+
+namespace hltg {
+
+std::string disassemble(std::uint32_t word) {
+  const Instr i = decode(word);
+  std::string s = to_string(i);
+  if (!is_defined(word)) s += " ; undefined encoding " + to_hex(word, 32);
+  return s;
+}
+
+std::string disassemble_program(const std::vector<std::uint32_t>& words) {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < words.size(); ++k)
+    os << to_hex(static_cast<std::uint32_t>(4 * k), 16) << ":  "
+       << disassemble(words[k]) << "\n";
+  return os.str();
+}
+
+}  // namespace hltg

@@ -1,0 +1,13 @@
+// Disassembler: binary words back to text (round-trips with isa/asm.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hltg {
+
+std::string disassemble(std::uint32_t word);
+std::string disassemble_program(const std::vector<std::uint32_t>& words);
+
+}  // namespace hltg

@@ -1,0 +1,187 @@
+#include "isa/encode.h"
+
+#include "util/word.h"
+
+namespace hltg {
+
+unsigned opcode_of(Op op) {
+  switch (op) {
+    case Op::kAddi: return 0x08;
+    case Op::kAddui: return 0x09;
+    case Op::kSubi: return 0x0A;
+    case Op::kSubui: return 0x0B;
+    case Op::kAndi: return 0x0C;
+    case Op::kOri: return 0x0D;
+    case Op::kXori: return 0x0E;
+    case Op::kLhi: return 0x0F;
+    case Op::kSlli: return 0x14;
+    case Op::kSrli: return 0x16;
+    case Op::kSrai: return 0x17;
+    case Op::kSeqi: return 0x18;
+    case Op::kSnei: return 0x19;
+    case Op::kSlti: return 0x1A;
+    case Op::kSltui: return 0x1B;
+    case Op::kLb: return 0x20;
+    case Op::kLh: return 0x21;
+    case Op::kLw: return 0x23;
+    case Op::kLbu: return 0x24;
+    case Op::kLhu: return 0x25;
+    case Op::kSb: return 0x28;
+    case Op::kSh: return 0x29;
+    case Op::kSw: return 0x2B;
+    case Op::kBeqz: return 0x04;
+    case Op::kBnez: return 0x05;
+    case Op::kJ: return 0x02;
+    case Op::kJal: return 0x03;
+    case Op::kJr: return 0x12;
+    case Op::kJalr: return 0x13;
+    default: return 0x00;  // R-type and NOP
+  }
+}
+
+unsigned func_of(Op op) {
+  switch (op) {
+    case Op::kSll: return 0x04;
+    case Op::kSrl: return 0x06;
+    case Op::kSra: return 0x07;
+    case Op::kAdd: return 0x20;
+    case Op::kAddu: return 0x21;
+    case Op::kSub: return 0x22;
+    case Op::kSubu: return 0x23;
+    case Op::kAnd: return 0x24;
+    case Op::kOr: return 0x25;
+    case Op::kXor: return 0x26;
+    case Op::kSeq: return 0x28;
+    case Op::kSne: return 0x29;
+    case Op::kSlt: return 0x2A;
+    case Op::kSltu: return 0x2B;
+    default: return 0x00;
+  }
+}
+
+std::uint32_t encode(const Instr& i) {
+  std::uint64_t w = 0;
+  switch (format_of(i.op)) {
+    case Format::kR:
+      if (i.op == Op::kNop) return 0;
+      w = set_field(w, kOpcodeLo, kOpcodeW, 0);
+      w = set_field(w, kRs1Lo, kRegW, i.rs1);
+      w = set_field(w, kRs2Lo, kRegW, i.rs2);
+      w = set_field(w, kRdRLo, kRegW, i.rd);
+      w = set_field(w, kFuncLo, kFuncW, func_of(i.op));
+      break;
+    case Format::kI:
+      if (i.op == Op::kNop) return 0;
+      w = set_field(w, kOpcodeLo, kOpcodeW, opcode_of(i.op));
+      w = set_field(w, kRs1Lo, kRegW, i.rs1);
+      w = set_field(w, kRdILo, kRegW, i.rd);
+      w = set_field(w, 0, kImmW, static_cast<std::uint32_t>(i.imm));
+      break;
+    case Format::kJ:
+      w = set_field(w, kOpcodeLo, kOpcodeW, opcode_of(i.op));
+      w = set_field(w, 0, kJImmW, static_cast<std::uint32_t>(i.imm));
+      break;
+  }
+  return static_cast<std::uint32_t>(w);
+}
+
+namespace {
+
+Op rtype_op_from_func(unsigned func) {
+  switch (func) {
+    case 0x04: return Op::kSll;
+    case 0x06: return Op::kSrl;
+    case 0x07: return Op::kSra;
+    case 0x20: return Op::kAdd;
+    case 0x21: return Op::kAddu;
+    case 0x22: return Op::kSub;
+    case 0x23: return Op::kSubu;
+    case 0x24: return Op::kAnd;
+    case 0x25: return Op::kOr;
+    case 0x26: return Op::kXor;
+    case 0x28: return Op::kSeq;
+    case 0x29: return Op::kSne;
+    case 0x2A: return Op::kSlt;
+    case 0x2B: return Op::kSltu;
+    default: return Op::kNop;
+  }
+}
+
+Op itype_op_from_opcode(unsigned opc) {
+  switch (opc) {
+    case 0x08: return Op::kAddi;
+    case 0x09: return Op::kAddui;
+    case 0x0A: return Op::kSubi;
+    case 0x0B: return Op::kSubui;
+    case 0x0C: return Op::kAndi;
+    case 0x0D: return Op::kOri;
+    case 0x0E: return Op::kXori;
+    case 0x0F: return Op::kLhi;
+    case 0x14: return Op::kSlli;
+    case 0x16: return Op::kSrli;
+    case 0x17: return Op::kSrai;
+    case 0x18: return Op::kSeqi;
+    case 0x19: return Op::kSnei;
+    case 0x1A: return Op::kSlti;
+    case 0x1B: return Op::kSltui;
+    case 0x20: return Op::kLb;
+    case 0x21: return Op::kLh;
+    case 0x23: return Op::kLw;
+    case 0x24: return Op::kLbu;
+    case 0x25: return Op::kLhu;
+    case 0x28: return Op::kSb;
+    case 0x29: return Op::kSh;
+    case 0x2B: return Op::kSw;
+    case 0x04: return Op::kBeqz;
+    case 0x05: return Op::kBnez;
+    case 0x12: return Op::kJr;
+    case 0x13: return Op::kJalr;
+    default: return Op::kNop;
+  }
+}
+
+}  // namespace
+
+Instr decode(std::uint32_t word) {
+  Instr i;
+  const unsigned opc =
+      static_cast<unsigned>(get_field(word, kOpcodeLo, kOpcodeW));
+  if (opc == 0x00) {
+    const unsigned func =
+        static_cast<unsigned>(get_field(word, kFuncLo, kFuncW));
+    i.op = rtype_op_from_func(func);
+    i.rs1 = static_cast<unsigned>(get_field(word, kRs1Lo, kRegW));
+    i.rs2 = static_cast<unsigned>(get_field(word, kRs2Lo, kRegW));
+    i.rd = static_cast<unsigned>(get_field(word, kRdRLo, kRegW));
+    if (i.op == Op::kNop) i = Instr{};  // undefined func -> architectural NOP
+    return i;
+  }
+  if (opc == 0x02 || opc == 0x03) {
+    i.op = opc == 0x02 ? Op::kJ : Op::kJal;
+    i.imm = static_cast<std::int32_t>(sext(get_field(word, 0, kJImmW), kJImmW));
+    return i;
+  }
+  i.op = itype_op_from_opcode(opc);
+  if (i.op == Op::kNop) return Instr{};  // undefined opcode -> NOP
+  i.rs1 = static_cast<unsigned>(get_field(word, kRs1Lo, kRegW));
+  i.rd = static_cast<unsigned>(get_field(word, kRdILo, kRegW));
+  const std::uint64_t raw = get_field(word, 0, kImmW);
+  i.imm = zero_extends_imm(i.op)
+              ? static_cast<std::int32_t>(raw)
+              : static_cast<std::int32_t>(sext(raw, kImmW));
+  return i;
+}
+
+bool is_defined(std::uint32_t word) {
+  if (word == 0) return true;  // canonical NOP
+  const unsigned opc =
+      static_cast<unsigned>(get_field(word, kOpcodeLo, kOpcodeW));
+  if (opc == 0x00)
+    return rtype_op_from_func(
+               static_cast<unsigned>(get_field(word, kFuncLo, kFuncW))) !=
+           Op::kNop;
+  if (opc == 0x02 || opc == 0x03) return true;
+  return itype_op_from_opcode(opc) != Op::kNop;
+}
+
+}  // namespace hltg

@@ -1,0 +1,35 @@
+// Binary encoding / decoding of DLX instructions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.h"
+
+namespace hltg {
+
+// Field positions (shared with the implementation model's decode logic).
+constexpr unsigned kOpcodeLo = 26, kOpcodeW = 6;
+constexpr unsigned kRs1Lo = 21, kRs2Lo = 16, kRdILo = 16, kRdRLo = 11;
+constexpr unsigned kRegW = 5;
+constexpr unsigned kImmW = 16, kJImmW = 26;
+constexpr unsigned kFuncLo = 0, kFuncW = 6;
+
+/// 6-bit primary opcode for an Op (0 for R-type / NOP).
+unsigned opcode_of(Op op);
+/// 6-bit function code for an R-type Op.
+unsigned func_of(Op op);
+
+std::uint32_t encode(const Instr& i);
+
+/// Decode a word. Undefined encodings decode to NOP - this is an
+/// architectural guarantee both the spec simulator and the pipelined
+/// implementation provide, so the test generator may assign instruction bits
+/// freely.
+Instr decode(std::uint32_t word);
+
+/// True if `word` encodes one of the 44 defined instructions (the all-zero
+/// word counts as NOP; other undefined encodings return false).
+bool is_defined(std::uint32_t word);
+
+}  // namespace hltg

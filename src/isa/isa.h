@@ -1,0 +1,85 @@
+// DLX instruction-set architecture (44 instructions).
+//
+// The paper's test vehicle "implements 44 instructions, has a five-stage
+// pipeline and branch prediction logic" (Sec. VI). We implement the classic
+// DLX subset from Hennessy & Patterson with exactly 44 instructions:
+//
+//   R-type ALU (14): ADD ADDU SUB SUBU AND OR XOR SLL SRL SRA SLT SLTU SEQ SNE
+//   I-type ALU (15): ADDI ADDUI SUBI SUBUI ANDI ORI XORI SLLI SRLI SRAI
+//                    SLTI SLTUI SEQI SNEI LHI
+//   loads      (5):  LB LBU LH LHU LW
+//   stores     (3):  SB SH SW
+//   control    (6):  BEQZ BNEZ J JAL JR JALR
+//   NOP        (1):  encoded as the all-zero word
+//
+// Encodings follow the DLX conventions:
+//   I-type: op[31:26] rs1[25:21] rd[20:16] imm[15:0]
+//   R-type: op=0      rs1[25:21] rs2[20:16] rd[15:11] 0[10:6] func[5:0]
+//   J-type: op[31:26] offset[25:0]
+// Any word that decodes to no defined instruction behaves as NOP (in both
+// the specification simulator and the pipelined implementation), so the
+// test generator may assign instruction bits freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hltg {
+
+enum class Op : std::uint8_t {
+  kNop = 0,
+  // R-type ALU
+  kAdd, kAddu, kSub, kSubu, kAnd, kOr, kXor, kSll, kSrl, kSra,
+  kSlt, kSltu, kSeq, kSne,
+  // I-type ALU
+  kAddi, kAddui, kSubi, kSubui, kAndi, kOri, kXori, kSlli, kSrli, kSrai,
+  kSlti, kSltui, kSeqi, kSnei, kLhi,
+  // loads / stores
+  kLb, kLbu, kLh, kLhu, kLw, kSb, kSh, kSw,
+  // control transfer
+  kBeqz, kBnez, kJ, kJal, kJr, kJalr,
+  kNumOps,
+};
+constexpr int kNumInstructions = static_cast<int>(Op::kNumOps);  // == 44
+
+enum class Format : std::uint8_t { kR, kI, kJ };
+
+struct Instr {
+  Op op = Op::kNop;
+  unsigned rs1 = 0;  ///< [0,31]
+  unsigned rs2 = 0;  ///< [0,31] (R-type only)
+  unsigned rd = 0;   ///< [0,31] (destination; source for I-type stores)
+  std::int32_t imm = 0;  ///< sign-extended 16-bit (26-bit for J-type)
+};
+
+Format format_of(Op op);
+std::string_view mnemonic(Op op);
+/// Op from mnemonic; kNumOps when unknown.
+Op op_from_mnemonic(std::string_view m);
+
+// --- static properties used by the spec simulator, the model builder and
+// --- the test emitters -------------------------------------------------
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_branch(Op op);       ///< BEQZ/BNEZ
+bool is_jump(Op op);         ///< J/JAL/JR/JALR
+bool is_control(Op op);      ///< branch or jump
+bool is_alu_r(Op op);
+bool is_alu_i(Op op);
+/// True if the instruction reads R[rs1].
+bool reads_rs1(Op op);
+/// True if the instruction reads R[rs2] (R-type operand).
+bool reads_rs2(Op op);
+/// True if the instruction reads the register named by its rd field
+/// (I-type stores read the store datum from rd).
+bool reads_rd_as_source(Op op);
+/// True if the instruction writes a register; `dest_reg` gives the
+/// architectural destination (31 for JAL/JALR).
+bool writes_reg(const Instr& i, unsigned* dest_reg = nullptr);
+/// Immediate variants that zero-extend imm16 instead of sign-extending.
+bool zero_extends_imm(Op op);
+
+std::string to_string(const Instr& i);
+
+}  // namespace hltg

@@ -1,0 +1,104 @@
+#include "isa/testcase_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "isa/disasm.h"
+#include "util/word.h"
+
+namespace hltg {
+
+std::string serialize_test(const TestCase& tc) {
+  std::ostringstream os;
+  os << "# hltg verification test\n";
+  for (std::size_t i = 0; i < tc.imem.size(); ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", tc.imem[i]);
+    os << "instr " << buf << "   # " << to_hex(static_cast<std::uint32_t>(4 * i), 16)
+       << ": " << disassemble(tc.imem[i]) << "\n";
+  }
+  for (unsigned r = 1; r < 32; ++r)
+    if (tc.rf_init[r]) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%08x", tc.rf_init[r]);
+      os << "reg " << r << " " << buf << "\n";
+    }
+  for (auto [a, v] : tc.dmem_init) {
+    char ab[16], vb[16];
+    std::snprintf(ab, sizeof ab, "%08x", a);
+    std::snprintf(vb, sizeof vb, "%08x", v);
+    os << "mem " << ab << " " << vb << "\n";
+  }
+  return os.str();
+}
+
+TestLoadResult parse_test(const std::string& text) {
+  TestLoadResult res;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    auto fail = [&](const std::string& msg) {
+      res.error = "line " + std::to_string(lineno) + ": " + msg;
+    };
+    if (kw == "instr") {
+      std::string hex;
+      if (!(ls >> hex)) {
+        fail("missing instruction word");
+        return res;
+      }
+      res.test.imem.push_back(
+          static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16)));
+    } else if (kw == "reg") {
+      unsigned r = 0;
+      std::string hex;
+      if (!(ls >> r >> hex) || r >= 32) {
+        fail("bad reg line");
+        return res;
+      }
+      res.test.rf_init[r] =
+          static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16));
+    } else if (kw == "mem") {
+      std::string ah, vh;
+      if (!(ls >> ah >> vh)) {
+        fail("bad mem line");
+        return res;
+      }
+      res.test.dmem_init[static_cast<std::uint32_t>(
+          std::strtoul(ah.c_str(), nullptr, 16))] =
+          static_cast<std::uint32_t>(std::strtoul(vh.c_str(), nullptr, 16));
+    } else {
+      fail("unknown keyword '" + kw + "'");
+      return res;
+    }
+  }
+  return res;
+}
+
+bool save_test(const TestCase& tc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize_test(tc);
+  return static_cast<bool>(out);
+}
+
+TestLoadResult load_test(const std::string& path) {
+  std::ifstream in(path);
+  TestLoadResult res;
+  if (!in) {
+    res.error = "cannot open " + path;
+    return res;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_test(ss.str());
+}
+
+}  // namespace hltg

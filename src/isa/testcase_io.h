@@ -1,0 +1,33 @@
+// TestCase serialization: save generated verification tests to a simple
+// line-oriented text format and load them back for replay.
+//
+//   # comment
+//   instr <hex-word>          ; program words in address order
+//   reg   <n> <hex>           ; initial register-file entries
+//   mem   <hex-addr> <hex>    ; initial data-memory words
+//
+// The disassembly is included as trailing comments for readability; the
+// loader ignores them.
+#pragma once
+
+#include <string>
+
+#include "isa/spec_sim.h"
+
+namespace hltg {
+
+std::string serialize_test(const TestCase& tc);
+
+struct TestLoadResult {
+  TestCase test;
+  std::string error;  ///< empty on success
+  bool ok() const { return error.empty(); }
+};
+
+TestLoadResult parse_test(const std::string& text);
+
+/// Convenience file wrappers (return false / error string on I/O failure).
+bool save_test(const TestCase& tc, const std::string& path);
+TestLoadResult load_test(const std::string& path);
+
+}  // namespace hltg

@@ -1,0 +1,306 @@
+#include "netlist/builder.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hltg {
+
+namespace {
+unsigned sel_width_for(std::size_t n) {
+  unsigned w = 0;
+  std::size_t c = 1;
+  while (c < n) {
+    c <<= 1;
+    ++w;
+  }
+  return w == 0 ? 1 : w;
+}
+}  // namespace
+
+NetId NetlistBuilder::out_net(const std::string& name, unsigned width) {
+  return nl_.add_net(name, width, stage_);
+}
+
+NetId NetlistBuilder::input(const std::string& name, unsigned width) {
+  NetId n = nl_.add_net(name, width, stage_, NetRole::kDPI);
+  Module m;
+  m.name = name + ".src";
+  m.kind = ModuleKind::kInput;
+  m.stage = stage_;
+  m.out = n;
+  nl_.add_module(std::move(m));
+  return n;
+}
+
+NetId NetlistBuilder::ctrl(const std::string& name, unsigned width) {
+  // CTRL nets have no datapath driver; the controller supplies their value.
+  return nl_.add_net(name, width, stage_, NetRole::kCtrl);
+}
+
+NetId NetlistBuilder::constant(const std::string& name, unsigned width,
+                               std::uint64_t v) {
+  NetId n = out_net(name, width);
+  Module m;
+  m.name = name + ".const";
+  m.kind = ModuleKind::kConst;
+  m.stage = stage_;
+  m.out = n;
+  m.param = v;
+  nl_.add_module(std::move(m));
+  return n;
+}
+
+NetId NetlistBuilder::binary(const std::string& name, ModuleKind k, NetId a,
+                             NetId b, unsigned out_width) {
+  NetId y = out_net(name, out_width);
+  Module m;
+  m.name = name;
+  m.kind = k;
+  m.stage = stage_;
+  m.data_in = {a, b};
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+NetId NetlistBuilder::add(const std::string& name, NetId a, NetId b) {
+  assert(nl_.net(a).width == nl_.net(b).width);
+  return binary(name, ModuleKind::kAdd, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::sub(const std::string& name, NetId a, NetId b) {
+  assert(nl_.net(a).width == nl_.net(b).width);
+  return binary(name, ModuleKind::kSub, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::xor_w(const std::string& name, NetId a, NetId b) {
+  return binary(name, ModuleKind::kXorW, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::xnor_w(const std::string& name, NetId a, NetId b) {
+  return binary(name, ModuleKind::kXnorW, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::predicate(const std::string& name, ModuleKind k, NetId a,
+                                NetId b) {
+  assert(is_predicate(k));
+  return binary(name, k, a, b, 1);
+}
+NetId NetlistBuilder::and_w(const std::string& name, NetId a, NetId b) {
+  return binary(name, ModuleKind::kAndW, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::or_w(const std::string& name, NetId a, NetId b) {
+  return binary(name, ModuleKind::kOrW, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::nand_w(const std::string& name, NetId a, NetId b) {
+  return binary(name, ModuleKind::kNandW, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::nor_w(const std::string& name, NetId a, NetId b) {
+  return binary(name, ModuleKind::kNorW, a, b, nl_.net(a).width);
+}
+NetId NetlistBuilder::not_w(const std::string& name, NetId a) {
+  NetId y = out_net(name, nl_.net(a).width);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kNotW;
+  m.stage = stage_;
+  m.data_in = {a};
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+NetId NetlistBuilder::shl(const std::string& name, NetId a, NetId amount) {
+  return binary(name, ModuleKind::kShl, a, amount, nl_.net(a).width);
+}
+NetId NetlistBuilder::shr_l(const std::string& name, NetId a, NetId amount) {
+  return binary(name, ModuleKind::kShrL, a, amount, nl_.net(a).width);
+}
+NetId NetlistBuilder::shr_a(const std::string& name, NetId a, NetId amount) {
+  return binary(name, ModuleKind::kShrA, a, amount, nl_.net(a).width);
+}
+
+NetId NetlistBuilder::mux(const std::string& name, NetId sel,
+                          std::vector<NetId> inputs) {
+  if (inputs.empty()) throw std::logic_error("mux with no inputs");
+  const unsigned w = nl_.net(inputs[0]).width;
+  for (NetId in : inputs)
+    if (nl_.net(in).width != w)
+      throw std::logic_error("mux '" + name + "': input width mismatch");
+  if (nl_.net(sel).width != sel_width_for(inputs.size()))
+    throw std::logic_error("mux '" + name + "': select width mismatch");
+  NetId y = out_net(name, w);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kMux;
+  m.stage = stage_;
+  m.data_in = std::move(inputs);
+  m.ctrl_in = {sel};
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+NetId NetlistBuilder::slice(const std::string& name, NetId a, unsigned lo,
+                            unsigned width) {
+  assert(lo + width <= nl_.net(a).width);
+  NetId y = out_net(name, width);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kSlice;
+  m.stage = stage_;
+  m.data_in = {a};
+  m.out = y;
+  m.param = lo;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+NetId NetlistBuilder::concat(const std::string& name,
+                             std::vector<NetId> parts) {
+  unsigned w = 0;
+  for (NetId p : parts) w += nl_.net(p).width;
+  NetId y = out_net(name, w);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kConcat;
+  m.stage = stage_;
+  m.data_in = std::move(parts);
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+NetId NetlistBuilder::zext(const std::string& name, NetId a, unsigned width) {
+  assert(width >= nl_.net(a).width);
+  NetId y = out_net(name, width);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kZext;
+  m.stage = stage_;
+  m.data_in = {a};
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+NetId NetlistBuilder::sext(const std::string& name, NetId a, unsigned width) {
+  assert(width >= nl_.net(a).width);
+  NetId y = out_net(name, width);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kSext;
+  m.stage = stage_;
+  m.data_in = {a};
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+NetId NetlistBuilder::reg(const std::string& name, NetId d, NetId enable,
+                          NetId clear, std::uint64_t reset_value) {
+  NetId q = nl_.add_net(name, nl_.net(d).width, stage_, NetRole::kDSO);
+  // The register's D-side net keeps its existing role; mark it secondary
+  // input if it was unlabeled internal wiring.
+  if (nl_.net(d).role == NetRole::kInternal) nl_.net(d).role = NetRole::kDSI;
+  Module m;
+  m.name = name + ".reg";
+  m.kind = ModuleKind::kReg;
+  m.stage = stage_;
+  m.data_in = {d};
+  if (enable != kNoNet) m.ctrl_in.push_back(enable);
+  if (clear != kNoNet) m.ctrl_in.push_back(clear);
+  m.out = q;
+  m.param = reset_value;
+  // tag encodes which optional controls are present: bit0 enable, bit1 clear.
+  m.tag = (enable != kNoNet ? 1u : 0u) | (clear != kNoNet ? 2u : 0u);
+  nl_.add_module(std::move(m));
+  return q;
+}
+
+NetId NetlistBuilder::predeclare(const std::string& name, unsigned width,
+                                 NetRole role) {
+  return nl_.add_net(name, width, stage_, role);
+}
+
+void NetlistBuilder::reg_into(NetId q, const std::string& name, NetId d,
+                              NetId enable, NetId clear,
+                              std::uint64_t reset_value) {
+  assert(nl_.net(q).width == nl_.net(d).width);
+  if (nl_.net(d).role == NetRole::kInternal) nl_.net(d).role = NetRole::kDSI;
+  Module m;
+  m.name = name + ".reg";
+  m.kind = ModuleKind::kReg;
+  m.stage = nl_.net(q).stage;
+  m.data_in = {d};
+  if (enable != kNoNet) m.ctrl_in.push_back(enable);
+  if (clear != kNoNet) m.ctrl_in.push_back(clear);
+  m.out = q;
+  m.param = reset_value;
+  m.tag = (enable != kNoNet ? 1u : 0u) | (clear != kNoNet ? 2u : 0u);
+  nl_.add_module(std::move(m));
+}
+
+void NetlistBuilder::output(const std::string& name, NetId a) {
+  nl_.net(a).role = NetRole::kDPO;
+  Module m;
+  m.name = name + ".sink";
+  m.kind = ModuleKind::kOutput;
+  m.stage = stage_;
+  m.data_in = {a};
+  nl_.add_module(std::move(m));
+}
+
+NetId NetlistBuilder::rf_read(const std::string& name, NetId addr,
+                              unsigned tag) {
+  NetId y = out_net(name, 32);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kRfRead;
+  m.stage = stage_;
+  m.data_in = {addr};
+  m.out = y;
+  m.tag = tag;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+void NetlistBuilder::rf_write(const std::string& name, NetId addr, NetId data,
+                              NetId we) {
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kRfWrite;
+  m.stage = stage_;
+  m.data_in = {addr, data};
+  m.ctrl_in = {we};
+  nl_.add_module(std::move(m));
+}
+
+NetId NetlistBuilder::mem_read(const std::string& name, NetId addr, NetId re) {
+  NetId y = out_net(name, 32);
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kMemRead;
+  m.stage = stage_;
+  m.data_in = {addr};
+  m.ctrl_in = {re};
+  m.out = y;
+  nl_.add_module(std::move(m));
+  return y;
+}
+
+void NetlistBuilder::mem_write(const std::string& name, NetId addr, NetId data,
+                               NetId bemask, NetId we) {
+  Module m;
+  m.name = name;
+  m.kind = ModuleKind::kMemWrite;
+  m.stage = stage_;
+  m.data_in = {addr, data, bemask};
+  m.ctrl_in = {we};
+  nl_.add_module(std::move(m));
+}
+
+void NetlistBuilder::mark_status(NetId n) {
+  assert(nl_.net(n).width == 1);
+  nl_.net(n).role = NetRole::kSts;
+}
+
+void NetlistBuilder::set_role(NetId n, NetRole r) { nl_.net(n).role = r; }
+
+}  // namespace hltg

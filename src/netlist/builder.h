@@ -1,0 +1,94 @@
+// Convenience EDSL for constructing word-level datapath netlists.
+//
+// The DLX model builder (src/dlx) composes the whole datapath out of these
+// calls; tests use them to build small circuits. Every helper creates the
+// output net, names it, labels it with the builder's current stage, and
+// returns its NetId.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(Netlist& nl) : nl_(nl) {}
+
+  /// Subsequent helpers label nets/modules with this stage.
+  void set_stage(Stage s) { stage_ = s; }
+  Stage stage() const { return stage_; }
+
+  // --- sources ---------------------------------------------------------
+  NetId input(const std::string& name, unsigned width);          ///< DPI
+  NetId ctrl(const std::string& name, unsigned width);           ///< CTRL from controller
+  NetId constant(const std::string& name, unsigned width, std::uint64_t v);
+
+  // --- ADD class -------------------------------------------------------
+  NetId add(const std::string& name, NetId a, NetId b);
+  NetId sub(const std::string& name, NetId a, NetId b);
+  NetId xor_w(const std::string& name, NetId a, NetId b);
+  NetId xnor_w(const std::string& name, NetId a, NetId b);
+  NetId predicate(const std::string& name, ModuleKind k, NetId a, NetId b);
+
+  // --- AND class -------------------------------------------------------
+  NetId and_w(const std::string& name, NetId a, NetId b);
+  NetId or_w(const std::string& name, NetId a, NetId b);
+  NetId nand_w(const std::string& name, NetId a, NetId b);
+  NetId nor_w(const std::string& name, NetId a, NetId b);
+  NetId not_w(const std::string& name, NetId a);
+  NetId shl(const std::string& name, NetId a, NetId amount);
+  NetId shr_l(const std::string& name, NetId a, NetId amount);
+  NetId shr_a(const std::string& name, NetId a, NetId amount);
+
+  // --- MUX class -------------------------------------------------------
+  /// n-way mux; sel width must be ceil(log2(n)) (1 for n==2).
+  NetId mux(const std::string& name, NetId sel, std::vector<NetId> inputs);
+
+  // --- structural ------------------------------------------------------
+  NetId slice(const std::string& name, NetId a, unsigned lo, unsigned width);
+  NetId concat(const std::string& name, std::vector<NetId> parts);
+  NetId zext(const std::string& name, NetId a, unsigned width);
+  NetId sext(const std::string& name, NetId a, unsigned width);
+  /// Pipe register with stall (enable, active-high "advance") and squash
+  /// (synchronous clear) controls. Pass kNoNet to omit a control.
+  NetId reg(const std::string& name, NetId d, NetId enable = kNoNet,
+            NetId clear = kNoNet, std::uint64_t reset_value = 0);
+  void output(const std::string& name, NetId a);                 ///< DPO sink
+
+  /// Forward references: declare a net now, attach its driving register
+  /// later (used for the PC and the bypass buses, whose consumers are built
+  /// before their producers).
+  NetId predeclare(const std::string& name, unsigned width,
+                   NetRole role = NetRole::kDSO);
+  void reg_into(NetId q, const std::string& name, NetId d,
+                NetId enable = kNoNet, NetId clear = kNoNet,
+                std::uint64_t reset_value = 0);
+
+  // --- architectural state ---------------------------------------------
+  NetId rf_read(const std::string& name, NetId addr, unsigned tag);
+  void rf_write(const std::string& name, NetId addr, NetId data, NetId we);
+  NetId mem_read(const std::string& name, NetId addr, NetId re);
+  void mem_write(const std::string& name, NetId addr, NetId data, NetId bemask,
+                 NetId we);
+
+  /// Mark a net as a status output to the controller (must be 1-bit).
+  void mark_status(NetId n);
+  /// Relabel a net's role (e.g. tertiary bypass source kDTO / dest kDTI).
+  void set_role(NetId n, NetRole r);
+
+  Netlist& netlist() { return nl_; }
+
+ private:
+  NetId out_net(const std::string& name, unsigned width);
+  NetId binary(const std::string& name, ModuleKind k, NetId a, NetId b,
+               unsigned out_width);
+
+  Netlist& nl_;
+  Stage stage_ = Stage::kGlobal;
+};
+
+}  // namespace hltg

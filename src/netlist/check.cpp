@@ -1,0 +1,151 @@
+#include "netlist/check.h"
+
+#include <sstream>
+
+namespace hltg {
+
+std::string CheckResult::summary() const {
+  std::ostringstream os;
+  os << errors.size() << " error(s)";
+  for (const auto& e : errors) os << "\n  - " << e;
+  return os.str();
+}
+
+namespace {
+void expect(CheckResult& r, bool cond, const std::string& msg) {
+  if (!cond) r.errors.push_back(msg);
+}
+}  // namespace
+
+CheckResult check_netlist(const Netlist& nl) {
+  CheckResult r;
+  // Driver discipline.
+  for (NetId i = 0; i < nl.num_nets(); ++i) {
+    const Net& n = nl.net(i);
+    const bool externally_driven =
+        n.role == NetRole::kCtrl;  // controller supplies CTRL nets
+    if (externally_driven) {
+      expect(r, n.driver == kNoMod,
+             "CTRL net '" + n.name + "' must not have a datapath driver");
+    } else {
+      expect(r, n.driver != kNoMod, "net '" + n.name + "' has no driver");
+    }
+    expect(r, n.width >= 1 && n.width <= 64,
+           "net '" + n.name + "' has bad width");
+  }
+  // Per-module shape rules.
+  for (ModId i = 0; i < nl.num_modules(); ++i) {
+    const Module& m = nl.module(i);
+    auto dw = [&](unsigned k) { return nl.net(m.data_in[k]).width; };
+    auto ow = [&] { return nl.net(m.out).width; };
+    switch (m.kind) {
+      case ModuleKind::kAdd:
+      case ModuleKind::kSub:
+      case ModuleKind::kXorW:
+      case ModuleKind::kXnorW:
+      case ModuleKind::kAndW:
+      case ModuleKind::kNandW:
+      case ModuleKind::kOrW:
+      case ModuleKind::kNorW:
+        expect(r, m.data_in.size() == 2, m.name + ": needs 2 data inputs");
+        if (m.data_in.size() == 2 && m.out != kNoNet)
+          expect(r, dw(0) == dw(1) && dw(0) == ow(),
+                 m.name + ": width mismatch");
+        break;
+      case ModuleKind::kEq:
+      case ModuleKind::kNe:
+      case ModuleKind::kLt:
+      case ModuleKind::kLe:
+      case ModuleKind::kLtU:
+      case ModuleKind::kLeU:
+      case ModuleKind::kAddOvf:
+      case ModuleKind::kSubOvf:
+        expect(r, m.data_in.size() == 2 && m.out != kNoNet && ow() == 1,
+               m.name + ": predicate must be 2-in, 1-bit out");
+        if (m.data_in.size() == 2)
+          expect(r, dw(0) == dw(1), m.name + ": operand width mismatch");
+        break;
+      case ModuleKind::kNotW:
+      case ModuleKind::kZext:
+      case ModuleKind::kSext:
+      case ModuleKind::kSlice:
+        expect(r, m.data_in.size() == 1, m.name + ": needs 1 data input");
+        break;
+      case ModuleKind::kShl:
+      case ModuleKind::kShrL:
+      case ModuleKind::kShrA:
+        expect(r, m.data_in.size() == 2, m.name + ": needs value + amount");
+        break;
+      case ModuleKind::kMux: {
+        expect(r, m.data_in.size() >= 2, m.name + ": mux fan-in < 2");
+        expect(r, m.ctrl_in.size() == 1, m.name + ": mux needs one select");
+        if (m.ctrl_in.size() == 1) {
+          unsigned need = 0;
+          std::size_t c = 1;
+          while (c < m.data_in.size()) {
+            c <<= 1;
+            ++need;
+          }
+          if (need == 0) need = 1;
+          expect(r, nl.net(m.ctrl_in[0]).width == need,
+                 m.name + ": select width mismatch");
+        }
+        break;
+      }
+      case ModuleKind::kReg:
+        expect(r, m.data_in.size() == 1 && m.out != kNoNet,
+               m.name + ": register shape");
+        if (m.data_in.size() == 1 && m.out != kNoNet)
+          expect(r, dw(0) == ow(), m.name + ": register width mismatch");
+        break;
+      case ModuleKind::kConst:
+      case ModuleKind::kInput:
+        expect(r, m.data_in.empty() && m.out != kNoNet,
+               m.name + ": source shape");
+        break;
+      case ModuleKind::kOutput:
+        expect(r, m.data_in.size() == 1 && m.out == kNoNet,
+               m.name + ": sink shape");
+        break;
+      case ModuleKind::kConcat:
+        expect(r, !m.data_in.empty(), m.name + ": empty concat");
+        break;
+      case ModuleKind::kRfRead:
+        expect(r, m.data_in.size() == 1 && nl.net(m.data_in[0]).width == 5,
+               m.name + ": rf read needs 5-bit specifier");
+        break;
+      case ModuleKind::kRfWrite:
+        expect(r,
+               m.data_in.size() == 2 && m.ctrl_in.size() == 1 &&
+                   nl.net(m.data_in[0]).width == 5,
+               m.name + ": rf write shape");
+        break;
+      case ModuleKind::kMemRead:
+        expect(r, m.data_in.size() == 1 && m.ctrl_in.size() == 1,
+               m.name + ": mem read shape");
+        break;
+      case ModuleKind::kMemWrite:
+        expect(r, m.data_in.size() == 3 && m.ctrl_in.size() == 1,
+               m.name + ": mem write shape");
+        break;
+    }
+    // Ctrl inputs must come from the controller, except mux selects, which
+    // may also be datapath-computed (data-dependent selection, e.g. the
+    // byte-lane decode driven by the address offset).
+    for (NetId c : m.ctrl_in) {
+      const bool ok = nl.net(c).role == NetRole::kCtrl ||
+                      (m.kind == ModuleKind::kMux && nl.net(c).driver != kNoMod);
+      expect(r, ok,
+             m.name + ": ctrl input '" + nl.net(c).name + "' not CTRL role");
+    }
+  }
+  // Acyclicity (throws on cycle).
+  try {
+    (void)nl.topo_order();
+  } catch (const std::exception& e) {
+    r.errors.emplace_back(e.what());
+  }
+  return r;
+}
+
+}  // namespace hltg

@@ -1,0 +1,27 @@
+// Structural validation of a datapath netlist.
+//
+// The model builder is programmatic, so a lint pass stands in for the
+// elaboration checks a Verilog front-end would perform. All rule violations
+// are collected (not fail-fast) so tests can assert on specific messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+struct CheckResult {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  std::string summary() const;
+};
+
+/// Checks: every non-CTRL/DPI net has exactly one driver; widths are
+/// consistent per module kind; mux select width matches fan-in; ctrl inputs
+/// of datapath modules are CTRL-role nets; sink/state modules are well
+/// formed; the combinational part is acyclic.
+CheckResult check_netlist(const Netlist& nl);
+
+}  // namespace hltg

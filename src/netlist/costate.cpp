@@ -1,0 +1,87 @@
+#include "netlist/costate.h"
+
+namespace hltg {
+
+std::string_view to_string(CState c) {
+  switch (c) {
+    case CState::C1: return "C1";
+    case CState::C2: return "C2";
+    case CState::C3: return "C3";
+    case CState::C4: return "C4";
+  }
+  return "?";
+}
+
+std::string_view to_string(OState o) {
+  switch (o) {
+    case OState::O1: return "O1";
+    case OState::O2: return "O2";
+    case OState::O3: return "O3";
+  }
+  return "?";
+}
+
+CState c_add(std::span<const CState> in) {
+  bool any_c1 = false, any_c2 = false;
+  for (CState c : in) {
+    if (c == CState::C4) return CState::C4;
+    any_c1 |= (c == CState::C1);
+    any_c2 |= (c == CState::C2);
+  }
+  if (any_c1) return CState::C1;
+  if (any_c2) return CState::C2;
+  return CState::C3;
+}
+
+CState c_and(std::span<const CState> in) {
+  bool all_c4 = true, all_settled = true, any_blocked = false;
+  for (CState c : in) {
+    all_c4 &= (c == CState::C4);
+    all_settled &= is_settled(c);
+    any_blocked |= (c == CState::C2 || c == CState::C3);
+  }
+  if (all_c4) return CState::C4;
+  if (all_settled) return CState::C3;  // some settled input is not C4
+  if (any_blocked) return CState::C2;
+  return CState::C1;  // mix of C1 and C4: could still become controllable
+}
+
+CState c_mux(std::span<const CState> in, bool sel_known,
+             std::size_t sel_index) {
+  if (sel_known) return in[sel_index];
+  // Select still undecided: unknown, unless every choice is already hopeless
+  // (then "not controllable but open decisions remain": C2 - the pending
+  // select decision cannot help).
+  bool all_blocked = true;
+  for (CState c : in) all_blocked &= (c == CState::C2 || c == CState::C3);
+  return all_blocked ? CState::C2 : CState::C1;
+}
+
+OState o_add(OState oy, std::span<const CState> side_in) {
+  if (oy == OState::O2) return OState::O2;
+  bool sides_settled = true;
+  for (CState c : side_in) sides_settled &= is_settled(c);
+  if (oy == OState::O3 && sides_settled) return OState::O3;
+  return OState::O1;
+}
+
+OState o_and(OState oy, std::span<const CState> side_in) {
+  if (oy == OState::O2) return OState::O2;
+  bool all_c4 = true, any_blocked = false;
+  for (CState c : side_in) {
+    all_c4 &= (c == CState::C4);
+    any_blocked |= (c == CState::C2 || c == CState::C3);
+  }
+  if (any_blocked) return OState::O2;  // side input can never be de-masked
+  if (oy == OState::O3 && all_c4) return OState::O3;
+  return OState::O1;
+}
+
+OState o_mux(OState oy, bool sel_known, bool selects_this_input) {
+  if (oy == OState::O2) return OState::O2;
+  if (!sel_known) return OState::O1;
+  if (!selects_this_input) return OState::O2;
+  return oy;  // O3 -> O3, O1 -> O1
+}
+
+}  // namespace hltg

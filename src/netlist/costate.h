@@ -1,0 +1,66 @@
+// C-state / O-state lattice and propagation tables (Fig. 5 of the paper).
+//
+// Path selection (DPTRACE) attributes every module port with a symbolic
+// controllability state and observability state:
+//
+//   C1: unknown whether the port can be controlled
+//   C2: not controlled under the current partial assignment, but open
+//       decisions remain in the port's transitive fan-in
+//   C3: definitively not controllable - no open decisions left
+//   C4: controlled (can deliver an arbitrary required value)
+//
+//   O1: unknown whether the port can be observed
+//   O2: not observable
+//   O3: observable
+//
+// The tables below generalize Fig. 5's two-input tables to n inputs, derived
+// from the module-class semantics stated in Sec. V.A:
+//  - ADD class: one controllable input justifies the output; an input is
+//    observable when the output is observable and all side inputs are
+//    settled (C3 or C4).
+//  - AND class: all inputs must be controlled to justify the output; a side
+//    input must be *controlled* (C4) for an input to be observable.
+//  - MUX class: the select decides which data input is justified/observed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace hltg {
+
+enum class CState : std::uint8_t { C1 = 0, C2, C3, C4 };
+enum class OState : std::uint8_t { O1 = 0, O2, O3 };
+
+std::string_view to_string(CState c);
+std::string_view to_string(OState o);
+
+/// Settled = no pending decision can change the port's value availability.
+constexpr bool is_settled(CState c) { return c == CState::C3 || c == CState::C4; }
+
+// --- forward C propagation (inputs -> output) ---------------------------
+
+/// ADD class: C4 if any input C4; else C1 if any input C1; else C2 if any
+/// input C2; else C3.
+CState c_add(std::span<const CState> in);
+
+/// AND class: C4 if all inputs C4; C1 if remaining inputs are C1/C4 mix;
+/// C3 if every input is settled (and not all C4); else C2.
+CState c_and(std::span<const CState> in);
+
+/// MUX class. `sel_known` is true when the select control variable is
+/// assigned; `sel_index` is the selected data input in that case.
+CState c_mux(std::span<const CState> in, bool sel_known, std::size_t sel_index);
+
+// --- backward O propagation (output -> a chosen input) ------------------
+
+/// ADD class: observe input i given O(y) and the side inputs' C-states.
+OState o_add(OState oy, std::span<const CState> side_in);
+
+/// AND class: observe input i; all side inputs must be C4.
+OState o_and(OState oy, std::span<const CState> side_in);
+
+/// MUX class: observe data input i.
+OState o_mux(OState oy, bool sel_known, bool selects_this_input);
+
+}  // namespace hltg

@@ -1,0 +1,14 @@
+// Graphviz export of the word-level datapath: one cluster per pipeline
+// stage, modules as nodes (shaped by class), buses as edges labeled with
+// their width. Handy for documentation and model reviews.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+std::string export_datapath_dot(const Netlist& nl);
+
+}  // namespace hltg

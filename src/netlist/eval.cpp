@@ -1,0 +1,110 @@
+#include "netlist/eval.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/word.h"
+
+namespace hltg {
+
+bool is_comb_evaluable(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::kReg:
+    case ModuleKind::kInput:
+    case ModuleKind::kOutput:
+    case ModuleKind::kRfRead:
+    case ModuleKind::kRfWrite:
+    case ModuleKind::kMemRead:
+    case ModuleKind::kMemWrite:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::uint64_t eval_comb(const Netlist& nl, const Module& m,
+                        const std::vector<std::uint64_t>& in,
+                        const std::vector<std::uint64_t>& ctrl) {
+  const unsigned ow = m.out != kNoNet ? nl.net(m.out).width : 1;
+  auto iw = [&](unsigned i) { return nl.net(m.data_in[i]).width; };
+  switch (m.kind) {
+    case ModuleKind::kAdd:
+      return trunc(in[0] + in[1], ow);
+    case ModuleKind::kSub:
+      return trunc(in[0] - in[1], ow);
+    case ModuleKind::kXorW:
+      return trunc(in[0] ^ in[1], ow);
+    case ModuleKind::kXnorW:
+      return trunc(~(in[0] ^ in[1]), ow);
+    case ModuleKind::kEq:
+      return in[0] == in[1];
+    case ModuleKind::kNe:
+      return in[0] != in[1];
+    case ModuleKind::kLt:
+      return as_signed(in[0], iw(0)) < as_signed(in[1], iw(1));
+    case ModuleKind::kLe:
+      return as_signed(in[0], iw(0)) <= as_signed(in[1], iw(1));
+    case ModuleKind::kLtU:
+      return in[0] < in[1];
+    case ModuleKind::kLeU:
+      return in[0] <= in[1];
+    case ModuleKind::kAddOvf:
+      return add_overflows(in[0], in[1], iw(0));
+    case ModuleKind::kSubOvf:
+      return sub_overflows(in[0], in[1], iw(0));
+    case ModuleKind::kAndW:
+      return trunc(in[0] & in[1], ow);
+    case ModuleKind::kNandW:
+      return trunc(~(in[0] & in[1]), ow);
+    case ModuleKind::kOrW:
+      return trunc(in[0] | in[1], ow);
+    case ModuleKind::kNorW:
+      return trunc(~(in[0] | in[1]), ow);
+    case ModuleKind::kNotW:
+      return trunc(~in[0], ow);
+    case ModuleKind::kShl: {
+      const std::uint64_t sh = in[1] & 63;
+      return sh >= ow ? 0 : trunc(in[0] << sh, ow);
+    }
+    case ModuleKind::kShrL: {
+      const std::uint64_t sh = in[1] & 63;
+      return sh >= iw(0) ? 0 : trunc(in[0] >> sh, ow);
+    }
+    case ModuleKind::kShrA: {
+      const std::uint64_t sh0 = in[1] & 63;
+      const unsigned w = iw(0);
+      const std::uint64_t sh = sh0 >= w ? w - 1 : sh0;
+      return trunc(static_cast<std::uint64_t>(
+                       as_signed(in[0], w) >> static_cast<int>(sh)),
+                   ow);
+    }
+    case ModuleKind::kMux: {
+      const std::uint64_t sel = ctrl[0];
+      const std::size_t idx =
+          sel < m.data_in.size() ? static_cast<std::size_t>(sel)
+                                 : m.data_in.size() - 1;
+      return trunc(in[idx], ow);
+    }
+    case ModuleKind::kConst:
+      return trunc(m.param, ow);
+    case ModuleKind::kSlice:
+      return get_field(in[0], static_cast<unsigned>(m.param), ow);
+    case ModuleKind::kConcat: {
+      std::uint64_t v = 0;
+      unsigned lo = 0;
+      for (unsigned i = 0; i < m.data_in.size(); ++i) {
+        v |= trunc(in[i], iw(i)) << lo;
+        lo += iw(i);
+      }
+      return trunc(v, ow);
+    }
+    case ModuleKind::kZext:
+      return trunc(in[0], iw(0));
+    case ModuleKind::kSext:
+      return trunc(sext(in[0], iw(0)), ow);
+    default:
+      throw std::logic_error("eval_comb: non-combinational module");
+  }
+}
+
+}  // namespace hltg

@@ -1,0 +1,26 @@
+// Combinational evaluation of word-level datapath modules.
+//
+// Both the cycle-accurate implementation simulator (src/sim) and the
+// discrete-relaxation value solver (src/core/dprelax) evaluate modules with
+// this single definition of module semantics, so the two can never diverge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+/// Evaluate a combinational module. `in` holds values for the *data* inputs
+/// in port order, `ctrl` for the ctrl inputs in port order; each already
+/// truncated to its net width. Returns the output value truncated to
+/// `out_width`. Must not be called for kReg/kInput or sink/state modules.
+std::uint64_t eval_comb(const Netlist& nl, const Module& m,
+                        const std::vector<std::uint64_t>& in,
+                        const std::vector<std::uint64_t>& ctrl);
+
+/// True if `eval_comb` handles this kind.
+bool is_comb_evaluable(ModuleKind k);
+
+}  // namespace hltg

@@ -1,0 +1,112 @@
+#include "netlist/module_kind.h"
+
+namespace hltg {
+
+ModuleClass module_class(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::kAdd:
+    case ModuleKind::kSub:
+    case ModuleKind::kXorW:
+    case ModuleKind::kXnorW:
+    case ModuleKind::kEq:
+    case ModuleKind::kNe:
+    case ModuleKind::kLt:
+    case ModuleKind::kLe:
+    case ModuleKind::kLtU:
+    case ModuleKind::kLeU:
+    case ModuleKind::kAddOvf:
+    case ModuleKind::kSubOvf:
+      return ModuleClass::kAddClass;
+    case ModuleKind::kAndW:
+    case ModuleKind::kNandW:
+    case ModuleKind::kOrW:
+    case ModuleKind::kNorW:
+    case ModuleKind::kNotW:
+    case ModuleKind::kShl:
+    case ModuleKind::kShrL:
+    case ModuleKind::kShrA:
+      return ModuleClass::kAndClass;
+    case ModuleKind::kMux:
+      return ModuleClass::kMuxClass;
+    default:
+      return ModuleClass::kStruct;
+  }
+}
+
+bool is_predicate(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::kEq:
+    case ModuleKind::kNe:
+    case ModuleKind::kLt:
+    case ModuleKind::kLe:
+    case ModuleKind::kLtU:
+    case ModuleKind::kLeU:
+    case ModuleKind::kAddOvf:
+    case ModuleKind::kSubOvf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_sink(ModuleKind k) {
+  return k == ModuleKind::kOutput || k == ModuleKind::kRfWrite ||
+         k == ModuleKind::kMemWrite;
+}
+
+bool is_stateful(ModuleKind k) {
+  return k == ModuleKind::kReg || k == ModuleKind::kRfRead ||
+         k == ModuleKind::kRfWrite || k == ModuleKind::kMemRead ||
+         k == ModuleKind::kMemWrite;
+}
+
+std::string_view to_string(ModuleKind k) {
+  switch (k) {
+    case ModuleKind::kAdd: return "ADD";
+    case ModuleKind::kSub: return "SUB";
+    case ModuleKind::kXorW: return "XORW";
+    case ModuleKind::kXnorW: return "XNORW";
+    case ModuleKind::kEq: return "EQ";
+    case ModuleKind::kNe: return "NE";
+    case ModuleKind::kLt: return "LT";
+    case ModuleKind::kLe: return "LE";
+    case ModuleKind::kLtU: return "LTU";
+    case ModuleKind::kLeU: return "LEU";
+    case ModuleKind::kAddOvf: return "ADDOVF";
+    case ModuleKind::kSubOvf: return "SUBOVF";
+    case ModuleKind::kAndW: return "ANDW";
+    case ModuleKind::kNandW: return "NANDW";
+    case ModuleKind::kOrW: return "ORW";
+    case ModuleKind::kNorW: return "NORW";
+    case ModuleKind::kNotW: return "NOTW";
+    case ModuleKind::kShl: return "SHL";
+    case ModuleKind::kShrL: return "SHRL";
+    case ModuleKind::kShrA: return "SHRA";
+    case ModuleKind::kMux: return "MUX";
+    case ModuleKind::kReg: return "REG";
+    case ModuleKind::kConst: return "CONST";
+    case ModuleKind::kSlice: return "SLICE";
+    case ModuleKind::kConcat: return "CONCAT";
+    case ModuleKind::kZext: return "ZEXT";
+    case ModuleKind::kSext: return "SEXT";
+    case ModuleKind::kInput: return "INPUT";
+    case ModuleKind::kOutput: return "OUTPUT";
+    case ModuleKind::kRfRead: return "RFREAD";
+    case ModuleKind::kRfWrite: return "RFWRITE";
+    case ModuleKind::kMemRead: return "MEMREAD";
+    case ModuleKind::kMemWrite: return "MEMWRITE";
+  }
+  return "?";
+}
+
+std::string_view to_string(ModuleClass c) {
+  switch (c) {
+    case ModuleClass::kAddClass: return "ADD-class";
+    case ModuleClass::kAndClass: return "AND-class";
+    case ModuleClass::kMuxClass: return "MUX-class";
+    case ModuleClass::kStruct: return "structural";
+  }
+  return "?";
+}
+
+}  // namespace hltg

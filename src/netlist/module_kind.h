@@ -1,0 +1,84 @@
+// Module vocabulary of the word-level datapath IR.
+//
+// Sec. V.A of the paper classifies datapath modules into three categories
+// that determine how controllability and observability propagate:
+//
+//  - ADD class:  output justifiable through any single input; if the output
+//                is observable every input is observable (adder, subtractor,
+//                X(N)OR word gates, and the predicate modules =, !=, <, <=,
+//                >, >=, ADDOVF, SUBOVF).
+//  - AND class:  all inputs must be controlled to justify the output; a side
+//                input must be controlled to observe an input ((N)AND, (N)OR
+//                word gates, shifters).
+//  - MUX class:  control inputs select which data input is justified /
+//                observed (multiplexers, tristate buffers).
+//
+// Complex modules (ALUs) are built as compositions of these primitives.
+// A fourth, structural category covers registers, constants, bit-field
+// plumbing and the architectural-state ports (register file / data memory),
+// which the path-selection and relaxation engines treat specially.
+#pragma once
+
+#include <string_view>
+
+namespace hltg {
+
+enum class ModuleKind {
+  // --- ADD class ------------------------------------------------------
+  kAdd,     ///< y = a + b (mod 2^w)
+  kSub,     ///< y = a - b (mod 2^w)
+  kXorW,    ///< y = a ^ b
+  kXnorW,   ///< y = ~(a ^ b)
+  kEq,      ///< y = (a == b), 1-bit
+  kNe,      ///< y = (a != b), 1-bit
+  kLt,      ///< y = (a < b), signed, 1-bit
+  kLe,      ///< y = (a <= b), signed, 1-bit
+  kLtU,     ///< y = (a < b), unsigned, 1-bit
+  kLeU,     ///< y = (a <= b), unsigned, 1-bit
+  kAddOvf,  ///< y = signed-add overflow flag, 1-bit
+  kSubOvf,  ///< y = signed-sub overflow flag, 1-bit
+  // --- AND class ------------------------------------------------------
+  kAndW,    ///< y = a & b
+  kNandW,   ///< y = ~(a & b)
+  kOrW,     ///< y = a | b
+  kNorW,    ///< y = ~(a | b)
+  kNotW,    ///< y = ~a  (degenerate AND-class: single input, invertible)
+  kShl,     ///< y = a << b[log2(w)-1:0]
+  kShrL,    ///< y = a >> b, logical
+  kShrA,    ///< y = a >> b, arithmetic
+  // --- MUX class ------------------------------------------------------
+  kMux,     ///< y = inputs[sel]; one ctrl input of width ceil(log2 n)
+  // --- structural -----------------------------------------------------
+  kReg,     ///< data pipe register; ctrl inputs: enable (stall), clear (squash)
+  kConst,   ///< y = param
+  kSlice,   ///< y = a[param +: width(y)]
+  kConcat,  ///< y = {a_{n-1}, ..., a_1, a_0}; a_0 is least significant
+  kZext,    ///< y = zero-extend(a)
+  kSext,    ///< y = sign-extend(a)
+  kInput,   ///< DPI source (no inputs)
+  kOutput,  ///< DPO sink (one input, no output)
+  // --- architectural state ports ---------------------------------------
+  kRfRead,   ///< y = RF[a]; a is the 5-bit specifier
+  kRfWrite,  ///< RF[a] <- b when ctrl we=1 (sink)
+  kMemRead,  ///< y = M[a & ~3] (aligned word); ctrl re
+  kMemWrite, ///< M[a & ~3] <- b under 4-bit byte mask m when ctrl we=1 (sink)
+};
+
+enum class ModuleClass { kAddClass, kAndClass, kMuxClass, kStruct };
+
+/// Paper classification of a module kind (Sec. V.A).
+ModuleClass module_class(ModuleKind k);
+
+/// True for the 1-bit predicate modules (placed in the ADD class).
+bool is_predicate(ModuleKind k);
+
+/// True for sink modules without an output net.
+bool is_sink(ModuleKind k);
+
+/// True for modules holding or accessing sequential state.
+bool is_stateful(ModuleKind k);
+
+std::string_view to_string(ModuleKind k);
+std::string_view to_string(ModuleClass c);
+
+}  // namespace hltg

@@ -1,0 +1,132 @@
+#include "netlist/netlist.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hltg {
+
+std::string_view to_string(Stage s) {
+  switch (s) {
+    case Stage::kIF: return "IF";
+    case Stage::kID: return "ID";
+    case Stage::kEX: return "EX";
+    case Stage::kMEM: return "MEM";
+    case Stage::kWB: return "WB";
+    case Stage::kGlobal: return "G";
+  }
+  return "?";
+}
+
+std::string_view to_string(NetRole r) {
+  switch (r) {
+    case NetRole::kInternal: return "int";
+    case NetRole::kDPI: return "DPI";
+    case NetRole::kDPO: return "DPO";
+    case NetRole::kDSI: return "DSI";
+    case NetRole::kDSO: return "DSO";
+    case NetRole::kDTI: return "DTI";
+    case NetRole::kDTO: return "DTO";
+    case NetRole::kCtrl: return "CTRL";
+    case NetRole::kSts: return "STS";
+  }
+  return "?";
+}
+
+NetId Netlist::add_net(std::string name, unsigned width, Stage stage,
+                       NetRole role) {
+  Net n;
+  n.name = std::move(name);
+  n.width = width;
+  n.stage = stage;
+  n.role = role;
+  nets_.push_back(std::move(n));
+  invalidate_topo();
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+ModId Netlist::add_module(Module m) {
+  const ModId id = static_cast<ModId>(mods_.size());
+  unsigned slot = 0;
+  for (NetId in : m.data_in) {
+    assert(in != kNoNet);
+    nets_[in].sinks.emplace_back(id, slot++);
+  }
+  for (NetId in : m.ctrl_in) {
+    assert(in != kNoNet);
+    nets_[in].sinks.emplace_back(id, slot++);
+  }
+  if (m.out != kNoNet) {
+    if (nets_[m.out].driver != kNoMod)
+      throw std::logic_error("net '" + nets_[m.out].name +
+                             "' has multiple drivers");
+    nets_[m.out].driver = id;
+  }
+  mods_.push_back(std::move(m));
+  invalidate_topo();
+  return id;
+}
+
+std::vector<NetId> Netlist::nets_with_role(NetRole r) const {
+  std::vector<NetId> out;
+  for (NetId i = 0; i < nets_.size(); ++i)
+    if (nets_[i].role == r) out.push_back(i);
+  return out;
+}
+
+std::vector<ModId> Netlist::modules_of_kind(ModuleKind k) const {
+  std::vector<ModId> out;
+  for (ModId i = 0; i < mods_.size(); ++i)
+    if (mods_[i].kind == k) out.push_back(i);
+  return out;
+}
+
+const std::vector<ModId>& Netlist::topo_order() const {
+  if (!topo_.empty() || mods_.empty()) return topo_;
+  // Kahn's algorithm over combinational edges only: an edge runs from the
+  // driver of an input net to the module, unless the driver is sequential
+  // (register / state read), whose output is a cycle-boundary source.
+  std::vector<unsigned> indeg(mods_.size(), 0);
+  auto comb_edge_from = [&](NetId in) -> ModId {
+    const ModId d = nets_[in].driver;
+    if (d == kNoMod) return kNoMod;
+    const ModuleKind dk = mods_[d].kind;
+    if (dk == ModuleKind::kReg || dk == ModuleKind::kRfRead ||
+        dk == ModuleKind::kMemRead)
+      return kNoMod;  // sequential boundary
+    return d;
+  };
+  for (ModId m = 0; m < mods_.size(); ++m) {
+    for (unsigned i = 0; i < mods_[m].num_inputs(); ++i)
+      if (comb_edge_from(mods_[m].input(i)) != kNoMod) ++indeg[m];
+  }
+  std::vector<ModId> queue;
+  for (ModId m = 0; m < mods_.size(); ++m)
+    if (indeg[m] == 0) queue.push_back(m);
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const ModId m = queue[qi];
+    topo_.push_back(m);
+    if (mods_[m].out == kNoNet) continue;
+    for (auto [sink, slot] : nets_[mods_[m].out].sinks) {
+      (void)slot;
+      if (comb_edge_from(mods_[m].out) == kNoMod) continue;
+      if (--indeg[sink] == 0) queue.push_back(sink);
+    }
+  }
+  if (topo_.size() != mods_.size())
+    throw std::logic_error("combinational cycle in datapath netlist");
+  return topo_;
+}
+
+NetId Netlist::find_net(const std::string& name) const {
+  for (NetId i = 0; i < nets_.size(); ++i)
+    if (nets_[i].name == name) return i;
+  return kNoNet;
+}
+
+ModId Netlist::find_module(const std::string& name) const {
+  for (ModId i = 0; i < mods_.size(); ++i)
+    if (mods_[i].name == name) return i;
+  return kNoMod;
+}
+
+}  // namespace hltg

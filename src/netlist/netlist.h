@@ -1,0 +1,116 @@
+// Word-level datapath netlist IR (Sec. III of the paper).
+//
+// The datapath is a directed graph of high-level modules connected by
+// multi-bit nets (buses). Every net carries a pipeline-stage label and a
+// signal-role label; the roles implement the paper's primary / secondary /
+// tertiary classification plus the CTRL / STS interface to the controller:
+//
+//   kDPI / kDPO : data primary input / output (environment interface)
+//   kDSI / kDSO : data secondary (pipe-register) interface
+//   kDTI / kDTO : data tertiary (cross-stage, e.g. bypass) interface
+//   kCtrl       : control signal arriving from the controller
+//   kSts        : status signal produced for the controller
+//   kInternal   : everything else
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/module_kind.h"
+
+namespace hltg {
+
+using NetId = std::uint32_t;
+using ModId = std::uint32_t;
+constexpr NetId kNoNet = static_cast<NetId>(-1);
+constexpr ModId kNoMod = static_cast<ModId>(-1);
+
+enum class Stage : std::uint8_t { kIF = 0, kID, kEX, kMEM, kWB, kGlobal };
+constexpr int kNumStages = 5;
+std::string_view to_string(Stage s);
+
+enum class NetRole : std::uint8_t {
+  kInternal = 0,
+  kDPI,
+  kDPO,
+  kDSI,
+  kDSO,
+  kDTI,
+  kDTO,
+  kCtrl,
+  kSts,
+};
+std::string_view to_string(NetRole r);
+
+struct Net {
+  std::string name;
+  unsigned width = 0;
+  Stage stage = Stage::kGlobal;
+  NetRole role = NetRole::kInternal;
+  ModId driver = kNoMod;  ///< unique driving module (kNoMod for DPI/CTRL)
+  /// (module, port-slot) pairs reading this net; slot indexes the module's
+  /// combined input list (data inputs first, then ctrl inputs).
+  std::vector<std::pair<ModId, unsigned>> sinks;
+};
+
+struct Module {
+  std::string name;
+  ModuleKind kind = ModuleKind::kConst;
+  Stage stage = Stage::kGlobal;
+  std::vector<NetId> data_in;  ///< data inputs, in port order
+  std::vector<NetId> ctrl_in;  ///< control inputs (mux select, reg en/clr, we)
+  NetId out = kNoNet;          ///< kNoNet for sink modules
+  std::uint64_t param = 0;     ///< kConst value / kSlice low bit
+  /// Opaque integer tag the model builder may attach (e.g. RF port number).
+  std::uint64_t tag = 0;
+
+  unsigned num_inputs() const {
+    return static_cast<unsigned>(data_in.size() + ctrl_in.size());
+  }
+  /// Net at combined input slot i (data inputs first).
+  NetId input(unsigned i) const {
+    return i < data_in.size() ? data_in[i]
+                              : ctrl_in[i - data_in.size()];
+  }
+  bool slot_is_ctrl(unsigned i) const { return i >= data_in.size(); }
+};
+
+class Netlist {
+ public:
+  NetId add_net(std::string name, unsigned width,
+                Stage stage = Stage::kGlobal,
+                NetRole role = NetRole::kInternal);
+  ModId add_module(Module m);
+
+  Net& net(NetId id) { return nets_[id]; }
+  const Net& net(NetId id) const { return nets_[id]; }
+  Module& module(ModId id) { return mods_[id]; }
+  const Module& module(ModId id) const { return mods_[id]; }
+
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_modules() const { return mods_.size(); }
+
+  /// All nets with a given role.
+  std::vector<NetId> nets_with_role(NetRole r) const;
+  /// All module ids of a given kind.
+  std::vector<ModId> modules_of_kind(ModuleKind k) const;
+
+  /// Topological order of modules over combinational edges (register outputs
+  /// and state-read outputs are sources). Computed lazily; invalidated by
+  /// structural edits.
+  const std::vector<ModId>& topo_order() const;
+
+  /// Find a net by name; kNoNet if absent. Linear scan - for tests/tools.
+  NetId find_net(const std::string& name) const;
+  ModId find_module(const std::string& name) const;
+
+  void invalidate_topo() { topo_.clear(); }
+
+ private:
+  std::vector<Net> nets_;
+  std::vector<Module> mods_;
+  mutable std::vector<ModId> topo_;
+};
+
+}  // namespace hltg

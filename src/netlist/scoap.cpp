@@ -1,0 +1,151 @@
+#include "netlist/scoap.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+Cost cost_add(Cost a, Cost b) {
+  const std::uint64_t s = std::uint64_t{a} + b;
+  return s >= kInfCost ? kInfCost : static_cast<Cost>(s);
+}
+
+namespace {
+
+/// Controllability cost of module output given input costs.
+Cost cc_of_module(const Module& m, const std::vector<Cost>& cc) {
+  auto in_cc = [&](NetId n) { return cc[n]; };
+  switch (module_class(m.kind)) {
+    case ModuleClass::kAddClass: {
+      Cost best = kInfCost;
+      for (NetId n : m.data_in) best = std::min(best, in_cc(n));
+      return cost_add(best, 1);
+    }
+    case ModuleClass::kAndClass: {
+      Cost sum = 1;
+      for (NetId n : m.data_in) sum = cost_add(sum, in_cc(n));
+      return sum;
+    }
+    case ModuleClass::kMuxClass: {
+      Cost best = kInfCost;
+      for (NetId n : m.data_in) best = std::min(best, in_cc(n));
+      return cost_add(cost_add(best, in_cc(m.ctrl_in[0])), 1);
+    }
+    case ModuleClass::kStruct:
+      switch (m.kind) {
+        case ModuleKind::kInput:
+          return 1;
+        case ModuleKind::kConst:
+          return kInfCost;  // fixed value: cannot control to arbitrary value
+        case ModuleKind::kReg:
+          // One extra time frame plus any enable/clear control cost.
+          {
+            Cost c = cost_add(in_cc(m.data_in[0]), 2);
+            for (NetId ctl : m.ctrl_in) c = cost_add(c, cc[ctl]);
+            return c;
+          }
+        case ModuleKind::kSlice:
+        case ModuleKind::kZext:
+        case ModuleKind::kSext:
+        case ModuleKind::kNotW:
+          return cost_add(in_cc(m.data_in[0]), 1);
+        case ModuleKind::kConcat: {
+          Cost sum = 1;
+          for (NetId n : m.data_in) sum = cost_add(sum, in_cc(n));
+          return sum;
+        }
+        case ModuleKind::kRfRead:
+          return cost_add(in_cc(m.data_in[0]), 2);  // specifier + free state
+        case ModuleKind::kMemRead:
+          return cost_add(cost_add(in_cc(m.data_in[0]), cc[m.ctrl_in[0]]), 3);
+        default:
+          return kInfCost;
+      }
+  }
+  return kInfCost;
+}
+
+}  // namespace
+
+ScoapCosts compute_scoap(const Netlist& nl) {
+  ScoapCosts sc;
+  sc.cc.assign(nl.num_nets(), kInfCost);
+  sc.co.assign(nl.num_nets(), kInfCost);
+
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const NetRole r = nl.net(n).role;
+    if (r == NetRole::kCtrl || r == NetRole::kDPI) sc.cc[n] = 1;
+  }
+
+  // Controllability: iterate to a fixed point (the graph may place register
+  // outputs before their drivers in id order; a few sweeps converge since
+  // costs only decrease).
+  bool changed = true;
+  int sweeps = 0;
+  while (changed && sweeps++ < 64) {
+    changed = false;
+    for (ModId mi = 0; mi < nl.num_modules(); ++mi) {
+      const Module& m = nl.module(mi);
+      if (m.out == kNoNet) continue;
+      const Cost c = cc_of_module(m, sc.cc);
+      if (c < sc.cc[m.out]) {
+        sc.cc[m.out] = c;
+        changed = true;
+      }
+    }
+  }
+
+  // Observability: DPO nets cost 0; walk backwards to a fixed point.
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    if (nl.net(n).role == NetRole::kDPO) sc.co[n] = 0;
+  changed = true;
+  sweeps = 0;
+  while (changed && sweeps++ < 64) {
+    changed = false;
+    for (ModId mi = 0; mi < nl.num_modules(); ++mi) {
+      const Module& m = nl.module(mi);
+      if (m.out == kNoNet) {
+        // Sinks: RfWrite/MemWrite data become observable via later reads /
+        // memory trace. Treat memory write data as directly observable.
+        if (m.kind == ModuleKind::kMemWrite) {
+          for (NetId n : m.data_in)
+            if (sc.co[n] > 1) {
+              sc.co[n] = 1;
+              changed = true;
+            }
+        } else if (m.kind == ModuleKind::kRfWrite) {
+          for (NetId n : m.data_in)
+            if (sc.co[n] > 4) {
+              sc.co[n] = 4;  // needs a consuming instruction + store
+              changed = true;
+            }
+        }
+        continue;
+      }
+      const Cost oy = sc.co[m.out];
+      if (oy >= kInfCost) continue;
+      // Cost to observe input i: oy + 1 + cost of setting up side inputs.
+      for (std::size_t i = 0; i < m.data_in.size(); ++i) {
+        Cost c = cost_add(oy, 1);
+        switch (module_class(m.kind)) {
+          case ModuleClass::kAndClass:
+            for (std::size_t j = 0; j < m.data_in.size(); ++j)
+              if (j != i) c = cost_add(c, sc.cc[m.data_in[j]]);
+            break;
+          case ModuleClass::kMuxClass:
+            c = cost_add(c, sc.cc[m.ctrl_in[0]]);
+            break;
+          default:
+            break;  // ADD class / structural: no side setup cost
+        }
+        if (m.kind == ModuleKind::kReg) c = cost_add(c, 1);
+        if (c < sc.co[m.data_in[i]]) {
+          sc.co[m.data_in[i]] = c;
+          changed = true;
+        }
+      }
+    }
+  }
+  return sc;
+}
+
+}  // namespace hltg

@@ -1,0 +1,32 @@
+// Static controllability / observability cost measures.
+//
+// Sec. V.A: "We have adapted gate-level controllability and observability
+// measures [Abramovici] for our problem." These per-net integer costs guide
+// DPTRACE's backtrace ordering (cheapest justification / propagation path
+// first). They are heuristic only - correctness never depends on them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+/// Saturating cost; kInfCost means "no static way found".
+using Cost = std::uint32_t;
+constexpr Cost kInfCost = 0x3fffffff;
+
+Cost cost_add(Cost a, Cost b);
+
+struct ScoapCosts {
+  std::vector<Cost> cc;  ///< per-net controllability cost
+  std::vector<Cost> co;  ///< per-net observability cost
+};
+
+/// Compute costs over the static (one-copy) netlist. Registers count as one
+/// extra time step; state reads (RF/memory) are cheap sources. CTRL nets get
+/// cc = 1 (the controller justifies them; CTRLJUST has its own search).
+ScoapCosts compute_scoap(const Netlist& nl);
+
+}  // namespace hltg

@@ -1,0 +1,27 @@
+#include "sim/cosim.h"
+
+namespace hltg {
+
+unsigned drain_cycles(std::size_t n) {
+  // Each instruction takes one cycle plus worst-case one stall; branches add
+  // two squash cycles; +8 margin drains the pipe.
+  return static_cast<unsigned>(2 * n + 16);
+}
+
+CosimResult cosim(const DlxModel& m, const TestCase& tc, unsigned cycles,
+                  const ErrorInjection& inj) {
+  CosimResult r;
+  r.spec = spec_run(tc, cycles);
+  r.impl = impl_run(m, tc, cycles, inj);
+  r.diff = r.spec.diff(r.impl);
+  r.match = r.diff.empty();
+  return r;
+}
+
+bool detects(const DlxModel& m, const TestCase& tc, const ErrorInjection& inj,
+             unsigned cycles) {
+  if (cycles == 0) cycles = drain_cycles(tc.imem.size());
+  return !cosim(m, tc, cycles, inj).match;
+}
+
+}  // namespace hltg

@@ -1,0 +1,37 @@
+// Co-simulation of specification (ISA model) vs pipelined implementation.
+//
+// This is the detection oracle of the verification methodology: a test
+// detects an injected design error iff the erroneous implementation's
+// architectural trace differs from the specification's trace on that test.
+#pragma once
+
+#include <string>
+
+#include "isa/spec_sim.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct CosimResult {
+  ArchTrace spec;
+  ArchTrace impl;
+  bool match = false;
+  std::string diff;
+};
+
+/// Number of cycles needed for a straight-line program of `n` instructions
+/// to drain the 5-stage pipe with margin for stalls and squashes.
+unsigned drain_cycles(std::size_t n);
+
+/// Run spec for `cycles` instructions and implementation for `cycles`
+/// cycles, then compare traces. With an empty injection this validates the
+/// implementation; with an injection, a mismatch means the test detects the
+/// error.
+CosimResult cosim(const DlxModel& m, const TestCase& tc, unsigned cycles,
+                  const ErrorInjection& inj = {});
+
+/// True iff the injected error is detected by `tc` (trace mismatch).
+bool detects(const DlxModel& m, const TestCase& tc, const ErrorInjection& inj,
+             unsigned cycles = 0 /* 0: derive from program length */);
+
+}  // namespace hltg

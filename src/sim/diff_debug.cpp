@@ -1,0 +1,52 @@
+#include "sim/diff_debug.h"
+
+#include <sstream>
+
+#include "util/word.h"
+
+namespace hltg {
+
+DivergenceReport diff_runs(const DlxModel& m, const TestCase& tc,
+                           unsigned cycles, const ErrorInjection& inj) {
+  DivergenceReport rep;
+  const WindowCapture good = capture_window(m, tc, cycles);
+  const WindowCapture bad = capture_window(m, tc, cycles, inj);
+  rep.spread.assign(cycles, 0);
+  for (unsigned t = 0; t < cycles; ++t) {
+    unsigned diffs = 0;
+    for (NetId n = 0; n < m.dp.num_nets(); ++n) {
+      if (good.net(t, n) == bad.net(t, n)) continue;
+      ++diffs;
+      if (!rep.diverged) {
+        rep.first_diffs.push_back(
+            {n, t, good.net(t, n), bad.net(t, n)});
+      }
+    }
+    rep.spread[t] = diffs;
+    if (diffs && !rep.diverged) {
+      rep.diverged = true;
+      rep.first_cycle = t;
+    }
+  }
+  return rep;
+}
+
+std::string DivergenceReport::to_string(const Netlist& nl) const {
+  std::ostringstream os;
+  if (!diverged) {
+    os << "no divergence within the window\n";
+    return os.str();
+  }
+  os << "first divergence at cycle " << first_cycle << ":\n";
+  for (const NetDivergence& d : first_diffs)
+    os << "  " << nl.net(d.net).name << " (stage "
+       << hltg::to_string(nl.net(d.net).stage) << "): good "
+       << to_hex(d.good, nl.net(d.net).width) << "  erroneous "
+       << to_hex(d.bad, nl.net(d.net).width) << "\n";
+  os << "error-cone size per cycle:";
+  for (unsigned c : spread) os << " " << c;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace hltg

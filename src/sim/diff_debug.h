@@ -1,0 +1,36 @@
+// Mismatch localization: when an injected error makes the implementation
+// diverge, find the first cycle where the erroneous machine departs from
+// the good one and report the differing buses - the first thing a
+// verification engineer asks of a failing trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/archstate.h"
+
+namespace hltg {
+
+struct NetDivergence {
+  NetId net = kNoNet;
+  unsigned cycle = 0;
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+};
+
+struct DivergenceReport {
+  bool diverged = false;
+  unsigned first_cycle = 0;
+  /// Differing nets at the first divergent cycle (error-cone frontier).
+  std::vector<NetDivergence> first_diffs;
+  /// Number of differing nets per cycle (error-cone growth profile).
+  std::vector<unsigned> spread;
+
+  std::string to_string(const Netlist& nl) const;
+};
+
+/// Compare good vs injected runs over `cycles`.
+DivergenceReport diff_runs(const DlxModel& m, const TestCase& tc,
+                           unsigned cycles, const ErrorInjection& inj);
+
+}  // namespace hltg

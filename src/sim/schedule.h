@@ -1,0 +1,28 @@
+// Merged evaluation schedule over the two-level model.
+//
+// Within a cycle, controller gates and datapath modules form one acyclic
+// combinational graph stitched together by the CTRL/STS bindings. This
+// schedule topologically orders the three step kinds -
+//   gate evaluation, CTRL-bundle packing (gate bits -> datapath ctrl net),
+//   and datapath module evaluation -
+// so one linear pass settles the whole cycle, replacing the generic
+// fixpoint iteration (a ~3x simulator speedup at DLX scale).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dlx/dlx.h"
+
+namespace hltg {
+
+struct EvalStep {
+  enum Kind : std::uint8_t { kGate, kCtrlBind, kModule } kind;
+  std::uint32_t index;  ///< GateId / ctrl_binds index / ModId
+};
+
+/// Build the schedule. Throws std::logic_error if the merged combinational
+/// graph has a cycle (a modeling error).
+std::vector<EvalStep> build_eval_schedule(const DlxModel& m);
+
+}  // namespace hltg

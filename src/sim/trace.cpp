@@ -1,0 +1,83 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "isa/disasm.h"
+
+namespace hltg {
+
+void PipelineTracer::observe(const ProcSim& sim) {
+  PipeSnapshot snap;
+  const GateId stall_g = m_.ctrl.find("cg.stall");
+  const GateId redir_g = m_.ctrl.find("cg.redirect");
+  snap.stall = stall_g != kNoGate && sim.gate_value(stall_g);
+  snap.squash = redir_g != kNoGate && sim.gate_value(redir_g);
+
+  // The instruction currently being fetched occupies IF.
+  occ_[0] = next_index_;
+  fetched_.push_back(
+      disassemble(static_cast<std::uint32_t>(sim.net_value(m_.sig.instr))));
+  for (int s = 0; s < kNumStages; ++s) snap.slot[s] = occ_[s];
+  snaps_.push_back(snap);
+
+  // Advance shadow occupancy the way the latches will at the clock edge.
+  int nxt[kNumStages];
+  nxt[4] = occ_[3];                                // MEM -> WB
+  nxt[3] = occ_[2];                                // EX -> MEM
+  nxt[2] = snap.stall || snap.squash ? -1 : occ_[1];  // bubble into EX
+  nxt[1] = snap.squash ? -1 : (snap.stall ? occ_[1] : occ_[0]);
+  nxt[0] = -1;  // filled by next fetch
+  for (int s = 0; s < kNumStages; ++s) occ_[s] = nxt[s];
+  if (!snap.stall || snap.squash) ++next_index_;  // instruction consumed
+}
+
+std::string PipelineTracer::render() const {
+  std::ostringstream os;
+  os << "cycle:";
+  for (std::size_t c = 0; c < snaps_.size(); ++c) {
+    os << (c % 5 == 0 ? '|' : ' ');
+    os << c % 10;
+  }
+  os << "\n";
+  static const char* stage_ch = "FDXMW";
+  for (int idx = 0; idx < next_index_; ++idx) {
+    // Find the instruction's trajectory.
+    std::string row(snaps_.size(), '.');
+    bool seen = false;
+    for (std::size_t c = 0; c < snaps_.size(); ++c)
+      for (int s = 0; s < kNumStages; ++s)
+        if (snaps_[c].slot[s] == idx) {
+          row[c] = stage_ch[s];
+          seen = true;
+        }
+    if (!seen) continue;
+    os << "i" << idx;
+    os << std::string(idx < 10 ? 4 : 3, ' ');
+    for (std::size_t c = 0; c < snaps_.size(); ++c) {
+      if (c % 5 == 0) os << ' ';
+      os << row[c];
+    }
+    // Label with the first fetch of this instruction.
+    for (std::size_t c = 0; c < snaps_.size(); ++c)
+      if (snaps_[c].slot[0] == idx) {
+        os << "  " << (c < fetched_.size() ? fetched_[c] : "");
+        break;
+      }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string trace_pipeline(const DlxModel& m, const TestCase& tc,
+                           unsigned cycles, const ErrorInjection& inj) {
+  ProcSim sim(m, tc, inj);
+  PipelineTracer tr(m);
+  for (unsigned c = 0; c < cycles; ++c) {
+    sim.begin_cycle();
+    tr.observe(sim);
+    sim.end_cycle();
+  }
+  return tr.render();
+}
+
+}  // namespace hltg

@@ -1,0 +1,50 @@
+// Pipeline-occupancy tracing for visualization and white-box tests.
+//
+// Tracks which dynamic instruction occupies each pipe stage every cycle by
+// shadowing the implementation's stall / squash control signals, and renders
+// the classic pipeline diagram (one row per dynamic instruction, one column
+// per cycle).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct PipeSnapshot {
+  // Dynamic instruction index occupying each stage this cycle; -1 = bubble.
+  int slot[kNumStages] = {-1, -1, -1, -1, -1};
+  bool stall = false;
+  bool squash = false;
+};
+
+class PipelineTracer {
+ public:
+  explicit PipelineTracer(const DlxModel& m) : m_(m) {}
+
+  /// Observe the simulator *after* eval but *before* the clock edge - i.e.
+  /// call step_traced() below rather than sim.step().
+  void observe(const ProcSim& sim);
+
+  const std::vector<PipeSnapshot>& snapshots() const { return snaps_; }
+  const std::vector<std::string>& fetched() const { return fetched_; }
+
+  /// Render the pipeline diagram.
+  std::string render() const;
+
+ private:
+  const DlxModel& m_;
+  std::vector<PipeSnapshot> snaps_;
+  std::vector<std::string> fetched_;  ///< disassembly of fetched instrs
+  // Shadow occupancy: dynamic index per stage.
+  int occ_[kNumStages] = {-1, -1, -1, -1, -1};
+  int next_index_ = 0;
+};
+
+/// Run `cycles` steps of a fresh simulator, tracing occupancy.
+std::string trace_pipeline(const DlxModel& m, const TestCase& tc,
+                           unsigned cycles, const ErrorInjection& inj = {});
+
+}  // namespace hltg

@@ -1,0 +1,101 @@
+#include "sim/vcd.h"
+
+#include <sstream>
+
+#include "dlx/export_verilog.h"
+#include "util/word.h"
+
+namespace hltg {
+
+std::string VcdWriter::code_for(std::size_t index) {
+  // Printable identifier codes ! .. ~ in a variable-length base-94 scheme.
+  std::string s;
+  do {
+    s.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index);
+  return s;
+}
+
+void VcdWriter::add_net(NetId n) {
+  Sig s;
+  s.is_gate = false;
+  s.id = n;
+  s.width = m_.dp.net(n).width;
+  s.name = verilog_ident(m_.dp.net(n).name);
+  s.code = code_for(sigs_.size());
+  sigs_.push_back(std::move(s));
+}
+
+void VcdWriter::add_gate(GateId g) {
+  Sig s;
+  s.is_gate = true;
+  s.id = g;
+  s.width = 1;
+  s.name = "ctrl_" + verilog_ident(m_.ctrl.gate(g).name);
+  s.code = code_for(sigs_.size());
+  sigs_.push_back(std::move(s));
+}
+
+void VcdWriter::add_all_nets() {
+  for (NetId n = 0; n < m_.dp.num_nets(); ++n) add_net(n);
+}
+
+void VcdWriter::add_stage_nets(Stage st) {
+  for (NetId n = 0; n < m_.dp.num_nets(); ++n)
+    if (m_.dp.net(n).stage == st) add_net(n);
+}
+
+void VcdWriter::sample(const ProcSim& sim) {
+  std::vector<std::uint64_t> row;
+  row.reserve(sigs_.size());
+  for (const Sig& s : sigs_)
+    row.push_back(s.is_gate ? (sim.gate_value(s.id) ? 1 : 0)
+                            : sim.net_value(s.id));
+  samples_.push_back(std::move(row));
+}
+
+std::string VcdWriter::render() const {
+  std::ostringstream os;
+  os << "$date hltg $end\n$version hltg vcd writer $end\n"
+     << "$timescale 1 ns $end\n$scope module dlx $end\n";
+  for (const Sig& s : sigs_)
+    os << "$var wire " << s.width << " " << s.code << " " << s.name
+       << (s.width > 1 ? " [" + std::to_string(s.width - 1) + ":0]" : "")
+       << " $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+  auto emit = [&](std::ostringstream& out, const Sig& s, std::uint64_t v) {
+    if (s.width == 1) {
+      out << (v & 1) << s.code << "\n";
+    } else {
+      out << "b";
+      for (unsigned b = s.width; b-- > 0;) out << ((v >> b) & 1);
+      out << " " << s.code << "\n";
+    }
+  };
+  for (std::size_t t = 0; t < samples_.size(); ++t) {
+    os << "#" << t << "\n";
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+      if (t > 0 && samples_[t][i] == samples_[t - 1][i]) continue;
+      emit(os, sigs_[i], samples_[t][i]);
+    }
+  }
+  os << "#" << samples_.size() << "\n";
+  return os.str();
+}
+
+std::string dump_vcd(const DlxModel& m, const TestCase& tc, unsigned cycles,
+                     const ErrorInjection& inj) {
+  VcdWriter vcd(m);
+  vcd.add_all_nets();
+  for (GateId g : m.ctrl.tertiary_gates()) vcd.add_gate(g);
+  ProcSim sim(m, tc, inj);
+  for (unsigned c = 0; c < cycles; ++c) {
+    sim.begin_cycle();
+    vcd.sample(sim);
+    sim.end_cycle();
+  }
+  return vcd.render();
+}
+
+}  // namespace hltg

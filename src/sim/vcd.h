@@ -1,0 +1,52 @@
+// VCD (IEEE 1364 value-change dump) writer for the implementation
+// simulator: record any subset of datapath nets / controller gates per
+// cycle and dump a waveform readable by GTKWave & co.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+class VcdWriter {
+ public:
+  explicit VcdWriter(const DlxModel& m) : m_(m) {}
+
+  /// Select signals to record. Call before the first sample. Adding all
+  /// nets is fine for this model's size.
+  void add_net(NetId n);
+  void add_gate(GateId g);
+  void add_all_nets();
+  void add_stage_nets(Stage s);
+
+  /// Sample the simulator's current (combinationally settled) values; call
+  /// once per cycle between begin_cycle() and end_cycle().
+  void sample(const ProcSim& sim);
+
+  /// Render the complete VCD document.
+  std::string render() const;
+
+ private:
+  struct Sig {
+    bool is_gate = false;
+    std::uint32_t id = 0;
+    unsigned width = 1;
+    std::string name;
+    std::string code;  ///< VCD identifier code
+  };
+  static std::string code_for(std::size_t index);
+
+  const DlxModel& m_;
+  std::vector<Sig> sigs_;
+  std::vector<std::vector<std::uint64_t>> samples_;  ///< [cycle][signal]
+};
+
+/// Convenience: run `cycles` of a simulation recording every datapath net
+/// and the tertiary controller signals; returns the VCD text.
+std::string dump_vcd(const DlxModel& m, const TestCase& tc, unsigned cycles,
+                     const ErrorInjection& inj = {});
+
+}  // namespace hltg

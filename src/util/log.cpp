@@ -1,0 +1,19 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace hltg {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+void log_emit(LogLevel lvl, const std::string& msg) {
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(lvl)], msg.c_str());
+}
+
+}  // namespace hltg

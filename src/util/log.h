@@ -1,0 +1,42 @@
+// Minimal leveled logger. Quiet by default; benches/examples raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hltg {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+void log_emit(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+inline void log_cat(std::ostringstream&) {}
+template <typename T, typename... Ts>
+void log_cat(std::ostringstream& os, const T& t, const Ts&... ts) {
+  os << t;
+  log_cat(os, ts...);
+}
+}  // namespace detail
+
+template <typename... Ts>
+void logf(LogLevel lvl, const Ts&... ts) {
+  if (lvl > log_level()) return;
+  std::ostringstream os;
+  detail::log_cat(os, ts...);
+  log_emit(lvl, os.str());
+}
+
+template <typename... Ts>
+void log_info(const Ts&... ts) { logf(LogLevel::kInfo, ts...); }
+template <typename... Ts>
+void log_debug(const Ts&... ts) { logf(LogLevel::kDebug, ts...); }
+template <typename... Ts>
+void log_warn(const Ts&... ts) { logf(LogLevel::kWarn, ts...); }
+template <typename... Ts>
+void log_error(const Ts&... ts) { logf(LogLevel::kError, ts...); }
+
+}  // namespace hltg

@@ -1,0 +1,13 @@
+#include "util/logic3.h"
+
+namespace hltg {
+
+std::string to_string(L3 v) {
+  switch (v) {
+    case L3::F: return "0";
+    case L3::T: return "1";
+    default: return "X";
+  }
+}
+
+}  // namespace hltg

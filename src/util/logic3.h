@@ -1,0 +1,49 @@
+// Three-valued (0/1/X) logic used for implication in the controller search.
+//
+// CTRLJUST (Sec. V.C) is a PODEM-based algorithm: decision variables are
+// assigned 0/1 and their implications are computed by 3-valued evaluation of
+// the controller gate network. X means "unassigned / unknown".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hltg {
+
+enum class L3 : std::uint8_t { F = 0, T = 1, X = 2 };
+
+constexpr L3 l3_from_bool(bool b) { return b ? L3::T : L3::F; }
+
+constexpr bool is_known(L3 v) { return v != L3::X; }
+
+constexpr L3 l3_not(L3 a) {
+  return a == L3::X ? L3::X : (a == L3::T ? L3::F : L3::T);
+}
+
+constexpr L3 l3_and(L3 a, L3 b) {
+  if (a == L3::F || b == L3::F) return L3::F;
+  if (a == L3::T && b == L3::T) return L3::T;
+  return L3::X;
+}
+
+constexpr L3 l3_or(L3 a, L3 b) {
+  if (a == L3::T || b == L3::T) return L3::T;
+  if (a == L3::F && b == L3::F) return L3::F;
+  return L3::X;
+}
+
+constexpr L3 l3_xor(L3 a, L3 b) {
+  if (a == L3::X || b == L3::X) return L3::X;
+  return a == b ? L3::F : L3::T;
+}
+
+/// Multiplexer: s ? b : a with 3-valued select.
+constexpr L3 l3_mux(L3 s, L3 a, L3 b) {
+  if (s == L3::F) return a;
+  if (s == L3::T) return b;
+  return a == b ? a : L3::X;  // select unknown: known only if both agree
+}
+
+std::string to_string(L3 v);
+
+}  // namespace hltg

@@ -1,0 +1,45 @@
+// Deterministic xoshiro-style PRNG.
+//
+// Relaxation heuristics (Sec. V.B) and the random baseline need randomness,
+// but all experiments must be reproducible, so everything is seeded
+// explicitly and no global state is used.
+#pragma once
+
+#include <cstdint>
+
+namespace hltg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {
+    if (state_ == 0) state_ = 0x853c49e6748fea9bull;
+    // Warm up so that small seeds diverge quickly.
+    for (int i = 0; i < 4; ++i) next();
+  }
+
+  std::uint64_t next() {
+    // splitmix64 step: excellent equidistribution for our purposes.
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform `width`-bit word.
+  std::uint64_t word(unsigned width) {
+    return width >= 64 ? next() : (next() & ((std::uint64_t{1} << width) - 1));
+  }
+
+  bool flip() { return next() & 1; }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hltg

@@ -1,0 +1,36 @@
+// Shared status codes for the test-generation engines (Fig. 3 of the paper).
+#pragma once
+
+#include <string_view>
+
+namespace hltg {
+
+/// Outcome lattice used throughout TG / CTRLJUST / DPTRACE / DPRELAX.
+enum class TgStatus {
+  kUndetermined,  ///< search still open
+  kConflict,      ///< current decisions are inconsistent: backtrack
+  kSuccess,       ///< test found (reset state reached, objectives met)
+  kFailure,       ///< search space exhausted or budget hit: abort error
+};
+
+constexpr std::string_view to_string(TgStatus s) {
+  switch (s) {
+    case TgStatus::kUndetermined: return "UNDETERMINED";
+    case TgStatus::kConflict: return "CONFLICT";
+    case TgStatus::kSuccess: return "SUCCESS";
+    case TgStatus::kFailure: return "FAILURE";
+  }
+  return "?";
+}
+
+/// Combine per-engine statuses as in Fig. 3 step 8: any conflict dominates;
+/// success only when the caller decides all objectives are met.
+constexpr TgStatus combine(TgStatus a, TgStatus b) {
+  if (a == TgStatus::kConflict || b == TgStatus::kConflict)
+    return TgStatus::kConflict;
+  if (a == TgStatus::kFailure || b == TgStatus::kFailure)
+    return TgStatus::kFailure;
+  return TgStatus::kUndetermined;
+}
+
+}  // namespace hltg

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hltg {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_kv(const std::string& key, const std::string& value) {
+  std::vector<std::string> row{key, value};
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> w(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c)
+      if (r[c].size() > w[c]) w[c] = r[c].size();
+
+  std::ostringstream os;
+  auto line = [&](char fill) {
+    os << '+';
+    for (size_t c = 0; c < w.size(); ++c) {
+      os << std::string(w[c] + 2, fill) << '+';
+    }
+    os << '\n';
+  };
+  auto row = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (size_t c = 0; c < w.size(); ++c) {
+      const std::string& s = c < r.size() ? r[c] : std::string{};
+      os << ' ' << s << std::string(w[c] - s.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  line('-');
+  row(header_);
+  line('=');
+  for (const auto& r : rows_) row(r);
+  line('-');
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace hltg

@@ -1,0 +1,28 @@
+// Plain-text table printer for the bench harnesses (Table-1-style output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hltg {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: key/value row (used for Table-1-shaped summaries).
+  void add_kv(const std::string& key, const std::string& value);
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` decimals.
+std::string fmt_double(double v, int prec = 2);
+
+}  // namespace hltg

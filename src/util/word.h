@@ -1,0 +1,89 @@
+// Masked fixed-width word values for the word-level datapath.
+//
+// Datapath buses in the DLX model are at most 64 bits wide (most are 32 or
+// 5 bits). A Word carries a value together with its width; all arithmetic
+// is performed modulo 2^width, which matches the semantics of the high-level
+// datapath modules (Sec. III of the paper).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace hltg {
+
+/// Mask with the low `width` bits set. width must be in [0, 64].
+constexpr std::uint64_t mask_bits(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Truncate `v` to `width` bits.
+constexpr std::uint64_t trunc(std::uint64_t v, unsigned width) {
+  return v & mask_bits(width);
+}
+
+/// Sign-extend the low `width` bits of `v` to 64 bits.
+constexpr std::uint64_t sext(std::uint64_t v, unsigned width) {
+  if (width == 0 || width >= 64) return v;
+  const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+  v &= mask_bits(width);
+  return (v ^ sign) - sign;
+}
+
+/// Interpret the low `width` bits of `v` as a signed value.
+constexpr std::int64_t as_signed(std::uint64_t v, unsigned width) {
+  return static_cast<std::int64_t>(sext(v, width));
+}
+
+/// Extract bit `i` of `v`.
+constexpr unsigned get_bit(std::uint64_t v, unsigned i) {
+  return static_cast<unsigned>((v >> i) & 1u);
+}
+
+/// Return `v` with bit `i` forced to `b`.
+constexpr std::uint64_t set_bit(std::uint64_t v, unsigned i, unsigned b) {
+  const std::uint64_t m = std::uint64_t{1} << i;
+  return b ? (v | m) : (v & ~m);
+}
+
+/// Extract the bitfield [lo, lo+width) of `v`.
+constexpr std::uint64_t get_field(std::uint64_t v, unsigned lo, unsigned width) {
+  return (v >> lo) & mask_bits(width);
+}
+
+/// Return `v` with the bitfield [lo, lo+width) replaced by `f`.
+constexpr std::uint64_t set_field(std::uint64_t v, unsigned lo, unsigned width,
+                                  std::uint64_t f) {
+  const std::uint64_t m = mask_bits(width) << lo;
+  return (v & ~m) | ((f << lo) & m);
+}
+
+/// Addition overflow flag for signed `width`-bit addition.
+constexpr bool add_overflows(std::uint64_t a, std::uint64_t b, unsigned width) {
+  const std::uint64_t s = trunc(a + b, width);
+  const unsigned sa = get_bit(a, width - 1), sb = get_bit(b, width - 1),
+                 ss = get_bit(s, width - 1);
+  return sa == sb && sa != ss;
+}
+
+/// Subtraction overflow flag for signed `width`-bit subtraction a - b.
+constexpr bool sub_overflows(std::uint64_t a, std::uint64_t b, unsigned width) {
+  const std::uint64_t d = trunc(a - b, width);
+  const unsigned sa = get_bit(a, width - 1), sb = get_bit(b, width - 1),
+                 sd = get_bit(d, width - 1);
+  return sa != sb && sd != sa;
+}
+
+/// Hex string of the low `width` bits, zero-padded to the bus width.
+inline std::string to_hex(std::uint64_t v, unsigned width) {
+  const unsigned digits = (width + 3) / 4;
+  std::string s(digits, '0');
+  v &= mask_bits(width);
+  for (unsigned i = 0; i < digits; ++i) {
+    const unsigned nib = static_cast<unsigned>((v >> (4 * (digits - 1 - i))) & 0xF);
+    s[i] = "0123456789abcdef"[nib];
+  }
+  return "0x" + s;
+}
+
+}  // namespace hltg

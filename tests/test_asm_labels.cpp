@@ -1,0 +1,104 @@
+// Tests of the assembler's label support and label-resolved control flow.
+#include <gtest/gtest.h>
+
+#include "isa/asm.h"
+#include "isa/spec_sim.h"
+#include "sim/cosim.h"
+
+namespace hltg {
+namespace {
+
+TEST(AsmLabels, ForwardLabelResolves) {
+  const AsmResult r = assemble(
+      "beqz r0, skip\n"
+      "addi r1, r0, 99\n"
+      "skip: addi r2, r0, 5\n");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  ASSERT_EQ(r.program.size(), 3u);
+  EXPECT_EQ(r.program[0].imm, 1);  // one word forward of the delay slot
+}
+
+TEST(AsmLabels, BackwardLabelResolves) {
+  const AsmResult r = assemble(
+      "loop: subi r1, r1, 1\n"
+      "bnez r1, loop\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program[1].imm, -2);
+}
+
+TEST(AsmLabels, LabelOnOwnLine) {
+  const AsmResult r = assemble(
+      "j end\n"
+      "nop\n"
+      "end:\n"
+      "addi r1, r0, 1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program[0].imm, 1);  // lands on the addi (index 2)
+}
+
+TEST(AsmLabels, UndefinedLabelReported) {
+  const AsmResult r = assemble("beqz r0, nowhere\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("undefined label"), std::string::npos);
+}
+
+TEST(AsmLabels, DuplicateLabelReported) {
+  const AsmResult r = assemble("a: nop\na: nop\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("duplicate label"), std::string::npos);
+}
+
+TEST(AsmLabels, LoopProgramExecutesCorrectly) {
+  const AsmResult r = assemble(
+      "      addi r1, r0, 5\n"
+      "      addi r2, r0, 0\n"
+      "loop: add  r2, r2, r1\n"
+      "      subi r1, r1, 1\n"
+      "      bnez r1, loop\n"
+      "      sw 0x40(r0), r2\n");
+  ASSERT_TRUE(r.ok());
+  TestCase tc;
+  tc.imem = encode_program(r.program);
+  const ArchTrace t = spec_run(tc, 64);
+  EXPECT_EQ(t.rf_final[2], 15u);  // 5+4+3+2+1
+  ASSERT_EQ(t.writes.size(), 1u);
+  EXPECT_EQ(t.writes[0].data, 15u);
+}
+
+TEST(AsmLabels, LoopMatchesPipelinedImplementation) {
+  const AsmResult r = assemble(
+      "      addi r1, r0, 4\n"
+      "loop: subi r1, r1, 1\n"
+      "      bnez r1, loop\n"
+      "      sw 0x40(r0), r1\n");
+  ASSERT_TRUE(r.ok());
+  TestCase tc;
+  tc.imem = encode_program(r.program);
+  static const DlxModel m = build_dlx();
+  const unsigned cycles = 64;
+  const ArchTrace spec = spec_run(tc, cycles);
+  const ArchTrace impl = impl_run(m, tc, cycles);
+  EXPECT_TRUE(spec.diff(impl).empty()) << spec.diff(impl);
+}
+
+TEST(AsmLabels, NumericOffsetsStillWork) {
+  const AsmResult r = assemble("beqz r1, -3\nj 2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.program[0].imm, -3);
+  EXPECT_EQ(r.program[1].imm, 2);
+}
+
+TEST(AsmLabels, MalformedOperandAfterLabelUse) {
+  // A bad line containing a label reference must not leave a dangling
+  // fixup on the next instruction.
+  const AsmResult r = assemble(
+      "beqz r1, target junk_tail\n"
+      "j target\n"
+      "target: nop\n");
+  ASSERT_FALSE(r.ok());              // first line is malformed
+  ASSERT_EQ(r.program.size(), 2u);   // j + nop assembled
+  EXPECT_EQ(r.program[0].imm, 0);    // j lands on the nop right after
+}
+
+}  // namespace
+}  // namespace hltg

@@ -1,0 +1,114 @@
+// Tests of the Fig.-5 controllability / observability propagation tables.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "netlist/costate.h"
+
+namespace hltg {
+namespace {
+
+constexpr std::array<CState, 4> kAllC = {CState::C1, CState::C2, CState::C3,
+                                         CState::C4};
+
+TEST(CState, AddClassAnyControlledInputControlsOutput) {
+  for (CState other : kAllC) {
+    const std::array<CState, 2> in = {CState::C4, other};
+    EXPECT_EQ(c_add(in), CState::C4) << to_string(other);
+  }
+}
+
+TEST(CState, AddClassUnknownDominatesBlocked) {
+  const std::array<CState, 2> a = {CState::C1, CState::C2};
+  EXPECT_EQ(c_add(a), CState::C1);
+  const std::array<CState, 2> b = {CState::C2, CState::C3};
+  EXPECT_EQ(c_add(b), CState::C2);
+  const std::array<CState, 2> c = {CState::C3, CState::C3};
+  EXPECT_EQ(c_add(c), CState::C3);
+}
+
+TEST(CState, AndClassNeedsAllInputs) {
+  const std::array<CState, 2> all4 = {CState::C4, CState::C4};
+  EXPECT_EQ(c_and(all4), CState::C4);
+  const std::array<CState, 2> with1 = {CState::C4, CState::C1};
+  EXPECT_EQ(c_and(with1), CState::C1);  // could still become controllable
+  const std::array<CState, 2> with2 = {CState::C4, CState::C2};
+  EXPECT_EQ(c_and(with2), CState::C2);
+  const std::array<CState, 2> with3 = {CState::C4, CState::C3};
+  EXPECT_EQ(c_and(with3), CState::C3);  // settled and hopeless
+  const std::array<CState, 2> open3 = {CState::C1, CState::C3};
+  EXPECT_EQ(c_and(open3), CState::C2);  // hopeless input but open decisions
+}
+
+TEST(CState, MuxFollowsSelectedInput) {
+  const std::array<CState, 2> in = {CState::C3, CState::C4};
+  EXPECT_EQ(c_mux(in, true, 0), CState::C3);
+  EXPECT_EQ(c_mux(in, true, 1), CState::C4);
+}
+
+TEST(CState, MuxUnknownSelect) {
+  const std::array<CState, 2> mixed = {CState::C3, CState::C4};
+  EXPECT_EQ(c_mux(mixed, false, 0), CState::C1);
+  const std::array<CState, 2> blocked = {CState::C3, CState::C2};
+  EXPECT_EQ(c_mux(blocked, false, 0), CState::C2);
+}
+
+TEST(OState, AddClassNeedsSettledSides) {
+  // Matches the Fig.-5 ADD2 O-table: side input must be C3 or C4.
+  const std::array<CState, 1> c1 = {CState::C1};
+  const std::array<CState, 1> c2 = {CState::C2};
+  const std::array<CState, 1> c3 = {CState::C3};
+  const std::array<CState, 1> c4 = {CState::C4};
+  EXPECT_EQ(o_add(OState::O3, c1), OState::O1);
+  EXPECT_EQ(o_add(OState::O3, c2), OState::O1);
+  EXPECT_EQ(o_add(OState::O3, c3), OState::O3);
+  EXPECT_EQ(o_add(OState::O3, c4), OState::O3);
+  for (CState c : kAllC) {
+    const std::array<CState, 1> side = {c};
+    EXPECT_EQ(o_add(OState::O2, side), OState::O2);
+    EXPECT_EQ(o_add(OState::O1, side), OState::O1);
+  }
+}
+
+TEST(OState, AndClassNeedsControlledSides) {
+  // Matches the Fig.-5 AND2 O-table: side C2/C3 kills observability even if
+  // the output is observable.
+  const std::array<CState, 1> c1 = {CState::C1};
+  const std::array<CState, 1> c2 = {CState::C2};
+  const std::array<CState, 1> c3 = {CState::C3};
+  const std::array<CState, 1> c4 = {CState::C4};
+  EXPECT_EQ(o_and(OState::O3, c4), OState::O3);
+  EXPECT_EQ(o_and(OState::O3, c1), OState::O1);
+  EXPECT_EQ(o_and(OState::O3, c2), OState::O2);
+  EXPECT_EQ(o_and(OState::O3, c3), OState::O2);
+  EXPECT_EQ(o_and(OState::O1, c2), OState::O2);  // hopeless regardless
+  EXPECT_EQ(o_and(OState::O2, c4), OState::O2);
+}
+
+TEST(OState, MuxTable) {
+  // Matches the Fig.-5 MUX2 O-table.
+  EXPECT_EQ(o_mux(OState::O3, true, true), OState::O3);
+  EXPECT_EQ(o_mux(OState::O3, true, false), OState::O2);
+  EXPECT_EQ(o_mux(OState::O3, false, false), OState::O1);
+  EXPECT_EQ(o_mux(OState::O2, true, true), OState::O2);
+  EXPECT_EQ(o_mux(OState::O1, true, true), OState::O1);
+}
+
+TEST(CState, NaryGeneralization) {
+  const std::array<CState, 4> in = {CState::C2, CState::C2, CState::C4,
+                                    CState::C2};
+  EXPECT_EQ(c_add(in), CState::C4);
+  const std::array<CState, 4> in2 = {CState::C4, CState::C4, CState::C4,
+                                     CState::C1};
+  EXPECT_EQ(c_and(in2), CState::C1);
+}
+
+TEST(CState, Settled) {
+  EXPECT_TRUE(is_settled(CState::C3));
+  EXPECT_TRUE(is_settled(CState::C4));
+  EXPECT_FALSE(is_settled(CState::C1));
+  EXPECT_FALSE(is_settled(CState::C2));
+}
+
+}  // namespace
+}  // namespace hltg

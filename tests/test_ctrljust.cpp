@@ -1,0 +1,182 @@
+// Tests of the unrolled controller window and the CTRLJUST PODEM search.
+#include <gtest/gtest.h>
+
+#include "core/ctrljust.h"
+#include "core/unroll.h"
+#include "dlx/dlx.h"
+#include "isa/encode.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+GateId ctrl_bit(const char* net_name, unsigned bit = 0) {
+  const NetId n = model().dp.find_net(net_name);
+  EXPECT_NE(n, kNoNet) << net_name;
+  return model().find_ctrl(n)->bits[bit];
+}
+
+TEST(Window, ResetStateImplied) {
+  ControllerWindow w(model().ctrl, 6);
+  // With nothing assigned, all CPR outputs are 0 at cycle 0 and the derived
+  // write enables stay 0 through the pipeline-fill cycles.
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.rf_we"), 0), L3::F);
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.rf_we"), 3), L3::F);
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.mem_we"), 2), L3::F);
+  // By cycle 4 a fetched instruction could reach WB: value depends on the
+  // unassigned CPIs, hence unknown.
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.rf_we"), 4), L3::X);
+}
+
+TEST(Window, CpiAssignmentPropagatesDownPipe) {
+  ControllerWindow w(model().ctrl, 8);
+  // Assign the full opcode/func of ADD at cycle 0.
+  const unsigned opc = opcode_of(Op::kAdd), fn = func_of(Op::kAdd);
+  for (int i = 0; i < 6; ++i) {
+    w.assign(model().cpi[i], 0, l3_from_bool((opc >> i) & 1));
+    w.assign(model().cpi[6 + i], 0, l3_from_bool((fn >> i) & 1));
+  }
+  w.imply();
+  // ADD reaches EX at cycle 2 with alu_sel = 0 and use_imm = 0.
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.use_imm"), 2), L3::F);
+  for (unsigned b = 0; b < kAluSelW; ++b)
+    EXPECT_EQ(w.value(ctrl_bit("ctrl.alu_sel", b), 2), L3::F) << b;
+  // And writes back at cycle 4.
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.rf_we"), 4), L3::T);
+  EXPECT_EQ(w.value(ctrl_bit("ctrl.mem_we"), 3), L3::F);
+}
+
+TEST(Window, ClearRestoresUnknown) {
+  ControllerWindow w(model().ctrl, 4);
+  w.assign(model().cpi[0], 0, L3::T);
+  w.imply();
+  w.clear();
+  EXPECT_EQ(w.assignment(model().cpi[0], 0), L3::X);
+}
+
+TEST(CtrlJust, JustifiesStoreWriteEnable) {
+  CtrlJust cj(model().ctrl, 10);
+  // mem_we at cycle 3 <=> a store fetched at cycle 0.
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true}});
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  EXPECT_FALSE(r.cpi_assignments.empty());
+  // Decode the assigned instruction word at cycle 0: it must be a store.
+  std::uint32_t word = 0;
+  for (auto [g, t, v] : r.cpi_assignments) {
+    if (t != 0 || !v) continue;
+    for (int i = 0; i < 12; ++i)
+      if (model().cpi[i] == g)
+        word |= 1u << (i < 6 ? 26 + i : i - 6);
+  }
+  EXPECT_TRUE(is_store(decode(word).op)) << to_string(decode(word));
+}
+
+TEST(CtrlJust, RejectsPrefillObjective) {
+  CtrlJust cj(model().ctrl, 10);
+  // rf_we at cycle 2 is impossible: WB is only reachable at cycle >= 4.
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.rf_we"), 2, true}});
+  EXPECT_EQ(r.status, TgStatus::kFailure);
+}
+
+TEST(CtrlJust, JustifiesAluSelect) {
+  for (AluSel sel : {AluSel::kSub, AluSel::kXor, AluSel::kSrl}) {
+    CtrlJust cj(model().ctrl, 10);
+    std::vector<CtrlObjective> objs;
+    for (unsigned b = 0; b < kAluSelW; ++b)
+      objs.push_back({ctrl_bit("ctrl.alu_sel", b), 4,
+                      ((static_cast<unsigned>(sel) >> b) & 1) != 0});
+    const CtrlJustResult r = cj.solve(objs);
+    EXPECT_EQ(r.status, TgStatus::kSuccess)
+        << static_cast<unsigned>(sel);
+  }
+}
+
+TEST(CtrlJust, UnencodableAluSelectFails) {
+  // alu_sel = 15 corresponds to no instruction (one-hot decode).
+  CtrlJust cj(model().ctrl, 10);
+  std::vector<CtrlObjective> objs;
+  for (unsigned b = 0; b < kAluSelW; ++b)
+    objs.push_back({ctrl_bit("ctrl.alu_sel", b), 4, true});
+  const CtrlJustResult r = cj.solve(objs);
+  EXPECT_EQ(r.status, TgStatus::kFailure);
+}
+
+TEST(CtrlJust, ConflictingObjectivesFail) {
+  // A store (mem_we@3) cannot simultaneously write the register file from
+  // the same slot (rf_we@4 with the same fetch cycle). Note rf_we@4 refers
+  // to the instruction fetched at 0, which must then be both store and
+  // ALU-writeback: impossible.
+  CtrlJust cj(model().ctrl, 10);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true},
+                                     {ctrl_bit("ctrl.rf_we"), 4, true}});
+  EXPECT_EQ(r.status, TgStatus::kFailure);
+}
+
+TEST(CtrlJust, IndependentSlotsCompose) {
+  // Store fetched at 0 (mem_we@3) and writeback fetched at 1 (rf_we@5)
+  // coexist in different pipeframes.
+  CtrlJust cj(model().ctrl, 10);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true},
+                                     {ctrl_bit("ctrl.rf_we"), 5, true}});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+}
+
+TEST(CtrlJust, StsDecisionsReported) {
+  // Forcing the bypass select requires deciding STS compare variables.
+  const NetId fwd_a = model().dp.find_net("ctrl.fwd_a");
+  const GateId bit0 = model().find_ctrl(fwd_a)->bits[0];
+  CtrlJust cj(model().ctrl, 10);
+  const CtrlJustResult r = cj.solve({{bit0, 4, true}});
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  EXPECT_FALSE(r.sts_assignments.empty());
+}
+
+TEST(CtrlJust, DecisionVariablesArePipeframeOnly) {
+  // Every decision CTRLJUST makes is on a CPI or STS variable - never on a
+  // state bit. (This is the Sec.-IV property.)
+  CtrlJust cj(model().ctrl, 10);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 4, true}});
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  for (auto [g, t, v] : r.cpi_assignments)
+    EXPECT_EQ(model().ctrl.gate(g).role, SigRole::kCPI);
+  for (auto [g, t, v] : r.sts_assignments)
+    EXPECT_EQ(model().ctrl.gate(g).role, SigRole::kSts);
+}
+
+TEST(CtrlJust, TraceRecordsDecisions) {
+  CtrlJustConfig cfg;
+  cfg.record_trace = true;
+  CtrlJust cj(model().ctrl, 10, cfg);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true}});
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  ASSERT_FALSE(r.trace.empty());
+  unsigned decides = 0;
+  for (const SearchEvent& e : r.trace)
+    decides += e.kind == SearchEvent::kDecide;
+  EXPECT_EQ(decides, r.stats.decisions);
+  const std::string text = render_trace(model().ctrl, r.trace);
+  EXPECT_NE(text.find("decide"), std::string::npos);
+  EXPECT_NE(text.find("cpi."), std::string::npos);
+}
+
+TEST(CtrlJust, TraceOffByDefault) {
+  CtrlJust cj(model().ctrl, 10);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true}});
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(CtrlJust, BudgetAbortsGracefully) {
+  CtrlJustConfig cfg;
+  cfg.max_decisions = 1;
+  CtrlJust cj(model().ctrl, 10, cfg);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true},
+                                     {ctrl_bit("ctrl.rf_we"), 5, true}});
+  EXPECT_EQ(r.status, TgStatus::kFailure);
+}
+
+}  // namespace
+}  // namespace hltg

@@ -1,0 +1,151 @@
+// Structural tests of the DLX implementation model.
+#include <gtest/gtest.h>
+
+#include "dlx/dlx.h"
+#include "dlx/signal_names.h"
+#include "gatenet/levelize.h"
+#include "netlist/check.h"
+
+namespace hltg {
+namespace {
+
+class DlxModelTest : public ::testing::Test {
+ protected:
+  static const DlxModel& model() {
+    static const DlxModel m = build_dlx();
+    return m;
+  }
+};
+
+TEST_F(DlxModelTest, BuildsAndChecksClean) {
+  const CheckResult r = check_netlist(model().dp);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST_F(DlxModelTest, ControllerIsAcyclic) {
+  EXPECT_NO_THROW(model().ctrl.topo_order());
+}
+
+TEST_F(DlxModelTest, SignalInventoryShape) {
+  const GateNetStats st = analyze(model().ctrl);
+  // The paper's DLX: 96 controller state bits, 43 tertiary signals, with
+  // n3 << n2. Our model is smaller but must preserve the shape.
+  EXPECT_GT(st.num_dffs, 20u);
+  EXPECT_GE(st.num_tertiary, 4u);
+  EXPECT_LT(st.pipeframe_justify_vars(), st.timeframe_justify_vars());
+  EXPECT_EQ(st.num_cpi, 12u);  // opcode + func
+  EXPECT_EQ(st.num_sts, 10u);
+}
+
+TEST_F(DlxModelTest, DatapathStateBits) {
+  // Paper: 512 datapath state bits excluding the register file. Ours:
+  // PC + IF/ID(64) + ID/EX(32*4 + 5*3) + EX/MEM(32*2+5) + MEM/WB(32+5).
+  const unsigned bits = datapath_state_bits(model().dp);
+  EXPECT_GT(bits, 300u);
+  EXPECT_LT(bits, 700u);
+}
+
+TEST_F(DlxModelTest, AllCtrlNetsBoundWithWidths) {
+  const DlxModel& m = model();
+  for (NetId n = 0; n < m.dp.num_nets(); ++n) {
+    if (m.dp.net(n).role != NetRole::kCtrl) continue;
+    const CtrlBind* cb = m.find_ctrl(n);
+    ASSERT_NE(cb, nullptr) << m.dp.net(n).name;
+    EXPECT_EQ(cb->bits.size(), m.dp.net(n).width) << m.dp.net(n).name;
+    for (GateId g : cb->bits)
+      EXPECT_EQ(m.ctrl.gate(g).role, SigRole::kCtrl);
+  }
+}
+
+TEST_F(DlxModelTest, AllStsNetsBound) {
+  const DlxModel& m = model();
+  unsigned count = 0;
+  for (NetId n = 0; n < m.dp.num_nets(); ++n) {
+    if (m.dp.net(n).role != NetRole::kSts) continue;
+    ++count;
+    const StsBind* sb = m.find_sts(n);
+    ASSERT_NE(sb, nullptr) << m.dp.net(n).name;
+    EXPECT_EQ(m.ctrl.gate(sb->gate).kind, GateKind::kVar);
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(DlxModelTest, StagesPopulated) {
+  const DlxModel& m = model();
+  int per_stage[kNumStages + 1] = {};
+  for (NetId n = 0; n < m.dp.num_nets(); ++n)
+    ++per_stage[static_cast<int>(m.dp.net(n).stage)];
+  // WB is legitimately tiny (write-back bus, destination, write enable).
+  for (int s = 0; s < kNumStages; ++s)
+    EXPECT_GE(per_stage[s], 3) << to_string(static_cast<Stage>(s));
+  EXPECT_GT(per_stage[static_cast<int>(Stage::kEX)], 20);
+  EXPECT_GT(per_stage[static_cast<int>(Stage::kMEM)], 15);
+}
+
+TEST_F(DlxModelTest, TertiarySignalsLabeled) {
+  const DlxModel& m = model();
+  // stall, redirect, and the four bypass selects.
+  EXPECT_EQ(m.ctrl.tertiary_gates().size(), 6u);
+  // Datapath tertiary buses: redirect target + two forwarded result buses.
+  unsigned dto = 0;
+  for (NetId n = 0; n < m.dp.num_nets(); ++n)
+    if (m.dp.net(n).role == NetRole::kDTO) ++dto;
+  EXPECT_EQ(dto, 3u);
+}
+
+TEST_F(DlxModelTest, DescribeMentionsKeyFacts) {
+  const std::string d = describe_model(model());
+  EXPECT_NE(d.find("controller"), std::string::npos);
+  EXPECT_NE(d.find("pipeframe vs timeframe"), std::string::npos);
+}
+
+TEST(DecodedCtrlTable, SpotChecks) {
+  const DecodedCtrl add = decoded_ctrl(Op::kAdd);
+  EXPECT_EQ(add.alu_sel, AluSel::kAdd);
+  EXPECT_TRUE(add.reads_rs1);
+  EXPECT_TRUE(add.reads_rsB);
+  EXPECT_TRUE(add.wb_en);
+  EXPECT_FALSE(add.use_imm);
+
+  const DecodedCtrl lw = decoded_ctrl(Op::kLw);
+  EXPECT_TRUE(lw.is_load);
+  EXPECT_TRUE(lw.use_imm);
+  EXPECT_EQ(lw.dest_sel, DestSel::kRdI);
+  EXPECT_EQ(lw.load_ext, LoadExt::kWord);
+
+  const DecodedCtrl sb = decoded_ctrl(Op::kSb);
+  EXPECT_TRUE(sb.is_store);
+  EXPECT_TRUE(sb.reads_rsB);
+  EXPECT_FALSE(sb.wb_en);
+  EXPECT_EQ(sb.mem_size, MemSize::kByte);
+
+  const DecodedCtrl jal = decoded_ctrl(Op::kJal);
+  EXPECT_TRUE(jal.is_jump);
+  EXPECT_TRUE(jal.wb_en);
+  EXPECT_EQ(jal.dest_sel, DestSel::kR31);
+  EXPECT_EQ(jal.alu_sel, AluSel::kLink);
+  EXPECT_EQ(jal.imm_sel, ImmSel::kSext26);
+
+  const DecodedCtrl bnez = decoded_ctrl(Op::kBnez);
+  EXPECT_TRUE(bnez.is_bnez);
+  EXPECT_TRUE(bnez.reads_rs1);
+  EXPECT_FALSE(bnez.wb_en);
+
+  const DecodedCtrl nop = decoded_ctrl(Op::kNop);
+  EXPECT_FALSE(nop.wb_en);
+  EXPECT_FALSE(nop.is_load);
+  EXPECT_FALSE(nop.is_store);
+}
+
+TEST(DecodedCtrlTable, ZeroExtensionMatchesIsa) {
+  for (int k = 0; k < kNumInstructions; ++k) {
+    const Op op = static_cast<Op>(k);
+    if (!is_alu_i(op)) continue;
+    const DecodedCtrl c = decoded_ctrl(op);
+    EXPECT_EQ(c.imm_sel == ImmSel::kZext16, zero_extends_imm(op))
+        << mnemonic(op);
+  }
+}
+
+}  // namespace
+}  // namespace hltg

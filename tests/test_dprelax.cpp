@@ -1,0 +1,231 @@
+// Tests of DPRELAX discrete relaxation: module backsolve rules and
+// end-to-end constraint solving on the DLX window.
+#include <gtest/gtest.h>
+
+#include "core/dprelax.h"
+#include "isa/encode.h"
+#include "util/word.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+RelaxConstraint eq(const char* net, unsigned cycle, std::uint64_t value,
+                   std::uint64_t mask = ~0ull) {
+  RelaxConstraint c;
+  c.net = model().dp.find_net(net);
+  EXPECT_NE(c.net, kNoNet) << net;
+  c.cycle = cycle;
+  c.value = value;
+  c.mask = mask;
+  c.why = net;
+  return c;
+}
+
+DpRelaxResult run(RelaxVars& vars, std::vector<RelaxConstraint> cons,
+                  unsigned window = 12) {
+  DpRelax relax(model(), window);
+  return relax.solve(vars, cons, {});
+}
+
+TEST(DpRelax, SolvesRegisterFileValue) {
+  // Make operand A of the instruction in EX at cycle 2 equal 0xDEADBEEF.
+  RelaxVars vars;
+  auto r = run(vars, {eq("ex.a_byp", 2, 0xDEADBEEF)});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  // Verify by re-simulation.
+  const WindowCapture cap = capture_window(model(), vars.to_test(), 4);
+  EXPECT_EQ(cap.net(2, model().dp.find_net("ex.a_byp")), 0xDEADBEEFu);
+}
+
+TEST(DpRelax, SolvesAdderOutput) {
+  RelaxVars vars;
+  auto r = run(vars, {eq("ex.alu_add", 2, 1234)});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  const WindowCapture cap = capture_window(model(), vars.to_test(), 4);
+  EXPECT_EQ(cap.net(2, model().dp.find_net("ex.alu_add")), 1234u);
+}
+
+TEST(DpRelax, SolvesSingleBitConstraint) {
+  RelaxVars vars;
+  auto r = run(vars, {eq("ex.alu_xor", 3, 1, 1)});  // bit 0 only
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  const WindowCapture cap = capture_window(model(), vars.to_test(), 5);
+  EXPECT_EQ(cap.net(3, model().dp.find_net("ex.alu_xor")) & 1, 1u);
+}
+
+TEST(DpRelax, SolvesStsEquality) {
+  // Force the fwdA/MEM comparator true at cycle 3 (rs1 of the EX
+  // instruction equals the MEM instruction's destination).
+  RelaxVars vars;
+  auto r = run(vars, {eq("sts.fwda_mem", 3, 1, 1)});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+}
+
+TEST(DpRelax, SolvesStsDisequality) {
+  RelaxVars vars;
+  auto r = run(vars, {eq("sts.dest_ex_nz", 3, 1, 1)});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+}
+
+TEST(DpRelax, SolvesConjunctionAcrossCycles) {
+  RelaxVars vars;
+  auto r = run(vars, {eq("ex.a_byp", 2, 0x55), eq("ex.a_byp", 3, 0xAA),
+                      eq("ex.alu_add", 4, 7)});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  const WindowCapture cap = capture_window(model(), vars.to_test(), 6);
+  EXPECT_EQ(cap.net(2, model().dp.find_net("ex.a_byp")), 0x55u);
+  EXPECT_EQ(cap.net(3, model().dp.find_net("ex.a_byp")), 0xAAu);
+  EXPECT_EQ(cap.net(4, model().dp.find_net("ex.alu_add")), 7u);
+}
+
+TEST(DpRelax, RespectsFixedOpcodeBits) {
+  // Pin word 0 to a store opcode; a constraint demanding different opcode
+  // bits on the same word must fail rather than clobber them.
+  RelaxVars vars;
+  vars.ensure_size(1);
+  vars.imem[0] = 0x2Bu << 26;  // SW
+  vars.imem_fixed[0] = 0x3Fu << 26;
+  auto r = run(vars, {eq("if.instr", 0, 0, 0x3Fu << 26)});
+  EXPECT_NE(r.status, TgStatus::kSuccess);
+  EXPECT_EQ(vars.imem[0] >> 26, 0x2Bu);
+}
+
+TEST(DpRelax, GoodNotEqualsNudges) {
+  RelaxVars vars;
+  RelaxConstraint c = eq("ex.a_byp", 2, 0);
+  c.kind = RelaxKind::kGoodNotEquals;
+  auto r = run(vars, {c});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  const WindowCapture cap = capture_window(model(), vars.to_test(), 4);
+  EXPECT_NE(cap.net(2, model().dp.find_net("ex.a_byp")), 0u);
+}
+
+TEST(DpRelax, GoodNetsDifferSeparates) {
+  RelaxVars vars;
+  RelaxConstraint c = eq("idex.a", 3, 0);
+  c.kind = RelaxKind::kGoodNetsDiffer;
+  c.net2 = model().dp.find_net("exmem.result");
+  auto r = run(vars, {c});
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  const WindowCapture cap = capture_window(model(), vars.to_test(), 5);
+  EXPECT_NE(cap.net(3, model().dp.find_net("idex.a")),
+            cap.net(3, model().dp.find_net("exmem.result")));
+}
+
+TEST(DpRelax, SiteDiffersWithInjection) {
+  // Operand-swap error on the subtractor: relaxation must find operands
+  // with a != b so good and erroneous outputs differ.
+  const ModId sub = model().dp.find_module("ex.alu_sub");
+  ASSERT_NE(sub, kNoMod);
+  ErrorInjection inj;
+  inj.swap_inputs.insert(sub);
+  RelaxConstraint c;
+  c.kind = RelaxKind::kSiteDiffers;
+  c.net = model().dp.find_net("ex.alu_sub");
+  c.cycle = 2;
+  RelaxVars vars;
+  DpRelax relax(model(), 8);
+  auto r = relax.solve(vars, {c}, inj);
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+}
+
+TEST(DpRelax, ImpossibleConstraintAborts) {
+  // R0 read can never be nonzero: ID-stage operand of an instruction whose
+  // rs1 field is fixed to 0.
+  RelaxVars vars;
+  vars.ensure_size(4);
+  // Fix ALL bits of word 0 to an instruction reading r0: add r1, r0, r0.
+  vars.imem[0] = encode({Op::kAdd, 0, 0, 1, 0});
+  vars.imem_fixed[0] = 0xFFFFFFFFu;
+  // Demand operand A (from r0) nonzero at the cycle word 0 is in EX, while
+  // also pinning the bypass sources away is impractical - use a direct
+  // constraint on the RF read output instead.
+  auto r = run(vars, {eq("id.rf_a", 1, 5)});
+  EXPECT_NE(r.status, TgStatus::kSuccess);
+}
+
+TEST(DpRelax, IterationBudgetRespected) {
+  DpRelaxConfig cfg;
+  cfg.max_iterations = 3;
+  DpRelax relax(model(), 10, cfg);
+  RelaxVars vars;
+  std::vector<RelaxConstraint> cons = {eq("ex.a_byp", 2, 1),
+                                       eq("ex.a_byp", 3, 2),
+                                       eq("ex.a_byp", 4, 3),
+                                       eq("ex.alu_add", 5, 4)};
+  auto r = relax.solve(vars, cons, {});
+  if (r.status != TgStatus::kSuccess) EXPECT_LE(r.iterations, 3u);
+}
+
+// Parameterized sweep: one representative net per module category, each
+// solved for a value target at several cycles. Exercises the full set of
+// backsolve rules on the real DLX window.
+struct SweepCase {
+  const char* net;
+  std::uint64_t value;
+  unsigned cycle;
+};
+
+class BacksolveSweep : public ::testing::TestWithParam<SweepCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Nets, BacksolveSweep,
+    ::testing::Values(
+        SweepCase{"ex.alu_add", 0x12345678, 2},   // adder
+        SweepCase{"ex.alu_sub", 0x0000FFFF, 3},   // subtractor
+        SweepCase{"ex.alu_and", 0x00FF00FF, 2},   // AND word gate
+        SweepCase{"ex.alu_or", 0xF0F0F0F0, 3},    // OR word gate
+        SweepCase{"ex.alu_xor", 0xAAAAAAAA, 4},   // XOR word gate
+        SweepCase{"ex.alu_shl", 0x00000100, 2},   // shifter (value port)
+        SweepCase{"ex.op2", 0x00000040, 2},       // operand mux
+        SweepCase{"ex.a_byp", 0xCAFEBABE, 3},     // bypass mux output
+        SweepCase{"idex.imm", 0xFFFF8000, 2},     // sign-extended immediate
+        SweepCase{"idex.a", 0x13572468, 3},       // pipe register
+        SweepCase{"exmem.result", 0x00C0FFEE, 4}, // EX/MEM latch
+        SweepCase{"memwb.value", 0x0BADF00D, 5},  // MEM/WB latch
+        SweepCase{"id.rf_a", 0x11112222, 2},      // register-file read
+        SweepCase{"ex.slt32", 1, 3},              // predicate via zext
+        SweepCase{"ex.seq32", 1, 2},              // equality predicate
+        SweepCase{"mem.bem_b", 0x8, 4}),  // byte-lane decode: the select is
+                                          // datapath-computed (addr offset),
+                                          // so backsolve must retarget it
+    [](const auto& info) {
+      std::string n = info.param.net;
+      for (char& c : n)
+        if (c == '.') c = '_';
+      return n + "_c" + std::to_string(info.param.cycle);
+    });
+
+TEST_P(BacksolveSweep, SolvesTarget) {
+  const SweepCase& sc = GetParam();
+  RelaxVars vars;
+  const auto r = run(vars, {eq(sc.net, sc.cycle, sc.value)}, 12);
+  ASSERT_EQ(r.status, TgStatus::kSuccess) << sc.net << " " << r.note;
+  const WindowCapture cap =
+      capture_window(model(), vars.to_test(), sc.cycle + 2);
+  const NetId n = model().dp.find_net(sc.net);
+  const std::uint64_t got = cap.net(sc.cycle, n);
+  EXPECT_EQ(got & mask_bits(model().dp.net(n).width),
+            sc.value & mask_bits(model().dp.net(n).width))
+      << sc.net;
+}
+
+TEST(DpRelax, TestCaseRoundTrip) {
+  RelaxVars vars;
+  vars.ensure_size(2);
+  vars.imem[1] = 42;
+  vars.rf_init[5] = 7;
+  vars.mem_init[0x40] = 9;
+  const TestCase tc = vars.to_test();
+  EXPECT_EQ(tc.imem[1], 42u);
+  EXPECT_EQ(tc.rf_init[5], 7u);
+  EXPECT_EQ(tc.dmem_init.at(0x40), 9u);
+}
+
+}  // namespace
+}  // namespace hltg

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "isa/asm.h"
+#include "isa/disasm.h"
+#include "isa/encode.h"
+#include "isa/isa.h"
+#include "util/rng.h"
+#include "util/word.h"
+
+namespace hltg {
+namespace {
+
+class AllOps : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Isa, AllOps, ::testing::Range(0, kNumInstructions),
+                         [](const auto& info) {
+                           return std::string(
+                               mnemonic(static_cast<Op>(info.param)));
+                         });
+
+Instr sample_instr(Op op, Rng& rng) {
+  Instr i;
+  i.op = op;
+  i.rs1 = static_cast<unsigned>(rng.below(32));
+  i.rs2 = static_cast<unsigned>(rng.below(32));
+  i.rd = static_cast<unsigned>(rng.below(32));
+  switch (format_of(op)) {
+    case Format::kR:
+      i.imm = 0;
+      break;
+    case Format::kI:
+      i.imm = zero_extends_imm(op)
+                  ? static_cast<std::int32_t>(rng.word(16))
+                  : static_cast<std::int32_t>(sext(rng.word(16), 16));
+      break;
+    case Format::kJ:
+      i.rs1 = i.rs2 = i.rd = 0;
+      i.imm = static_cast<std::int32_t>(sext(rng.word(26), 26));
+      break;
+  }
+  if (op == Op::kNop) i = Instr{};
+  if (op == Op::kJr || op == Op::kJalr) {
+    i.rd = 0;
+    i.imm = 0;
+  }
+  if (op == Op::kJ || op == Op::kJal) i.rs1 = 0;
+  if (op == Op::kBeqz || op == Op::kBnez) i.rd = 0;
+  if (op == Op::kLhi) i.rs1 = 0;
+  if (format_of(op) == Format::kI) i.rs2 = 0;
+  return i;
+}
+
+TEST_P(AllOps, EncodeDecodeRoundTrip) {
+  const Op op = static_cast<Op>(GetParam());
+  Rng rng(1234 + GetParam());
+  for (int k = 0; k < 50; ++k) {
+    const Instr i = sample_instr(op, rng);
+    const std::uint32_t w = encode(i);
+    const Instr d = decode(w);
+    EXPECT_EQ(d.op, i.op) << to_string(i);
+    if (reads_rs1(op) || format_of(op) == Format::kR) {
+      EXPECT_EQ(d.rs1, i.rs1) << to_string(i);
+    }
+    if (format_of(op) == Format::kR) {
+      EXPECT_EQ(d.rs2, i.rs2);
+    }
+    if (op != Op::kNop && format_of(op) != Format::kJ && op != Op::kJr &&
+        op != Op::kJalr) {
+      EXPECT_EQ(d.rd, i.rd) << to_string(i);
+    }
+    if (format_of(op) != Format::kR && op != Op::kJr && op != Op::kJalr) {
+      EXPECT_EQ(d.imm, i.imm) << to_string(i);
+    }
+  }
+}
+
+TEST_P(AllOps, EncodingIsDefined) {
+  const Op op = static_cast<Op>(GetParam());
+  Rng rng(99 + GetParam());
+  const Instr i = sample_instr(op, rng);
+  EXPECT_TRUE(is_defined(encode(i))) << to_string(i);
+}
+
+TEST_P(AllOps, AsmRoundTrip) {
+  const Op op = static_cast<Op>(GetParam());
+  Rng rng(5678 + GetParam());
+  const Instr i = sample_instr(op, rng);
+  const std::string text = to_string(i);
+  const AsmResult r = assemble(text);
+  ASSERT_TRUE(r.ok()) << text << "\n"
+                      << (r.errors.empty() ? "" : r.errors[0]);
+  ASSERT_EQ(r.program.size(), 1u);
+  EXPECT_EQ(encode(r.program[0]), encode(i)) << text;
+}
+
+TEST(Isa, NopIsAllZeros) {
+  EXPECT_EQ(encode(Instr{}), 0u);
+  EXPECT_EQ(decode(0).op, Op::kNop);
+}
+
+TEST(Isa, UndefinedDecodesToNop) {
+  // Opcode 0x3F is not assigned.
+  const std::uint32_t w = 0x3Fu << 26 | 0x12345;
+  EXPECT_EQ(decode(w).op, Op::kNop);
+  EXPECT_FALSE(is_defined(w));
+  // R-type with unassigned func.
+  const std::uint32_t r = 0x3F;  // opcode 0, func 0x3F
+  EXPECT_EQ(decode(r).op, Op::kNop);
+  EXPECT_FALSE(is_defined(r));
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+  for (int k = 0; k < kNumInstructions; ++k) {
+    const Op op = static_cast<Op>(k);
+    EXPECT_EQ(op_from_mnemonic(mnemonic(op)), op);
+  }
+  EXPECT_EQ(op_from_mnemonic("bogus"), Op::kNumOps);
+}
+
+TEST(Isa, ExactlyFortyFourInstructions) { EXPECT_EQ(kNumInstructions, 44); }
+
+TEST(Isa, WritesRegProperties) {
+  Instr add;
+  add.op = Op::kAdd;
+  add.rd = 5;
+  unsigned d = 0;
+  EXPECT_TRUE(writes_reg(add, &d));
+  EXPECT_EQ(d, 5u);
+  add.rd = 0;
+  EXPECT_FALSE(writes_reg(add, &d));  // R0 hardwired
+
+  Instr jal;
+  jal.op = Op::kJal;
+  EXPECT_TRUE(writes_reg(jal, &d));
+  EXPECT_EQ(d, 31u);
+
+  Instr sw;
+  sw.op = Op::kSw;
+  sw.rd = 7;
+  EXPECT_FALSE(writes_reg(sw, &d));
+  EXPECT_TRUE(reads_rd_as_source(Op::kSw));
+}
+
+TEST(Isa, ClassPredicatesDisjoint) {
+  for (int k = 0; k < kNumInstructions; ++k) {
+    const Op op = static_cast<Op>(k);
+    int classes = 0;
+    classes += is_alu_r(op);
+    classes += is_alu_i(op);
+    classes += is_load(op);
+    classes += is_store(op);
+    classes += is_control(op);
+    classes += (op == Op::kNop);
+    EXPECT_EQ(classes, 1) << mnemonic(op);
+  }
+}
+
+TEST(Asm, ParsesProgramWithComments) {
+  const AsmResult r = assemble(
+      "; init\n"
+      "addi r1, r0, 42   # forty-two\n"
+      "add r2, r1, r1\n"
+      "sw 8(r0), r2\n"
+      "\n"
+      "nop\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.program.size(), 4u);
+  EXPECT_EQ(r.program[0].op, Op::kAddi);
+  EXPECT_EQ(r.program[0].imm, 42);
+  EXPECT_EQ(r.program[2].op, Op::kSw);
+  EXPECT_EQ(r.program[2].imm, 8);
+  EXPECT_EQ(r.program[2].rd, 2u);
+}
+
+TEST(Asm, ReportsErrors) {
+  const AsmResult r = assemble("frobnicate r1, r2\naddi r1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.errors.size(), 2u);
+}
+
+TEST(Disasm, MarksUndefined) {
+  const std::string s = disassemble(0x3Fu << 26);
+  EXPECT_NE(s.find("undefined"), std::string::npos);
+}
+
+TEST(Disasm, ProgramListing) {
+  const std::string s =
+      disassemble_program({encode({Op::kAddi, 0, 0, 1, 5})});
+  EXPECT_NE(s.find("addi r1, r0, 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hltg

@@ -1,0 +1,203 @@
+// Integration tests: small realistic kernels (loops, memory walks, branchy
+// reductions) executed on every microarchitecture variant and checked
+// against the ISA specification - the strongest whole-machine property we
+// can assert.
+#include <gtest/gtest.h>
+
+#include "isa/asm.h"
+#include "sim/cosim.h"
+
+namespace hltg {
+namespace {
+
+struct Variant {
+  const char* name;
+  DlxConfig cfg;
+};
+
+const std::vector<Variant>& variants() {
+  static const std::vector<Variant> v = {
+      {"bypass+nt", {}},
+      {"bypass+btb", {.branch_predictor = true}},
+      {"interlock+nt", {.bypassing = false}},
+      {"interlock+btb", {.branch_predictor = true, .bypassing = false}},
+  };
+  return v;
+}
+
+const DlxModel& model_for(std::size_t i) {
+  static std::vector<DlxModel> models = [] {
+    std::vector<DlxModel> m;
+    for (const Variant& v : variants()) m.push_back(build_dlx(v.cfg));
+    return m;
+  }();
+  return models[i];
+}
+
+struct Kernel {
+  const char* name;
+  std::string source;
+  TestCase setup;       ///< initial memory / registers
+  unsigned cycles;
+};
+
+void check_kernel_everywhere(const Kernel& k) {
+  const AsmResult r = assemble(k.source);
+  ASSERT_TRUE(r.ok()) << k.name << ": "
+                      << (r.errors.empty() ? "" : r.errors[0]);
+  TestCase tc = k.setup;
+  tc.imem = encode_program(r.program);
+  const ArchTrace spec = spec_run(tc, k.cycles);
+  for (std::size_t i = 0; i < variants().size(); ++i) {
+    const ArchTrace impl = impl_run(model_for(i), tc, k.cycles);
+    EXPECT_TRUE(spec.diff(impl).empty())
+        << k.name << " on " << variants()[i].name << ":\n"
+        << spec.diff(impl);
+  }
+}
+
+TEST(Kernels, FibonacciLoop) {
+  Kernel k;
+  k.name = "fibonacci";
+  k.source =
+      "      addi r1, r0, 0\n"   // fib(n-2)
+      "      addi r2, r0, 1\n"   // fib(n-1)
+      "      addi r3, r0, 10\n"  // n iterations
+      "loop: add  r4, r1, r2\n"
+      "      add  r1, r0, r2\n"
+      "      add  r2, r0, r4\n"
+      "      subi r3, r3, 1\n"
+      "      bnez r3, loop\n"
+      "      sw   0x100(r0), r2\n";
+  k.cycles = 160;
+  check_kernel_everywhere(k);
+  // And the value is right: fib(12) = 144 with this recurrence.
+  const AsmResult r = assemble(k.source);
+  TestCase tc;
+  tc.imem = encode_program(r.program);
+  const ArchTrace t = spec_run(tc, k.cycles);
+  ASSERT_EQ(t.writes.size(), 1u);
+  EXPECT_EQ(t.writes[0].data, 89u);  // fib sequence after 10 steps from 0,1
+}
+
+TEST(Kernels, ArraySum) {
+  Kernel k;
+  k.name = "array-sum";
+  k.source =
+      "      addi r1, r0, 0x200\n"  // base
+      "      addi r2, r0, 8\n"      // count
+      "      addi r3, r0, 0\n"      // acc
+      "loop: lw   r4, 0(r1)\n"
+      "      add  r3, r3, r4\n"
+      "      addi r1, r1, 4\n"
+      "      subi r2, r2, 1\n"
+      "      bnez r2, loop\n"
+      "      sw   0x300(r0), r3\n";
+  for (unsigned i = 0; i < 8; ++i) k.setup.dmem_init[0x200 + 4 * i] = i + 1;
+  k.cycles = 200;
+  check_kernel_everywhere(k);
+  const AsmResult r = assemble(k.source);
+  TestCase tc = k.setup;
+  tc.imem = encode_program(r.program);
+  const ArchTrace t = spec_run(tc, k.cycles);
+  ASSERT_EQ(t.writes.size(), 1u);
+  EXPECT_EQ(t.writes[0].data, 36u);  // 1+..+8
+}
+
+TEST(Kernels, MemcpyWords) {
+  Kernel k;
+  k.name = "memcpy";
+  k.source =
+      "      addi r1, r0, 0x200\n"  // src
+      "      addi r2, r0, 0x280\n"  // dst
+      "      addi r3, r0, 6\n"      // words
+      "loop: lw   r4, 0(r1)\n"
+      "      sw   0(r2), r4\n"
+      "      addi r1, r1, 4\n"
+      "      addi r2, r2, 4\n"
+      "      subi r3, r3, 1\n"
+      "      bnez r3, loop\n";
+  for (unsigned i = 0; i < 6; ++i)
+    k.setup.dmem_init[0x200 + 4 * i] = 0xA0B0C000u + i;
+  k.cycles = 200;
+  check_kernel_everywhere(k);
+}
+
+TEST(Kernels, MaxSearchWithBranches) {
+  Kernel k;
+  k.name = "max-search";
+  k.source =
+      "      addi r1, r0, 0x200\n"
+      "      addi r2, r0, 7\n"      // count
+      "      addi r3, r0, 0\n"      // max (values are positive)
+      "loop: lw   r4, 0(r1)\n"
+      "      sltu r5, r3, r4\n"     // r3 < r4 ?
+      "      beqz r5, skip\n"
+      "      add  r3, r0, r4\n"
+      "skip: addi r1, r1, 4\n"
+      "      subi r2, r2, 1\n"
+      "      bnez r2, loop\n"
+      "      sw   0x300(r0), r3\n";
+  const unsigned vals[] = {3, 17, 5, 42, 8, 41, 12};
+  for (unsigned i = 0; i < 7; ++i) k.setup.dmem_init[0x200 + 4 * i] = vals[i];
+  k.cycles = 300;
+  check_kernel_everywhere(k);
+  const AsmResult r = assemble(k.source);
+  TestCase tc = k.setup;
+  tc.imem = encode_program(r.program);
+  const ArchTrace t = spec_run(tc, k.cycles);
+  ASSERT_EQ(t.writes.size(), 1u);
+  EXPECT_EQ(t.writes[0].data, 42u);
+}
+
+TEST(Kernels, ByteReverseInPlace) {
+  Kernel k;
+  k.name = "byte-reverse";
+  k.source =
+      "      addi r1, r0, 0x200\n"   // left byte ptr
+      "      addi r2, r0, 0x207\n"   // right byte ptr
+      "loop: lbu  r3, 0(r1)\n"
+      "      lbu  r4, 0(r2)\n"
+      "      sb   0(r1), r4\n"
+      "      sb   0(r2), r3\n"
+      "      addi r1, r1, 1\n"
+      "      subi r2, r2, 1\n"
+      "      sltu r5, r1, r2\n"
+      "      bnez r5, loop\n";
+  k.setup.dmem_init[0x200] = 0x44332211;
+  k.setup.dmem_init[0x204] = 0x88776655;
+  k.cycles = 240;
+  check_kernel_everywhere(k);
+  const AsmResult r = assemble(k.source);
+  TestCase tc = k.setup;
+  tc.imem = encode_program(r.program);
+  SpecSimulator sim(tc);
+  sim.run(k.cycles);
+  EXPECT_EQ(sim.dmem().read_word(0x200), 0x55667788u);
+  EXPECT_EQ(sim.dmem().read_word(0x204), 0x11223344u);
+}
+
+TEST(Kernels, SubroutineCallAndReturn) {
+  Kernel k;
+  k.name = "call-return";
+  k.source =
+      "      addi r1, r0, 5\n"
+      "      jal  double_it\n"
+      "      sw   0x300(r0), r1\n"
+      "      j    end\n"
+      "double_it:\n"
+      "      add  r1, r1, r1\n"
+      "      jr   r31\n"
+      "end:  nop\n";
+  k.cycles = 120;
+  check_kernel_everywhere(k);
+  const AsmResult r = assemble(k.source);
+  TestCase tc;
+  tc.imem = encode_program(r.program);
+  const ArchTrace t = spec_run(tc, k.cycles);
+  ASSERT_EQ(t.writes.size(), 1u);
+  EXPECT_EQ(t.writes[0].data, 10u);
+}
+
+}  // namespace
+}  // namespace hltg

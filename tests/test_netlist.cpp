@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/check.h"
+#include "netlist/eval.h"
+
+namespace hltg {
+namespace {
+
+TEST(Netlist, BuilderWiresSinksAndDrivers) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a", 8);
+  const NetId c = b.input("b", 8);
+  const NetId y = b.add("y", a, c);
+  EXPECT_EQ(nl.net(y).width, 8u);
+  EXPECT_NE(nl.net(y).driver, kNoMod);
+  EXPECT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).role, NetRole::kDPI);
+}
+
+TEST(Netlist, MultipleDriversRejected) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a", 8);
+  const NetId y = b.not_w("y", a);
+  Module m;
+  m.name = "dup";
+  m.kind = ModuleKind::kNotW;
+  m.data_in = {a};
+  m.out = y;
+  EXPECT_THROW(nl.add_module(std::move(m)), std::logic_error);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a", 4);
+  const NetId x = b.not_w("x", a);
+  const NetId y = b.not_w("y", x);
+  (void)y;
+  const auto& order = nl.topo_order();
+  // The driver of x must appear before the driver of y.
+  std::size_t px = 0, py = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (nl.module(order[i]).out == x) px = i;
+    if (nl.module(order[i]).out == y) py = i;
+  }
+  EXPECT_LT(px, py);
+}
+
+TEST(Netlist, RegisterBreaksCycles) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId q = b.predeclare("q", 8);
+  const NetId one = b.constant("one", 8, 1);
+  const NetId next = b.add("next", q, one);  // counter: q + 1
+  b.reg_into(q, "q", next);
+  EXPECT_NO_THROW(nl.topo_order());
+}
+
+TEST(Check, CleanCircuitPasses) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a", 8);
+  const NetId c = b.input("c", 8);
+  const NetId s = b.ctrl("s", 1);
+  const NetId y = b.mux("y", s, {a, c});
+  b.output("o", y);
+  EXPECT_TRUE(check_netlist(nl).ok()) << check_netlist(nl).summary();
+}
+
+TEST(Check, CatchesUndrivenNet) {
+  Netlist nl;
+  nl.add_net("floating", 8);
+  const CheckResult r = check_netlist(nl);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.summary().find("no driver"), std::string::npos);
+}
+
+TEST(Check, CatchesWidthMismatch) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a", 8);
+  const NetId c = b.input("c", 4);
+  NetId y = nl.add_net("y", 8);
+  Module m;
+  m.name = "bad_add";
+  m.kind = ModuleKind::kAdd;
+  m.data_in = {a, c};
+  m.out = y;
+  nl.add_module(std::move(m));
+  EXPECT_FALSE(check_netlist(nl).ok());
+}
+
+TEST(Check, CatchesMuxSelectWidth) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId a = b.input("a", 8);
+  const NetId c = b.input("c", 8);
+  const NetId d = b.input("d", 8);
+  const NetId s = b.ctrl("s", 1);  // needs 2 bits for 3 inputs
+  NetId y = nl.add_net("y", 8);
+  Module m;
+  m.name = "bad_mux";
+  m.kind = ModuleKind::kMux;
+  m.data_in = {a, c, d};
+  m.ctrl_in = {s};
+  m.out = y;
+  nl.add_module(std::move(m));
+  EXPECT_FALSE(check_netlist(nl).ok());
+}
+
+struct EvalFix {
+  Netlist nl;
+  Module mk(ModuleKind k, unsigned w, unsigned ow) {
+    Module m;
+    m.kind = k;
+    m.data_in = {nl.add_net("a", w), nl.add_net("b", w)};
+    m.out = nl.add_net("y", ow);
+    return m;
+  }
+};
+
+TEST(Eval, AddSubWrap) {
+  EvalFix f;
+  Module m = f.mk(ModuleKind::kAdd, 8, 8);
+  EXPECT_EQ(eval_comb(f.nl, m, {200, 100}, {}), 44u);  // mod 256
+  m.kind = ModuleKind::kSub;
+  EXPECT_EQ(eval_comb(f.nl, m, {5, 10}, {}), 251u);
+}
+
+TEST(Eval, Predicates) {
+  EvalFix f;
+  Module m = f.mk(ModuleKind::kLt, 8, 1);
+  EXPECT_EQ(eval_comb(f.nl, m, {0xFF, 1}, {}), 1u);  // -1 < 1 signed
+  m.kind = ModuleKind::kLtU;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xFF, 1}, {}), 0u);
+  m.kind = ModuleKind::kEq;
+  EXPECT_EQ(eval_comb(f.nl, m, {7, 7}, {}), 1u);
+  m.kind = ModuleKind::kNe;
+  EXPECT_EQ(eval_comb(f.nl, m, {7, 7}, {}), 0u);
+  m.kind = ModuleKind::kAddOvf;
+  EXPECT_EQ(eval_comb(f.nl, m, {0x7F, 1}, {}), 1u);
+  m.kind = ModuleKind::kSubOvf;
+  EXPECT_EQ(eval_comb(f.nl, m, {0x80, 1}, {}), 1u);
+}
+
+TEST(Eval, Shifts) {
+  EvalFix f;
+  Module m = f.mk(ModuleKind::kShl, 8, 8);
+  EXPECT_EQ(eval_comb(f.nl, m, {0x81, 1}, {}), 0x02u);
+  m.kind = ModuleKind::kShrL;
+  EXPECT_EQ(eval_comb(f.nl, m, {0x81, 1}, {}), 0x40u);
+  m.kind = ModuleKind::kShrA;
+  EXPECT_EQ(eval_comb(f.nl, m, {0x81, 1}, {}), 0xC0u);
+  // Oversized shift amounts.
+  m.kind = ModuleKind::kShl;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xFF, 9}, {}), 0u);
+  m.kind = ModuleKind::kShrA;
+  EXPECT_EQ(eval_comb(f.nl, m, {0x80, 20}, {}), 0xFFu);
+}
+
+TEST(Eval, MuxSelectsAndClamps) {
+  Netlist nl;
+  Module m;
+  m.kind = ModuleKind::kMux;
+  m.data_in = {nl.add_net("a", 8), nl.add_net("b", 8), nl.add_net("c", 8)};
+  m.ctrl_in = {nl.add_net("s", 2)};
+  m.out = nl.add_net("y", 8);
+  EXPECT_EQ(eval_comb(nl, m, {10, 20, 30}, {1}), 20u);
+  EXPECT_EQ(eval_comb(nl, m, {10, 20, 30}, {3}), 30u);  // clamped to last
+}
+
+TEST(Eval, SliceConcatExt) {
+  Netlist nl;
+  Module sl;
+  sl.kind = ModuleKind::kSlice;
+  sl.param = 4;
+  sl.data_in = {nl.add_net("a", 16)};
+  sl.out = nl.add_net("y", 8);
+  EXPECT_EQ(eval_comb(nl, sl, {0xABCD}, {}), 0xBCu);
+
+  Module cc;
+  cc.kind = ModuleKind::kConcat;
+  cc.data_in = {nl.add_net("lo", 4), nl.add_net("hi", 4)};
+  cc.out = nl.add_net("y2", 8);
+  EXPECT_EQ(eval_comb(nl, cc, {0xA, 0x5}, {}), 0x5Au);
+
+  Module sx;
+  sx.kind = ModuleKind::kSext;
+  sx.data_in = {nl.add_net("a2", 4)};
+  sx.out = nl.add_net("y3", 8);
+  EXPECT_EQ(eval_comb(nl, sx, {0x8}, {}), 0xF8u);
+  sx.kind = ModuleKind::kZext;
+  EXPECT_EQ(eval_comb(nl, sx, {0x8}, {}), 0x08u);
+}
+
+TEST(Eval, WordGates) {
+  EvalFix f;
+  Module m = f.mk(ModuleKind::kAndW, 8, 8);
+  EXPECT_EQ(eval_comb(f.nl, m, {0xF0, 0x3C}, {}), 0x30u);
+  m.kind = ModuleKind::kOrW;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xF0, 0x3C}, {}), 0xFCu);
+  m.kind = ModuleKind::kXorW;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xF0, 0x3C}, {}), 0xCCu);
+  m.kind = ModuleKind::kNandW;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xF0, 0x3C}, {}), 0xCFu);
+  m.kind = ModuleKind::kNorW;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xF0, 0x3C}, {}), 0x03u);
+  m.kind = ModuleKind::kXnorW;
+  EXPECT_EQ(eval_comb(f.nl, m, {0xF0, 0x3C}, {}), 0x33u);
+}
+
+TEST(ModuleKind, PaperClassification) {
+  EXPECT_EQ(module_class(ModuleKind::kAdd), ModuleClass::kAddClass);
+  EXPECT_EQ(module_class(ModuleKind::kEq), ModuleClass::kAddClass);
+  EXPECT_EQ(module_class(ModuleKind::kAddOvf), ModuleClass::kAddClass);
+  EXPECT_EQ(module_class(ModuleKind::kAndW), ModuleClass::kAndClass);
+  EXPECT_EQ(module_class(ModuleKind::kShl), ModuleClass::kAndClass);
+  EXPECT_EQ(module_class(ModuleKind::kMux), ModuleClass::kMuxClass);
+  EXPECT_EQ(module_class(ModuleKind::kReg), ModuleClass::kStruct);
+  EXPECT_TRUE(is_predicate(ModuleKind::kSubOvf));
+  EXPECT_FALSE(is_predicate(ModuleKind::kAdd));
+  EXPECT_TRUE(is_sink(ModuleKind::kMemWrite));
+  EXPECT_TRUE(is_stateful(ModuleKind::kRfRead));
+}
+
+}  // namespace
+}  // namespace hltg

@@ -1,0 +1,125 @@
+// Tests of the interlock-only (no-bypass) pipeline variant.
+#include <gtest/gtest.h>
+
+#include "baseline/random_tg.h"
+#include "gatenet/levelize.h"
+#include "isa/asm.h"
+#include "netlist/check.h"
+#include "sim/cosim.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& nb_model() {
+  static const DlxModel m = build_dlx({.bypassing = false});
+  return m;
+}
+
+const DlxModel& base_model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+TestCase make_tc(const std::string& src) {
+  const AsmResult r = assemble(src);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  TestCase tc;
+  tc.imem = encode_program(r.program);
+  return tc;
+}
+
+TEST(NoBypass, ModelChecksClean) {
+  const CheckResult r = check_netlist(nb_model().dp);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_NO_THROW(nb_model().ctrl.topo_order());
+}
+
+TEST(NoBypass, FewerTertiarySignals) {
+  // Without the bypass network, the forwarding selects disappear from the
+  // tertiary set - the instruction-interaction surface shrinks.
+  const GateNetStats nb = analyze(nb_model().ctrl);
+  const GateNetStats base = analyze(base_model().ctrl);
+  EXPECT_LT(nb.num_tertiary, base.num_tertiary);
+}
+
+TEST(NoBypass, BackToBackDependencyStallsButStaysCorrect) {
+  const TestCase tc = make_tc(
+      "addi r1, r0, 3\n"
+      "add r2, r1, r1\n"   // producer one ahead: 2-cycle interlock
+      "add r3, r2, r2\n"
+      "sw 0x40(r0), r3\n");
+  const CosimResult r =
+      cosim(nb_model(), tc, drain_cycles(tc.imem.size()));
+  EXPECT_TRUE(r.match) << r.diff;
+  ProcSim sim(nb_model(), tc);
+  sim.run(drain_cycles(tc.imem.size()));
+  EXPECT_GE(sim.stall_cycles(), 4u);  // two interlocks, two cycles each
+}
+
+TEST(NoBypass, BypassedMachineIsStrictlyFaster) {
+  const TestCase tc = make_tc(
+      "addi r1, r0, 1\n"
+      "add r2, r1, r1\n"
+      "add r3, r2, r2\n"
+      "add r4, r3, r3\n"
+      "sw 0x40(r0), r4\n");
+  auto cycles_to_store = [&](const DlxModel& m) {
+    ProcSim sim(m, tc);
+    for (unsigned c = 0; c < 64 && sim.writes().empty(); ++c) sim.step();
+    return sim.cycle();
+  };
+  EXPECT_GT(cycles_to_store(nb_model()), cycles_to_store(base_model()));
+}
+
+TEST(NoBypass, BranchAfterProducerInterlocks) {
+  const TestCase tc = make_tc(
+      "addi r1, r0, 0\n"
+      "beqz r1, 2\n"       // depends on r1: interlock, then taken
+      "addi r2, r0, 99\n"
+      "addi r3, r0, 98\n"
+      "sw 0x40(r0), r1\n");
+  const CosimResult r = cosim(nb_model(), tc, drain_cycles(tc.imem.size()));
+  EXPECT_TRUE(r.match) << r.diff;
+}
+
+TEST(NoBypass, LoadConsumerInterlocks) {
+  TestCase tc = make_tc(
+      "lw r1, 0x20(r0)\n"
+      "sw 0x40(r0), r1\n");
+  tc.dmem_init[0x20] = 0xABCD;
+  const CosimResult r = cosim(nb_model(), tc, drain_cycles(tc.imem.size()));
+  EXPECT_TRUE(r.match) << r.diff;
+}
+
+class NoBypassRandomCosim : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, NoBypassRandomCosim, ::testing::Range(0, 12));
+
+TEST_P(NoBypassRandomCosim, MatchesSpec) {
+  RandomTgConfig cfg;
+  cfg.program_length = 36;
+  cfg.reg_pool = 3;  // hazard-heavy
+  cfg.p_load = 25;
+  cfg.p_branch = 8;
+  Rng rng(7100 + GetParam());
+  const TestCase tc = random_test(rng, cfg);
+  const CosimResult r = cosim(nb_model(), tc, drain_cycles(tc.imem.size()));
+  EXPECT_TRUE(r.match) << r.diff;
+}
+
+TEST(NoBypass, CombinedWithPredictor) {
+  // Both configuration axes compose.
+  const DlxModel m = build_dlx({.branch_predictor = true, .bypassing = false});
+  EXPECT_TRUE(check_netlist(m.dp).ok());
+  RandomTgConfig cfg;
+  cfg.program_length = 30;
+  cfg.reg_pool = 3;
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(9300 + seed);
+    const TestCase tc = random_test(rng, cfg);
+    const CosimResult r = cosim(m, tc, drain_cycles(tc.imem.size()));
+    EXPECT_TRUE(r.match) << r.diff;
+  }
+}
+
+}  // namespace
+}  // namespace hltg

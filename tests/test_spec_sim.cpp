@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "isa/asm.h"
+#include "isa/spec_sim.h"
+
+namespace hltg {
+namespace {
+
+TestCase make_tc(const std::string& src) {
+  const AsmResult r = assemble(src);
+  EXPECT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+  TestCase tc;
+  tc.imem = encode_program(r.program);
+  return tc;
+}
+
+TEST(SpecSim, AluBasics) {
+  TestCase tc = make_tc(
+      "addi r1, r0, 7\n"
+      "addi r2, r0, 5\n"
+      "add r3, r1, r2\n"
+      "sub r4, r1, r2\n"
+      "and r5, r1, r2\n"
+      "or r6, r1, r2\n"
+      "xor r7, r1, r2\n");
+  const ArchTrace t = spec_run(tc, 16);
+  EXPECT_EQ(t.rf_final[3], 12u);
+  EXPECT_EQ(t.rf_final[4], 2u);
+  EXPECT_EQ(t.rf_final[5], 5u);
+  EXPECT_EQ(t.rf_final[6], 7u);
+  EXPECT_EQ(t.rf_final[7], 2u);
+}
+
+TEST(SpecSim, ShiftsAndCompares) {
+  TestCase tc = make_tc(
+      "addi r1, r0, -8\n"
+      "addi r2, r0, 2\n"
+      "sll r3, r1, r2\n"
+      "srl r4, r1, r2\n"
+      "sra r5, r1, r2\n"
+      "slt r6, r1, r2\n"
+      "sltu r7, r1, r2\n"
+      "seq r8, r1, r1\n"
+      "sne r9, r1, r2\n");
+  const ArchTrace t = spec_run(tc, 16);
+  EXPECT_EQ(t.rf_final[3], 0xFFFFFFE0u);
+  EXPECT_EQ(t.rf_final[4], 0x3FFFFFFEu);
+  EXPECT_EQ(t.rf_final[5], 0xFFFFFFFEu);
+  EXPECT_EQ(t.rf_final[6], 1u);  // -8 < 2 signed
+  EXPECT_EQ(t.rf_final[7], 0u);  // huge unsigned
+  EXPECT_EQ(t.rf_final[8], 1u);
+  EXPECT_EQ(t.rf_final[9], 1u);
+}
+
+TEST(SpecSim, ImmediateExtension) {
+  TestCase tc = make_tc(
+      "addi r1, r0, -1\n"       // sign-extended
+      "ori r2, r0, 0xFFFF\n"    // zero-extended
+      "lhi r3, 0x1234\n"
+      "sltui r4, r0, 0xFFFF\n");
+  const ArchTrace t = spec_run(tc, 8);
+  EXPECT_EQ(t.rf_final[1], 0xFFFFFFFFu);
+  EXPECT_EQ(t.rf_final[2], 0x0000FFFFu);
+  EXPECT_EQ(t.rf_final[3], 0x12340000u);
+  EXPECT_EQ(t.rf_final[4], 1u);
+}
+
+TEST(SpecSim, LoadStoreBytesHalvesWords) {
+  TestCase tc = make_tc(
+      "lhi r1, 0x8765\n"
+      "ori r1, r1, 0x4321\n"   // r1 = 0x87654321
+      "sw 0x100(r0), r1\n"
+      "lb r2, 0x100(r0)\n"     // 0x21
+      "lb r3, 0x103(r0)\n"     // 0x87 -> sign-extended
+      "lbu r4, 0x103(r0)\n"
+      "lh r5, 0x102(r0)\n"     // 0x8765 sign-extended
+      "lhu r6, 0x100(r0)\n"    // 0x4321
+      "lw r7, 0x100(r0)\n"
+      "sb 0x104(r0), r1\n"
+      "sh 0x10a(r0), r1\n"
+      "lw r8, 0x104(r0)\n"
+      "lw r9, 0x108(r0)\n");
+  const ArchTrace t = spec_run(tc, 20);
+  EXPECT_EQ(t.rf_final[2], 0x21u);
+  EXPECT_EQ(t.rf_final[3], 0xFFFFFF87u);
+  EXPECT_EQ(t.rf_final[4], 0x87u);
+  EXPECT_EQ(t.rf_final[5], 0xFFFF8765u);
+  EXPECT_EQ(t.rf_final[6], 0x4321u);
+  EXPECT_EQ(t.rf_final[7], 0x87654321u);
+  EXPECT_EQ(t.rf_final[8], 0x21u);            // byte store to empty word
+  EXPECT_EQ(t.rf_final[9], 0x43210000u);      // half store to upper half
+  ASSERT_EQ(t.writes.size(), 3u);
+  EXPECT_EQ(t.writes[0], (MemWrite{0x100, 0x87654321u, 0xF}));
+  EXPECT_EQ(t.writes[1], (MemWrite{0x104, 0x21u, 0x1}));
+  EXPECT_EQ(t.writes[2], (MemWrite{0x108, 0x43210000u, 0xC}));
+}
+
+TEST(SpecSim, BranchesTakenAndNot) {
+  TestCase tc = make_tc(
+      "addi r1, r0, 1\n"
+      "beqz r1, 2\n"       // not taken
+      "addi r2, r0, 10\n"  // executed
+      "bnez r1, 1\n"       // taken, skips next
+      "addi r2, r0, 99\n"  // skipped
+      "addi r3, r0, 3\n");
+  const ArchTrace t = spec_run(tc, 12);
+  EXPECT_EQ(t.rf_final[2], 10u);
+  EXPECT_EQ(t.rf_final[3], 3u);
+}
+
+TEST(SpecSim, JumpAndLink) {
+  TestCase tc = make_tc(
+      "jal 1\n"            // to pc=12, r31 = 4... offset in words: nextpc + 1*4
+      "addi r1, r0, 99\n"  // skipped
+      "addi r2, r0, 5\n"
+      "jr r31\n"           // back to 4
+      "nop\n");
+  // jal at pc 0: r31 = 4, target = 4 + 4 = 8 -> addi r2. jr r31 -> pc 4:
+  // addi r1 executes the second time around.
+  const ArchTrace t = spec_run(tc, 8);
+  EXPECT_EQ(t.rf_final[31], 4u);
+  EXPECT_EQ(t.rf_final[2], 5u);
+  EXPECT_EQ(t.rf_final[1], 99u);
+}
+
+TEST(SpecSim, JalrLinksAndJumps) {
+  TestCase tc = make_tc(
+      "addi r1, r0, 16\n"
+      "jalr r1\n"            // to pc 16, r31 = 8
+      "addi r2, r0, 99\n"    // skipped
+      "addi r3, r0, 98\n"    // skipped
+      "addi r4, r0, 44\n");  // pc 16
+  const ArchTrace t = spec_run(tc, 6);
+  EXPECT_EQ(t.rf_final[31], 8u);
+  EXPECT_EQ(t.rf_final[4], 44u);
+  EXPECT_EQ(t.rf_final[2], 0u);
+}
+
+TEST(SpecSim, ShiftAmountsMaskedToFiveBits) {
+  TestCase tc = make_tc(
+      "addi r1, r0, 1\n"
+      "addi r2, r0, 33\n"   // 33 & 31 == 1
+      "sll r3, r1, r2\n"
+      "slli r4, r1, 0\n");
+  const ArchTrace t = spec_run(tc, 6);
+  EXPECT_EQ(t.rf_final[3], 2u);
+  EXPECT_EQ(t.rf_final[4], 1u);
+}
+
+TEST(SpecSim, PartialStoresMergeIntoWords) {
+  TestCase tc = make_tc(
+      "lhi r1, 0x1234\n"
+      "ori r1, r1, 0x5678\n"
+      "sw 0x100(r0), r1\n"
+      "addi r2, r0, 0xAB\n"
+      "sb 0x101(r0), r2\n"    // overwrite byte 1
+      "lw r3, 0x100(r0)\n");
+  const ArchTrace t = spec_run(tc, 8);
+  EXPECT_EQ(t.rf_final[3], 0x1234AB78u);
+}
+
+TEST(SpecSim, R0StaysZero) {
+  TestCase tc = make_tc("addi r0, r0, 55\nadd r1, r0, r0\n");
+  const ArchTrace t = spec_run(tc, 4);
+  EXPECT_EQ(t.rf_final[0], 0u);
+  EXPECT_EQ(t.rf_final[1], 0u);
+}
+
+TEST(SpecSim, InitialStateRespected) {
+  TestCase tc = make_tc("lw r2, 0(r1)\nadd r3, r1, r2\n");
+  tc.rf_init[1] = 0x40;
+  tc.dmem_init[0x40] = 1234;
+  const ArchTrace t = spec_run(tc, 4);
+  EXPECT_EQ(t.rf_final[2], 1234u);
+  EXPECT_EQ(t.rf_final[3], 0x40u + 1234u);
+}
+
+TEST(SpecSim, RunsOffEndAsNops) {
+  TestCase tc = make_tc("addi r1, r0, 1\n");
+  SpecSimulator sim(tc);
+  sim.run(50);
+  EXPECT_EQ(sim.reg(1), 1u);
+  EXPECT_EQ(sim.pc(), 200u);
+}
+
+TEST(SpecSim, UnalignedWordAccessAligns) {
+  TestCase tc;
+  tc.dmem_init[0x10] = 0xAABBCCDD;
+  SparseMemory m;
+  m.load(tc.dmem_init);
+  EXPECT_EQ(m.read_word(0x12), 0xAABBCCDDu);  // auto-aligned
+}
+
+TEST(ArchTrace, DiffReportsMismatch) {
+  ArchTrace a, b;
+  a.rf_final[3] = 7;
+  EXPECT_FALSE(a.diff(b).empty());
+  EXPECT_TRUE(a.diff(a).empty());
+  b.rf_final[3] = 7;
+  b.writes.push_back({0, 1, 0xF});
+  EXPECT_NE(a.diff(b).find("store count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hltg

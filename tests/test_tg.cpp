@@ -1,0 +1,183 @@
+// End-to-end tests of the full test-generation algorithm (TG, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "core/emit.h"
+#include "core/tg.h"
+#include "errors/redundancy.h"
+#include "sim/cosim.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+TestGenerator& tg() {
+  static TestGenerator t(model());
+  return t;
+}
+
+DesignError ssl(const char* net, unsigned bit, bool v) {
+  const NetId n = model().dp.find_net(net);
+  EXPECT_NE(n, kNoNet) << net;
+  return DesignError{BusSslError{n, bit, v}};
+}
+
+void expect_detects(const DesignError& e, unsigned max_len = 16) {
+  const TgResult r = tg().generate(e);
+  ASSERT_EQ(r.status, TgStatus::kSuccess) << e.describe(model().dp) << "\n"
+                                          << r.note;
+  EXPECT_TRUE(detects(model(), r.test, e.injection()))
+      << e.describe(model().dp);
+  EXPECT_GE(r.test_length, 3u);
+  EXPECT_LE(r.test_length, max_len);
+}
+
+TEST(Tg, AluAdderStuckLines) {
+  expect_detects(ssl("ex.alu_add", 0, false));
+  expect_detects(ssl("ex.alu_add", 0, true));
+  expect_detects(ssl("ex.alu_add", 31, false));
+  expect_detects(ssl("ex.alu_add", 31, true));
+}
+
+TEST(Tg, AluLogicUnits) {
+  expect_detects(ssl("ex.alu_and", 0, false));
+  expect_detects(ssl("ex.alu_or", 0, true));
+  expect_detects(ssl("ex.alu_xor", 31, true));
+  expect_detects(ssl("ex.alu_sub", 0, false));
+}
+
+TEST(Tg, ShifterOutputs) {
+  expect_detects(ssl("ex.alu_shl", 0, true));
+  expect_detects(ssl("ex.alu_srl", 0, false));
+  expect_detects(ssl("ex.alu_sra", 31, false));
+}
+
+TEST(Tg, PredicateOutputs) {
+  expect_detects(ssl("ex.p_slt", 0, false));
+  expect_detects(ssl("ex.p_seq", 0, true));
+}
+
+TEST(Tg, MemStageBuses) {
+  expect_detects(ssl("exmem.result", 5, false));
+  expect_detects(ssl("exmem.sdata", 0, false));
+  expect_detects(ssl("mem.result", 0, true));
+  expect_detects(ssl("mem.ld_val", 0, false));
+}
+
+TEST(Tg, WbStageBuses) {
+  expect_detects(ssl("memwb.value", 0, false));
+  expect_detects(ssl("memwb.value", 31, true));
+  expect_detects(ssl("memwb.dest", 0, false));
+}
+
+TEST(Tg, BypassBusesAndComparators) {
+  expect_detects(ssl("ex.a_byp", 0, false));
+  expect_detects(ssl("ex.b_byp", 0, true));
+  expect_detects(ssl("sts.fwda_mem", 0, false));
+  expect_detects(ssl("sts.fwda_mem", 0, true));
+  expect_detects(ssl("sts.dest_mem_nz", 0, false));
+}
+
+TEST(Tg, ControlFlowMacroHandlesBranchPath) {
+  // Branch-condition and target errors are only observable through a taken
+  // control transfer; TG must fall back to the divergence templates.
+  expect_detects(ssl("sts.a_zero", 0, false));
+  expect_detects(ssl("sts.a_zero", 0, true));
+  expect_detects(ssl("ex.btarget", 31, true));
+  expect_detects(ssl("ex.redirect_target", 0, true));
+}
+
+TEST(Tg, ModuleSubstitutionError) {
+  const ModId add = model().dp.find_module("ex.alu_add");
+  DesignError e{ModuleSubstitutionError{add, ModuleKind::kSub}};
+  const TgResult r = tg().generate(e);
+  ASSERT_EQ(r.status, TgStatus::kSuccess) << r.note;
+  EXPECT_TRUE(detects(model(), r.test, e.injection()));
+}
+
+TEST(Tg, BusOrderError) {
+  const ModId sub = model().dp.find_module("ex.alu_sub");
+  DesignError e{BusOrderError{sub}};
+  const TgResult r = tg().generate(e);
+  ASSERT_EQ(r.status, TgStatus::kSuccess) << r.note;
+  EXPECT_TRUE(detects(model(), r.test, e.injection()));
+}
+
+TEST(Tg, RedundantErrorAborts) {
+  // Bit 31 of a zero-extended 1-bit predicate is constant 0: stuck-at-0 is
+  // provably undetectable and TG must abort, not fabricate a test.
+  const DesignError e = ssl("ex.slt32", 31, false);
+  const BitConstants bc = analyze_bit_constants(model().dp);
+  EXPECT_TRUE(is_redundant(bc, std::get<BusSslError>(e.e)));
+  const TgResult r = tg().generate(e);
+  EXPECT_NE(r.status, TgStatus::kSuccess);
+}
+
+TEST(Tg, GeneratedTestsAreShort) {
+  // Sec. VI: "typical sequences consist of a few non-trivial instructions
+  // followed by a sequence of NOP instructions", average 6.2.
+  const TgResult r = tg().generate(ssl("ex.alu_add", 7, false));
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  EXPECT_LE(r.test.imem.size(), 8u);
+  EXPECT_LE(r.test_length, 10u);
+}
+
+TEST(Tg, StatsPopulated) {
+  const TgResult r = tg().generate(ssl("ex.alu_sub", 3, true));
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  EXPECT_GE(r.stats.plans_tried, 1u);
+  EXPECT_GE(r.stats.decisions, 1u);
+  EXPECT_GE(r.stats.implications, 1u);
+  EXPECT_GE(r.stats.relax_iterations, 1u);
+}
+
+TEST(Tg, StrategyAdapterConfirms) {
+  auto strat = tg().strategy();
+  const ErrorAttempt a = strat(ssl("ex.alu_add", 2, false));
+  EXPECT_TRUE(a.generated);
+  EXPECT_TRUE(a.sim_confirmed);
+  EXPECT_GT(a.test_length, 0u);
+  EXPECT_GE(a.seconds, 0.0);
+}
+
+TEST(Emit, CpiBitMapping) {
+  // opcode gates map to word bits 26..31, func gates to 0..5.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(instr_bit_of_cpi(model(), model().cpi[i]), 26 + i);
+    EXPECT_EQ(instr_bit_of_cpi(model(), model().cpi[6 + i]), i);
+  }
+  EXPECT_EQ(instr_bit_of_cpi(model(), model().cpi[0] + 1000), -1);
+}
+
+TEST(Emit, StraightLineFetchIndex) {
+  ControllerWindow win(model().ctrl, 6);
+  RelaxVars vars;
+  const EmitResult er = emit_cpi_assignments(model(), win, {}, &vars);
+  ASSERT_TRUE(er.ok);
+  for (unsigned t = 0; t < 6; ++t) EXPECT_EQ(er.fetch_index[t], t);
+}
+
+TEST(Emit, ConflictingBitsRejected) {
+  ControllerWindow win(model().ctrl, 6);
+  RelaxVars vars;
+  const GateId g = model().cpi[0];
+  const EmitResult er =
+      emit_cpi_assignments(model(), win, {{g, 2, true}, {g, 2, false}}, &vars);
+  // Same gate, same cycle, contradictory values: second write must fail.
+  EXPECT_FALSE(er.ok);
+}
+
+TEST(Emit, TrimTrailingNops) {
+  std::vector<std::uint32_t> imem = {5, 0, 0, 0};
+  trim_trailing_nops(&imem);
+  EXPECT_EQ(imem, (std::vector<std::uint32_t>{5}));
+  std::vector<std::uint32_t> all0 = {0, 0};
+  trim_trailing_nops(&all0);
+  EXPECT_EQ(all0.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hltg
