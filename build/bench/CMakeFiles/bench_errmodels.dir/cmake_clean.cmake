@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_errmodels.dir/bench_errmodels.cpp.o"
+  "CMakeFiles/bench_errmodels.dir/bench_errmodels.cpp.o.d"
+  "bench_errmodels"
+  "bench_errmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_errmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

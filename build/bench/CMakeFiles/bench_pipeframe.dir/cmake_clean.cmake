@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeframe.dir/bench_pipeframe.cpp.o"
+  "CMakeFiles/bench_pipeframe.dir/bench_pipeframe.cpp.o.d"
+  "bench_pipeframe"
+  "bench_pipeframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random.dir/bench_random.cpp.o"
+  "CMakeFiles/bench_random.dir/bench_random.cpp.o.d"
+  "bench_random"
+  "bench_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

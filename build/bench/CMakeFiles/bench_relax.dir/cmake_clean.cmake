@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relax.dir/bench_relax.cpp.o"
+  "CMakeFiles/bench_relax.dir/bench_relax.cpp.o.d"
+  "bench_relax"
+  "bench_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

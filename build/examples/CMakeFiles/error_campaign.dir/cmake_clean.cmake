@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_campaign.dir/error_campaign.cpp.o"
+  "CMakeFiles/error_campaign.dir/error_campaign.cpp.o.d"
+  "error_campaign"
+  "error_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_explorer.dir/hazard_explorer.cpp.o"
+  "CMakeFiles/hazard_explorer.dir/hazard_explorer.cpp.o.d"
+  "hazard_explorer"
+  "hazard_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

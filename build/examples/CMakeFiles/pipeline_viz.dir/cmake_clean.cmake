@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_viz.dir/pipeline_viz.cpp.o"
+  "CMakeFiles/pipeline_viz.dir/pipeline_viz.cpp.o.d"
+  "pipeline_viz"
+  "pipeline_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/random_tg.cpp" "src/CMakeFiles/hltg.dir/baseline/random_tg.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/baseline/random_tg.cpp.o.d"
+  "/root/repo/src/baseline/timeframe.cpp" "src/CMakeFiles/hltg.dir/baseline/timeframe.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/baseline/timeframe.cpp.o.d"
+  "/root/repo/src/core/archstate.cpp" "src/CMakeFiles/hltg.dir/core/archstate.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/archstate.cpp.o.d"
+  "/root/repo/src/core/ctrljust.cpp" "src/CMakeFiles/hltg.dir/core/ctrljust.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/ctrljust.cpp.o.d"
+  "/root/repo/src/core/dprelax.cpp" "src/CMakeFiles/hltg.dir/core/dprelax.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/dprelax.cpp.o.d"
+  "/root/repo/src/core/dptrace.cpp" "src/CMakeFiles/hltg.dir/core/dptrace.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/dptrace.cpp.o.d"
+  "/root/repo/src/core/emit.cpp" "src/CMakeFiles/hltg.dir/core/emit.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/emit.cpp.o.d"
+  "/root/repo/src/core/tg.cpp" "src/CMakeFiles/hltg.dir/core/tg.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/tg.cpp.o.d"
+  "/root/repo/src/core/unroll.cpp" "src/CMakeFiles/hltg.dir/core/unroll.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/core/unroll.cpp.o.d"
+  "/root/repo/src/dlx/controller.cpp" "src/CMakeFiles/hltg.dir/dlx/controller.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/dlx/controller.cpp.o.d"
+  "/root/repo/src/dlx/datapath.cpp" "src/CMakeFiles/hltg.dir/dlx/datapath.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/dlx/datapath.cpp.o.d"
+  "/root/repo/src/dlx/dlx.cpp" "src/CMakeFiles/hltg.dir/dlx/dlx.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/dlx/dlx.cpp.o.d"
+  "/root/repo/src/dlx/export_verilog.cpp" "src/CMakeFiles/hltg.dir/dlx/export_verilog.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/dlx/export_verilog.cpp.o.d"
+  "/root/repo/src/dlx/signal_names.cpp" "src/CMakeFiles/hltg.dir/dlx/signal_names.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/dlx/signal_names.cpp.o.d"
+  "/root/repo/src/errors/boe.cpp" "src/CMakeFiles/hltg.dir/errors/boe.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/boe.cpp.o.d"
+  "/root/repo/src/errors/bse.cpp" "src/CMakeFiles/hltg.dir/errors/bse.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/bse.cpp.o.d"
+  "/root/repo/src/errors/bus_ssl.cpp" "src/CMakeFiles/hltg.dir/errors/bus_ssl.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/bus_ssl.cpp.o.d"
+  "/root/repo/src/errors/campaign.cpp" "src/CMakeFiles/hltg.dir/errors/campaign.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/campaign.cpp.o.d"
+  "/root/repo/src/errors/coverage.cpp" "src/CMakeFiles/hltg.dir/errors/coverage.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/coverage.cpp.o.d"
+  "/root/repo/src/errors/inject.cpp" "src/CMakeFiles/hltg.dir/errors/inject.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/inject.cpp.o.d"
+  "/root/repo/src/errors/mse.cpp" "src/CMakeFiles/hltg.dir/errors/mse.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/mse.cpp.o.d"
+  "/root/repo/src/errors/redundancy.cpp" "src/CMakeFiles/hltg.dir/errors/redundancy.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/redundancy.cpp.o.d"
+  "/root/repo/src/errors/report.cpp" "src/CMakeFiles/hltg.dir/errors/report.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/errors/report.cpp.o.d"
+  "/root/repo/src/gatenet/eval3.cpp" "src/CMakeFiles/hltg.dir/gatenet/eval3.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/gatenet/eval3.cpp.o.d"
+  "/root/repo/src/gatenet/gate_builder.cpp" "src/CMakeFiles/hltg.dir/gatenet/gate_builder.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/gatenet/gate_builder.cpp.o.d"
+  "/root/repo/src/gatenet/gatenet.cpp" "src/CMakeFiles/hltg.dir/gatenet/gatenet.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/gatenet/gatenet.cpp.o.d"
+  "/root/repo/src/gatenet/levelize.cpp" "src/CMakeFiles/hltg.dir/gatenet/levelize.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/gatenet/levelize.cpp.o.d"
+  "/root/repo/src/isa/asm.cpp" "src/CMakeFiles/hltg.dir/isa/asm.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/isa/asm.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/hltg.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encode.cpp" "src/CMakeFiles/hltg.dir/isa/encode.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/isa/encode.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/hltg.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/isa/spec_sim.cpp" "src/CMakeFiles/hltg.dir/isa/spec_sim.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/isa/spec_sim.cpp.o.d"
+  "/root/repo/src/isa/testcase_io.cpp" "src/CMakeFiles/hltg.dir/isa/testcase_io.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/isa/testcase_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/hltg.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/check.cpp" "src/CMakeFiles/hltg.dir/netlist/check.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/check.cpp.o.d"
+  "/root/repo/src/netlist/costate.cpp" "src/CMakeFiles/hltg.dir/netlist/costate.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/costate.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/CMakeFiles/hltg.dir/netlist/dot.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/dot.cpp.o.d"
+  "/root/repo/src/netlist/eval.cpp" "src/CMakeFiles/hltg.dir/netlist/eval.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/eval.cpp.o.d"
+  "/root/repo/src/netlist/module_kind.cpp" "src/CMakeFiles/hltg.dir/netlist/module_kind.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/module_kind.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/hltg.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/scoap.cpp" "src/CMakeFiles/hltg.dir/netlist/scoap.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/netlist/scoap.cpp.o.d"
+  "/root/repo/src/sim/cosim.cpp" "src/CMakeFiles/hltg.dir/sim/cosim.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/sim/cosim.cpp.o.d"
+  "/root/repo/src/sim/diff_debug.cpp" "src/CMakeFiles/hltg.dir/sim/diff_debug.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/sim/diff_debug.cpp.o.d"
+  "/root/repo/src/sim/proc_sim.cpp" "src/CMakeFiles/hltg.dir/sim/proc_sim.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/sim/proc_sim.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/hltg.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/hltg.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/hltg.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/hltg.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/logic3.cpp" "src/CMakeFiles/hltg.dir/util/logic3.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/util/logic3.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/hltg.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/hltg.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

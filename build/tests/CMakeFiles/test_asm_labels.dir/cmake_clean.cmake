@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_labels.dir/test_asm_labels.cpp.o"
+  "CMakeFiles/test_asm_labels.dir/test_asm_labels.cpp.o.d"
+  "test_asm_labels"
+  "test_asm_labels.pdb"
+  "test_asm_labels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

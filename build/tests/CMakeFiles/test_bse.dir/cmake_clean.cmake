@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bse.dir/test_bse.cpp.o"
+  "CMakeFiles/test_bse.dir/test_bse.cpp.o.d"
+  "test_bse"
+  "test_bse.pdb"
+  "test_bse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

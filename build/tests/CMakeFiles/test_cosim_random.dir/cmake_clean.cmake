@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosim_random.dir/test_cosim_random.cpp.o"
+  "CMakeFiles/test_cosim_random.dir/test_cosim_random.cpp.o.d"
+  "test_cosim_random"
+  "test_cosim_random.pdb"
+  "test_cosim_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosim_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costate.dir/test_costate.cpp.o"
+  "CMakeFiles/test_costate.dir/test_costate.cpp.o.d"
+  "test_costate"
+  "test_costate.pdb"
+  "test_costate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

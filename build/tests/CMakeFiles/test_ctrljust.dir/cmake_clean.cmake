@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctrljust.dir/test_ctrljust.cpp.o"
+  "CMakeFiles/test_ctrljust.dir/test_ctrljust.cpp.o.d"
+  "test_ctrljust"
+  "test_ctrljust.pdb"
+  "test_ctrljust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctrljust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debug_tools.dir/test_debug_tools.cpp.o"
+  "CMakeFiles/test_debug_tools.dir/test_debug_tools.cpp.o.d"
+  "test_debug_tools"
+  "test_debug_tools.pdb"
+  "test_debug_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debug_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlx_model.dir/test_dlx_model.cpp.o"
+  "CMakeFiles/test_dlx_model.dir/test_dlx_model.cpp.o.d"
+  "test_dlx_model"
+  "test_dlx_model.pdb"
+  "test_dlx_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

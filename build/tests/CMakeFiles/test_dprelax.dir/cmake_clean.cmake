@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dprelax.dir/test_dprelax.cpp.o"
+  "CMakeFiles/test_dprelax.dir/test_dprelax.cpp.o.d"
+  "test_dprelax"
+  "test_dprelax.pdb"
+  "test_dprelax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dprelax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

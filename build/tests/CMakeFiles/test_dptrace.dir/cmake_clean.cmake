@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dptrace.dir/test_dptrace.cpp.o"
+  "CMakeFiles/test_dptrace.dir/test_dptrace.cpp.o.d"
+  "test_dptrace"
+  "test_dptrace.pdb"
+  "test_dptrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

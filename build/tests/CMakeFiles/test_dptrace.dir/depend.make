@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dptrace.
+# This may be replaced when dependencies are built.

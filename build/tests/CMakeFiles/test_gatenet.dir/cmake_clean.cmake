@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gatenet.dir/test_gatenet.cpp.o"
+  "CMakeFiles/test_gatenet.dir/test_gatenet.cpp.o.d"
+  "test_gatenet"
+  "test_gatenet.pdb"
+  "test_gatenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gatenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_report.dir/test_io_report.cpp.o"
+  "CMakeFiles/test_io_report.dir/test_io_report.cpp.o.d"
+  "test_io_report"
+  "test_io_report.pdb"
+  "test_io_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nobypass.dir/test_nobypass.cpp.o"
+  "CMakeFiles/test_nobypass.dir/test_nobypass.cpp.o.d"
+  "test_nobypass"
+  "test_nobypass.pdb"
+  "test_nobypass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nobypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc_sim.dir/test_proc_sim.cpp.o"
+  "CMakeFiles/test_proc_sim.dir/test_proc_sim.cpp.o.d"
+  "test_proc_sim"
+  "test_proc_sim.pdb"
+  "test_proc_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

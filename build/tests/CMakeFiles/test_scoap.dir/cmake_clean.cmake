@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scoap.dir/test_scoap.cpp.o"
+  "CMakeFiles/test_scoap.dir/test_scoap.cpp.o.d"
+  "test_scoap"
+  "test_scoap.pdb"
+  "test_scoap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scoap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

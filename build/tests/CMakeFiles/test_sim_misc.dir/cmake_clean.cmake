@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_misc.dir/test_sim_misc.cpp.o"
+  "CMakeFiles/test_sim_misc.dir/test_sim_misc.cpp.o.d"
+  "test_sim_misc"
+  "test_sim_misc.pdb"
+  "test_sim_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

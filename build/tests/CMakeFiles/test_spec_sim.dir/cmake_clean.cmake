@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_sim.dir/test_spec_sim.cpp.o"
+  "CMakeFiles/test_spec_sim.dir/test_spec_sim.cpp.o.d"
+  "test_spec_sim"
+  "test_spec_sim.pdb"
+  "test_spec_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tg.dir/test_tg.cpp.o"
+  "CMakeFiles/test_tg.dir/test_tg.cpp.o.d"
+  "test_tg"
+  "test_tg.pdb"
+  "test_tg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_costate[1]_include.cmake")
+include("/root/repo/build/tests/test_scoap[1]_include.cmake")
+include("/root/repo/build/tests/test_gatenet[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dlx_model[1]_include.cmake")
+include("/root/repo/build/tests/test_proc_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cosim_random[1]_include.cmake")
+include("/root/repo/build/tests/test_errors[1]_include.cmake")
+include("/root/repo/build/tests/test_ctrljust[1]_include.cmake")
+include("/root/repo/build/tests/test_dptrace[1]_include.cmake")
+include("/root/repo/build/tests/test_dprelax[1]_include.cmake")
+include("/root/repo/build/tests/test_tg[1]_include.cmake")
+include("/root/repo/build/tests/test_timeframe[1]_include.cmake")
+include("/root/repo/build/tests/test_redundancy[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_bse[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_asm_labels[1]_include.cmake")
+include("/root/repo/build/tests/test_nobypass[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_io_report[1]_include.cmake")
+include("/root/repo/build/tests/test_debug_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
