@@ -3,11 +3,24 @@
 //
 //   $ ./error_campaign [--stages EX,MEM,WB] [--model ssl|mse|boe|bse] [-v]
 //                      [--csv out.csv] [--save-tests dir]
+//                      [--deadline-ms N] [--max-backtracks N]
+//                      [--max-decisions N] [--fallback [tries]]
+//                      [--journal file.jsonl] [--resume]
+//
+// Resilience controls (docs/ROBUSTNESS.md): --deadline-ms / --max-* arm a
+// per-error budget; --fallback retries budget-exhausted errors with the
+// biased-random baseline generator; --journal checkpoints one fsync'd JSONL
+// row per error so an interrupted run restarted with --resume reproduces
+// the identical summary; Ctrl-C cancels cooperatively (the current error
+// finishes and is journaled before the partial summary prints).
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "baseline/random_tg.h"
 #include "core/tg.h"
 #include "errors/redundancy.h"
 #include "errors/report.h"
@@ -28,13 +41,18 @@ std::vector<Stage> parse_stages(const std::string& s) {
   return out;
 }
 
+CancelToken g_cancel;
+extern "C" void on_sigint(int) { g_cancel.request_stop(); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<Stage> stages = {Stage::kEX, Stage::kMEM, Stage::kWB};
   std::string emodel = "ssl";
   std::string csv_path, save_dir;
-  bool verbose = false;
+  CampaignConfig ccfg;
+  bool use_fallback = false;
+  unsigned fallback_tries = 64;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--stages") && i + 1 < argc)
       stages = parse_stages(argv[++i]);
@@ -44,11 +62,35 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     else if (!std::strcmp(argv[i], "--save-tests") && i + 1 < argc)
       save_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc)
+      ccfg.budget.deadline_seconds = std::atof(argv[++i]) / 1000.0;
+    else if (!std::strcmp(argv[i], "--max-backtracks") && i + 1 < argc)
+      ccfg.budget.max_backtracks =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--max-decisions") && i + 1 < argc)
+      ccfg.budget.max_decisions =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--fallback")) {
+      use_fallback = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        fallback_tries = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--journal") && i + 1 < argc)
+      ccfg.journal_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--resume"))
+      ccfg.resume = true;
     else if (!std::strcmp(argv[i], "-v"))
-      verbose = true;
+      ccfg.verbose = true;
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
   }
   if (stages.empty()) {
     std::fprintf(stderr, "no valid stages\n");
+    return 1;
+  }
+  if (ccfg.resume && ccfg.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal\n");
     return 1;
   }
 
@@ -72,8 +114,28 @@ int main(int argc, char** argv) {
   }
   std::printf("error model %s, %zu errors\n", emodel.c_str(), errors.size());
 
+  std::signal(SIGINT, on_sigint);
+  ccfg.cancel = &g_cancel;
+  ccfg.budget.cancel = &g_cancel;
+  if (use_fallback) {
+    RandomTgConfig rcfg;
+    rcfg.max_programs_per_error = fallback_tries;
+    ccfg.fallback = random_budgeted_strategy(m, rcfg);
+    ccfg.fallback_budget = ccfg.budget;  // same deadline/caps per attempt
+  }
+
   TestGenerator tg(m);
-  const CampaignResult res = run_campaign(m.dp, errors, tg.strategy(), verbose);
+  const CampaignResult res =
+      run_campaign(m.dp, errors, tg.budgeted_strategy(), ccfg);
+  if (!res.journal_note.empty())
+    std::fprintf(stderr, "journal: %s\n", res.journal_note.c_str());
+  if (res.resumed_rows > 0)
+    std::printf("resumed %zu journaled errors, ran %zu\n", res.resumed_rows,
+                res.stats.attempted - res.resumed_rows);
+  if (res.interrupted)
+    std::printf("interrupted after %zu of %zu errors (journal is "
+                "resumable)\n",
+                res.stats.attempted, res.stats.total);
   std::printf("%s\n", res.stats.table1("campaign summary").c_str());
 
   if (!csv_path.empty()) {
@@ -85,7 +147,7 @@ int main(int argc, char** argv) {
     unsigned saved = 0;
     for (std::size_t i = 0; i < res.rows.size(); ++i) {
       const ErrorAttempt& a = res.rows[i].attempt;
-      if (!a.generated || !a.sim_confirmed) continue;
+      if (!a.detected()) continue;
       save_test(a.test, save_dir + "/test_" + std::to_string(i) + ".txt");
       ++saved;
     }
@@ -94,20 +156,25 @@ int main(int argc, char** argv) {
 
   // Post-mortem on aborted errors: separate provable redundancy from
   // genuine generator give-ups.
-  if (emodel == "ssl") {
+  if (emodel == "ssl" && !res.interrupted) {
     const BitConstants bc = analyze_bit_constants(m.dp);
     std::size_t redundant = 0;
     std::printf("aborted errors:\n");
     for (const CampaignRow& row : res.rows) {
-      if (row.attempt.generated && row.attempt.sim_confirmed) continue;
+      if (row.attempt.detected()) continue;
       const auto& e = std::get<BusSslError>(row.error.e);
       const bool red = is_redundant(bc, e);
       redundant += red;
       std::printf("  %-44s %s\n", row.error.describe(m.dp).c_str(),
-                  red ? "provably undetectable" : "generator gave up");
+                  red ? "provably undetectable"
+                      : row.attempt.abort == AbortReason::kNone
+                            ? "generator gave up"
+                            : ("aborted: " +
+                               std::string(to_string(row.attempt.abort)))
+                                .c_str());
     }
     std::printf("%zu of %zu aborted errors are provably undetectable\n",
                 redundant, res.stats.aborted);
   }
-  return 0;
+  return res.interrupted ? 130 : 0;
 }

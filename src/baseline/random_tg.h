@@ -34,4 +34,10 @@ TestCase random_test(Rng& rng, const RandomTgConfig& cfg);
 /// random programs; first one whose dual simulation mismatches wins.
 TestGenFn random_strategy(const DlxModel& m, RandomTgConfig cfg = {});
 
+/// Budget-aware variant (the campaign's graceful-degradation fallback):
+/// polls the budget between candidate programs, so a deadline, cap, or
+/// cancellation ends the attempt promptly with the abort reason recorded.
+BudgetedGenFn random_budgeted_strategy(const DlxModel& m,
+                                       RandomTgConfig cfg = {});
+
 }  // namespace hltg

@@ -95,7 +95,8 @@ bool CtrlJust::backtrace(CtrlObjective o, Decision* out) const {
   return false;
 }
 
-CtrlJustResult CtrlJust::solve(const std::vector<CtrlObjective>& objectives) {
+CtrlJustResult CtrlJust::solve(const std::vector<CtrlObjective>& objectives,
+                               Budget* budget) {
   CtrlJustResult res;
   win_.clear();
   std::vector<Decision> stack;
@@ -110,7 +111,18 @@ CtrlJustResult CtrlJust::solve(const std::vector<CtrlObjective>& objectives) {
     if (res.stats.backtracks > cfg_.max_backtracks ||
         res.stats.decisions > cfg_.max_decisions) {
       res.status = TgStatus::kFailure;
+      res.abort = res.stats.backtracks > cfg_.max_backtracks
+                      ? AbortReason::kBacktracks
+                      : AbortReason::kDecisions;
       break;
+    }
+    if (budget) {
+      const AbortReason why = budget->exhausted();
+      if (why != AbortReason::kNone) {
+        res.status = TgStatus::kFailure;
+        res.abort = why;
+        break;
+      }
     }
     // Classify objectives. Prefer backtracing an objective that wants a 1:
     // on the decoder's one-hot OR planes a 1-objective pins a complete
@@ -143,6 +155,7 @@ CtrlJustResult CtrlJust::solve(const std::vector<CtrlObjective>& objectives) {
     if (violated) {
       // Backtrack: flip the most recent unflipped decision.
       ++res.stats.backtracks;
+      if (budget) budget->charge_backtracks(1);
       bool resumed = false;
       while (!stack.empty()) {
         Decision& d = stack.back();
@@ -171,6 +184,7 @@ CtrlJustResult CtrlJust::solve(const std::vector<CtrlObjective>& objectives) {
 
     // Take the decision.
     ++res.stats.decisions;
+    if (budget) budget->charge_decisions(1);
     win_.assign(next.gate, next.cycle, l3_from_bool(next.value));
     if (cfg_.record_trace)
       res.trace.push_back(

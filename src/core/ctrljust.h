@@ -15,6 +15,7 @@
 
 #include "core/objectives.h"
 #include "core/unroll.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace hltg {
@@ -35,6 +36,9 @@ struct CtrlJustStats {
 
 struct CtrlJustResult {
   TgStatus status = TgStatus::kFailure;
+  /// Why the search unwound when status == kFailure with objectives still
+  /// open (per-search caps, or the attempt-wide budget firing).
+  AbortReason abort = AbortReason::kNone;
   /// Decisions/implied values on STS variables: (gate, cycle, value). Every
   /// entry becomes a datapath justification obligation for DPRELAX.
   std::vector<std::tuple<GateId, unsigned, bool>> sts_assignments;
@@ -60,7 +64,11 @@ class CtrlJust {
   CtrlJust(const GateNet& gn, unsigned cycles, CtrlJustConfig cfg = {});
 
   /// Solve for the given objectives, starting from an empty assignment.
-  CtrlJustResult solve(const std::vector<CtrlObjective>& objectives);
+  /// `budget`, when given, is polled every iteration and charged with the
+  /// search's decisions/backtracks; when it fires the search unwinds with
+  /// kFailure and the abort reason set.
+  CtrlJustResult solve(const std::vector<CtrlObjective>& objectives,
+                       Budget* budget = nullptr);
 
   /// The window (exposed so TG can read the full implied CTRL trajectory
   /// after a successful solve).

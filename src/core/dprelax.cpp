@@ -343,7 +343,7 @@ bool DpRelax::perturb_site(RelaxVars& vars, const WindowCapture& cap,
 
 DpRelaxResult DpRelax::solve(RelaxVars& vars,
                              const std::vector<RelaxConstraint>& constraints,
-                             const ErrorInjection& inj) {
+                             const ErrorInjection& inj, Budget* budget) {
   DpRelaxResult res;
   const bool needs_err = [&] {
     for (const auto& c : constraints)
@@ -352,6 +352,15 @@ DpRelaxResult DpRelax::solve(RelaxVars& vars,
   }();
 
   for (unsigned iter = 0; iter < cfg_.max_iterations; ++iter) {
+    if (budget) {
+      const AbortReason why = budget->exhausted();
+      if (why != AbortReason::kNone) {
+        res.status = TgStatus::kFailure;
+        res.abort = why;
+        res.note = std::string("budget: ") + std::string(to_string(why));
+        return res;
+      }
+    }
     res.iterations = iter + 1;
     const WindowCapture good = capture_window(m_, vars.to_test(), T_);
     WindowCapture err;

@@ -25,6 +25,7 @@
 
 #include "core/archstate.h"
 #include "core/objectives.h"
+#include "util/budget.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -50,6 +51,7 @@ struct DpRelaxConfig {
 
 struct DpRelaxResult {
   TgStatus status = TgStatus::kFailure;
+  AbortReason abort = AbortReason::kNone;  ///< set when the budget fired
   unsigned iterations = 0;
   std::string note;
 };
@@ -60,9 +62,10 @@ class DpRelax {
 
   /// Iterate until every constraint holds in the good machine (and, for
   /// kSiteDiffers constraints, the erroneous machine diverges at the site).
+  /// `budget`, when given, is polled once per relaxation sweep.
   DpRelaxResult solve(RelaxVars& vars,
                       const std::vector<RelaxConstraint>& constraints,
-                      const ErrorInjection& inj);
+                      const ErrorInjection& inj, Budget* budget = nullptr);
 
  private:
   bool violated(const RelaxConstraint& c, const WindowCapture& good,

@@ -324,7 +324,8 @@ unsigned DpTrace::earliest_cycle(NetId n) const {
 }
 
 std::vector<PathPlan> DpTrace::plans(
-    NetId site, const std::vector<RelaxConstraint>& activation) const {
+    NetId site, const std::vector<RelaxConstraint>& activation,
+    Budget* budget) const {
   std::vector<PathPlan> out;
   if (!observable_[site]) return out;
 
@@ -333,6 +334,9 @@ std::vector<PathPlan> DpTrace::plans(
   const unsigned t_min = earliest_cycle(site);
   for (unsigned t_act = t_min;
        t_act + 1 < cfg_.window && out.size() < cfg_.max_plans; ++t_act) {
+    // A fired budget stops enumeration; the plans found so far are still
+    // valid, so TG can try them (and will hit the same budget right away).
+    if (budget && budget->exhausted() != AbortReason::kNone) break;
     struct Node {
       NetId net;
       unsigned cycle;

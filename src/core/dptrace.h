@@ -27,6 +27,7 @@
 #include "core/objectives.h"
 #include "dlx/dlx.h"
 #include "netlist/scoap.h"
+#include "util/budget.h"
 
 namespace hltg {
 
@@ -45,8 +46,11 @@ class DpTrace {
   /// Enumerate candidate propagation plans for an error site, cheapest
   /// first. The `activation` constraints are appended to each plan's relax
   /// constraints with their cycle set to the plan's activation cycle.
-  std::vector<PathPlan> plans(
-      NetId site, const std::vector<RelaxConstraint>& activation) const;
+  /// `budget`, when given, is polled per activation cycle; a fired budget
+  /// truncates the enumeration (already-found plans are returned).
+  std::vector<PathPlan> plans(NetId site,
+                              const std::vector<RelaxConstraint>& activation,
+                              Budget* budget = nullptr) const;
 
   /// Static optimistic observability: can this net's error effect possibly
   /// reach an observation point (O-state could become O3)? Used by tests

@@ -67,11 +67,13 @@ std::vector<CtrlObjective> TestGenerator::usage_objectives(
   return out;
 }
 
-TgResult TestGenerator::generate(const DesignError& err) {
-  TgResult first = generate_with_window(err, cfg_.window);
+TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
+  TgResult first = generate_with_window(err, cfg_.window, budget);
   if (first.status == TgStatus::kSuccess || cfg_.retry_window <= cfg_.window)
     return first;
-  TgResult second = generate_with_window(err, cfg_.retry_window);
+  // A fired budget covers the whole attempt: no window retry on its dime.
+  if (first.stats.abort != AbortReason::kNone) return first;
+  TgResult second = generate_with_window(err, cfg_.retry_window, budget);
   // Carry the accumulated effort of both attempts.
   second.stats.plans_tried += first.stats.plans_tried;
   second.stats.plan_retries += first.stats.plan_retries;
@@ -85,8 +87,20 @@ TgResult TestGenerator::generate(const DesignError& err) {
 }
 
 TgResult TestGenerator::generate_with_window(const DesignError& err,
-                                             unsigned window) {
+                                             unsigned window, Budget* budget) {
   TgResult res;
+  // Unwind with a structured abort reason; the partial stats stay valid.
+  auto budget_fired = [&]() -> bool {
+    if (!budget) return false;
+    const AbortReason why = budget->exhausted();
+    if (why == AbortReason::kNone) return false;
+    res.status = TgStatus::kFailure;
+    res.stats.abort = why;
+    if (!res.note.empty()) res.note += "; ";
+    res.note += "budget: " + std::string(to_string(why));
+    return true;
+  };
+  if (budget_fired()) return res;
   const ErrorInjection inj = err.injection();
   const NetId site = err.site_net(m_.dp);
   const bool base_window = window == cfg_.window;
@@ -110,7 +124,8 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     return res;
   }
 
-  const auto plans = tracer.plans(site, activation_constraints(err));
+  const auto plans = tracer.plans(site, activation_constraints(err), budget);
+  if (budget_fired()) return res;
   if (plans.empty()) {
     res.note = "DPTRACE: no propagation path";
     return res;
@@ -140,6 +155,7 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
   };
 
   for (const PathPlan& plan : plans) {
+    if (budget_fired()) return res;
     if (cfg_.shape_dedup && unconfirmed_shapes.count(shape_of(plan))) continue;
     if (cfg_.reset_precheck && reset_violates(plan)) continue;
     ++res.stats.plans_tried;
@@ -157,11 +173,14 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
       objectives.push_back(o);
 
     CtrlJust cj(m_.ctrl, window, cfg_.ctrljust);
-    const CtrlJustResult cr = cj.solve(objectives);
+    const CtrlJustResult cr = cj.solve(objectives, budget);
     res.stats.decisions += cr.stats.decisions;
     res.stats.backtracks += cr.stats.backtracks;
     res.stats.implications += cr.stats.implications;
     if (cr.status != TgStatus::kSuccess) {
+      // Per-search caps (cr.abort) just fail this plan; only the
+      // attempt-wide budget aborts the whole error.
+      if (budget_fired()) return res;
       fail_note("CTRLJUST failed");
       continue;
     }
@@ -194,9 +213,10 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     rcfg.seed ^= static_cast<std::uint64_t>(err.site_net(m_.dp)) * 0x9E3779B9u +
                  res.stats.plans_tried;
     DpRelax relax(m_, window, rcfg);
-    const DpRelaxResult rr = relax.solve(vars, cons, inj);
+    const DpRelaxResult rr = relax.solve(vars, cons, inj, budget);
     res.stats.relax_iterations += rr.iterations;
     if (rr.status != TgStatus::kSuccess) {
+      if (budget_fired()) return res;
       fail_note("DPRELAX: " + rr.note);
       continue;
     }
@@ -213,6 +233,7 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     res.test_length = plan.observe_cycle + 1;
     return res;
   }
+  if (budget_fired()) return res;
   TgResult macro = cfg_.control_flow_macros ? try_control_flow_macro(err)
                                             : TgResult{};
   if (macro.status == TgStatus::kSuccess) {
@@ -258,22 +279,39 @@ TgResult TestGenerator::try_control_flow_macro(const DesignError& err) const {
   return res;
 }
 
+namespace {
+ErrorAttempt to_attempt(const TgResult& r, double seconds) {
+  ErrorAttempt a;
+  a.seconds = seconds;
+  a.generated = r.status == TgStatus::kSuccess;
+  a.sim_confirmed = a.generated;  // generate() confirms before returning
+  a.test = r.test;
+  a.test_length = r.test_length;
+  a.backtracks = r.stats.backtracks + r.stats.plan_retries;
+  a.decisions = r.stats.decisions;
+  a.note = r.note;
+  a.abort = r.stats.abort;
+  return a;
+}
+}  // namespace
+
 TestGenFn TestGenerator::strategy() {
   return [this](const DesignError& err) {
-    ErrorAttempt a;
     const auto t0 = std::chrono::steady_clock::now();
     const TgResult r = generate(err);
-    a.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    a.generated = r.status == TgStatus::kSuccess;
-    a.sim_confirmed = a.generated;  // generate() confirms before returning
-    a.test = r.test;
-    a.test_length = r.test_length;
-    a.backtracks = r.stats.backtracks + r.stats.plan_retries;
-    a.decisions = r.stats.decisions;
-    a.note = r.note;
-    return a;
+    return to_attempt(
+        r, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count());
+  };
+}
+
+BudgetedGenFn TestGenerator::budgeted_strategy() {
+  return [this](const DesignError& err, Budget& budget) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TgResult r = generate(err, &budget);
+    return to_attempt(
+        r, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count());
   };
 }
 

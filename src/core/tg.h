@@ -47,6 +47,10 @@ struct TgStats {
   std::uint64_t backtracks = 0;     ///< CTRLJUST search backtracks
   std::uint64_t implications = 0;
   std::uint64_t relax_iterations = 0;
+  /// Set when the attempt unwound because its Budget fired (deadline /
+  /// backtracks / decisions / cancelled); kNone for ordinary exhaustion of
+  /// the plan list or for success.
+  AbortReason abort = AbortReason::kNone;
 };
 
 struct TgResult {
@@ -61,13 +65,21 @@ class TestGenerator {
  public:
   TestGenerator(const DlxModel& m, TgConfig cfg = {});
 
-  TgResult generate(const DesignError& err);
+  /// `budget`, when given, covers the whole attempt (both windows, every
+  /// plan, all three engines); when it fires mid-search the attempt unwinds
+  /// cleanly with kFailure and stats.abort set.
+  TgResult generate(const DesignError& err, Budget* budget = nullptr);
 
   /// One attempt with a fixed window (generate() adds the window retry).
-  TgResult generate_with_window(const DesignError& err, unsigned window);
+  TgResult generate_with_window(const DesignError& err, unsigned window,
+                                Budget* budget = nullptr);
 
   /// Adapter for the campaign driver.
   TestGenFn strategy();
+
+  /// Budget-aware adapter: the campaign arms one fresh Budget per error and
+  /// passes it in; the attempt records the structured abort reason.
+  BudgetedGenFn budgeted_strategy();
 
   /// Last-resort templates for errors in the control-transfer path (branch
   /// condition / target buses): a taken branch plus marker stores on the

@@ -2,16 +2,43 @@
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <utility>
 
+#include "errors/journal.h"
 #include "util/table.h"
 
 namespace hltg {
+
+BudgetedGenFn ignore_budget(TestGenFn gen) {
+  return [gen = std::move(gen)](const DesignError& err, Budget&) {
+    return gen(err);
+  };
+}
 
 std::string CampaignStats::table1(const std::string& title) const {
   TextTable t({title, "value"});
   t.add_kv("No. of errors", std::to_string(total));
   t.add_kv("No. of errors detected", std::to_string(detected));
+  if (detected_fallback > 0) {
+    t.add_kv("  detected by deterministic TG",
+             std::to_string(detected_deterministic));
+    t.add_kv("  detected by fallback generator",
+             std::to_string(detected_fallback));
+  }
   t.add_kv("No. of errors aborted", std::to_string(aborted));
+  auto abort_row = [&](const char* label, std::size_t n) {
+    if (n > 0) t.add_kv(label, std::to_string(n));
+  };
+  abort_row("  aborted: deadline", aborted_deadline);
+  abort_row("  aborted: backtrack limit", aborted_backtracks);
+  abort_row("  aborted: decision limit", aborted_decisions);
+  abort_row("  aborted: cancelled", aborted_cancelled);
+  abort_row("  aborted: exception", aborted_exception);
+  if (attempted < total)
+    t.add_kv("No. of errors not attempted (interrupted)",
+             std::to_string(total - attempted));
   t.add_kv("Average test sequence length", fmt_double(avg_test_length, 1));
   t.add_kv("No. of backtracks (detected errors only)",
            std::to_string(backtracks));
@@ -19,39 +46,200 @@ std::string CampaignStats::table1(const std::string& title) const {
   return t.to_string();
 }
 
+namespace {
+
+void accumulate(CampaignStats* s, const ErrorAttempt& a,
+                std::uint64_t* length_sum) {
+  ++s->attempted;
+  if (a.detected()) {
+    ++s->detected;
+    if (a.via_fallback)
+      ++s->detected_fallback;
+    else
+      ++s->detected_deterministic;
+    *length_sum += a.test_length;
+    s->backtracks += a.backtracks;
+    s->decisions += a.decisions;
+    if (s->length_histogram.size() <= a.test_length)
+      s->length_histogram.resize(a.test_length + 1, 0);
+    ++s->length_histogram[a.test_length];
+  } else {
+    ++s->aborted;
+    switch (a.abort) {
+      case AbortReason::kDeadline: ++s->aborted_deadline; break;
+      case AbortReason::kBacktracks: ++s->aborted_backtracks; break;
+      case AbortReason::kDecisions: ++s->aborted_decisions; break;
+      case AbortReason::kCancelled: ++s->aborted_cancelled; break;
+      case AbortReason::kException: ++s->aborted_exception; break;
+      case AbortReason::kNone: break;
+    }
+  }
+  s->cpu_seconds += a.seconds;
+}
+
+void append_note(std::string* dst, const std::string& more) {
+  if (more.empty()) return;
+  if (!dst->empty()) *dst += "; ";
+  *dst += more;
+}
+
+/// One error through the resilient pipeline: fault hook, primary generator
+/// under its budget, exception capture, graceful degradation.
+ErrorAttempt attempt_one(const DesignError& err, std::size_t index,
+                         const BudgetedGenFn& gen, const CampaignConfig& cfg) {
+  const CampaignFault* fault = nullptr;
+  if (cfg.faults) {
+    const auto it = cfg.faults->find(index);
+    if (it != cfg.faults->end()) fault = &it->second;
+  }
+
+  ErrorAttempt a;
+  try {
+    if (fault && fault->kind == CampaignFault::Kind::kThrow) {
+      throw std::runtime_error("fault-injected generator failure");
+    } else if (fault && fault->kind == CampaignFault::Kind::kBudgetExhaust) {
+      a.abort = fault->abort;
+      a.note = "fault: forced budget exhaustion";
+    } else if (fault && fault->kind == CampaignFault::Kind::kForceAttempt) {
+      a = fault->attempt;
+    } else {
+      Budget budget = cfg.budget.arm();
+      a = gen(err, budget);
+    }
+  } catch (const std::exception& e) {
+    a = ErrorAttempt{};
+    a.abort = AbortReason::kException;
+    a.note = std::string("generator threw: ") + e.what();
+  } catch (...) {
+    a = ErrorAttempt{};
+    a.abort = AbortReason::kException;
+    a.note = "generator threw a non-std exception";
+  }
+
+  const bool degradable =
+      !a.detected() && a.abort != AbortReason::kCancelled &&
+      (cfg.fallback || (fault && fault->force_fallback));
+  if (!degradable) return a;
+
+  ErrorAttempt fb;
+  try {
+    if (fault && fault->force_fallback) {
+      fb = fault->fallback_attempt;
+    } else {
+      Budget budget = cfg.fallback_budget.arm();
+      fb = cfg.fallback(err, budget);
+    }
+  } catch (const std::exception& e) {
+    fb = ErrorAttempt{};
+    fb.abort = AbortReason::kException;
+    fb.note = std::string("threw: ") + e.what();
+  } catch (...) {
+    fb = ErrorAttempt{};
+    fb.abort = AbortReason::kException;
+    fb.note = "threw a non-std exception";
+  }
+  if (!fb.detected()) {
+    // Keep the primary attempt's record (its abort reason explains the
+    // Table-1 outcome); charge the fallback's time and note its failure.
+    a.seconds += fb.seconds;
+    append_note(&a.note,
+                "fallback failed" + (fb.note.empty() ? "" : ": " + fb.note));
+    return a;
+  }
+  fb.via_fallback = true;
+  // Carry the primary attempt's effort so Table-1 cost stays honest.
+  fb.seconds += a.seconds;
+  fb.backtracks += a.backtracks;
+  fb.decisions += a.decisions;
+  std::string note = a.note;
+  append_note(&note, fb.note.empty() ? "detected by fallback" : fb.note);
+  fb.note = std::move(note);
+  return fb;
+}
+
+const char* outcome_tag(const ErrorAttempt& a) {
+  switch (a.outcome()) {
+    case AttemptOutcome::kDetectedDeterministic: return "det ";
+    case AttemptOutcome::kDetectedFallback: return "fbk ";
+    case AttemptOutcome::kAborted: return "abrt";
+  }
+  return "?";
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const Netlist& nl,
                             const std::vector<DesignError>& errors,
-                            const TestGenFn& gen, bool verbose) {
+                            const BudgetedGenFn& gen,
+                            const CampaignConfig& cfg) {
   CampaignResult res;
   res.stats.total = errors.size();
   std::uint64_t length_sum = 0;
-  for (const DesignError& err : errors) {
-    CampaignRow row{err, gen(err)};
-    const ErrorAttempt& a = row.attempt;
-    if (a.generated && a.sim_confirmed) {
-      ++res.stats.detected;
-      length_sum += a.test_length;
-      res.stats.backtracks += a.backtracks;
-      res.stats.decisions += a.decisions;
-      if (res.stats.length_histogram.size() <= a.test_length)
-        res.stats.length_histogram.resize(a.test_length + 1, 0);
-      ++res.stats.length_histogram[a.test_length];
+
+  // Journal: load a replay map when resuming, then (re)open for writing.
+  const std::uint64_t fp =
+      cfg.journal_path.empty() ? 0 : campaign_fingerprint(nl, errors);
+  std::map<std::size_t, ErrorAttempt> replay;
+  bool append = false;
+  if (!cfg.journal_path.empty() && cfg.resume) {
+    JournalReplay jr = load_journal(cfg.journal_path);
+    if (jr.header_ok && jr.fingerprint == fp && jr.total == errors.size()) {
+      replay = std::move(jr.rows);
+      append = true;
+      res.journal_note = jr.note;
+    } else if (jr.header_ok) {
+      res.journal_note =
+          "journal belongs to a different campaign; starting fresh";
     } else {
-      ++res.stats.aborted;
+      res.journal_note = jr.note + "; starting fresh";
     }
-    res.stats.cpu_seconds += a.seconds;
-    if (verbose)
-      std::fprintf(stderr, "  [%s] %s%s\n",
-                   a.generated && a.sim_confirmed ? "det " : "abrt",
+  }
+  CampaignJournal journal;
+  if (!cfg.journal_path.empty()) {
+    std::string jerr;
+    if (!journal.open(cfg.journal_path, append, &jerr)) {
+      // Journaling is best-effort: a bad path degrades to an unjournaled
+      // campaign rather than forfeiting the run.
+      append_note(&res.journal_note, jerr + " (journaling disabled)");
+    } else if (!append) {
+      journal.append_line(journal_header_line(errors.size(), fp));
+    }
+  }
+
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (cfg.cancel && cfg.cancel->stop_requested()) {
+      res.interrupted = true;
+      break;
+    }
+    const DesignError& err = errors[i];
+    ErrorAttempt a;
+    if (const auto it = replay.find(i); it != replay.end()) {
+      a = it->second;
+      ++res.resumed_rows;
+    } else {
+      a = attempt_one(err, i, gen, cfg);
+      if (journal.is_open()) journal.append_line(journal_row_line(i, a));
+    }
+    accumulate(&res.stats, a, &length_sum);
+    if (cfg.verbose)
+      std::fprintf(stderr, "  [%s] %s%s\n", outcome_tag(a),
                    err.describe(nl).c_str(),
                    a.note.empty() ? "" : ("  (" + a.note + ")").c_str());
-    res.rows.push_back(std::move(row));
+    res.rows.push_back({err, std::move(a)});
   }
   if (res.stats.detected > 0)
     res.stats.avg_test_length =
         static_cast<double>(length_sum) / res.stats.detected;
   res.tests_kept = res.stats.detected;
   return res;
+}
+
+CampaignResult run_campaign(const Netlist& nl,
+                            const std::vector<DesignError>& errors,
+                            const TestGenFn& gen, bool verbose) {
+  CampaignConfig cfg;
+  cfg.verbose = verbose;
+  return run_campaign(nl, errors, ignore_budget(gen), cfg);
 }
 
 CampaignResult run_campaign_with_dropping(
@@ -67,8 +255,10 @@ CampaignResult run_campaign_with_dropping(
     if (done[i]) continue;
     CampaignRow row{errors[i], gen(errors[i])};
     const ErrorAttempt& a = row.attempt;
-    if (a.generated && a.sim_confirmed) {
+    ++res.stats.attempted;
+    if (a.detected()) {
       ++res.stats.detected;
+      ++res.stats.detected_deterministic;
       ++res.tests_kept;
       length_sum += a.test_length;
       res.stats.backtracks += a.backtracks;
@@ -80,6 +270,7 @@ CampaignResult run_campaign_with_dropping(
         if (detect(a.test, errors[j])) {
           done[j] = true;
           ++res.stats.detected;
+          ++res.stats.detected_deterministic;
           ++res.dropped;
           if (verbose)
             std::fprintf(stderr, "  [drop] %s (covered by test for %s)\n",
@@ -91,8 +282,7 @@ CampaignResult run_campaign_with_dropping(
       ++res.stats.aborted;
     }
     if (verbose)
-      std::fprintf(stderr, "  [%s] %s\n",
-                   a.generated && a.sim_confirmed ? "det " : "abrt",
+      std::fprintf(stderr, "  [%s] %s\n", outcome_tag(a),
                    errors[i].describe(nl).c_str());
     res.rows.push_back(std::move(row));
   }

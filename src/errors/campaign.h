@@ -1,16 +1,42 @@
 // Error campaign driver: runs a test-generation strategy over a list of
 // design errors, confirms each generated test by dual simulation, and
 // aggregates the statistics that Table 1 of the paper reports.
+//
+// Resilience (docs/ROBUSTNESS.md): each error attempt runs under a
+// per-error Budget (wall-clock deadline, decision/backtrack caps,
+// cooperative cancellation); attempts that exhaust their budget can fall
+// back to a secondary (e.g. biased-random) generator under its own budget;
+// every completed attempt is journaled to an append-only JSONL file so an
+// interrupted campaign can be resumed without repeating finished errors;
+// and a generator that throws aborts only its own error, not the campaign.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "errors/inject.h"
 #include "isa/spec_sim.h"
+#include "util/budget.h"
 
 namespace hltg {
+
+/// How one error attempt concluded (the Table-1 outcome taxonomy).
+enum class AttemptOutcome : std::uint8_t {
+  kDetectedDeterministic,  ///< the primary generator produced a confirmed test
+  kDetectedFallback,       ///< the degradation generator produced one
+  kAborted,                ///< no confirmed test (budget, give-up, exception)
+};
+
+constexpr std::string_view to_string(AttemptOutcome o) {
+  switch (o) {
+    case AttemptOutcome::kDetectedDeterministic: return "detected_deterministic";
+    case AttemptOutcome::kDetectedFallback: return "detected_fallback";
+    case AttemptOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
 
 /// Result of attempting one error.
 struct ErrorAttempt {
@@ -22,10 +48,27 @@ struct ErrorAttempt {
   double seconds = 0.0;
   TestCase test;
   std::string note;
+  AbortReason abort = AbortReason::kNone;  ///< why the attempt was cut short
+  bool via_fallback = false;  ///< produced by the degradation generator
+
+  bool detected() const { return generated && sim_confirmed; }
+  AttemptOutcome outcome() const {
+    if (!detected()) return AttemptOutcome::kAborted;
+    return via_fallback ? AttemptOutcome::kDetectedFallback
+                        : AttemptOutcome::kDetectedDeterministic;
+  }
 };
 
 /// Strategy callback: produce a test for one error (or report failure).
 using TestGenFn = std::function<ErrorAttempt(const DesignError&)>;
+
+/// Budget-aware strategy: the campaign arms one fresh Budget per error
+/// (deadline relative to the attempt's start) and passes it in; the
+/// strategy polls it and reports the structured abort reason.
+using BudgetedGenFn = std::function<ErrorAttempt(const DesignError&, Budget&)>;
+
+/// Adapt a budget-unaware legacy strategy.
+BudgetedGenFn ignore_budget(TestGenFn gen);
 
 struct CampaignRow {
   DesignError error;
@@ -34,8 +77,19 @@ struct CampaignRow {
 
 struct CampaignStats {
   std::size_t total = 0;
+  std::size_t attempted = 0;  ///< < total when the campaign was cancelled
   std::size_t detected = 0;   ///< generated AND confirmed by simulation
   std::size_t aborted = 0;
+  /// Outcome split: detected = detected_deterministic + detected_fallback.
+  std::size_t detected_deterministic = 0;
+  std::size_t detected_fallback = 0;
+  /// Abort-reason breakdown (sums to <= aborted; plain generator give-ups
+  /// carry AbortReason::kNone and appear only in `aborted`).
+  std::size_t aborted_deadline = 0;
+  std::size_t aborted_backtracks = 0;
+  std::size_t aborted_decisions = 0;
+  std::size_t aborted_cancelled = 0;
+  std::size_t aborted_exception = 0;
   double avg_test_length = 0.0;       ///< over detected errors
   std::uint64_t backtracks = 0;       ///< over detected errors (Table 1)
   std::uint64_t decisions = 0;
@@ -48,10 +102,59 @@ struct CampaignStats {
 struct CampaignResult {
   std::vector<CampaignRow> rows;
   CampaignStats stats;
-  std::size_t dropped = 0;      ///< errors detected fortuitously
-  std::size_t tests_kept = 0;   ///< distinct tests in the compacted set
+  bool interrupted = false;      ///< cancellation stopped the sweep early
+  std::size_t resumed_rows = 0;  ///< rows replayed from the journal
+  std::size_t dropped = 0;       ///< errors detected fortuitously
+  std::size_t tests_kept = 0;    ///< distinct tests in the compacted set
+  std::string journal_note;      ///< journal open/replay diagnostics
 };
 
+/// Fault-injection hook: deterministically forces per-error outcomes so the
+/// recovery paths (exception capture, budget exhaustion, graceful
+/// degradation) are directly testable without contriving real search
+/// behaviour. Keyed by error index in the campaign's error list.
+struct CampaignFault {
+  enum class Kind {
+    kThrow,          ///< the generator throws; campaign must survive
+    kBudgetExhaust,  ///< primary attempt aborts with `abort` as the reason
+    kForceAttempt,   ///< primary attempt is exactly `attempt`
+  };
+  Kind kind = Kind::kBudgetExhaust;
+  AbortReason abort = AbortReason::kBacktracks;  ///< for kBudgetExhaust
+  ErrorAttempt attempt;                          ///< for kForceAttempt
+  /// When the primary attempt fails and a fallback generator is configured,
+  /// force the fallback attempt to be `fallback_attempt` instead of calling
+  /// the generator (models "fallback-succeed" deterministically).
+  bool force_fallback = false;
+  ErrorAttempt fallback_attempt;
+};
+using CampaignFaultPlan = std::map<std::size_t, CampaignFault>;
+
+struct CampaignConfig {
+  bool verbose = false;
+  /// Armed per error for the primary (deterministic) generator.
+  BudgetSpec budget;
+  /// Graceful degradation: tried when the primary attempt fails for any
+  /// reason other than cancellation. Empty function disables.
+  BudgetedGenFn fallback;
+  BudgetSpec fallback_budget;  ///< armed per fallback attempt
+  /// Append-only JSONL journal ("" disables). One fsync'd row per error.
+  std::string journal_path;
+  /// Replay journaled rows (skipping their generator runs) before
+  /// attempting the rest. Requires journal_path.
+  bool resume = false;
+  /// Checked between errors: a stop request ends the sweep cleanly after
+  /// the current error (its row is journaled first).
+  const CancelToken* cancel = nullptr;
+  const CampaignFaultPlan* faults = nullptr;  ///< test hook
+};
+
+CampaignResult run_campaign(const Netlist& nl,
+                            const std::vector<DesignError>& errors,
+                            const BudgetedGenFn& gen,
+                            const CampaignConfig& cfg);
+
+/// Legacy entry point: unbudgeted, unjournaled.
 CampaignResult run_campaign(const Netlist& nl,
                             const std::vector<DesignError>& errors,
                             const TestGenFn& gen, bool verbose = false);

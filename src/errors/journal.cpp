@@ -1,0 +1,313 @@
+#include "errors/journal.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "isa/testcase_io.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace hltg {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Flat-object JSON scanner: enough for the journal's own records (string /
+/// number / bool values only, no nesting). Tolerant of unknown keys.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& line) { ok_ = parse(line); }
+
+  bool ok() const { return ok_; }
+
+  bool get_string(const char* key, std::string* out) const {
+    const auto it = strings_.find(key);
+    if (it == strings_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  bool get_u64(const char* key, std::uint64_t* out) const {
+    const auto it = scalars_.find(key);
+    if (it == scalars_.end()) return false;
+    char* end = nullptr;
+    *out = std::strtoull(it->second.c_str(), &end, 10);
+    return end && *end == '\0';
+  }
+  bool get_double(const char* key, double* out) const {
+    const auto it = scalars_.find(key);
+    if (it == scalars_.end()) return false;
+    char* end = nullptr;
+    *out = std::strtod(it->second.c_str(), &end);
+    return end && *end == '\0';
+  }
+  bool get_bool(const char* key, bool* out) const {
+    const auto it = scalars_.find(key);
+    if (it == scalars_.end()) return false;
+    if (it->second == "true") return *out = true, true;
+    if (it->second == "false") return *out = false, true;
+    return false;
+  }
+
+ private:
+  bool parse(const std::string& s) {
+    std::size_t i = 0;
+    auto skip = [&] {
+      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        ++i;
+    };
+    skip();
+    if (i >= s.size() || s[i] != '{') return false;
+    ++i;
+    for (;;) {
+      skip();
+      if (i < s.size() && s[i] == '}') return true;
+      std::string key;
+      if (!parse_string(s, &i, &key)) return false;
+      skip();
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      skip();
+      if (i < s.size() && s[i] == '"') {
+        std::string val;
+        if (!parse_string(s, &i, &val)) return false;
+        strings_[key] = val;
+      } else {
+        const std::size_t b = i;
+        while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+        std::size_t e = i;
+        while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+          --e;
+        if (e == b) return false;
+        scalars_[key] = s.substr(b, e - b);
+      }
+      skip();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') return true;
+      return false;
+    }
+  }
+
+  static bool parse_string(const std::string& s, std::size_t* ip,
+                           std::string* out) {
+    std::size_t i = *ip;
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        if (i + 1 >= s.size()) return false;
+        const char c = s[i + 1];
+        switch (c) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (i + 5 >= s.size()) return false;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i + 2 + k];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+              v = v * 16 + static_cast<unsigned>(
+                               h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            // The writer only emits \u00XX for control bytes.
+            *out += static_cast<char>(v & 0xFF);
+            i += 4;
+            break;
+          }
+          default: return false;
+        }
+        i += 2;
+      } else {
+        *out += s[i++];
+      }
+    }
+    if (i >= s.size()) return false;  // unterminated: torn row
+    *ip = i + 1;
+    return true;
+  }
+
+  bool ok_ = false;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::string> scalars_;
+};
+
+std::string fmt_seconds(double s) {
+  // 17 significant digits round-trip any double exactly, which the
+  // resume-equality guarantee depends on.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", s);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(const Netlist& nl,
+                                   const std::vector<DesignError>& errors) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xFF;
+    h *= 0x100000001b3ull;
+  };
+  mix(std::to_string(errors.size()));
+  for (const DesignError& e : errors) {
+    mix(e.model_name());
+    mix(e.describe(nl));
+  }
+  return h;
+}
+
+std::string journal_header_line(std::size_t total, std::uint64_t fingerprint) {
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  std::ostringstream os;
+  os << "{\"kind\":\"hltg-campaign\",\"version\":1,\"total\":" << total
+     << ",\"fingerprint\":\"" << fp << "\"}";
+  return os.str();
+}
+
+std::string journal_row_line(std::size_t index, const ErrorAttempt& a) {
+  std::ostringstream os;
+  os << "{\"index\":" << index
+     << ",\"generated\":" << (a.generated ? "true" : "false")
+     << ",\"sim_confirmed\":" << (a.sim_confirmed ? "true" : "false")
+     << ",\"test_length\":" << a.test_length
+     << ",\"backtracks\":" << a.backtracks << ",\"decisions\":" << a.decisions
+     << ",\"seconds\":" << fmt_seconds(a.seconds) << ",\"abort\":\""
+     << to_string(a.abort) << "\",\"via_fallback\":"
+     << (a.via_fallback ? "true" : "false") << ",\"note\":\""
+     << json_escape(a.note) << "\"";
+  if (a.detected())
+    os << ",\"test\":\"" << json_escape(serialize_test(a.test)) << "\"";
+  os << "}";
+  return os.str();
+}
+
+JournalReplay load_journal(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path);
+  if (!in) {
+    out.note = "journal not found: " + path;
+    return out;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t dropped = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    MiniJson j(line);
+    if (lineno == 1) {
+      std::string kind, fp;
+      std::uint64_t total = 0;
+      if (!j.ok() || !j.get_string("kind", &kind) ||
+          kind != "hltg-campaign" || !j.get_u64("total", &total) ||
+          !j.get_string("fingerprint", &fp)) {
+        out.note = "journal header unreadable";
+        return out;
+      }
+      out.header_ok = true;
+      out.total = static_cast<std::size_t>(total);
+      out.fingerprint = std::strtoull(fp.c_str(), nullptr, 16);
+      continue;
+    }
+    std::uint64_t index = 0;
+    ErrorAttempt a;
+    std::string abort_s, test_s;
+    if (!j.ok() || !j.get_u64("index", &index) ||
+        !j.get_bool("generated", &a.generated) ||
+        !j.get_bool("sim_confirmed", &a.sim_confirmed)) {
+      ++dropped;  // torn or foreign row: drop it (and any that follow it)
+      break;
+    }
+    std::uint64_t len = 0;
+    j.get_u64("test_length", &len);
+    a.test_length = static_cast<unsigned>(len);
+    j.get_u64("backtracks", &a.backtracks);
+    j.get_u64("decisions", &a.decisions);
+    j.get_double("seconds", &a.seconds);
+    if (j.get_string("abort", &abort_s)) a.abort = abort_reason_from(abort_s);
+    j.get_bool("via_fallback", &a.via_fallback);
+    j.get_string("note", &a.note);
+    if (j.get_string("test", &test_s)) {
+      TestLoadResult t = parse_test(test_s);
+      if (t.ok()) a.test = std::move(t.test);
+    }
+    out.rows[static_cast<std::size_t>(index)] = std::move(a);
+  }
+  if (dropped)
+    out.note = "dropped a torn trailing journal row (line " +
+               std::to_string(lineno) + ")";
+  return out;
+}
+
+bool CampaignJournal::open(const std::string& path, bool append,
+                           std::string* error) {
+  close();
+  f_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (!f_) {
+    if (error) *error = "cannot open journal " + path;
+    return false;
+  }
+  return true;
+}
+
+bool CampaignJournal::append_line(const std::string& line) {
+  if (!f_) return false;
+  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size())
+    return false;
+  if (std::fputc('\n', f_) == EOF) return false;
+  if (std::fflush(f_) != 0) return false;
+#ifndef _WIN32
+  // Durability per row: a crash between errors loses nothing committed.
+  fsync(fileno(f_));
+#endif
+  return true;
+}
+
+void CampaignJournal::close() {
+  if (f_) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+}  // namespace hltg

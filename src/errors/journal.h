@@ -1,0 +1,65 @@
+// Campaign checkpoint journal: an append-only JSONL file, one record per
+// completed error attempt, fsync'd per row. An interrupted campaign
+// restarted with resume enabled replays the journaled rows (skipping their
+// generator runs) and reproduces the identical CampaignStats an
+// uninterrupted run would have produced.
+//
+// Format:
+//   line 1  header  {"kind":"hltg-campaign","version":1,"total":N,
+//                    "fingerprint":"<hex64>"}
+//   line 2+ rows    {"index":I,"generated":b,"sim_confirmed":b,
+//                    "test_length":N,"backtracks":N,"decisions":N,
+//                    "seconds":F,"abort":"<reason>","via_fallback":b,
+//                    "note":"...","test":"<testcase_io text>"}
+// The fingerprint hashes the error population (model + description per
+// error), so a journal is only replayed against the same campaign. A torn
+// final row (crash mid-write) is detected and dropped on load.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "errors/campaign.h"
+
+namespace hltg {
+
+/// FNV-1a over the error population; guards resume against a different
+/// campaign's journal.
+std::uint64_t campaign_fingerprint(const Netlist& nl,
+                                   const std::vector<DesignError>& errors);
+
+std::string journal_header_line(std::size_t total, std::uint64_t fingerprint);
+std::string journal_row_line(std::size_t index, const ErrorAttempt& a);
+
+struct JournalReplay {
+  bool header_ok = false;
+  std::size_t total = 0;
+  std::uint64_t fingerprint = 0;
+  std::map<std::size_t, ErrorAttempt> rows;
+  std::string note;  ///< diagnostics (missing file, torn rows dropped, ...)
+};
+
+/// Load and decode a journal; malformed trailing rows are dropped with a
+/// note, never an abort.
+JournalReplay load_journal(const std::string& path);
+
+/// Append-only writer; every append is flushed and fsync'd so a crash
+/// between errors loses at most the row being written.
+class CampaignJournal {
+ public:
+  CampaignJournal() = default;
+  ~CampaignJournal() { close(); }
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  bool open(const std::string& path, bool append, std::string* error);
+  bool append_line(const std::string& line);
+  bool is_open() const { return f_ != nullptr; }
+  void close();
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace hltg

@@ -19,12 +19,12 @@ std::string csv_escape(const std::string& s) {
 
 std::string campaign_csv(const Netlist& nl, const CampaignResult& res) {
   std::ostringstream os;
-  os << "model,error,outcome,test_length,backtracks,decisions,seconds\n";
+  os << "model,error,outcome,abort,test_length,backtracks,decisions,seconds\n";
   for (const CampaignRow& row : res.rows) {
     const ErrorAttempt& a = row.attempt;
     os << row.error.model_name() << ','
        << csv_escape(row.error.describe(nl)) << ','
-       << (a.generated && a.sim_confirmed ? "detected" : "aborted") << ','
+       << to_string(a.outcome()) << ',' << to_string(a.abort) << ','
        << a.test_length << ',' << a.backtracks << ',' << a.decisions << ','
        << a.seconds << '\n';
   }
@@ -45,9 +45,8 @@ std::string campaign_markdown(const Netlist& nl, const CampaignResult& res,
   os << "| error | outcome | len | backtracks |\n|---|---|---|---|\n";
   for (const CampaignRow& row : res.rows) {
     const ErrorAttempt& a = row.attempt;
-    os << "| " << row.error.describe(nl) << " | "
-       << (a.generated && a.sim_confirmed ? "detected" : "aborted") << " | "
-       << a.test_length << " | " << a.backtracks << " |\n";
+    os << "| " << row.error.describe(nl) << " | " << to_string(a.outcome())
+       << " | " << a.test_length << " | " << a.backtracks << " |\n";
   }
   return os.str();
 }

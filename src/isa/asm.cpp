@@ -1,6 +1,8 @@
 #include "isa/asm.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <map>
 #include <tuple>
 #include <sstream>
@@ -42,18 +44,25 @@ struct Cursor {
   bool number(std::int64_t* out) {
     skip_ws();
     std::size_t b = i;
+    bool any_digit = false;
     if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
     if (i + 1 < s.size() && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
       i += 2;
-      while (i < s.size() && std::isxdigit(static_cast<unsigned char>(s[i])))
+      while (i < s.size() && std::isxdigit(static_cast<unsigned char>(s[i]))) {
         ++i;
+        any_digit = true;
+      }
+      if (!any_digit) return false;  // bare "0x"
     } else {
-      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
         ++i;
+        any_digit = true;
+      }
     }
-    if (i == b || (i == b + 1 && !std::isdigit(static_cast<unsigned char>(s[b]))))
-      return false;
+    if (!any_digit) return false;
+    errno = 0;
     *out = std::strtoll(s.c_str() + b, nullptr, 0);
+    if (errno == ERANGE) return false;  // out-of-range literal, not UB/abort
     return true;
   }
   std::string identifier() {
@@ -176,6 +185,23 @@ AsmResult assemble(const std::string& source) {
       err("malformed operands for '" + mn + "'");
       continue;
     }
+    // Range-check immediates against their encoding fields: a silently
+    // truncated operand would assemble to a different program than the
+    // source says, so out-of-range is a recoverable per-line error.
+    auto imm_fits = [](std::int64_t v, Op o) {
+      switch (format_of(o)) {
+        case Format::kJ: return v >= -(1 << 25) && v < (1 << 25);
+        case Format::kI:
+          return zero_extends_imm(o) ? v >= -32768 && v <= 65535
+                                     : v >= -32768 && v <= 32767;
+        case Format::kR: return true;
+      }
+      return true;
+    };
+    if (!imm_fits(n, ins.op)) {
+      err("immediate " + std::to_string(n) + " out of range for '" + mn + "'");
+      continue;
+    }
     if (!pending_label.empty())
       fixups.emplace_back(res.program.size(), pending_label, lineno);
     res.program.push_back(ins);
@@ -189,9 +215,17 @@ AsmResult assemble(const std::string& source) {
                            ": undefined label '" + lbl + "'");
       continue;
     }
-    res.program[idx].imm =
-        static_cast<std::int32_t>(it->second) - static_cast<std::int32_t>(idx) -
-        1;
+    const std::int32_t off = static_cast<std::int32_t>(it->second) -
+                             static_cast<std::int32_t>(idx) - 1;
+    const bool is_j = format_of(res.program[idx].op) == Format::kJ;
+    const std::int32_t lim = is_j ? (1 << 25) : (1 << 15);
+    if (off < -lim || off >= lim) {
+      res.errors.push_back("line " + std::to_string(ln) + ": label '" + lbl +
+                           "' is out of branch range (" +
+                           std::to_string(off) + " words)");
+      continue;
+    }
+    res.program[idx].imm = off;
   }
   return res;
 }

@@ -1,5 +1,6 @@
 #include "isa/testcase_io.h"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -33,6 +34,33 @@ std::string serialize_test(const TestCase& tc) {
   return os.str();
 }
 
+namespace {
+
+/// Strict 32-bit hex field: only hex digits (optionally 0x-prefixed), at
+/// most 8 of them. strtoul would silently accept junk ("zz" -> 0) or wrap
+/// on overflow; untrusted files deserve a real parse.
+bool parse_hex32(const std::string& tok, std::uint32_t* out) {
+  std::size_t b = 0;
+  if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X'))
+    b = 2;
+  if (tok.size() == b || tok.size() - b > 8) return false;
+  std::uint32_t v = 0;
+  for (std::size_t i = b; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 16 + static_cast<std::uint32_t>(
+                     c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+  }
+  *out = v;
+  return true;
+}
+
+/// Cap on program words: a malformed (or hostile) file must not balloon
+/// the process before the simulator ever runs.
+constexpr std::size_t kMaxTestWords = 1u << 20;
+
+}  // namespace
+
 TestLoadResult parse_test(const std::string& text) {
   TestLoadResult res;
   std::istringstream in(text);
@@ -48,32 +76,46 @@ TestLoadResult parse_test(const std::string& text) {
     auto fail = [&](const std::string& msg) {
       res.error = "line " + std::to_string(lineno) + ": " + msg;
     };
+    auto no_trailing = [&] {
+      std::string extra;
+      if (ls >> extra) {
+        fail("trailing junk '" + extra + "'");
+        return false;
+      }
+      return true;
+    };
     if (kw == "instr") {
       std::string hex;
-      if (!(ls >> hex)) {
-        fail("missing instruction word");
+      std::uint32_t w = 0;
+      if (!(ls >> hex) || !parse_hex32(hex, &w)) {
+        fail("bad instruction word");
         return res;
       }
-      res.test.imem.push_back(
-          static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16)));
+      if (!no_trailing()) return res;
+      if (res.test.imem.size() >= kMaxTestWords) {
+        fail("program exceeds " + std::to_string(kMaxTestWords) + " words");
+        return res;
+      }
+      res.test.imem.push_back(w);
     } else if (kw == "reg") {
       unsigned r = 0;
       std::string hex;
-      if (!(ls >> r >> hex) || r >= 32) {
+      std::uint32_t v = 0;
+      if (!(ls >> r >> hex) || r == 0 || r >= 32 || !parse_hex32(hex, &v)) {
         fail("bad reg line");
         return res;
       }
-      res.test.rf_init[r] =
-          static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16));
+      if (!no_trailing()) return res;
+      res.test.rf_init[r] = v;
     } else if (kw == "mem") {
       std::string ah, vh;
-      if (!(ls >> ah >> vh)) {
+      std::uint32_t a = 0, v = 0;
+      if (!(ls >> ah >> vh) || !parse_hex32(ah, &a) || !parse_hex32(vh, &v)) {
         fail("bad mem line");
         return res;
       }
-      res.test.dmem_init[static_cast<std::uint32_t>(
-          std::strtoul(ah.c_str(), nullptr, 16))] =
-          static_cast<std::uint32_t>(std::strtoul(vh.c_str(), nullptr, 16));
+      if (!no_trailing()) return res;
+      res.test.dmem_init[a] = v;
     } else {
       fail("unknown keyword '" + kw + "'");
       return res;

@@ -1,0 +1,148 @@
+// Budget: cooperative resource limits for the search engines.
+//
+// The paper's Table-1 campaigns treat budget exhaustion ("aborted errors")
+// as a first-class outcome, but the only limit the seed implementation knew
+// was CTRLJUST's per-search backtrack cap. A Budget combines every way an
+// error attempt may be cut short:
+//   - a wall-clock deadline,
+//   - caps on total decisions / backtracks across *all* engines and plans
+//     of one attempt (the per-search caps in CtrlJustConfig still apply on
+//     top, per solve), and
+//   - a cooperative cancellation token (e.g. wired to SIGINT).
+// One Budget instance covers one error attempt; TG threads the same
+// instance through DPTRACE, CTRLJUST and DPRELAX, each of which charges its
+// work and polls `exhausted()` inside its search loop, unwinding cleanly
+// with TgStatus::kFailure and a structured AbortReason.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace hltg {
+
+/// Why a search unwound before completing.
+enum class AbortReason : std::uint8_t {
+  kNone,        ///< not aborted
+  kDeadline,    ///< wall-clock deadline passed
+  kBacktracks,  ///< backtrack cap hit
+  kDecisions,   ///< decision cap hit
+  kCancelled,   ///< cancellation requested
+  kException,   ///< the generator threw; campaign caught and recorded it
+};
+
+constexpr std::string_view to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kDeadline: return "deadline";
+    case AbortReason::kBacktracks: return "backtracks";
+    case AbortReason::kDecisions: return "decisions";
+    case AbortReason::kCancelled: return "cancelled";
+    case AbortReason::kException: return "exception";
+  }
+  return "?";
+}
+
+/// Parse the strings to_string(AbortReason) produces (journal round-trip).
+constexpr AbortReason abort_reason_from(std::string_view s) {
+  if (s == "deadline") return AbortReason::kDeadline;
+  if (s == "backtracks") return AbortReason::kBacktracks;
+  if (s == "decisions") return AbortReason::kDecisions;
+  if (s == "cancelled") return AbortReason::kCancelled;
+  if (s == "exception") return AbortReason::kException;
+  return AbortReason::kNone;
+}
+
+/// Cooperative cancellation: the owner (signal handler, driver thread)
+/// requests a stop; search loops poll it through their Budget.
+class CancelToken {
+ public:
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::uint64_t kUnlimited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  Budget() = default;  ///< unlimited
+
+  void set_deadline(Clock::time_point t) { deadline_ = t; }
+  void set_deadline_after(Clock::duration d) { deadline_ = Clock::now() + d; }
+  void set_max_decisions(std::uint64_t n) { max_decisions_ = n; }
+  void set_max_backtracks(std::uint64_t n) { max_backtracks_ = n; }
+  void set_cancel(const CancelToken* tok) { cancel_ = tok; }
+
+  bool limited() const {
+    return deadline_ != Clock::time_point::max() ||
+           max_decisions_ != kUnlimited || max_backtracks_ != kUnlimited ||
+           cancel_ != nullptr;
+  }
+
+  /// Engines charge their work as it happens so the caps span every engine
+  /// and plan of the attempt.
+  void charge_decisions(std::uint64_t n) { decisions_ += n; }
+  void charge_backtracks(std::uint64_t n) { backtracks_ += n; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t backtracks() const { return backtracks_; }
+
+  /// Cheap enough to call once per search iteration: counter caps and the
+  /// cancel flag are checked every call, the deadline clock read is
+  /// throttled to every kPollStride calls.
+  AbortReason exhausted() {
+    if (cancel_ && cancel_->stop_requested()) return AbortReason::kCancelled;
+    if (backtracks_ > max_backtracks_) return AbortReason::kBacktracks;
+    if (decisions_ > max_decisions_) return AbortReason::kDecisions;
+    if (deadline_ != Clock::time_point::max() &&
+        (++poll_ % kPollStride == 0 || !deadline_checked_)) {
+      deadline_checked_ = true;
+      if (Clock::now() >= deadline_) return AbortReason::kDeadline;
+    }
+    return AbortReason::kNone;
+  }
+
+ private:
+  static constexpr unsigned kPollStride = 32;
+
+  Clock::time_point deadline_ = Clock::time_point::max();
+  std::uint64_t max_decisions_ = kUnlimited;
+  std::uint64_t max_backtracks_ = kUnlimited;
+  const CancelToken* cancel_ = nullptr;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t backtracks_ = 0;
+  unsigned poll_ = 0;
+  bool deadline_checked_ = false;
+};
+
+/// A budget *recipe*: durations and caps without a start time. The campaign
+/// arms one fresh Budget per error attempt, so the deadline is relative to
+/// the start of that attempt.
+struct BudgetSpec {
+  double deadline_seconds = 0;  ///< 0 disables the deadline
+  std::uint64_t max_decisions = Budget::kUnlimited;
+  std::uint64_t max_backtracks = Budget::kUnlimited;
+  const CancelToken* cancel = nullptr;
+
+  Budget arm() const {
+    Budget b;
+    if (deadline_seconds > 0)
+      b.set_deadline_after(std::chrono::duration_cast<Budget::Clock::duration>(
+          std::chrono::duration<double>(deadline_seconds)));
+    b.set_max_decisions(max_decisions);
+    b.set_max_backtracks(max_backtracks);
+    b.set_cancel(cancel);
+    return b;
+  }
+};
+
+}  // namespace hltg

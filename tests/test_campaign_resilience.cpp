@@ -1,0 +1,458 @@
+// Resilience paths of the campaign engine (docs/ROBUSTNESS.md): per-error
+// budgets firing mid-search, exception capture, graceful degradation to the
+// baseline generator, the checkpoint journal, and interrupt + resume
+// round-trip equality.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "baseline/random_tg.h"
+#include "core/tg.h"
+#include "errors/journal.h"
+#include "isa/asm.h"
+#include "isa/testcase_io.h"
+#include "sim/cosim.h"
+#include "util/budget.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+DesignError ssl(const char* net, unsigned bit, bool v) {
+  const NetId n = model().dp.find_net(net);
+  EXPECT_NE(n, kNoNet) << net;
+  return DesignError{BusSslError{n, bit, v}};
+}
+
+std::vector<DesignError> small_population() {
+  return {ssl("ex.alu_add", 0, false), ssl("ex.alu_add", 1, true),
+          ssl("ex.alu_add", 2, false), ssl("ex.alu_add", 3, true),
+          ssl("ex.alu_add", 4, false), ssl("ex.alu_add", 5, true)};
+}
+
+/// Deterministic scripted generator: detects even-indexed errors, gives up
+/// on odd ones, with fixed effort numbers so two runs produce identical
+/// stats (including cpu_seconds).
+BudgetedGenFn scripted_gen(int* calls = nullptr) {
+  auto k = std::make_shared<std::size_t>(0);
+  return [k, calls](const DesignError&, Budget&) {
+    if (calls) ++*calls;
+    const std::size_t i = (*k)++;
+    ErrorAttempt a;
+    a.generated = a.sim_confirmed = (i % 2 == 0);
+    a.test_length = 4 + static_cast<unsigned>(i % 3);
+    a.backtracks = i;
+    a.decisions = 2 * i + 1;
+    a.seconds = 0.001 * static_cast<double>(i + 1);
+    if (a.detected()) {
+      a.test.imem = {0x20220007u + static_cast<std::uint32_t>(i)};
+      a.test.rf_init[2] = 42 + static_cast<std::uint32_t>(i);
+      a.test.dmem_init[8] = 7;
+    } else {
+      a.note = "scripted give-up";
+    }
+    return a;
+  };
+}
+
+std::string temp_journal(const char* tag) {
+  return testing::TempDir() + "hltg_journal_" + tag + ".jsonl";
+}
+
+// ---------------------------------------------------------------- budgets
+
+TEST(Budget, ExpiredDeadlineFires) {
+  Budget b;
+  b.set_deadline(Budget::Clock::now());
+  EXPECT_EQ(b.exhausted(), AbortReason::kDeadline);
+}
+
+TEST(Budget, CapsAndCancellation) {
+  Budget b;
+  b.set_max_backtracks(10);
+  b.set_max_decisions(100);
+  EXPECT_EQ(b.exhausted(), AbortReason::kNone);
+  b.charge_backtracks(11);
+  EXPECT_EQ(b.exhausted(), AbortReason::kBacktracks);
+
+  Budget c;
+  CancelToken tok;
+  c.set_cancel(&tok);
+  EXPECT_EQ(c.exhausted(), AbortReason::kNone);
+  tok.request_stop();
+  EXPECT_EQ(c.exhausted(), AbortReason::kCancelled);
+}
+
+TEST(Budget, DeadlineFiresMidCtrljust) {
+  // An already-expired deadline must stop the branch-and-bound immediately
+  // (no hang, no crash) with the structured reason, for any objective set.
+  const GateNet& gn = model().ctrl;
+  CtrlJust cj(gn, 14);
+  std::vector<CtrlObjective> objs;
+  for (GateId g = 0; g < gn.num_gates() && objs.size() < 4; ++g)
+    if (gn.gate(g).role == SigRole::kCtrl) objs.push_back({g, 6, true});
+  ASSERT_FALSE(objs.empty());
+  Budget b;
+  b.set_deadline(Budget::Clock::now());
+  const CtrlJustResult r = cj.solve(objs, &b);
+  EXPECT_EQ(r.status, TgStatus::kFailure);
+  EXPECT_EQ(r.abort, AbortReason::kDeadline);
+}
+
+TEST(Budget, TgAttemptAbortsOnExpiredDeadline) {
+  TestGenerator tg(model());
+  Budget b;
+  b.set_deadline(Budget::Clock::now());
+  const TgResult r = tg.generate(ssl("ex.alu_add", 0, false), &b);
+  EXPECT_EQ(r.status, TgStatus::kFailure);
+  EXPECT_EQ(r.stats.abort, AbortReason::kDeadline);
+  EXPECT_NE(r.note.find("deadline"), std::string::npos);
+}
+
+TEST(Budget, TgBacktrackCapSpansWholeAttempt) {
+  // A budget-wide backtrack cap of 0 aborts as soon as any plan's search
+  // backtracks; the attempt reports it as a structured abort.
+  TestGenerator tg(model());
+  Budget b;
+  b.set_max_backtracks(0);
+  b.set_max_decisions(3);  // and decisions, whichever trips first
+  const TgResult r = tg.generate(ssl("ex.alu_add", 7, true), &b);
+  if (r.status != TgStatus::kSuccess) {
+    EXPECT_NE(r.stats.abort, AbortReason::kNone);
+  } else {
+    // Found a test within three decisions and zero backtracks: legitimate.
+    EXPECT_LE(r.stats.decisions, 4u);
+  }
+}
+
+TEST(Budget, OneMillisecondCampaignCompletesWithAborts) {
+  // The acceptance scenario: a 1 ms per-error deadline must produce
+  // budget-aborts (never a hang or crash) while the campaign completes and
+  // reports the abort breakdown. A fast machine may legitimately solve an
+  // error inside 1 ms, so detections are allowed; what is not allowed is an
+  // undetected error without a structured reason... which for a pure
+  // deadline budget is exactly kDeadline.
+  TestGenerator tg(model());
+  CampaignConfig cfg;
+  cfg.budget.deadline_seconds = 0.001;
+  const auto errors = small_population();
+  const CampaignResult res =
+      run_campaign(model().dp, errors, tg.budgeted_strategy(), cfg);
+  EXPECT_EQ(res.stats.total, errors.size());
+  EXPECT_EQ(res.stats.attempted, errors.size());
+  EXPECT_EQ(res.stats.detected + res.stats.aborted, errors.size());
+  for (const CampaignRow& row : res.rows) {
+    if (!row.attempt.detected()) {
+      EXPECT_EQ(row.attempt.abort, AbortReason::kDeadline)
+          << row.error.describe(model().dp);
+    }
+  }
+  EXPECT_EQ(res.stats.aborted_deadline, res.stats.aborted);
+}
+
+// ----------------------------------------------------------- fault hooks
+
+TEST(FaultPlan, ThrowIsCapturedPerError) {
+  CampaignFaultPlan faults;
+  faults[1].kind = CampaignFault::Kind::kThrow;
+  CampaignConfig cfg;
+  cfg.faults = &faults;
+  const auto errors = small_population();
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(), cfg);
+  EXPECT_EQ(res.stats.attempted, errors.size());  // campaign survived
+  EXPECT_EQ(res.rows[1].attempt.abort, AbortReason::kException);
+  EXPECT_NE(res.rows[1].attempt.note.find("fault-injected"),
+            std::string::npos);
+  EXPECT_EQ(res.stats.aborted_exception, 1u);
+  // Neighbours are unaffected (the scripted generator is call-counted, so
+  // after the skipped call on error 1 the even/odd script shifts by one).
+  EXPECT_TRUE(res.rows[0].attempt.detected());
+  EXPECT_TRUE(res.rows[3].attempt.detected());
+  EXPECT_FALSE(res.rows[2].attempt.detected());
+}
+
+TEST(FaultPlan, BudgetExhaustAndFallbackTagging) {
+  CampaignFaultPlan faults;
+  faults[0].kind = CampaignFault::Kind::kBudgetExhaust;
+  faults[0].abort = AbortReason::kDeadline;
+  // Error 2: primary exhausts, fallback (forced) succeeds.
+  faults[2].kind = CampaignFault::Kind::kBudgetExhaust;
+  faults[2].abort = AbortReason::kBacktracks;
+  faults[2].force_fallback = true;
+  faults[2].fallback_attempt.generated = true;
+  faults[2].fallback_attempt.sim_confirmed = true;
+  faults[2].fallback_attempt.test_length = 9;
+  faults[2].fallback_attempt.seconds = 0.002;
+
+  CampaignConfig cfg;
+  cfg.faults = &faults;
+  const auto errors = small_population();
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(), cfg);
+
+  // Error 0: budget-aborted, no fallback configured for it -> aborted.
+  EXPECT_FALSE(res.rows[0].attempt.detected());
+  EXPECT_EQ(res.rows[0].attempt.abort, AbortReason::kDeadline);
+  EXPECT_EQ(res.stats.aborted_deadline, 1u);
+  // Error 2: detected via fallback, tagged as such in rows and stats.
+  EXPECT_TRUE(res.rows[2].attempt.detected());
+  EXPECT_TRUE(res.rows[2].attempt.via_fallback);
+  EXPECT_EQ(res.rows[2].attempt.outcome(), AttemptOutcome::kDetectedFallback);
+  EXPECT_EQ(res.stats.detected_fallback, 1u);
+  EXPECT_EQ(res.stats.detected_deterministic, res.stats.detected - 1);
+  // The split shows up in the Table-1 rendering.
+  const std::string t = res.stats.table1("resilience");
+  EXPECT_NE(t.find("fallback"), std::string::npos);
+}
+
+TEST(FaultPlan, RealFallbackGeneratorRescuesBudgetAbort) {
+  // Force the primary to "exhaust" on every error and let the real
+  // biased-random baseline rescue what it can under its own budget.
+  CampaignFaultPlan faults;
+  const auto errors = small_population();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    faults[i].kind = CampaignFault::Kind::kBudgetExhaust;
+    faults[i].abort = AbortReason::kBacktracks;
+  }
+  CampaignConfig cfg;
+  cfg.faults = &faults;
+  RandomTgConfig rcfg;
+  rcfg.max_programs_per_error = 16;
+  cfg.fallback = random_budgeted_strategy(model(), rcfg);
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(), cfg);
+  // ALU adder SSLs are easy prey for random programs: expect rescues, all
+  // tagged as fallback detections.
+  EXPECT_GT(res.stats.detected_fallback, 0u);
+  EXPECT_EQ(res.stats.detected, res.stats.detected_fallback);
+  for (const CampaignRow& row : res.rows)
+    if (row.attempt.detected()) {
+      EXPECT_TRUE(row.attempt.via_fallback);
+      EXPECT_TRUE(detects(model(), row.attempt.test,
+                          row.error.injection()));
+    }
+}
+
+// -------------------------------------------------------------- journal
+
+TEST(Journal, RowRoundTripsAttempt) {
+  ErrorAttempt a;
+  a.generated = a.sim_confirmed = true;
+  a.test_length = 7;
+  a.backtracks = 3;
+  a.decisions = 19;
+  a.seconds = 0.12345678901234567;
+  a.abort = AbortReason::kNone;
+  a.via_fallback = true;
+  a.note = "weird \"note\"\nwith\tescapes";
+  a.test.imem = {0x20220007u, 0xAC410100u};
+  a.test.rf_init[2] = 0xDEADBEEFu;
+  a.test.dmem_init[16] = 0x12345678u;
+
+  const std::string line = journal_row_line(42, a);
+  const std::string path = temp_journal("roundtrip");
+  {
+    std::ofstream out(path);
+    out << journal_header_line(50, 0xABCDEF) << "\n" << line << "\n";
+  }
+  const JournalReplay jr = load_journal(path);
+  ASSERT_TRUE(jr.header_ok);
+  EXPECT_EQ(jr.total, 50u);
+  EXPECT_EQ(jr.fingerprint, 0xABCDEFull);
+  ASSERT_EQ(jr.rows.count(42), 1u);
+  const ErrorAttempt& b = jr.rows.at(42);
+  EXPECT_EQ(b.generated, a.generated);
+  EXPECT_EQ(b.sim_confirmed, a.sim_confirmed);
+  EXPECT_EQ(b.test_length, a.test_length);
+  EXPECT_EQ(b.backtracks, a.backtracks);
+  EXPECT_EQ(b.decisions, a.decisions);
+  EXPECT_EQ(b.seconds, a.seconds);  // exact: %.17g round-trip
+  EXPECT_EQ(b.via_fallback, a.via_fallback);
+  EXPECT_EQ(b.note, a.note);
+  EXPECT_EQ(b.test.imem, a.test.imem);
+  EXPECT_EQ(b.test.rf_init[2], a.test.rf_init[2]);
+  EXPECT_EQ(b.test.dmem_init.at(16), a.test.dmem_init.at(16));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTrailingRowIsDropped) {
+  const std::string path = temp_journal("torn");
+  ErrorAttempt a;
+  a.generated = a.sim_confirmed = true;
+  a.test_length = 3;
+  {
+    std::ofstream out(path);
+    out << journal_header_line(4, 1) << "\n"
+        << journal_row_line(0, a) << "\n"
+        << journal_row_line(1, a).substr(0, 25);  // crash mid-write
+  }
+  const JournalReplay jr = load_journal(path);
+  EXPECT_TRUE(jr.header_ok);
+  EXPECT_EQ(jr.rows.size(), 1u);
+  EXPECT_EQ(jr.rows.count(0), 1u);
+  EXPECT_NE(jr.note.find("torn"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MismatchedJournalIsNotReplayed) {
+  const auto errors = small_population();
+  const std::string path = temp_journal("mismatch");
+  {
+    std::ofstream out(path);
+    out << journal_header_line(errors.size(), /*wrong fingerprint*/ 123)
+        << "\n";
+    ErrorAttempt a;
+    a.generated = a.sim_confirmed = true;
+    out << journal_row_line(0, a) << "\n";
+  }
+  CampaignConfig cfg;
+  cfg.journal_path = path;
+  cfg.resume = true;
+  int calls = 0;
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(&calls), cfg);
+  EXPECT_EQ(res.resumed_rows, 0u);  // foreign journal ignored
+  EXPECT_EQ(calls, static_cast<int>(errors.size()));
+  EXPECT_NE(res.journal_note.find("different campaign"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- interrupt + resume
+
+TEST(Resume, InterruptedCampaignReproducesIdenticalStats) {
+  const auto errors = small_population();
+
+  // Reference: uninterrupted, journal-free run with the scripted generator.
+  const CampaignResult full =
+      run_campaign(model().dp, errors, scripted_gen(), CampaignConfig{});
+
+  // Run 1: cancel after three errors (the cancellation is requested by the
+  // generator itself so the cut point is deterministic).
+  const std::string path = temp_journal("resume");
+  std::remove(path.c_str());
+  CancelToken cancel;
+  int first_calls = 0;
+  {
+    BudgetedGenFn inner = scripted_gen(&first_calls);
+    BudgetedGenFn cancelling = [&](const DesignError& e, Budget& b) {
+      ErrorAttempt a = inner(e, b);
+      if (first_calls == 3) cancel.request_stop();
+      return a;
+    };
+    CampaignConfig cfg;
+    cfg.journal_path = path;
+    cfg.cancel = &cancel;
+    const CampaignResult part =
+        run_campaign(model().dp, errors, cancelling, cfg);
+    EXPECT_TRUE(part.interrupted);
+    EXPECT_EQ(part.stats.attempted, 3u);
+    EXPECT_EQ(first_calls, 3);
+  }
+
+  // Run 2: resume. The scripted generator restarts its index at 0, but the
+  // first three errors must come from the journal, so attempts 3..5 get
+  // scripted indices 3..5 via the offset shim below.
+  int second_calls = 0;
+  {
+    BudgetedGenFn inner = scripted_gen();
+    // Discard the first three scripted outcomes to realign the script with
+    // the error index (a real generator is a pure function of the error;
+    // the shim only exists because the script is call-counted).
+    Budget dummy;
+    for (int i = 0; i < 3; ++i) inner(errors[0], dummy);
+    BudgetedGenFn counted = [&](const DesignError& e, Budget& b) {
+      ++second_calls;
+      return inner(e, b);
+    };
+    CampaignConfig cfg;
+    cfg.journal_path = path;
+    cfg.resume = true;
+    const CampaignResult resumed =
+        run_campaign(model().dp, errors, counted, cfg);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.resumed_rows, 3u);
+    EXPECT_EQ(second_calls, 3);  // only the unjournaled errors ran
+
+    // Byte-identical Table-1 stats (includes the CPU-time row: the
+    // journaled seconds replay exactly, and the scripted seconds are
+    // deterministic).
+    EXPECT_EQ(resumed.stats.table1("Table 1"), full.stats.table1("Table 1"));
+    EXPECT_EQ(resumed.stats.detected, full.stats.detected);
+    EXPECT_EQ(resumed.stats.aborted, full.stats.aborted);
+    EXPECT_EQ(resumed.stats.backtracks, full.stats.backtracks);
+    EXPECT_EQ(resumed.stats.decisions, full.stats.decisions);
+    EXPECT_DOUBLE_EQ(resumed.stats.cpu_seconds, full.stats.cpu_seconds);
+    EXPECT_EQ(resumed.stats.length_histogram, full.stats.length_histogram);
+    // Replayed rows carry their tests (row-level parity, not just stats).
+    ASSERT_EQ(resumed.rows.size(), full.rows.size());
+    for (std::size_t i = 0; i < full.rows.size(); ++i)
+      EXPECT_EQ(resumed.rows[i].attempt.test.imem,
+                full.rows[i].attempt.test.imem)
+          << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CancelBeforeFirstErrorAttemptsNothing) {
+  CancelToken cancel;
+  cancel.request_stop();
+  CampaignConfig cfg;
+  cfg.cancel = &cancel;
+  int calls = 0;
+  const CampaignResult res = run_campaign(model().dp, small_population(),
+                                          scripted_gen(&calls), cfg);
+  EXPECT_TRUE(res.interrupted);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(res.stats.attempted, 0u);
+}
+
+// ------------------------------------------- malformed untrusted inputs
+
+TEST(Robustness, MalformedAssemblyIsRecoverable) {
+  // Out-of-range immediates, bad registers, junk mnemonics: errors with
+  // line numbers, never a crash or a silently truncated program.
+  const AsmResult r = assemble(
+      "addi r1, r1, 999999\n"     // line 1: imm out of I-range
+      "add r40, r1, r2\n"         // line 2: bad register
+      "frobnicate r1\n"           // line 3: unknown mnemonic
+      "addi r2, r2, 0x\n"         // line 4: bare 0x
+      "j 99999999\n"              // line 5: imm out of J-range
+      "addi r3, r3, 5\n");        // line 6: fine
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.errors.size(), 5u);
+  EXPECT_NE(r.errors[0].find("line 1"), std::string::npos);
+  EXPECT_NE(r.errors[0].find("out of range"), std::string::npos);
+  EXPECT_NE(r.errors[4].find("line 5"), std::string::npos);
+  ASSERT_EQ(r.program.size(), 1u);  // only the good line assembled
+  EXPECT_EQ(r.program[0].op, Op::kAddi);
+}
+
+TEST(Robustness, BranchToOutOfRangeLabelIsAnError) {
+  std::string src = "beqz r1, far\n";
+  for (int i = 0; i < 40000; ++i) src += "nop\n";
+  src += "far: nop\n";
+  const AsmResult r = assemble(src);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].find("out of branch range"), std::string::npos);
+}
+
+TEST(Robustness, MalformedTestcaseFilesAreRecoverable) {
+  EXPECT_FALSE(parse_test("instr zzzz\n").ok());
+  EXPECT_FALSE(parse_test("instr 123456789\n").ok());    // > 8 hex digits
+  EXPECT_FALSE(parse_test("instr 00000000 junk\n").ok());
+  EXPECT_FALSE(parse_test("reg 0 00000001\n").ok());     // r0 is hardwired
+  EXPECT_FALSE(parse_test("mem 100 zz\n").ok());
+  const TestLoadResult bad = parse_test("reg 5 xyz\n");
+  EXPECT_NE(bad.error.find("line 1"), std::string::npos);
+  // And the happy path still round-trips.
+  EXPECT_TRUE(parse_test("instr 0x00000000\nreg 5 1f\nmem 100 2\n").ok());
+}
+
+}  // namespace
+}  // namespace hltg
