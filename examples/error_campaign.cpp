@@ -6,6 +6,7 @@
 //                      [--deadline-ms N] [--max-backtracks N]
 //                      [--max-decisions N] [--fallback [tries]]
 //                      [--journal file.jsonl] [--resume]
+//                      [--jobs N] [--drop]
 //
 // Resilience controls (docs/ROBUSTNESS.md): --deadline-ms / --max-* arm a
 // per-error budget; --fallback retries budget-exhausted errors with the
@@ -13,18 +14,28 @@
 // row per error so an interrupted run restarted with --resume reproduces
 // the identical summary; Ctrl-C cancels cooperatively (the current error
 // finishes and is journaled before the partial summary prints).
+//
+// Performance controls (docs/PERFORMANCE.md): --jobs N runs the generator
+// on N worker threads (identical summary for any N); --drop error-simulates
+// each generated test against all remaining errors with the bit-parallel
+// batch simulator and drops the fortuitously detected ones. The two are
+// mutually exclusive (dropping is inherently sequential: each drop pass
+// depends on the tests kept so far).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "baseline/random_tg.h"
 #include "core/tg.h"
+#include "errors/parallel_campaign.h"
 #include "errors/redundancy.h"
 #include "errors/report.h"
 #include "isa/testcase_io.h"
+#include "sim/batch_sim.h"
 #include "util/table.h"
 
 using namespace hltg;
@@ -53,6 +64,8 @@ int main(int argc, char** argv) {
   CampaignConfig ccfg;
   bool use_fallback = false;
   unsigned fallback_tries = 64;
+  unsigned jobs = 1;
+  bool use_drop = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--stages") && i + 1 < argc)
       stages = parse_stages(argv[++i]);
@@ -78,6 +91,10 @@ int main(int argc, char** argv) {
       ccfg.journal_path = argv[++i];
     else if (!std::strcmp(argv[i], "--resume"))
       ccfg.resume = true;
+    else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--drop"))
+      use_drop = true;
     else if (!std::strcmp(argv[i], "-v"))
       ccfg.verbose = true;
     else {
@@ -91,6 +108,10 @@ int main(int argc, char** argv) {
   }
   if (ccfg.resume && ccfg.journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal\n");
+    return 1;
+  }
+  if (use_drop && jobs > 1) {
+    std::fprintf(stderr, "--drop and --jobs are mutually exclusive\n");
     return 1;
   }
 
@@ -124,9 +145,44 @@ int main(int argc, char** argv) {
     ccfg.fallback_budget = ccfg.budget;  // same deadline/caps per attempt
   }
 
-  TestGenerator tg(m);
-  const CampaignResult res =
-      run_campaign(m.dp, errors, tg.budgeted_strategy(), ccfg);
+  CampaignResult res;
+  if (use_drop) {
+    TestGenerator tg(m);
+    res = run_campaign_with_dropping(m.dp, errors, tg.budgeted_strategy(),
+                                     batch_detector(m), ccfg);
+  } else if (jobs > 1) {
+    // Workers share the model read-only; materialise its lazy caches before
+    // handing out const refs.
+    m.ctrl.warm_caches();
+    m.dp.topo_order();
+    ParallelCampaignConfig pcfg;
+    static_cast<CampaignConfig&>(pcfg) = ccfg;
+    pcfg.jobs = jobs;
+    if (use_fallback) {
+      RandomTgConfig rcfg;
+      rcfg.max_programs_per_error = fallback_tries;
+      pcfg.fallback = nullptr;  // replaced by per-worker instances
+      pcfg.fallback_factory = [&m, rcfg](unsigned) {
+        return random_budgeted_strategy(m, rcfg);
+      };
+    }
+    res = run_campaign_parallel(
+        m.dp, errors,
+        [&m](unsigned) {
+          auto tg = std::make_shared<TestGenerator>(m);
+          BudgetedGenFn s = tg->budgeted_strategy();
+          return [tg, s](const DesignError& e, Budget& b) { return s(e, b); };
+        },
+        pcfg);
+    std::printf("ran on %u worker threads\n", jobs);
+  } else {
+    TestGenerator tg(m);
+    res = run_campaign(m.dp, errors, tg.budgeted_strategy(), ccfg);
+  }
+  if (use_drop)
+    std::printf("dropping: kept %zu tests, dropped %zu errors (%.2f s error "
+                "simulation)\n",
+                res.tests_kept, res.dropped, res.dropping_seconds);
   if (!res.journal_note.empty())
     std::fprintf(stderr, "journal: %s\n", res.journal_note.c_str());
   if (res.resumed_rows > 0)

@@ -46,36 +46,36 @@ std::string CampaignStats::table1(const std::string& title) const {
   return t.to_string();
 }
 
-namespace {
-
-void accumulate(CampaignStats* s, const ErrorAttempt& a,
-                std::uint64_t* length_sum) {
-  ++s->attempted;
+void CampaignStats::add_attempt(const ErrorAttempt& a,
+                                std::uint64_t* length_sum) {
+  ++attempted;
   if (a.detected()) {
-    ++s->detected;
+    ++detected;
     if (a.via_fallback)
-      ++s->detected_fallback;
+      ++detected_fallback;
     else
-      ++s->detected_deterministic;
+      ++detected_deterministic;
     *length_sum += a.test_length;
-    s->backtracks += a.backtracks;
-    s->decisions += a.decisions;
-    if (s->length_histogram.size() <= a.test_length)
-      s->length_histogram.resize(a.test_length + 1, 0);
-    ++s->length_histogram[a.test_length];
+    backtracks += a.backtracks;
+    decisions += a.decisions;
+    if (length_histogram.size() <= a.test_length)
+      length_histogram.resize(a.test_length + 1, 0);
+    ++length_histogram[a.test_length];
   } else {
-    ++s->aborted;
+    ++aborted;
     switch (a.abort) {
-      case AbortReason::kDeadline: ++s->aborted_deadline; break;
-      case AbortReason::kBacktracks: ++s->aborted_backtracks; break;
-      case AbortReason::kDecisions: ++s->aborted_decisions; break;
-      case AbortReason::kCancelled: ++s->aborted_cancelled; break;
-      case AbortReason::kException: ++s->aborted_exception; break;
+      case AbortReason::kDeadline: ++aborted_deadline; break;
+      case AbortReason::kBacktracks: ++aborted_backtracks; break;
+      case AbortReason::kDecisions: ++aborted_decisions; break;
+      case AbortReason::kCancelled: ++aborted_cancelled; break;
+      case AbortReason::kException: ++aborted_exception; break;
       case AbortReason::kNone: break;
     }
   }
-  s->cpu_seconds += a.seconds;
+  cpu_seconds += a.seconds;
 }
+
+namespace {
 
 void append_note(std::string* dst, const std::string& more) {
   if (more.empty()) return;
@@ -83,10 +83,20 @@ void append_note(std::string* dst, const std::string& more) {
   *dst += more;
 }
 
-/// One error through the resilient pipeline: fault hook, primary generator
-/// under its budget, exception capture, graceful degradation.
-ErrorAttempt attempt_one(const DesignError& err, std::size_t index,
-                         const BudgetedGenFn& gen, const CampaignConfig& cfg) {
+const char* outcome_tag(const ErrorAttempt& a) {
+  switch (a.outcome()) {
+    case AttemptOutcome::kDetectedDeterministic: return "det ";
+    case AttemptOutcome::kDetectedFallback: return "fbk ";
+    case AttemptOutcome::kAborted: return "abrt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
+                               const BudgetedGenFn& gen,
+                               const CampaignConfig& cfg) {
   const CampaignFault* fault = nullptr;
   if (cfg.faults) {
     const auto it = cfg.faults->find(index);
@@ -157,17 +167,6 @@ ErrorAttempt attempt_one(const DesignError& err, std::size_t index,
   return fb;
 }
 
-const char* outcome_tag(const ErrorAttempt& a) {
-  switch (a.outcome()) {
-    case AttemptOutcome::kDetectedDeterministic: return "det ";
-    case AttemptOutcome::kDetectedFallback: return "fbk ";
-    case AttemptOutcome::kAborted: return "abrt";
-  }
-  return "?";
-}
-
-}  // namespace
-
 CampaignResult run_campaign(const Netlist& nl,
                             const std::vector<DesignError>& errors,
                             const BudgetedGenFn& gen,
@@ -176,35 +175,9 @@ CampaignResult run_campaign(const Netlist& nl,
   res.stats.total = errors.size();
   std::uint64_t length_sum = 0;
 
-  // Journal: load a replay map when resuming, then (re)open for writing.
-  const std::uint64_t fp =
-      cfg.journal_path.empty() ? 0 : campaign_fingerprint(nl, errors);
-  std::map<std::size_t, ErrorAttempt> replay;
-  bool append = false;
-  if (!cfg.journal_path.empty() && cfg.resume) {
-    JournalReplay jr = load_journal(cfg.journal_path);
-    if (jr.header_ok && jr.fingerprint == fp && jr.total == errors.size()) {
-      replay = std::move(jr.rows);
-      append = true;
-      res.journal_note = jr.note;
-    } else if (jr.header_ok) {
-      res.journal_note =
-          "journal belongs to a different campaign; starting fresh";
-    } else {
-      res.journal_note = jr.note + "; starting fresh";
-    }
-  }
-  CampaignJournal journal;
-  if (!cfg.journal_path.empty()) {
-    std::string jerr;
-    if (!journal.open(cfg.journal_path, append, &jerr)) {
-      // Journaling is best-effort: a bad path degrades to an unjournaled
-      // campaign rather than forfeiting the run.
-      append_note(&res.journal_note, jerr + " (journaling disabled)");
-    } else if (!append) {
-      journal.append_line(journal_header_line(errors.size(), fp));
-    }
-  }
+  JournalSession journal;
+  journal.open(nl, errors, cfg.journal_path, cfg.resume);
+  res.journal_note = journal.note;
 
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (cfg.cancel && cfg.cancel->stop_requested()) {
@@ -213,14 +186,15 @@ CampaignResult run_campaign(const Netlist& nl,
     }
     const DesignError& err = errors[i];
     ErrorAttempt a;
-    if (const auto it = replay.find(i); it != replay.end()) {
+    if (const auto it = journal.replay.find(i); it != journal.replay.end()) {
       a = it->second;
       ++res.resumed_rows;
     } else {
-      a = attempt_one(err, i, gen, cfg);
-      if (journal.is_open()) journal.append_line(journal_row_line(i, a));
+      a = attempt_one_error(err, i, gen, cfg);
+      if (journal.writer.is_open())
+        journal.writer.append_line(journal_row_line(i, a));
     }
-    accumulate(&res.stats, a, &length_sum);
+    res.stats.add_attempt(a, &length_sum);
     if (cfg.verbose)
       std::fprintf(stderr, "  [%s] %s%s\n", outcome_tag(a),
                    err.describe(nl).c_str(),
@@ -242,57 +216,101 @@ CampaignResult run_campaign(const Netlist& nl,
   return run_campaign(nl, errors, ignore_budget(gen), cfg);
 }
 
+BatchDetectFn batch_from_scalar(DetectFn detect) {
+  return [detect = std::move(detect)](
+             const TestCase& tc, const std::vector<const DesignError*>& errs) {
+    std::vector<bool> out(errs.size(), false);
+    for (std::size_t i = 0; i < errs.size(); ++i)
+      out[i] = detect(tc, *errs[i]);
+    return out;
+  };
+}
+
 CampaignResult run_campaign_with_dropping(
     const Netlist& nl, const std::vector<DesignError>& errors,
-    const TestGenFn& gen, const DetectFn& detect, bool verbose) {
+    const BudgetedGenFn& gen, const BatchDetectFn& detect,
+    const CampaignConfig& cfg) {
   CampaignResult res;
   res.stats.total = errors.size();
   std::uint64_t length_sum = 0;
-  std::vector<bool> done(errors.size(), false);
+  std::vector<char> done(errors.size(), 0);
 
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < errors.size(); ++i) {
-    if (done[i]) continue;
-    CampaignRow row{errors[i], gen(errors[i])};
-    const ErrorAttempt& a = row.attempt;
-    ++res.stats.attempted;
-    if (a.detected()) {
+  JournalSession journal;
+  journal.open(nl, errors, cfg.journal_path, cfg.resume);
+  res.journal_note = journal.note;
+
+  // One batched detector call sweeps the new test over every remaining
+  // error (dropped and journaled errors are already excluded).
+  auto drop_pass = [&](std::size_t i, const TestCase& test) {
+    std::vector<const DesignError*> rem;
+    std::vector<std::size_t> idx;
+    for (std::size_t j = i + 1; j < errors.size(); ++j)
+      if (!done[j]) {
+        rem.push_back(&errors[j]);
+        idx.push_back(j);
+      }
+    if (rem.empty()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<bool> det = detect(test, rem);
+    res.dropping_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (std::size_t k = 0; k < rem.size(); ++k) {
+      if (k >= det.size() || !det[k]) continue;
+      done[idx[k]] = 1;
       ++res.stats.detected;
       ++res.stats.detected_deterministic;
-      ++res.tests_kept;
-      length_sum += a.test_length;
-      res.stats.backtracks += a.backtracks;
-      res.stats.decisions += a.decisions;
-      done[i] = true;
-      // Error-simulate the new test against every remaining error.
-      for (std::size_t j = i + 1; j < errors.size(); ++j) {
-        if (done[j]) continue;
-        if (detect(a.test, errors[j])) {
-          done[j] = true;
-          ++res.stats.detected;
-          ++res.stats.detected_deterministic;
-          ++res.dropped;
-          if (verbose)
-            std::fprintf(stderr, "  [drop] %s (covered by test for %s)\n",
-                         errors[j].describe(nl).c_str(),
-                         errors[i].describe(nl).c_str());
-        }
-      }
-    } else {
-      ++res.stats.aborted;
+      ++res.dropped;
+      if (cfg.verbose)
+        std::fprintf(stderr, "  [drop] %s (covered by test for %s)\n",
+                     errors[idx[k]].describe(nl).c_str(),
+                     errors[i].describe(nl).c_str());
     }
-    if (verbose)
-      std::fprintf(stderr, "  [%s] %s\n", outcome_tag(a),
-                   errors[i].describe(nl).c_str());
-    res.rows.push_back(std::move(row));
+  };
+
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (cfg.cancel && cfg.cancel->stop_requested()) {
+      res.interrupted = true;
+      break;
+    }
+    if (done[i]) continue;  // fortuitously detected by an earlier test
+    ErrorAttempt a;
+    if (const auto it = journal.replay.find(i); it != journal.replay.end()) {
+      // Replayed generator attempt: the dropping pass below re-derives the
+      // drops its test caused, so a resumed campaign reproduces the
+      // original compaction without re-running any generator.
+      a = it->second;
+      ++res.resumed_rows;
+    } else {
+      a = attempt_one_error(errors[i], i, gen, cfg);
+      if (journal.writer.is_open())
+        journal.writer.append_line(journal_row_line(i, a));
+    }
+    res.stats.add_attempt(a, &length_sum);
+    if (a.detected()) {
+      done[i] = 1;
+      ++res.tests_kept;
+      drop_pass(i, a.test);
+    }
+    if (cfg.verbose)
+      std::fprintf(stderr, "  [%s] %s%s\n", outcome_tag(a),
+                   errors[i].describe(nl).c_str(),
+                   a.note.empty() ? "" : ("  (" + a.note + ")").c_str());
+    res.rows.push_back({errors[i], std::move(a)});
   }
-  res.stats.cpu_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
   if (res.tests_kept > 0)
     res.stats.avg_test_length =
         static_cast<double>(length_sum) / res.tests_kept;
   return res;
+}
+
+CampaignResult run_campaign_with_dropping(
+    const Netlist& nl, const std::vector<DesignError>& errors,
+    const TestGenFn& gen, const DetectFn& detect, bool verbose) {
+  CampaignConfig cfg;
+  cfg.verbose = verbose;
+  return run_campaign_with_dropping(nl, errors, ignore_budget(gen),
+                                    batch_from_scalar(detect), cfg);
 }
 
 }  // namespace hltg

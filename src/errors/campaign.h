@@ -97,6 +97,11 @@ struct CampaignStats {
   std::vector<unsigned> length_histogram;  ///< index = length
 
   std::string table1(const std::string& title) const;  ///< Table-1 format
+
+  /// Fold one attempt into the tallies (shared by the serial, parallel and
+  /// dropping engines so the three can never diverge). `length_sum`
+  /// accumulates detected test lengths for the avg_test_length finish-up.
+  void add_attempt(const ErrorAttempt& a, std::uint64_t* length_sum);
 };
 
 struct CampaignResult {
@@ -106,6 +111,7 @@ struct CampaignResult {
   std::size_t resumed_rows = 0;  ///< rows replayed from the journal
   std::size_t dropped = 0;       ///< errors detected fortuitously
   std::size_t tests_kept = 0;    ///< distinct tests in the compacted set
+  double dropping_seconds = 0;   ///< wall time spent error-simulating drops
   std::string journal_note;      ///< journal open/replay diagnostics
 };
 
@@ -149,6 +155,16 @@ struct CampaignConfig {
   const CampaignFaultPlan* faults = nullptr;  ///< test hook
 };
 
+/// One error through the resilient pipeline: fault hook, primary generator
+/// under its budget, exception capture, graceful degradation. Shared by the
+/// serial loop, the dropping loop, and the parallel worker pool
+/// (errors/parallel_campaign); thread-safe as long as `gen`, the fallback,
+/// and the fault plan are (the campaign engines guarantee one generator
+/// instance per worker).
+ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
+                               const BudgetedGenFn& gen,
+                               const CampaignConfig& cfg);
+
 CampaignResult run_campaign(const Netlist& nl,
                             const std::vector<DesignError>& errors,
                             const BudgetedGenFn& gen,
@@ -162,11 +178,35 @@ CampaignResult run_campaign(const Netlist& nl,
 /// Detection oracle used for error dropping: does `test` detect `err`?
 using DetectFn = std::function<bool(const TestCase&, const DesignError&)>;
 
+/// Batched detection oracle: out[i] iff `test` detects errors[i]. The
+/// bit-parallel implementation (sim/batch_sim: one controller evaluation
+/// for up to 64 injected errors) answers a whole remaining-error sweep in
+/// one call; `batch_from_scalar` adapts a per-error DetectFn.
+using BatchDetectFn = std::function<std::vector<bool>(
+    const TestCase&, const std::vector<const DesignError*>&)>;
+
+/// Adapt a scalar detection oracle to the batched interface (serial
+/// reference path; the benchmark measures the batch kernel against it).
+BatchDetectFn batch_from_scalar(DetectFn detect);
+
 /// Campaign with error dropping (the re-use the paper's Sec. VI says its
 /// prototype did not yet exploit): after each generated test, all remaining
-/// errors are error-simulated against it and fortuitously detected ones are
-/// dropped without their own generator run. The resulting compacted test
-/// set covers the same errors with far fewer tests and generator calls.
+/// errors are error-simulated against it in one batched detector call and
+/// fortuitously detected ones are dropped without their own generator run.
+/// The resulting compacted test set covers the same errors with far fewer
+/// tests and generator calls.
+///
+/// Honors the full CampaignConfig: per-error budgets, graceful degradation,
+/// cooperative cancellation, and the checkpoint journal. Only generator
+/// attempts are journaled; on resume the dropping passes are re-derived by
+/// re-simulating each replayed test (cheap on the batched path), so the
+/// resumed campaign reproduces the original drop set deterministically.
+CampaignResult run_campaign_with_dropping(
+    const Netlist& nl, const std::vector<DesignError>& errors,
+    const BudgetedGenFn& gen, const BatchDetectFn& detect,
+    const CampaignConfig& cfg);
+
+/// Legacy entry point: unbudgeted, unjournaled, scalar detection.
 CampaignResult run_campaign_with_dropping(
     const Netlist& nl, const std::vector<DesignError>& errors,
     const TestGenFn& gen, const DetectFn& detect, bool verbose = false);

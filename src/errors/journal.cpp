@@ -310,4 +310,33 @@ void CampaignJournal::close() {
   }
 }
 
+void JournalSession::open(const Netlist& nl,
+                          const std::vector<DesignError>& errors,
+                          const std::string& path, bool resume) {
+  if (path.empty()) return;
+  const std::uint64_t fp = campaign_fingerprint(nl, errors);
+  bool append = false;
+  if (resume) {
+    JournalReplay jr = load_journal(path);
+    if (jr.header_ok && jr.fingerprint == fp && jr.total == errors.size()) {
+      replay = std::move(jr.rows);
+      append = true;
+      note = jr.note;
+    } else if (jr.header_ok) {
+      note = "journal belongs to a different campaign; starting fresh";
+    } else {
+      note = jr.note + "; starting fresh";
+    }
+  }
+  std::string jerr;
+  if (!writer.open(path, append, &jerr)) {
+    // Journaling is best-effort: a bad path degrades to an unjournaled
+    // campaign rather than forfeiting the run.
+    if (!note.empty()) note += "; ";
+    note += jerr + " (journaling disabled)";
+  } else if (!append) {
+    writer.append_line(journal_header_line(errors.size(), fp));
+  }
+}
+
 }  // namespace hltg

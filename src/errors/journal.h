@@ -62,4 +62,20 @@ class CampaignJournal {
   std::FILE* f_ = nullptr;
 };
 
+/// One campaign's journal lifecycle, shared by the serial, dropping and
+/// parallel engines: load the replay map when resuming (fingerprint-checked
+/// against this campaign's error population), then (re)open the writer -
+/// appending to a matching journal, starting fresh (with a new header)
+/// otherwise. A bad path degrades to an unjournaled campaign; the
+/// diagnostics land in `note`. Non-copyable (owns the open file).
+struct JournalSession {
+  CampaignJournal writer;
+  std::map<std::size_t, ErrorAttempt> replay;
+  std::string note;
+  std::size_t resumed() const { return replay.size(); }
+
+  void open(const Netlist& nl, const std::vector<DesignError>& errors,
+            const std::string& path, bool resume);
+};
+
 }  // namespace hltg

@@ -1,0 +1,137 @@
+#include "errors/parallel_campaign.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "errors/journal.h"
+#include "netlist/netlist.h"
+
+namespace hltg {
+
+GenFactory shared_gen(BudgetedGenFn gen) {
+  return [gen = std::move(gen)](unsigned) { return gen; };
+}
+
+namespace {
+
+const char* outcome_tag(const ErrorAttempt& a) {
+  switch (a.outcome()) {
+    case AttemptOutcome::kDetectedDeterministic: return "det ";
+    case AttemptOutcome::kDetectedFallback: return "fbk ";
+    case AttemptOutcome::kAborted: return "abrt";
+  }
+  return "?";
+}
+
+enum : unsigned char { kPending = 0, kFresh = 1, kReplayed = 2 };
+
+}  // namespace
+
+CampaignResult run_campaign_parallel(const Netlist& nl,
+                                     const std::vector<DesignError>& errors,
+                                     const GenFactory& make_gen,
+                                     const ParallelCampaignConfig& cfg) {
+  const unsigned jobs = cfg.jobs < 1 ? 1 : cfg.jobs;
+
+  CampaignResult res;
+  res.stats.total = errors.size();
+
+  JournalSession journal;
+  journal.open(nl, errors, cfg.journal_path, cfg.resume);
+  res.journal_note = journal.note;
+
+  std::vector<ErrorAttempt> attempts(errors.size());
+  std::vector<unsigned char> state(errors.size(), kPending);
+  std::vector<std::size_t> pending;
+  pending.reserve(errors.size());
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (const auto it = journal.replay.find(i); it != journal.replay.end()) {
+      attempts[i] = it->second;
+      state[i] = kReplayed;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  // Lazy caches (Netlist topo order; the generators' own models) must be
+  // materialised before threads share them. The netlist's is ours to warm;
+  // callers warm their model (GateNet::warm_caches) before handing out
+  // const refs.
+  if (!errors.empty()) (void)nl.topo_order();
+
+  // Work stealing by atomic counter: each worker grabs the next unclaimed
+  // index. Assignment of errors to workers is load-dependent and does not
+  // matter: attempts are pure functions of the error, and aggregation below
+  // is index-ordered.
+  std::atomic<std::size_t> next{0};
+  std::mutex journal_mu;
+  std::mutex note_mu;
+
+  auto worker = [&](unsigned w) {
+    CampaignConfig wcfg = cfg;  // slice: per-worker view of the shared knobs
+    BudgetedGenFn gen;
+    try {
+      gen = make_gen(w);
+      if (cfg.fallback_factory) wcfg.fallback = cfg.fallback_factory(w);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lk(note_mu);
+      if (!res.journal_note.empty()) res.journal_note += "; ";
+      res.journal_note +=
+          "worker " + std::to_string(w) + " unavailable: " + e.what();
+      return;  // remaining workers drain the queue
+    }
+    for (;;) {
+      if (cfg.cancel && cfg.cancel->stop_requested()) return;
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= pending.size()) return;
+      const std::size_t i = pending[k];
+      ErrorAttempt a = attempt_one_error(errors[i], i, gen, wcfg);
+      {
+        std::lock_guard<std::mutex> lk(journal_mu);
+        if (journal.writer.is_open())
+          journal.writer.append_line(journal_row_line(i, a));
+      }
+      attempts[i] = std::move(a);
+      state[i] = kFresh;
+    }
+  };
+
+  if (jobs == 1) {
+    worker(0);  // no thread: same engine, zero pool overhead
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) pool.emplace_back(worker, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic aggregation: fold attempts in error-index order so stats,
+  // row order and verbose output are identical for any jobs value.
+  std::uint64_t length_sum = 0;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (state[i] == kPending) continue;  // cancelled before being taken
+    ++completed;
+    if (state[i] == kReplayed) ++res.resumed_rows;
+    ErrorAttempt& a = attempts[i];
+    res.stats.add_attempt(a, &length_sum);
+    if (cfg.verbose)
+      std::fprintf(stderr, "  [%s] %s%s\n", outcome_tag(a),
+                   errors[i].describe(nl).c_str(),
+                   a.note.empty() ? "" : ("  (" + a.note + ")").c_str());
+    res.rows.push_back({errors[i], std::move(a)});
+  }
+  res.interrupted = completed < errors.size();
+  if (res.stats.detected > 0)
+    res.stats.avg_test_length =
+        static_cast<double>(length_sum) / res.stats.detected;
+  res.tests_kept = res.stats.detected;
+  return res;
+}
+
+}  // namespace hltg

@@ -1,0 +1,61 @@
+// Parallel campaign engine: a fixed-size worker pool runs the resilient
+// per-error pipeline (errors/campaign.h: budgets, fallback, fault hooks,
+// exception capture) over the error population concurrently.
+//
+// Determinism contract: for a deterministic generator, CampaignResult.rows
+// and .stats are identical for any --jobs value. Workers only *compute*
+// attempts; all aggregation (stats tallies, row order, verbose output)
+// happens on the calling thread in error-index order after the pool joins.
+// Work distribution is an atomic index counter (work stealing by
+// fetch_add), so which worker runs which error varies - but each attempt is
+// a pure function of (error, per-error budget, per-worker generator), and
+// generators are constructed per worker from a factory so no search state
+// is shared.
+//
+// Journal contract: rows are appended under a mutex as workers finish, so
+// they may land *out of index order*. That is within the JSONL journal
+// contract - resume keys rows by their "index" field, not file position -
+// and tests/test_parallel_campaign verifies resume from such a journal.
+//
+// Cancellation: a stop request (e.g. SIGINT via CancelToken) stops workers
+// from taking new errors; in-flight attempts finish (their budgets also see
+// the token if cfg.budget.cancel is wired) and are journaled before the
+// pool drains.
+#pragma once
+
+#include <functional>
+
+#include "errors/campaign.h"
+
+namespace hltg {
+
+/// Builds one worker's private generator. Called once per worker thread
+/// (worker ids 0..jobs-1) before the worker takes any error, from that
+/// worker's thread. The returned generator must be deterministic per error
+/// for the jobs-independence guarantee; it need not be thread-safe, only
+/// thread-compatible (no shared mutable state with other workers').
+using GenFactory = std::function<BudgetedGenFn(unsigned worker)>;
+
+struct ParallelCampaignConfig : CampaignConfig {
+  /// Worker threads. 0 or 1 runs the pool with a single worker (results are
+  /// identical either way; use run_campaign for the no-thread path).
+  unsigned jobs = 1;
+  /// Per-worker fallback generators (same contract as GenFactory). When
+  /// set, overrides the shared CampaignConfig::fallback, which with the
+  /// pool would have to be thread-safe.
+  GenFactory fallback_factory;
+};
+
+/// Adapt a single shared generator known to be thread-safe (e.g. a pure
+/// function of the error) to the factory interface.
+GenFactory shared_gen(BudgetedGenFn gen);
+
+/// Run the campaign on `cfg.jobs` workers. Aggregated result is
+/// index-ordered and (for deterministic generators) byte-identical to
+/// run_campaign's. Honors the full CampaignConfig including journal resume.
+CampaignResult run_campaign_parallel(const Netlist& nl,
+                                     const std::vector<DesignError>& errors,
+                                     const GenFactory& make_gen,
+                                     const ParallelCampaignConfig& cfg);
+
+}  // namespace hltg

@@ -42,10 +42,7 @@ void eval_cycle2(const GateNet& gn, std::vector<bool>& vals) {
 
 void clock_dffs2(const GateNet& gn, const std::vector<bool>& vals,
                  std::vector<bool>& next) {
-  for (GateId g = 0; g < gn.num_gates(); ++g) {
-    const Gate& gate = gn.gate(g);
-    if (gate.kind == GateKind::kDff) next[g] = vals[gate.fanin[0]];
-  }
+  for (GateId g : gn.dffs()) next[g] = vals[gn.gate(g).fanin[0]];
 }
 
 L3 eval_gate3(const GateNet& gn, GateId g, const std::vector<L3>& vals) {
@@ -118,15 +115,12 @@ void eval_cycle3(const GateNet& gn, std::vector<L3>& vals) {
 
 void load_reset2(const GateNet& gn, std::vector<bool>& vals) {
   vals.assign(gn.num_gates(), false);
-  for (GateId g = 0; g < gn.num_gates(); ++g)
-    if (gn.gate(g).kind == GateKind::kDff) vals[g] = gn.gate(g).reset_value;
+  for (GateId g : gn.dffs()) vals[g] = gn.gate(g).reset_value;
 }
 
 void load_reset3(const GateNet& gn, std::vector<L3>& vals) {
   vals.assign(gn.num_gates(), L3::X);
-  for (GateId g = 0; g < gn.num_gates(); ++g)
-    if (gn.gate(g).kind == GateKind::kDff)
-      vals[g] = l3_from_bool(gn.gate(g).reset_value);
+  for (GateId g : gn.dffs()) vals[g] = l3_from_bool(gn.gate(g).reset_value);
 }
 
 }  // namespace hltg

@@ -1,0 +1,59 @@
+#include "gatenet/eval64.h"
+
+namespace hltg {
+
+namespace {
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+}
+
+std::uint64_t eval_gate64(const GateNet& gn, GateId g,
+                          const std::vector<std::uint64_t>& vals) {
+  const Gate& gate = gn.gate(g);
+  switch (gate.kind) {
+    case GateKind::kVar:
+    case GateKind::kDff:
+      return vals[g];
+    case GateKind::kConst0:
+      return 0;
+    case GateKind::kConst1:
+      return kAllLanes;
+    case GateKind::kBuf:
+      return vals[gate.fanin[0]];
+    case GateKind::kNot:
+      return ~vals[gate.fanin[0]];
+    case GateKind::kAnd: {
+      std::uint64_t v = kAllLanes;
+      for (GateId in : gate.fanin) v &= vals[in];
+      return v;
+    }
+    case GateKind::kOr: {
+      std::uint64_t v = 0;
+      for (GateId in : gate.fanin) v |= vals[in];
+      return v;
+    }
+    case GateKind::kXor:
+      return vals[gate.fanin[0]] ^ vals[gate.fanin[1]];
+  }
+  return 0;
+}
+
+void eval_cycle64(const GateNet& gn, std::vector<std::uint64_t>& vals) {
+  for (GateId g : gn.topo_order()) {
+    const Gate& gate = gn.gate(g);
+    if (gate.kind == GateKind::kVar || gate.kind == GateKind::kDff) continue;
+    vals[g] = eval_gate64(gn, g, vals);
+  }
+}
+
+void clock_dffs64(const GateNet& gn, const std::vector<std::uint64_t>& vals,
+                  std::vector<std::uint64_t>& next) {
+  for (GateId g : gn.dffs()) next[g] = vals[gn.gate(g).fanin[0]];
+}
+
+void load_reset64(const GateNet& gn, std::vector<std::uint64_t>& vals) {
+  vals.assign(gn.num_gates(), 0);
+  for (GateId g : gn.dffs())
+    if (gn.gate(g).reset_value) vals[g] = kAllLanes;
+}
+
+}  // namespace hltg

@@ -1,0 +1,40 @@
+// Bit-parallel 2-valued evaluation of a controller gate network.
+//
+// Bit k of each value word is an independent "lane": one pass of
+// eval_cycle64 simulates up to 64 machines whose gate-level logic is
+// identical but whose inputs (CPI / STS / DFF state) differ per lane. The
+// batch error simulator (sim/batch_sim) uses this to error-simulate a
+// candidate test against up to 64 injected design errors at once - the
+// controller cost of the campaign's dropping pass drops by ~64x compared
+// to the scalar std::vector<bool> path in gatenet/eval3.
+//
+// Semantics per lane are exactly those of eval_cycle2 / clock_dffs2 /
+// load_reset2; tests/test_eval64.cpp cross-checks lane-for-lane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatenet/gatenet.h"
+
+namespace hltg {
+
+/// 64-lane 2-valued evaluation. `vals` must be sized num_gates() and
+/// pre-loaded with the lane words of kVar gates and kDff gates (current
+/// state); all other gates are overwritten in topological order.
+void eval_cycle64(const GateNet& gn, std::vector<std::uint64_t>& vals);
+
+/// Evaluate one gate from its fanin lane words; kVar/kDff return the word
+/// already stored.
+std::uint64_t eval_gate64(const GateNet& gn, GateId g,
+                          const std::vector<std::uint64_t>& vals);
+
+/// Next-cycle DFF lane words from the current `vals` (after eval_cycle64):
+/// next[dff] = vals[dff.fanin[0]]. Other entries untouched.
+void clock_dffs64(const GateNet& gn, const std::vector<std::uint64_t>& vals,
+                  std::vector<std::uint64_t>& next);
+
+/// Load the reset state of all DFFs into every lane of `vals`.
+void load_reset64(const GateNet& gn, std::vector<std::uint64_t>& vals);
+
+}  // namespace hltg

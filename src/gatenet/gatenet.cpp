@@ -57,6 +57,12 @@ std::vector<GateId> GateNet::tertiary_gates() const {
   return out;
 }
 
+const std::vector<GateId>& GateNet::dffs() const {
+  // Lazy cache: an empty list is recomputed (cheap no-op for DFF-free nets).
+  if (dffs_.empty()) dffs_ = gates_of_kind(GateKind::kDff);
+  return dffs_;
+}
+
 const std::vector<std::vector<GateId>>& GateNet::fanouts() const {
   if (!fanout_.empty() || gates_.empty()) return fanout_;
   fanout_.assign(gates_.size(), {});

@@ -67,7 +67,10 @@ class GateNet {
   std::vector<GateId> gates_of_kind(GateKind k) const;
   std::vector<GateId> gates_with_role(SigRole r) const;
   std::vector<GateId> tertiary_gates() const;
-  std::vector<GateId> dffs() const { return gates_of_kind(GateKind::kDff); }
+
+  /// Cached DFF index list (computed lazily, invalidated on build). The
+  /// per-cycle evaluators iterate this instead of scanning every gate.
+  const std::vector<GateId>& dffs() const;
 
   /// Fanout lists (computed lazily).
   const std::vector<std::vector<GateId>>& fanouts() const;
@@ -86,12 +89,25 @@ class GateNet {
   void invalidate() {
     topo_.clear();
     fanout_.clear();
+    dffs_.clear();
+  }
+
+  /// Force-compute the lazy caches (topo order, fanouts, DFF list). Call
+  /// once before sharing a const GateNet across threads: the lazy getters
+  /// mutate `mutable` members and are not safe to race on first use.
+  void warm_caches() const {
+    if (!gates_.empty()) {
+      topo_order();
+      fanouts();
+      dffs();
+    }
   }
 
  private:
   std::vector<Gate> gates_;
   mutable std::vector<GateId> topo_;
   mutable std::vector<std::vector<GateId>> fanout_;
+  mutable std::vector<GateId> dffs_;
 };
 
 }  // namespace hltg

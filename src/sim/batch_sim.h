@@ -1,0 +1,52 @@
+// Batch (bit-parallel) error simulation: up to 64 erroneous machines on one
+// candidate test in a single cycle-accurate simulation.
+//
+// The campaign's dropping pass asks "which of the remaining errors does this
+// test fortuitously detect?" - an O(tests x errors) loop that the serial
+// detector answers with one full cosim per (test, error) pair. Here the
+// bit-level controller is evaluated once per cycle for all lanes at once
+// (gatenet/eval64: bit k of every gate word is machine k), while the
+// word-level datapath - whose 32-bit values cannot share bit-lanes - falls
+// back to scalar per-lane evaluation inside the same cycle loop. The
+// specification trace is computed once per test instead of once per pair,
+// and a lane freezes as soon as its store sequence provably diverges from
+// the specification (detection is monotone), so detected machines stop
+// costing datapath work.
+//
+// Per-lane semantics are exactly ProcSim + ArchTrace::diff; the equivalence
+// is cross-checked against the scalar `detects()` oracle in
+// tests/test_eval64.cpp for all four error models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "errors/campaign.h"
+#include "errors/inject.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+struct BatchDetectConfig {
+  unsigned max_lanes = 64;   ///< lanes per batch simulation (1..64)
+  bool force_scalar = false; ///< use the serial per-error cosim (reference)
+  unsigned cycles = 0;       ///< 0: derive from program length
+};
+
+/// One batch: simulate `lanes.size()` (<= 64) erroneous machines against
+/// `tc` for `cycles` cycles and return the detection mask (bit k set iff
+/// lane k's architectural trace differs from `spec`).
+std::uint64_t batch_detect64(const DlxModel& m, const TestCase& tc,
+                             const ArchTrace& spec, unsigned cycles,
+                             const std::vector<const ErrorInjection*>& lanes);
+
+/// Whole-population detector: chunks `errors` into <= max_lanes groups and
+/// batch-simulates each; out[i] iff errors[i] is detected by `tc`.
+std::vector<bool> detect_errors(const DlxModel& m, const TestCase& tc,
+                                const std::vector<const DesignError*>& errors,
+                                const BatchDetectConfig& cfg = {});
+
+/// Adapter for run_campaign_with_dropping's batched detection oracle.
+BatchDetectFn batch_detector(const DlxModel& m, BatchDetectConfig cfg = {});
+
+}  // namespace hltg
