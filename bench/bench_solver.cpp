@@ -1,0 +1,177 @@
+// Solver-subsystem benchmark: the Table-1 bus-SSL error set generated with
+// the shared deduction subsystem (implication engine + learned nogoods +
+// justification cache, docs/SOLVER.md) against the legacy pure-PODEM
+// CTRLJUST, emitted as a machine-readable JSON report (BENCH_tg.json) so CI
+// can archive the numbers run over run.
+//
+//   $ ./bench_solver [--quick] [--out BENCH_tg.json]
+//
+// Per configuration the report carries per-error wall-time p50/p95,
+// decision/backtrack/implication totals, and the justification-cache hit
+// rate; the headline comparison is the (decisions + backtracks) reduction
+// with the engine on. The benchmark also asserts that the two
+// configurations detect the *same* errors - the solver is a pure search
+// accelerator, never a behaviour change - and exits nonzero on divergence.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/tg.h"
+#include "sim/cosim.h"
+
+using namespace hltg;
+
+namespace {
+
+struct RunStats {
+  std::vector<double> seconds;  ///< per-error wall time
+  std::vector<bool> detected;   ///< per-error outcome
+  std::size_t detected_count = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t implications = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t nogood_hits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  double total_seconds = 0;
+
+  double percentile(double p) const {
+    if (seconds.empty()) return 0;
+    std::vector<double> s = seconds;
+    std::sort(s.begin(), s.end());
+    const std::size_t i = static_cast<std::size_t>(p * (s.size() - 1) + 0.5);
+    return s[std::min(i, s.size() - 1)];
+  }
+  double cache_hit_rate() const {
+    return cache_lookups ? static_cast<double>(cache_hits) / cache_lookups : 0;
+  }
+};
+
+RunStats run(const DlxModel& m, const std::vector<DesignError>& errors,
+             bool engine) {
+  TgConfig cfg;
+  cfg.solver.enable = engine;
+  TestGenerator tg(m, cfg);
+  RunStats out;
+  for (const DesignError& err : errors) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TgResult r = tg.generate(err);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.seconds.push_back(s);
+    out.total_seconds += s;
+    out.detected.push_back(r.status == TgStatus::kSuccess);
+    out.detected_count += r.status == TgStatus::kSuccess;
+    out.decisions += r.stats.decisions;
+    out.backtracks += r.stats.backtracks + r.stats.plan_retries;
+    out.implications += r.stats.implications;
+    out.learned += r.stats.learned;
+    out.nogood_hits += r.stats.nogood_hits;
+    out.cache_hits += r.stats.cache_hits;
+    out.cache_lookups += r.stats.cache_lookups;
+  }
+  return out;
+}
+
+void emit(std::FILE* f, const char* name, const RunStats& r) {
+  std::fprintf(f,
+               "  \"%s\": {\"seconds\": %.4f, \"per_error_p50\": %.6f, "
+               "\"per_error_p95\": %.6f, \"detected\": %zu, "
+               "\"decisions\": %llu, \"backtracks\": %llu, "
+               "\"implications\": %llu, \"learned\": %llu, "
+               "\"nogood_hits\": %llu, \"cache_hits\": %llu, "
+               "\"cache_lookups\": %llu, \"cache_hit_rate\": %.4f}",
+               name, r.total_seconds, r.percentile(0.50), r.percentile(0.95),
+               r.detected_count,
+               static_cast<unsigned long long>(r.decisions),
+               static_cast<unsigned long long>(r.backtracks),
+               static_cast<unsigned long long>(r.implications),
+               static_cast<unsigned long long>(r.learned),
+               static_cast<unsigned long long>(r.nogood_hits),
+               static_cast<unsigned long long>(r.cache_hits),
+               static_cast<unsigned long long>(r.cache_lookups),
+               r.cache_hit_rate());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_tg.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick"))
+      quick = true;
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+
+  const DlxModel m = build_dlx();
+  std::vector<DesignError> errors = wrap(enumerate_bus_ssl(m.dp));
+  if (quick && errors.size() > 64) errors.resize(64);
+  std::printf("bench_solver: %zu Table-1 SSL errors\n", errors.size());
+
+  const RunStats off = run(m, errors, /*engine=*/false);
+  std::printf("engine off: %.2fs, %zu detected, %llu decisions, "
+              "%llu backtracks\n",
+              off.total_seconds, off.detected_count,
+              static_cast<unsigned long long>(off.decisions),
+              static_cast<unsigned long long>(off.backtracks));
+
+  const RunStats on = run(m, errors, /*engine=*/true);
+  std::printf("engine on : %.2fs, %zu detected, %llu decisions, "
+              "%llu backtracks, %llu forced, %llu nogoods (%llu fired), "
+              "cache %.0f%% of %llu lookups\n",
+              on.total_seconds, on.detected_count,
+              static_cast<unsigned long long>(on.decisions),
+              static_cast<unsigned long long>(on.backtracks),
+              static_cast<unsigned long long>(on.implications),
+              static_cast<unsigned long long>(on.learned),
+              static_cast<unsigned long long>(on.nogood_hits),
+              100.0 * on.cache_hit_rate(),
+              static_cast<unsigned long long>(on.cache_lookups));
+
+  const double effort_off = static_cast<double>(off.decisions + off.backtracks);
+  const double effort_on = static_cast<double>(on.decisions + on.backtracks);
+  const double reduction = effort_on > 0 ? effort_off / effort_on : 0;
+  std::printf("search effort (decisions + backtracks): %.0f -> %.0f "
+              "(%.2fx reduction)\n",
+              effort_off, effort_on, reduction);
+
+  bool outcomes_identical = off.detected == on.detected;
+  if (!outcomes_identical)
+    std::printf("ERROR: detection outcomes diverged between engine on/off\n");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"tg_solver\",\n"
+               "  \"quick\": %s,\n"
+               "  \"errors\": %zu,\n",
+               quick ? "true" : "false", errors.size());
+  emit(f, "engine_off", off);
+  std::fprintf(f, ",\n");
+  emit(f, "engine_on", on);
+  std::fprintf(f,
+               ",\n"
+               "  \"effort_reduction\": %.3f,\n"
+               "  \"outcomes_identical\": %s\n"
+               "}\n",
+               reduction, outcomes_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return outcomes_identical ? 0 : 2;
+}

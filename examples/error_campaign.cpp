@@ -6,7 +6,7 @@
 //                      [--deadline-ms N] [--max-backtracks N]
 //                      [--max-decisions N] [--fallback [tries]]
 //                      [--journal file.jsonl] [--resume]
-//                      [--jobs N] [--drop]
+//                      [--jobs N] [--drop] [--solver on|off]
 //
 // Resilience controls (docs/ROBUSTNESS.md): --deadline-ms / --max-* arm a
 // per-error budget; --fallback retries budget-exhausted errors with the
@@ -21,6 +21,11 @@
 // batch simulator and drops the fortuitously detected ones. The two are
 // mutually exclusive (dropping is inherently sequential: each drop pass
 // depends on the tests kept so far).
+//
+// --solver off is the escape hatch back to the legacy CTRLJUST search
+// (docs/SOLVER.md): no implication engine, nogood learning or justification
+// cache. Detection outcomes are identical either way; only the effort
+// counters differ.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   unsigned fallback_tries = 64;
   unsigned jobs = 1;
   bool use_drop = false;
+  bool use_solver = true;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--stages") && i + 1 < argc)
       stages = parse_stages(argv[++i]);
@@ -95,6 +101,18 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (!std::strcmp(argv[i], "--drop"))
       use_drop = true;
+    else if (!std::strcmp(argv[i], "--solver") && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "on")
+        use_solver = true;
+      else if (v == "off")
+        use_solver = false;
+      else {
+        std::fprintf(stderr, "--solver takes 'on' or 'off', not '%s'\n",
+                     v.c_str());
+        return 1;
+      }
+    }
     else if (!std::strcmp(argv[i], "-v"))
       ccfg.verbose = true;
     else {
@@ -145,9 +163,12 @@ int main(int argc, char** argv) {
     ccfg.fallback_budget = ccfg.budget;  // same deadline/caps per attempt
   }
 
+  TgConfig tgcfg;
+  tgcfg.solver.enable = use_solver;
+
   CampaignResult res;
   if (use_drop) {
-    TestGenerator tg(m);
+    TestGenerator tg(m, tgcfg);
     res = run_campaign_with_dropping(m.dp, errors, tg.budgeted_strategy(),
                                      batch_detector(m), ccfg);
   } else if (jobs > 1) {
@@ -168,15 +189,15 @@ int main(int argc, char** argv) {
     }
     res = run_campaign_parallel(
         m.dp, errors,
-        [&m](unsigned) {
-          auto tg = std::make_shared<TestGenerator>(m);
+        [&m, tgcfg](unsigned) {
+          auto tg = std::make_shared<TestGenerator>(m, tgcfg);
           BudgetedGenFn s = tg->budgeted_strategy();
           return [tg, s](const DesignError& e, Budget& b) { return s(e, b); };
         },
         pcfg);
     std::printf("ran on %u worker threads\n", jobs);
   } else {
-    TestGenerator tg(m);
+    TestGenerator tg(m, tgcfg);
     res = run_campaign(m.dp, errors, tg.budgeted_strategy(), ccfg);
   }
   if (use_drop)

@@ -7,14 +7,25 @@
 // input sequence starting from the controller's reset state that satisfies
 // all of them, or proves none exists within the window / budget.
 //
+// Two search back ends share the front end:
+//  - the legacy pure-PODEM loop (full-window forward imply per iteration),
+//  - the implication-engine loop (src/solver/): objectives are asserted,
+//    propagate() forces values in both directions, and decisions only touch
+//    genuinely free CPI/STS variables; conflicts are analyzed into learned
+//    nogoods and definitive results land in the justification cache when a
+//    SolverContext is attached (see docs/SOLVER.md).
+//
 // Decisions on STS variables must later be justified by the datapath: they
 // are returned so TG can hand them to DPRELAX (Sec. V.C / Fig. 4).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/objectives.h"
 #include "core/unroll.h"
+#include "solver/implication.h"
+#include "solver/solver.h"
 #include "util/budget.h"
 #include "util/status.h"
 
@@ -32,6 +43,10 @@ struct CtrlJustStats {
   std::uint64_t decisions = 0;
   std::uint64_t backtracks = 0;
   std::uint64_t implications = 0;
+  std::uint64_t learned = 0;      ///< nogoods recorded from conflict cuts
+  std::uint64_t nogood_hits = 0;  ///< learned nogoods that pruned or forced
+  std::uint64_t cache_hits = 0;     ///< solves answered from the cache
+  std::uint64_t cache_lookups = 0;  ///< cache probes (hits + misses)
 };
 
 struct CtrlJustResult {
@@ -57,11 +72,18 @@ struct CtrlJustConfig {
   std::uint64_t max_backtracks = 64;
   std::uint64_t max_decisions = 5000;
   bool record_trace = false;  ///< keep the decision sequence for debugging
+  bool use_engine = true;     ///< implication-engine back end (else legacy)
 };
 
 class CtrlJust {
  public:
   CtrlJust(const GateNet& gn, unsigned cycles, CtrlJustConfig cfg = {});
+  ~CtrlJust();
+
+  /// Attach the shared per-generator deduction context (learned nogoods +
+  /// justification cache). Optional; the engine runs without one, it just
+  /// cannot learn across solves. The context must outlive this object.
+  void set_context(SolverContext* ctx) { ctx_ = ctx; }
 
   /// Solve for the given objectives, starting from an empty assignment.
   /// `budget`, when given, is polled every iteration and charged with the
@@ -71,7 +93,8 @@ class CtrlJust {
                        Budget* budget = nullptr);
 
   /// The window (exposed so TG can read the full implied CTRL trajectory
-  /// after a successful solve).
+  /// after a successful solve). Valid for both back ends: the engine path
+  /// replays its witness into the window on success.
   const ControllerWindow& window() const { return win_; }
 
  private:
@@ -90,9 +113,23 @@ class CtrlJust {
   /// Returns false if no route exists (treated as a conflict).
   bool backtrace(CtrlObjective o, Decision* out) const;
 
+  CtrlJustResult solve_legacy(const std::vector<CtrlObjective>& objectives,
+                              Budget* budget);
+  CtrlJustResult solve_engine(const std::vector<CtrlObjective>& objectives,
+                              Budget* budget);
+
+  /// Apply learned nogoods to a fixpoint (force negations, detect all-hold
+  /// conflicts). False when a nogood fired into a conflict.
+  bool apply_nogoods(CtrlJustResult& res);
+  /// Record the current conflict's cut in the store, if one is attached.
+  void learn_conflict(CtrlJustResult& res);
+
   const GateNet& gn_;
+  unsigned cycles_;
   ControllerWindow win_;
   CtrlJustConfig cfg_;
+  SolverContext* ctx_ = nullptr;
+  std::unique_ptr<ImplicationEngine> engine_;  ///< lazy; engine back end only
 };
 
 }  // namespace hltg

@@ -421,6 +421,28 @@ std::vector<PathPlan> DpTrace::plans(
         act.cycle = t_act;
         plan.relax_constraints.push_back(act);
       }
+      // Objective hygiene for the downstream justification queue: drop
+      // exact repeats (stable order - the search heuristics are order-
+      // sensitive, and the cache canonicalizes separately) and discard a
+      // plan that demands both values of one (gate, cycle) point - it is
+      // unsatisfiable before any search.
+      std::vector<CtrlObjective> uniq;
+      bool contradictory = false;
+      for (const CtrlObjective& o : plan.ctrl_objectives) {
+        bool dup = false;
+        for (const CtrlObjective& u : uniq)
+          if (u.gate == o.gate && u.cycle == o.cycle) {
+            if (u.value == o.value)
+              dup = true;
+            else
+              contradictory = true;
+            break;
+          }
+        if (contradictory) break;
+        if (!dup) uniq.push_back(o);
+      }
+      if (contradictory) continue;
+      plan.ctrl_objectives = std::move(uniq);
       out.push_back(std::move(plan));
     }
   }

@@ -20,7 +20,7 @@ DpTraceConfig trace_cfg(const TgConfig& c) {
 }  // namespace
 
 TestGenerator::TestGenerator(const DlxModel& m, TgConfig cfg)
-    : m_(m), cfg_(cfg), trace_(m, trace_cfg(cfg_)) {}
+    : m_(m), cfg_(cfg), trace_(m, trace_cfg(cfg_)), solver_ctx_(cfg_.solver) {}
 
 std::vector<RelaxConstraint> TestGenerator::activation_constraints(
     const DesignError& err) const {
@@ -68,6 +68,9 @@ std::vector<CtrlObjective> TestGenerator::usage_objectives(
 }
 
 TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
+  // Fresh deduction state per error: reuse spans this error's plans and
+  // windows only (see solver_ctx_ comment in tg.h for the why).
+  solver_ctx_.reset();
   TgResult first = generate_with_window(err, cfg_.window, budget);
   if (first.status == TgStatus::kSuccess || cfg_.retry_window <= cfg_.window)
     return first;
@@ -81,6 +84,10 @@ TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
   second.stats.backtracks += first.stats.backtracks;
   second.stats.implications += first.stats.implications;
   second.stats.relax_iterations += first.stats.relax_iterations;
+  second.stats.learned += first.stats.learned;
+  second.stats.nogood_hits += first.stats.nogood_hits;
+  second.stats.cache_hits += first.stats.cache_hits;
+  second.stats.cache_lookups += first.stats.cache_lookups;
   if (second.status != TgStatus::kSuccess && second.note.empty())
     second.note = first.note;
   return second;
@@ -154,6 +161,15 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     return false;
   };
 
+  // One CtrlJust for every plan of this window: the solve() entry clears
+  // per-search state, while the implication engine's reset fixpoint and the
+  // attached per-error context (nogoods + justification cache) carry over -
+  // that reuse is the point of the shared solver layer.
+  CtrlJustConfig cjcfg = cfg_.ctrljust;
+  cjcfg.use_engine = cfg_.solver.enable;
+  CtrlJust cj(m_.ctrl, window, cjcfg);
+  if (cfg_.solver.enable) cj.set_context(&solver_ctx_);
+
   for (const PathPlan& plan : plans) {
     if (budget_fired()) return res;
     if (cfg_.shape_dedup && unconfirmed_shapes.count(shape_of(plan))) continue;
@@ -172,11 +188,14 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
          usage_objectives(err, plan.activate_cycle))
       objectives.push_back(o);
 
-    CtrlJust cj(m_.ctrl, window, cfg_.ctrljust);
     const CtrlJustResult cr = cj.solve(objectives, budget);
     res.stats.decisions += cr.stats.decisions;
     res.stats.backtracks += cr.stats.backtracks;
     res.stats.implications += cr.stats.implications;
+    res.stats.learned += cr.stats.learned;
+    res.stats.nogood_hits += cr.stats.nogood_hits;
+    res.stats.cache_hits += cr.stats.cache_hits;
+    res.stats.cache_lookups += cr.stats.cache_lookups;
     if (cr.status != TgStatus::kSuccess) {
       // Per-search caps (cr.abort) just fail this plan; only the
       // attempt-wide budget aborts the whole error.
@@ -289,6 +308,10 @@ ErrorAttempt to_attempt(const TgResult& r, double seconds) {
   a.test_length = r.test_length;
   a.backtracks = r.stats.backtracks + r.stats.plan_retries;
   a.decisions = r.stats.decisions;
+  a.implications = r.stats.implications;
+  a.learned = r.stats.learned;
+  a.nogood_hits = r.stats.nogood_hits;
+  a.cache_hits = r.stats.cache_hits;
   a.note = r.note;
   a.abort = r.stats.abort;
   return a;

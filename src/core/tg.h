@@ -19,6 +19,7 @@
 #include "core/dprelax.h"
 #include "core/dptrace.h"
 #include "errors/campaign.h"
+#include "solver/solver.h"
 
 namespace hltg {
 
@@ -31,6 +32,10 @@ struct TgConfig {
   DpTraceConfig trace;
   CtrlJustConfig ctrljust;
   DpRelaxConfig relax;
+  /// Shared deduction subsystem (src/solver/): implication engine, learned
+  /// nogoods, justification cache. `solver.enable = false` restores the
+  /// legacy pure-PODEM CTRLJUST (the error_campaign --solver=off hatch).
+  SolverConfig solver;
   bool confirm_by_simulation = true;
   // Ablation toggles for the design choices DESIGN.md calls out.
   bool shape_dedup = true;     ///< skip plans whose shape failed confirmation
@@ -47,6 +52,10 @@ struct TgStats {
   std::uint64_t backtracks = 0;     ///< CTRLJUST search backtracks
   std::uint64_t implications = 0;
   std::uint64_t relax_iterations = 0;
+  std::uint64_t learned = 0;        ///< nogoods recorded by conflict analysis
+  std::uint64_t nogood_hits = 0;    ///< learned nogoods that pruned or forced
+  std::uint64_t cache_hits = 0;     ///< CTRLJUST solves answered from cache
+  std::uint64_t cache_lookups = 0;  ///< cache probes (hits + misses)
   /// Set when the attempt unwound because its Budget fired (deadline /
   /// backtracks / decisions / cancelled); kNone for ordinary exhaustion of
   /// the plan list or for success.
@@ -102,6 +111,11 @@ class TestGenerator {
   const DlxModel& m_;
   TgConfig cfg_;
   DpTrace trace_;
+  /// Per-generator deduction state, reset at the start of every generate():
+  /// nogoods and cached justifications are shared across the plans and
+  /// windows of ONE error, never across errors - campaign rows stay
+  /// byte-identical however errors are distributed over --jobs workers.
+  SolverContext solver_ctx_;
 };
 
 }  // namespace hltg

@@ -42,6 +42,11 @@ std::string CampaignStats::table1(const std::string& title) const {
   t.add_kv("Average test sequence length", fmt_double(avg_test_length, 1));
   t.add_kv("No. of backtracks (detected errors only)",
            std::to_string(backtracks));
+  if (learned > 0 || cache_hits > 0 || nogood_hits > 0) {
+    t.add_kv("Solver: nogoods learned", std::to_string(learned));
+    t.add_kv("Solver: nogood prunes/forcings", std::to_string(nogood_hits));
+    t.add_kv("Solver: justification cache hits", std::to_string(cache_hits));
+  }
   t.add_kv("CPU time [minutes]", fmt_double(cpu_seconds / 60.0, 2));
   return t.to_string();
 }
@@ -72,6 +77,10 @@ void CampaignStats::add_attempt(const ErrorAttempt& a,
       case AbortReason::kNone: break;
     }
   }
+  implications += a.implications;
+  learned += a.learned;
+  nogood_hits += a.nogood_hits;
+  cache_hits += a.cache_hits;
   cpu_seconds += a.seconds;
 }
 
@@ -161,6 +170,10 @@ ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
   fb.seconds += a.seconds;
   fb.backtracks += a.backtracks;
   fb.decisions += a.decisions;
+  fb.implications += a.implications;
+  fb.learned += a.learned;
+  fb.nogood_hits += a.nogood_hits;
+  fb.cache_hits += a.cache_hits;
   std::string note = a.note;
   append_note(&note, fb.note.empty() ? "detected by fallback" : fb.note);
   fb.note = std::move(note);
@@ -176,7 +189,8 @@ CampaignResult run_campaign(const Netlist& nl,
   std::uint64_t length_sum = 0;
 
   JournalSession journal;
-  journal.open(nl, errors, cfg.journal_path, cfg.resume);
+  journal.open(nl, errors, cfg.journal_path, cfg.resume,
+               cfg.journal_fsync_interval);
   res.journal_note = journal.note;
 
   for (std::size_t i = 0; i < errors.size(); ++i) {
@@ -236,7 +250,8 @@ CampaignResult run_campaign_with_dropping(
   std::vector<char> done(errors.size(), 0);
 
   JournalSession journal;
-  journal.open(nl, errors, cfg.journal_path, cfg.resume);
+  journal.open(nl, errors, cfg.journal_path, cfg.resume,
+               cfg.journal_fsync_interval);
   res.journal_note = journal.note;
 
   // One batched detector call sweeps the new test over every remaining

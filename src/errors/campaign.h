@@ -45,6 +45,12 @@ struct ErrorAttempt {
   unsigned test_length = 0;     ///< instructions (excluding drain NOPs)
   std::uint64_t backtracks = 0;
   std::uint64_t decisions = 0;
+  // Solver-layer effort (src/solver/): forced values, learned nogoods,
+  // nogood firings and justification-cache hits of the attempt.
+  std::uint64_t implications = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t nogood_hits = 0;
+  std::uint64_t cache_hits = 0;
   double seconds = 0.0;
   TestCase test;
   std::string note;
@@ -93,6 +99,12 @@ struct CampaignStats {
   double avg_test_length = 0.0;       ///< over detected errors
   std::uint64_t backtracks = 0;       ///< over detected errors (Table 1)
   std::uint64_t decisions = 0;
+  /// Solver-layer tallies over all attempted errors (zero with the legacy
+  /// back end or --solver=off).
+  std::uint64_t implications = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t nogood_hits = 0;
+  std::uint64_t cache_hits = 0;
   double cpu_seconds = 0.0;
   std::vector<unsigned> length_histogram;  ///< index = length
 
@@ -144,8 +156,13 @@ struct CampaignConfig {
   /// reason other than cancellation. Empty function disables.
   BudgetedGenFn fallback;
   BudgetSpec fallback_budget;  ///< armed per fallback attempt
-  /// Append-only JSONL journal ("" disables). One fsync'd row per error.
+  /// Append-only JSONL journal ("" disables). One row per error.
   std::string journal_path;
+  /// fsync the journal every N appended rows (and always on close). 1 is
+  /// the old fsync-per-row behaviour; 0 defers durability entirely to
+  /// close. A crash loses at most the current batch; resume replays the
+  /// synced prefix correctly either way.
+  unsigned journal_fsync_interval = 32;
   /// Replay journaled rows (skipping their generator runs) before
   /// attempting the rest. Requires journal_path.
   bool resume = false;

@@ -211,6 +211,9 @@ std::string journal_row_line(std::size_t index, const ErrorAttempt& a) {
      << ",\"sim_confirmed\":" << (a.sim_confirmed ? "true" : "false")
      << ",\"test_length\":" << a.test_length
      << ",\"backtracks\":" << a.backtracks << ",\"decisions\":" << a.decisions
+     << ",\"implications\":" << a.implications << ",\"learned\":" << a.learned
+     << ",\"nogood_hits\":" << a.nogood_hits
+     << ",\"cache_hits\":" << a.cache_hits
      << ",\"seconds\":" << fmt_seconds(a.seconds) << ",\"abort\":\""
      << to_string(a.abort) << "\",\"via_fallback\":"
      << (a.via_fallback ? "true" : "false") << ",\"note\":\""
@@ -263,6 +266,12 @@ JournalReplay load_journal(const std::string& path) {
     a.test_length = static_cast<unsigned>(len);
     j.get_u64("backtracks", &a.backtracks);
     j.get_u64("decisions", &a.decisions);
+    // Solver fields are absent in pre-solver journals; the zero defaults
+    // keep those journals replayable.
+    j.get_u64("implications", &a.implications);
+    j.get_u64("learned", &a.learned);
+    j.get_u64("nogood_hits", &a.nogood_hits);
+    j.get_u64("cache_hits", &a.cache_hits);
     j.get_double("seconds", &a.seconds);
     if (j.get_string("abort", &abort_s)) a.abort = abort_reason_from(abort_s);
     j.get_bool("via_fallback", &a.via_fallback);
@@ -287,6 +296,7 @@ bool CampaignJournal::open(const std::string& path, bool append,
     if (error) *error = "cannot open journal " + path;
     return false;
   }
+  rows_since_sync_ = 0;
   return true;
 }
 
@@ -296,15 +306,25 @@ bool CampaignJournal::append_line(const std::string& line) {
     return false;
   if (std::fputc('\n', f_) == EOF) return false;
   if (std::fflush(f_) != 0) return false;
+  // Durability in batches: fsync every fsync_interval_ rows (plus on
+  // close/sync). A crash mid-batch loses only unsynced rows; the loader
+  // drops a torn trailing row, so the synced prefix always replays.
+  if (fsync_interval_ > 0 && ++rows_since_sync_ >= fsync_interval_) sync();
+  return true;
+}
+
+void CampaignJournal::sync() {
+  if (!f_) return;
+  std::fflush(f_);
 #ifndef _WIN32
-  // Durability per row: a crash between errors loses nothing committed.
   fsync(fileno(f_));
 #endif
-  return true;
+  rows_since_sync_ = 0;
 }
 
 void CampaignJournal::close() {
   if (f_) {
+    sync();
     std::fclose(f_);
     f_ = nullptr;
   }
@@ -312,8 +332,10 @@ void CampaignJournal::close() {
 
 void JournalSession::open(const Netlist& nl,
                           const std::vector<DesignError>& errors,
-                          const std::string& path, bool resume) {
+                          const std::string& path, bool resume,
+                          unsigned fsync_interval) {
   if (path.empty()) return;
+  writer.set_fsync_interval(fsync_interval);
   const std::uint64_t fp = campaign_fingerprint(nl, errors);
   bool append = false;
   if (resume) {

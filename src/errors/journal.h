@@ -1,8 +1,10 @@
 // Campaign checkpoint journal: an append-only JSONL file, one record per
-// completed error attempt, fsync'd per row. An interrupted campaign
-// restarted with resume enabled replays the journaled rows (skipping their
-// generator runs) and reproduces the identical CampaignStats an
-// uninterrupted run would have produced.
+// completed error attempt, fsync'd every N rows (and on close). An
+// interrupted campaign restarted with resume enabled replays the journaled
+// rows (skipping their generator runs) and reproduces the identical
+// CampaignStats an uninterrupted run would have produced; a crash loses at
+// most the rows of the current fsync batch, and the loader drops any torn
+// trailing row.
 //
 // Format:
 //   line 1  header  {"kind":"hltg-campaign","version":1,"total":N,
@@ -44,8 +46,11 @@ struct JournalReplay {
 /// note, never an abort.
 JournalReplay load_journal(const std::string& path);
 
-/// Append-only writer; every append is flushed and fsync'd so a crash
-/// between errors loses at most the row being written.
+/// Append-only writer. Every append is flushed to the OS; fsync runs every
+/// `fsync_interval` rows and on close/sync(), so journaling stops
+/// dominating short campaigns while a crash still loses at most the
+/// current batch. Interval 1 restores fsync-per-row; 0 defers durability
+/// entirely to close()/sync().
 class CampaignJournal {
  public:
   CampaignJournal() = default;
@@ -56,10 +61,18 @@ class CampaignJournal {
   bool open(const std::string& path, bool append, std::string* error);
   bool append_line(const std::string& line);
   bool is_open() const { return f_ != nullptr; }
+  /// Force the pending batch to disk (close does this too; exposed for
+  /// cancellation paths that keep the journal open).
+  void sync();
   void close();
+
+  void set_fsync_interval(unsigned n) { fsync_interval_ = n; }
+  unsigned fsync_interval() const { return fsync_interval_; }
 
  private:
   std::FILE* f_ = nullptr;
+  unsigned fsync_interval_ = 32;
+  unsigned rows_since_sync_ = 0;
 };
 
 /// One campaign's journal lifecycle, shared by the serial, dropping and
@@ -75,7 +88,8 @@ struct JournalSession {
   std::size_t resumed() const { return replay.size(); }
 
   void open(const Netlist& nl, const std::vector<DesignError>& errors,
-            const std::string& path, bool resume);
+            const std::string& path, bool resume,
+            unsigned fsync_interval = 32);
 };
 
 }  // namespace hltg

@@ -42,7 +42,8 @@ CampaignResult run_campaign_parallel(const Netlist& nl,
   res.stats.total = errors.size();
 
   JournalSession journal;
-  journal.open(nl, errors, cfg.journal_path, cfg.resume);
+  journal.open(nl, errors, cfg.journal_path, cfg.resume,
+               cfg.journal_fsync_interval);
   res.journal_note = journal.note;
 
   std::vector<ErrorAttempt> attempts(errors.size());

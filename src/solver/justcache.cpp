@@ -1,0 +1,52 @@
+#include "solver/justcache.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+CanonStatus canonicalize_objectives(const std::vector<CtrlObjective>& in,
+                                    std::vector<Lit>* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (const CtrlObjective& o : in) out->push_back({o.gate, o.cycle, o.value});
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  for (std::size_t i = 1; i < out->size(); ++i)
+    if ((*out)[i].gate == (*out)[i - 1].gate &&
+        (*out)[i].cycle == (*out)[i - 1].cycle)
+      return CanonStatus::kContradiction;
+  return CanonStatus::kOk;
+}
+
+const JustCacheEntry* JustCache::lookup(const std::vector<Lit>& key) {
+  const std::uint64_t h = hash_lits(key);
+  for (Slot& s : slots_)
+    if (s.hash == h && s.key == key) {
+      s.stamp = ++clock_;
+      ++hits_;
+      return &s.entry;
+    }
+  ++misses_;
+  return nullptr;
+}
+
+void JustCache::insert(const std::vector<Lit>& key, JustCacheEntry entry) {
+  if (capacity_ == 0) return;
+  const std::uint64_t h = hash_lits(key);
+  for (Slot& s : slots_)
+    if (s.hash == h && s.key == key) {
+      s.entry = std::move(entry);
+      s.stamp = ++clock_;
+      return;
+    }
+  if (slots_.size() >= capacity_) {
+    auto victim = std::min_element(
+        slots_.begin(), slots_.end(),
+        [](const Slot& a, const Slot& b) { return a.stamp < b.stamp; });
+    *victim = {h, key, std::move(entry), ++clock_};
+  } else {
+    slots_.push_back({h, key, std::move(entry), ++clock_});
+  }
+}
+
+}  // namespace hltg

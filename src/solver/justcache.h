@@ -1,0 +1,85 @@
+// Justification cache: canonical objective-set signature -> CTRLJUST result.
+//
+// DPTRACE enumerates many candidate paths per error, and the CTRL objective
+// sets it emits across those paths are near-identical (same decoder bits,
+// same cycles, reshuffled order). The cache canonicalizes an objective set
+// to a sorted (gate, cycle, value) signature and keys SUCCESS/FAILURE
+// results - with the CPI/STS witness on success - on that signature alone,
+// so repeat sets are answered without a search.
+//
+// The unrolled-window length is deliberately NOT part of the key. The
+// CTRLJUST search only ever reads and assigns cycles <= the latest
+// objective cycle: forward implication moves strictly forward in time (a
+// DFF couples q(t) to D(t-1)), backtrace walks backward from an objective,
+// and the violated/open classification reads objective cycles only. A
+// longer window appends cycles the search never consults, so a definitive
+// result for an objective set holds in every window that admits the set -
+// which is what makes the window-retry re-solves of TG (same plans, longer
+// unrolling) cache hits instead of repeat searches.
+//
+// Only *definitive* results are cacheable: a search that stopped on a
+// backtrack/decision cap or deadline proves nothing about the objective
+// set, and caching it would make detection outcomes depend on budget
+// history. Callers must pass abort == kNone results only.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/objectives.h"
+#include "solver/lit.h"
+
+namespace hltg {
+
+enum class CanonStatus {
+  kOk,
+  kContradiction,  ///< same (gate, cycle) demanded both 0 and 1
+};
+
+/// Sort objectives into (cycle, gate, value) order and drop duplicates.
+/// Returns kContradiction when the set demands both values of one point -
+/// such a set is unsatisfiable without any search.
+CanonStatus canonicalize_objectives(const std::vector<CtrlObjective>& in,
+                                    std::vector<Lit>* out);
+
+struct JustCacheEntry {
+  bool success = false;
+  std::vector<std::tuple<GateId, unsigned, bool>> sts_assignments;
+  std::vector<std::tuple<GateId, unsigned, bool>> cpi_assignments;
+};
+
+class JustCache {
+ public:
+  explicit JustCache(std::size_t capacity = 512) : capacity_(capacity) {}
+
+  /// nullptr on miss. The pointer is invalidated by the next insert().
+  const JustCacheEntry* lookup(const std::vector<Lit>& key);
+  void insert(const std::vector<Lit>& key, JustCacheEntry entry);
+
+  std::size_t size() const { return slots_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  void clear() {
+    slots_.clear();
+    hits_ = misses_ = 0;
+    clock_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::vector<Lit> key;
+    JustCacheEntry entry;
+    std::uint64_t stamp = 0;
+  };
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hltg

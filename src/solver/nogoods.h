@@ -1,0 +1,61 @@
+// Learned-conflict store: bounded LRU of nogoods.
+//
+// A nogood is a sorted, duplicate-free set of Lits that cannot all hold
+// simultaneously - the conflict cut the implication engine extracts when
+// propagation hits a contradiction. Because a cut consists only of root
+// assignments on a path to a circuit-level contradiction, a nogood is a
+// consequence of the controller netlist itself: it stays valid across
+// objective sets and across windows (a literal at cycle t exists in any
+// window of more than t cycles), so one generator's store prunes every
+// later CTRLJUST search of the same campaign worker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/lit.h"
+
+namespace hltg {
+
+class NogoodStore {
+ public:
+  explicit NogoodStore(std::size_t capacity = 256, std::size_t max_lits = 8)
+      : capacity_(capacity), max_lits_(max_lits) {}
+
+  /// Record a conflict cut. `lits` must be sorted and duplicate-free
+  /// (conflict_cut() output already is). Returns true when newly stored;
+  /// duplicates, empty cuts and cuts wider than max_lits are dropped.
+  bool learn(std::vector<Lit> lits);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total nogoods ever accepted (monotone; survives eviction).
+  std::uint64_t learned() const { return learned_; }
+
+  const std::vector<Lit>& lits(std::size_t i) const {
+    return entries_[i].lits;
+  }
+  /// LRU bump: call when nogood `i` fired (pruned or forced a value).
+  void touch(std::size_t i) { entries_[i].stamp = ++clock_; }
+
+  void clear() {
+    entries_.clear();
+    learned_ = 0;
+    clock_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::vector<Lit> lits;
+    std::uint64_t hash = 0;
+    std::uint64_t stamp = 0;
+  };
+
+  std::size_t capacity_;
+  std::size_t max_lits_;
+  std::vector<Entry> entries_;
+  std::uint64_t learned_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hltg

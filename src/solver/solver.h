@@ -1,0 +1,47 @@
+// Shared deduction context: one SolverContext per generator (per campaign
+// worker), owning the learned-conflict store and the justification cache
+// that successive CTRLJUST searches of the same error share.
+//
+// Scope and determinism: TG resets the context at the start of every
+// generate() call, so learned nogoods and cached justifications are reused
+// across the plans x windows of ONE error but never leak between errors.
+// This keeps campaign rows byte-identical regardless of how errors are
+// distributed over --jobs workers - a campaign-lifetime store would make
+// each error's search depend on which errors its worker saw before it.
+#pragma once
+
+#include <cstddef>
+
+#include "solver/justcache.h"
+#include "solver/nogoods.h"
+
+namespace hltg {
+
+struct SolverConfig {
+  bool enable = true;       ///< false: legacy PODEM search, no solver state
+  bool use_nogoods = true;  ///< learn + apply conflict cuts
+  bool use_cache = true;    ///< reuse justification results across plans
+  std::size_t nogood_capacity = 256;
+  std::size_t cache_capacity = 512;
+  /// Cuts wider than this are not worth storing: they almost never fire
+  /// again and linear matching would dominate.
+  std::size_t max_nogood_lits = 8;
+};
+
+struct SolverContext {
+  SolverConfig cfg;
+  NogoodStore nogoods;
+  JustCache cache;
+
+  explicit SolverContext(SolverConfig c = {})
+      : cfg(c),
+        nogoods(c.nogood_capacity, c.max_nogood_lits),
+        cache(c.cache_capacity) {}
+
+  void reset() {
+    nogoods.clear();
+    cache.clear();
+  }
+};
+
+}  // namespace hltg

@@ -300,6 +300,116 @@ TEST(Journal, TornTrailingRowIsDropped) {
   std::remove(path.c_str());
 }
 
+TEST(Journal, FsyncBatchCrashCutReplaysSyncedPrefix) {
+  // With batched fsync (journal_fsync_interval > 1) a crash can lose the
+  // rows of the current batch and tear the row being written. Simulate the
+  // worst cut - the file truncated mid-row inside a batch - and check the
+  // resumed campaign replays exactly the intact prefix and reproduces the
+  // reference stats.
+  const auto errors = small_population();
+
+  // Generator that is a pure function of the error index, so replay and
+  // re-attempt agree no matter where the journal was cut.
+  auto pure_gen = [&errors](int* calls = nullptr) {
+    const DesignError* base = errors.data();
+    return [base, calls](const DesignError& e, Budget&) {
+      if (calls) ++*calls;
+      const std::size_t i = static_cast<std::size_t>(&e - base);
+      ErrorAttempt a;
+      a.generated = a.sim_confirmed = (i % 2 == 0);
+      a.test_length = 4 + static_cast<unsigned>(i % 3);
+      a.backtracks = i;
+      a.decisions = 2 * i + 1;
+      a.implications = 10 * i;
+      a.seconds = 0.25 * static_cast<double>(i + 1);
+      if (a.detected()) a.test.imem = {0x20220007u + static_cast<unsigned>(i)};
+      return a;
+    };
+  };
+
+  const CampaignResult full =
+      run_campaign(model().dp, errors, pure_gen(), CampaignConfig{});
+
+  const std::string path = temp_journal("fsync_batch");
+  std::remove(path.c_str());
+  {
+    CampaignConfig cfg;
+    cfg.journal_path = path;
+    cfg.journal_fsync_interval = 4;  // rows 0..3 in batch 1, 4..5 in batch 2
+    const CampaignResult r = run_campaign(model().dp, errors, pure_gen(), cfg);
+    EXPECT_EQ(r.stats.attempted, errors.size());
+  }
+
+  // Crash cut: keep the header and three full rows, then half of row 3.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 1u + errors.size());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < 4; ++i) out << lines[i] << "\n";
+    out << lines[4].substr(0, lines[4].size() / 2);  // torn mid-batch row
+  }
+
+  int calls = 0;
+  CampaignConfig cfg;
+  cfg.journal_path = path;
+  cfg.journal_fsync_interval = 4;
+  cfg.resume = true;
+  const CampaignResult resumed =
+      run_campaign(model().dp, errors, pure_gen(&calls), cfg);
+  EXPECT_EQ(resumed.resumed_rows, 3u);  // rows 0..2 intact, row 3 torn
+  EXPECT_EQ(calls, 3);                  // 3, 4, 5 re-attempted
+  EXPECT_EQ(resumed.stats.table1("Table 1"), full.stats.table1("Table 1"));
+  ASSERT_EQ(resumed.rows.size(), full.rows.size());
+  for (std::size_t i = 0; i < full.rows.size(); ++i)
+    EXPECT_EQ(resumed.rows[i].attempt.test.imem,
+              full.rows[i].attempt.test.imem)
+        << "row " << i;
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SolverCountersRoundTrip) {
+  ErrorAttempt a;
+  a.generated = a.sim_confirmed = true;
+  a.implications = 12345;
+  a.learned = 17;
+  a.nogood_hits = 9;
+  a.cache_hits = 4;
+  const std::string path = temp_journal("solver_fields");
+  {
+    std::ofstream out(path);
+    out << journal_header_line(1, 7) << "\n" << journal_row_line(0, a) << "\n";
+  }
+  const JournalReplay jr = load_journal(path);
+  ASSERT_EQ(jr.rows.count(0), 1u);
+  EXPECT_EQ(jr.rows.at(0).implications, 12345u);
+  EXPECT_EQ(jr.rows.at(0).learned, 17u);
+  EXPECT_EQ(jr.rows.at(0).nogood_hits, 9u);
+  EXPECT_EQ(jr.rows.at(0).cache_hits, 4u);
+  std::remove(path.c_str());
+
+  // Pre-solver journals (no solver fields) stay replayable with zeros.
+  const std::string old_path = temp_journal("old_format");
+  {
+    std::ofstream out(old_path);
+    out << journal_header_line(1, 7) << "\n"
+        << "{\"index\":0,\"generated\":true,\"sim_confirmed\":true,"
+           "\"test_length\":2,\"backtracks\":1,\"decisions\":3,"
+           "\"seconds\":0.5,\"abort\":\"none\",\"via_fallback\":false,"
+           "\"note\":\"\"}\n";
+  }
+  const JournalReplay old_jr = load_journal(old_path);
+  ASSERT_EQ(old_jr.rows.count(0), 1u);
+  EXPECT_EQ(old_jr.rows.at(0).implications, 0u);
+  EXPECT_EQ(old_jr.rows.at(0).cache_hits, 0u);
+  EXPECT_EQ(old_jr.rows.at(0).decisions, 3u);
+  std::remove(old_path.c_str());
+}
+
 TEST(Journal, MismatchedJournalIsNotReplayed) {
   const auto errors = small_population();
   const std::string path = temp_journal("mismatch");

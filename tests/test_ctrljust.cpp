@@ -150,6 +150,7 @@ TEST(CtrlJust, DecisionVariablesArePipeframeOnly) {
 TEST(CtrlJust, TraceRecordsDecisions) {
   CtrlJustConfig cfg;
   cfg.record_trace = true;
+  cfg.use_engine = false;  // legacy counts every decide as a decision
   CtrlJust cj(model().ctrl, 10, cfg);
   const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true}});
   ASSERT_EQ(r.status, TgStatus::kSuccess);
@@ -161,6 +162,21 @@ TEST(CtrlJust, TraceRecordsDecisions) {
   const std::string text = render_trace(model().ctrl, r.trace);
   EXPECT_NE(text.find("decide"), std::string::npos);
   EXPECT_NE(text.find("cpi."), std::string::npos);
+}
+
+TEST(CtrlJust, TraceRecordsDecisionsEngine) {
+  // With the deduction engine, an engine-forced assignment still appears as
+  // a decide event in the trace (it opens a level) but is counted as an
+  // implication, not a decision - so decides >= decisions.
+  CtrlJustConfig cfg;
+  cfg.record_trace = true;
+  CtrlJust cj(model().ctrl, 10, cfg);
+  const CtrlJustResult r = cj.solve({{ctrl_bit("ctrl.mem_we"), 3, true}});
+  ASSERT_EQ(r.status, TgStatus::kSuccess);
+  unsigned decides = 0;
+  for (const SearchEvent& e : r.trace)
+    decides += e.kind == SearchEvent::kDecide;
+  EXPECT_GE(decides, r.stats.decisions);
 }
 
 TEST(CtrlJust, TraceOffByDefault) {

@@ -1,0 +1,417 @@
+// Tests of the shared deduction subsystem (src/solver/, docs/SOLVER.md):
+// implication-engine propagation fixpoints and conflict cuts on hand-built
+// cones, the learned-conflict store, objective canonicalization, the
+// justification cache, and the engine-vs-legacy equivalence property over
+// the CTRLJUST objective corpus.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ctrljust.h"
+#include "core/tg.h"
+#include "core/unroll.h"
+#include "dlx/dlx.h"
+#include "errors/bus_ssl.h"
+#include "errors/inject.h"
+#include "gatenet/gate_builder.h"
+#include "solver/implication.h"
+#include "solver/justcache.h"
+#include "solver/nogoods.h"
+#include "solver/solver.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+GateId ctrl_bit(const char* net_name, unsigned bit = 0) {
+  const NetId n = model().dp.find_net(net_name);
+  EXPECT_NE(n, kNoNet) << net_name;
+  return model().find_ctrl(n)->bits[bit];
+}
+
+// ---------------------------------------------------- propagation fixpoints
+
+TEST(Implication, ForwardControllingValue) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId b = g.var("b", SigRole::kCPI);
+  const GateId y = g.and_("y", {a, b});
+  const GateId z = g.or_("z", {a, b});
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(a, 0, false, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(y, 0), L3::F);  // AND: controlling 0
+  EXPECT_EQ(eng.value(z, 0), L3::X);  // OR still open
+  ASSERT_TRUE(eng.assert_lit(b, 0, true, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(z, 0), L3::T);
+}
+
+TEST(Implication, BackwardAndDemandsAllFanins) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId b = g.var("b", SigRole::kCPI);
+  const GateId c = g.var("c", SigRole::kCPI);
+  const GateId y = g.and_("y", {a, b, c});
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(y, 0, true, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(a, 0), L3::T);
+  EXPECT_EQ(eng.value(b, 0), L3::T);
+  EXPECT_EQ(eng.value(c, 0), L3::T);
+}
+
+TEST(Implication, BackwardLastFreeFaninForced) {
+  // AND demanded 0 with every other fanin already 1: the one X fanin must
+  // carry the controlling 0.
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId b = g.var("b", SigRole::kCPI);
+  const GateId c = g.var("c", SigRole::kCPI);
+  const GateId y = g.and_("y", {a, b, c});
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(y, 0, false, false));
+  ASSERT_TRUE(eng.assert_lit(a, 0, true, false));
+  ASSERT_TRUE(eng.assert_lit(b, 0, true, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(c, 0), L3::F);
+}
+
+TEST(Implication, XorBidirectional) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId b = g.var("b", SigRole::kCPI);
+  const GateId y = g.xor_("y", a, b);
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(y, 0, true, false));
+  ASSERT_TRUE(eng.assert_lit(a, 0, false, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(b, 0), L3::T);
+}
+
+TEST(Implication, DffCouplesAdjacentCycles) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId d = g.var("d", SigRole::kCPI);
+  const GateId q = g.dff("q", d);
+  const GateId d2 = g.var("d2", SigRole::kCPI);
+  const GateId q2 = g.dff("q2", d2);
+  ImplicationEngine eng(gn, 3);
+  // Forward: D at t forces Q at t+1.
+  ASSERT_TRUE(eng.assert_lit(d, 1, true, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(q, 2), L3::T);
+  // Backward: a demanded Q at t forces D at t-1.
+  ASSERT_TRUE(eng.assert_lit(q2, 2, true, false));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(d2, 1), L3::T);
+}
+
+TEST(Implication, ResetFixpointAtConstruction) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId d = g.var("d", SigRole::kCPI);
+  const GateId q0 = g.dff("q0", d, /*reset_value=*/false);
+  const GateId q1 = g.dff("q1", d, /*reset_value=*/true);
+  const GateId k1 = g.const1();
+  ImplicationEngine eng(gn, 2);
+  EXPECT_EQ(eng.value(q0, 0), L3::F);
+  EXPECT_EQ(eng.value(q1, 0), L3::T);
+  EXPECT_EQ(eng.value(k1, 0), L3::T);
+  EXPECT_EQ(eng.value(k1, 1), L3::T);
+  EXPECT_EQ(eng.value(q0, 1), L3::X);  // depends on the free d@0
+}
+
+TEST(Implication, WatchedWideGate) {
+  // A wide OR only wakes when a controlling 1 arrives or when the watched
+  // fanins run out; either way the deduction fixpoint is the same as a
+  // rescan. Drive all-but-one fanin to 0 with the output demanded 1: the
+  // last fanin must be forced.
+  GateNet gn;
+  GateBuilder g(gn);
+  std::vector<GateId> in;
+  for (int i = 0; i < 10; ++i)
+    in.push_back(g.var("i" + std::to_string(i), SigRole::kCPI));
+  const GateId y = g.or_("y", in);
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(y, 0, true, false));
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(eng.assert_lit(in[i], 0, false, false));
+    ASSERT_TRUE(eng.propagate());
+  }
+  EXPECT_EQ(eng.value(in[9], 0), L3::T);
+  // And the controlling direction: a single 1 forces the output.
+  ImplicationEngine eng2(gn, 1);
+  ASSERT_TRUE(eng2.assert_lit(in[7], 0, true, false));
+  ASSERT_TRUE(eng2.propagate());
+  EXPECT_EQ(eng2.value(y, 0), L3::T);
+}
+
+TEST(Implication, PopRestoresValues) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId b = g.var("b", SigRole::kCPI);
+  const GateId y = g.and_("y", {a, b});
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(a, 0, true, false));
+  ASSERT_TRUE(eng.propagate());
+  eng.push_level();
+  ASSERT_TRUE(eng.assert_lit(b, 0, true, true));
+  ASSERT_TRUE(eng.propagate());
+  EXPECT_EQ(eng.value(y, 0), L3::T);
+  eng.pop_to(0);
+  EXPECT_EQ(eng.value(b, 0), L3::X);
+  EXPECT_EQ(eng.value(y, 0), L3::X);
+  EXPECT_EQ(eng.value(a, 0), L3::T);  // level-0 root survives
+}
+
+// ----------------------------------------------------------- conflict cuts
+
+TEST(Implication, ConflictCutContainsOnlyRelevantRoots) {
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId b = g.var("b", SigRole::kCPI);
+  const GateId c = g.var("c", SigRole::kCPI);  // irrelevant bystander
+  const GateId y = g.and_("y", {a, b});
+  (void)g.or_("z", {a, c});
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(c, 0, true, false));  // noise root
+  ASSERT_TRUE(eng.assert_lit(y, 0, false, false));
+  eng.push_level();
+  ASSERT_TRUE(eng.assert_lit(a, 0, true, true));
+  ASSERT_TRUE(eng.propagate());
+  // Backward deduction has already forced b=0 (y=0 with a=1 leaves b as
+  // the only controlling fanin), so demanding b=1 clashes at the root.
+  eng.push_level();
+  EXPECT_FALSE(eng.assert_lit(b, 0, true, true) && eng.propagate());
+  ASSERT_TRUE(eng.in_conflict());
+  const std::vector<Lit> cut = eng.conflict_cut();
+  // The cut is the minimal root set on the contradiction path: a, b and the
+  // y=0 demand. The bystander c never appears.
+  ASSERT_EQ(cut.size(), 3u);
+  for (const Lit& l : cut) EXPECT_NE(l.gate, c);
+  EXPECT_TRUE(std::is_sorted(cut.begin(), cut.end()));
+  // The cut is a valid nogood: its literals are exactly {a=1, b=1, y=0}.
+  const std::vector<Lit> want = {{y, 0, false}, {a, 0, true}, {b, 0, true}};
+  std::vector<Lit> sorted_want = want;
+  std::sort(sorted_want.begin(), sorted_want.end());
+  EXPECT_EQ(cut, sorted_want);
+}
+
+TEST(Implication, ClashingRootEntersCut) {
+  // Asserting the opposite of an already-forced value must conflict, and
+  // the clashing root itself must appear in the cut even though it never
+  // entered the implication graph.
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId a = g.var("a", SigRole::kCPI);
+  const GateId y = g.not_("y", a);
+  ImplicationEngine eng(gn, 1);
+  ASSERT_TRUE(eng.assert_lit(a, 0, true, false));
+  ASSERT_TRUE(eng.propagate());  // y = 0
+  eng.push_level();
+  EXPECT_FALSE(eng.assert_lit(y, 0, true, true) && eng.propagate());
+  const std::vector<Lit> cut = eng.conflict_cut();
+  EXPECT_FALSE(cut.empty());
+  EXPECT_TRUE(std::any_of(cut.begin(), cut.end(),
+                          [&](const Lit& l) { return l.gate == y; }));
+}
+
+// ------------------------------------------------------------ nogood store
+
+TEST(Nogoods, LearnDedupeAndCap) {
+  NogoodStore store(/*capacity=*/2, /*max_lits=*/3);
+  EXPECT_TRUE(store.learn({{1, 0, true}, {2, 0, false}}));
+  EXPECT_FALSE(store.learn({{1, 0, true}, {2, 0, false}}));  // duplicate
+  EXPECT_FALSE(store.learn({}));                             // empty
+  EXPECT_FALSE(store.learn(
+      {{1, 0, true}, {2, 0, true}, {3, 0, true}, {4, 0, true}}));  // too wide
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.learn({{3, 1, true}}));
+  EXPECT_EQ(store.size(), 2u);
+  // Touch the first entry so the second is the LRU victim.
+  store.touch(0);
+  EXPECT_TRUE(store.learn({{4, 2, false}}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.learned(), 3u);  // monotone across eviction
+  bool first_still_there = false;
+  for (std::size_t i = 0; i < store.size(); ++i)
+    first_still_there |= store.lits(i) ==
+                         std::vector<Lit>{{1, 0, true}, {2, 0, false}};
+  EXPECT_TRUE(first_still_there);
+}
+
+// -------------------------------------------------------- canonicalization
+
+TEST(Canonicalize, SortsAndDedupes) {
+  std::vector<Lit> key;
+  const std::vector<CtrlObjective> objs = {
+      {7, 3, true}, {2, 1, false}, {7, 3, true}, {5, 1, true}};
+  ASSERT_EQ(canonicalize_objectives(objs, &key), CanonStatus::kOk);
+  const std::vector<Lit> want = {{2, 1, false}, {5, 1, true}, {7, 3, true}};
+  EXPECT_EQ(key, want);
+}
+
+TEST(Canonicalize, DetectsContradiction) {
+  std::vector<Lit> key;
+  const std::vector<CtrlObjective> objs = {{7, 3, true}, {7, 3, false}};
+  EXPECT_EQ(canonicalize_objectives(objs, &key),
+            CanonStatus::kContradiction);
+}
+
+// ------------------------------------------------------ justification cache
+
+TEST(JustCache, HitMissAndLru) {
+  JustCache cache(/*capacity=*/2);
+  const std::vector<Lit> k1 = {{1, 0, true}};
+  const std::vector<Lit> k2 = {{2, 0, true}};
+  const std::vector<Lit> k3 = {{3, 0, true}};
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+  JustCacheEntry e;
+  e.success = true;
+  e.cpi_assignments.emplace_back(9, 0, true);
+  cache.insert(k1, e);
+  const JustCacheEntry* hit = cache.lookup(k1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->success);
+  ASSERT_EQ(hit->cpi_assignments.size(), 1u);
+  cache.insert(k2, JustCacheEntry{});
+  (void)cache.lookup(k1);  // bump k1 so k2 is the LRU victim
+  cache.insert(k3, JustCacheEntry{});
+  EXPECT_NE(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.lookup(k2), nullptr);  // evicted
+  EXPECT_NE(cache.lookup(k3), nullptr);
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// --------------------------------------- engine-vs-legacy equivalence
+
+std::vector<std::vector<CtrlObjective>> objective_corpus() {
+  std::vector<std::vector<CtrlObjective>> corpus;
+  corpus.push_back({{ctrl_bit("ctrl.mem_we"), 3, true}});
+  corpus.push_back({{ctrl_bit("ctrl.mem_we"), 4, true}});
+  corpus.push_back({{ctrl_bit("ctrl.rf_we"), 2, true}});  // unreachable
+  corpus.push_back({{ctrl_bit("ctrl.rf_we"), 4, true}});
+  corpus.push_back({{ctrl_bit("ctrl.alu_sel", 0), 4, true}});
+  corpus.push_back({{ctrl_bit("ctrl.alu_sel", 1), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 0), 4, false}});
+  corpus.push_back({{ctrl_bit("ctrl.alu_sel", 0), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 1), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 2), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 3), 4, true}});  // no such op
+  corpus.push_back({{ctrl_bit("ctrl.mem_we"), 3, true},
+                    {ctrl_bit("ctrl.rf_we"), 4, true}});
+  corpus.push_back({{ctrl_bit("ctrl.mem_we"), 3, true},
+                    {ctrl_bit("ctrl.rf_we"), 5, true}});
+  corpus.push_back({{ctrl_bit("ctrl.fwd_a"), 4, true}});
+  return corpus;
+}
+
+bool witness_satisfies(const CtrlJustResult& r,
+                       const std::vector<CtrlObjective>& objs,
+                       unsigned cycles) {
+  ControllerWindow w(model().ctrl, cycles);
+  for (auto [g, t, v] : r.cpi_assignments) w.assign(g, t, l3_from_bool(v));
+  for (auto [g, t, v] : r.sts_assignments) w.assign(g, t, l3_from_bool(v));
+  w.imply();
+  for (const CtrlObjective& o : objs)
+    if (w.value(o.gate, o.cycle) != l3_from_bool(o.value)) return false;
+  return true;
+}
+
+TEST(SolverEquivalence, EngineMatchesLegacyOnCorpus) {
+  const unsigned kCycles = 10;
+  SolverContext ctx;
+  std::size_t idx = 0;
+  for (const auto& objs : objective_corpus()) {
+    SCOPED_TRACE("objective set #" + std::to_string(idx++));
+    CtrlJustConfig legacy_cfg;
+    legacy_cfg.use_engine = false;
+    CtrlJust legacy(model().ctrl, kCycles, legacy_cfg);
+    const CtrlJustResult lr = legacy.solve(objs);
+
+    CtrlJust engine(model().ctrl, kCycles);
+    engine.set_context(&ctx);
+    const CtrlJustResult er = engine.solve(objs);
+
+    EXPECT_EQ(lr.status, er.status);
+    if (er.status == TgStatus::kSuccess)
+      EXPECT_TRUE(witness_satisfies(er, objs, kCycles));
+    if (lr.status == TgStatus::kSuccess)
+      EXPECT_TRUE(witness_satisfies(lr, objs, kCycles));
+  }
+}
+
+TEST(SolverEquivalence, CachedReplayMatchesLiveSolve) {
+  // Solving the same objective set twice through one context: the second
+  // solve must come from the cache with the identical witness.
+  SolverContext ctx;
+  const std::vector<CtrlObjective> objs = {{ctrl_bit("ctrl.mem_we"), 3, true}};
+  CtrlJust cj(model().ctrl, 10);
+  cj.set_context(&ctx);
+  const CtrlJustResult first = cj.solve(objs);
+  ASSERT_EQ(first.status, TgStatus::kSuccess);
+  const CtrlJustResult second = cj.solve(objs);
+  EXPECT_EQ(second.status, TgStatus::kSuccess);
+  EXPECT_EQ(second.stats.cache_hits, 1u);
+  EXPECT_EQ(second.cpi_assignments, first.cpi_assignments);
+  EXPECT_EQ(second.sts_assignments, first.sts_assignments);
+}
+
+TEST(SolverEquivalence, CacheIsWindowIndependent) {
+  // A definitive result transfers to any window that admits the objective
+  // set (docs/SOLVER.md): the same key solved at a longer window hits.
+  SolverContext ctx;
+  const std::vector<CtrlObjective> objs = {{ctrl_bit("ctrl.mem_we"), 3, true}};
+  CtrlJust small(model().ctrl, 10);
+  small.set_context(&ctx);
+  ASSERT_EQ(small.solve(objs).status, TgStatus::kSuccess);
+  CtrlJust big(model().ctrl, 14);
+  big.set_context(&ctx);
+  const CtrlJustResult r = big.solve(objs);
+  EXPECT_EQ(r.status, TgStatus::kSuccess);
+  EXPECT_EQ(r.stats.cache_hits, 1u);
+  EXPECT_TRUE(witness_satisfies(r, objs, 14));
+}
+
+// ----------------------------------- TG-level detection-outcome equivalence
+
+TEST(SolverEquivalence, DetectionOutcomesMatchAcrossConfigs) {
+  // Engine on (default), engine off (legacy), and engine-on/cache-off must
+  // detect exactly the same errors - the solver is a search accelerator,
+  // never a behaviour change. A subset of the Table-1 SSL population keeps
+  // the test fast; bench_solver checks the full set.
+  std::vector<DesignError> errors = wrap(enumerate_bus_ssl(model().dp));
+  if (errors.size() > 40) errors.resize(40);
+
+  auto detected = [&](bool engine, bool cache) {
+    TgConfig cfg;
+    cfg.solver.enable = engine;
+    cfg.solver.use_cache = cache;
+    TestGenerator tg(model(), cfg);
+    std::vector<bool> out;
+    for (const DesignError& e : errors)
+      out.push_back(tg.generate(e).status == TgStatus::kSuccess);
+    return out;
+  };
+
+  const std::vector<bool> on = detected(true, true);
+  const std::vector<bool> off = detected(false, true);
+  const std::vector<bool> nocache = detected(true, false);
+  EXPECT_EQ(on, off);
+  EXPECT_EQ(on, nocache);
+}
+
+}  // namespace
+}  // namespace hltg
