@@ -7,13 +7,26 @@
 //                      [--max-decisions N] [--fallback [tries]]
 //                      [--journal file.jsonl] [--resume]
 //                      [--jobs N] [--drop] [--solver on|off]
+//                      [--verify-witness] [--minimize] [--quarantine-dir D]
+//   $ ./error_campaign [--stages ...] [--model ...] --replay test.txt
+//                      --replay-error N --expect detected|undetected
 //
 // Resilience controls (docs/ROBUSTNESS.md): --deadline-ms / --max-* arm a
 // per-error budget; --fallback retries budget-exhausted errors with the
 // biased-random baseline generator; --journal checkpoints one fsync'd JSONL
 // row per error so an interrupted run restarted with --resume reproduces
-// the identical summary; Ctrl-C cancels cooperatively (the current error
-// finishes and is journaled before the partial summary prints).
+// the identical summary; Ctrl-C (or SIGTERM) cancels cooperatively (the
+// current error finishes and is journaled before the partial summary
+// prints).
+//
+// Self-checking controls (docs/ROBUSTNESS.md "Self-checking and triage"):
+// --verify-witness re-validates every detection claim through an
+// independent scalar cosimulation; a refuted claim is retried once with the
+// opposite --solver setting and, failing that, lands in the claim_mismatch
+// bucket (exit status 2). --minimize delta-debugs each mismatching witness;
+// --quarantine-dir writes one diagnostic bundle per incident. The --replay
+// mode re-runs one saved testcase through the oracle and exits 0 iff the
+// verdict matches --expect - it is the repro command each bundle ships.
 //
 // Performance controls (docs/PERFORMANCE.md): --jobs N runs the generator
 // on N worker threads (identical summary for any N); --drop error-simulates
@@ -41,6 +54,8 @@
 #include "errors/report.h"
 #include "isa/testcase_io.h"
 #include "sim/batch_sim.h"
+#include "triage/triage.h"
+#include "triage/witness_check.h"
 #include "util/table.h"
 
 using namespace hltg;
@@ -57,8 +72,53 @@ std::vector<Stage> parse_stages(const std::string& s) {
   return out;
 }
 
+std::string stages_to_string(const std::vector<Stage>& stages) {
+  std::string out;
+  for (Stage s : stages) {
+    if (!out.empty()) out += ',';
+    switch (s) {
+      case Stage::kIF: out += "IF"; break;
+      case Stage::kID: out += "ID"; break;
+      case Stage::kEX: out += "EX"; break;
+      case Stage::kMEM: out += "MEM"; break;
+      case Stage::kWB: out += "WB"; break;
+      default: break;  // kGlobal never comes from parse_stages
+    }
+  }
+  return out;
+}
+
 CancelToken g_cancel;
 extern "C" void on_sigint(int) { g_cancel.request_stop(); }
+
+/// Bundle repro mode: replay one saved testcase through the independent
+/// oracle and compare against the expected verdict. Exit 0 iff reproduced.
+int run_replay(const DlxModel& m, const std::vector<DesignError>& errors,
+               const std::string& test_path, std::size_t error_index,
+               bool expect_detected) {
+  if (error_index >= errors.size()) {
+    std::fprintf(stderr, "--replay-error %zu out of range (population has "
+                 "%zu errors; same --model/--stages as the campaign?)\n",
+                 error_index, errors.size());
+    return 1;
+  }
+  const TestLoadResult loaded = load_test(test_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", test_path.c_str(),
+                 loaded.error.c_str());
+    return 1;
+  }
+  const DesignError& err = errors[error_index];
+  const WitnessCheck chk =
+      check_witness(m, loaded.test, err, expect_detected);
+  std::printf("error %zu: %s\nexpected %s: %s (%s)\n", error_index,
+              err.describe(m.dp).c_str(),
+              expect_detected ? "detected" : "undetected",
+              chk.verdict == WitnessVerdict::kConfirmed ? "REPRODUCED"
+                                                        : "NOT reproduced",
+              chk.note.c_str());
+  return chk.verdict == WitnessVerdict::kConfirmed ? 0 : 1;
+}
 
 }  // namespace
 
@@ -72,6 +132,12 @@ int main(int argc, char** argv) {
   unsigned jobs = 1;
   bool use_drop = false;
   bool use_solver = true;
+  bool verify_witness = false;
+  bool minimize = false;
+  std::string quarantine_dir;
+  std::string replay_path, expect;
+  std::size_t replay_error = 0;
+  bool have_replay_error = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--stages") && i + 1 < argc)
       stages = parse_stages(argv[++i]);
@@ -113,6 +179,19 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    else if (!std::strcmp(argv[i], "--verify-witness"))
+      verify_witness = true;
+    else if (!std::strcmp(argv[i], "--minimize"))
+      minimize = true;
+    else if (!std::strcmp(argv[i], "--quarantine-dir") && i + 1 < argc)
+      quarantine_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--replay") && i + 1 < argc)
+      replay_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--replay-error") && i + 1 < argc) {
+      replay_error = static_cast<std::size_t>(std::atoll(argv[++i]));
+      have_replay_error = true;
+    } else if (!std::strcmp(argv[i], "--expect") && i + 1 < argc)
+      expect = argv[++i];
     else if (!std::strcmp(argv[i], "-v"))
       ccfg.verbose = true;
     else {
@@ -132,6 +211,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--drop and --jobs are mutually exclusive\n");
     return 1;
   }
+  if (!replay_path.empty() &&
+      (!have_replay_error || (expect != "detected" && expect != "undetected"))) {
+    std::fprintf(stderr, "--replay requires --replay-error N and "
+                 "--expect detected|undetected\n");
+    return 1;
+  }
+  // Minimization and quarantine are refinements of the cross-check.
+  if (minimize || !quarantine_dir.empty()) verify_witness = true;
 
   const DlxModel m = build_dlx();
   std::vector<DesignError> errors;
@@ -151,9 +238,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown error model '%s'\n", emodel.c_str());
     return 1;
   }
+  if (!replay_path.empty())
+    return run_replay(m, errors, replay_path, replay_error,
+                      expect == "detected");
   std::printf("error model %s, %zu errors\n", emodel.c_str(), errors.size());
 
   std::signal(SIGINT, on_sigint);
+  std::signal(SIGTERM, on_sigint);  // orchestrators kill politely too
   ccfg.cancel = &g_cancel;
   ccfg.budget.cancel = &g_cancel;
   if (use_fallback) {
@@ -165,6 +256,17 @@ int main(int argc, char** argv) {
 
   TgConfig tgcfg;
   tgcfg.solver.enable = use_solver;
+  if (verify_witness) {
+    TriageOptions topt;
+    topt.verify = true;
+    topt.minimize = minimize;
+    topt.quarantine_dir = quarantine_dir;
+    topt.repro_flags =
+        "--model " + emodel + " --stages " + stages_to_string(stages);
+    topt.cross_config = tgcfg;
+    topt.cross_config.solver.enable = !use_solver;  // the other search
+    ccfg.triage = make_triage(m, topt);
+  }
 
   CampaignResult res;
   if (use_drop) {
@@ -213,6 +315,18 @@ int main(int argc, char** argv) {
     std::printf("interrupted after %zu of %zu errors (journal is "
                 "resumable)\n",
                 res.stats.attempted, res.stats.total);
+  // Verification chatter goes to stderr: the stdout summary of a
+  // mismatch-free verified run is byte-identical to an unverified one.
+  if (verify_witness) {
+    std::fprintf(stderr,
+                 "verify: %zu claims confirmed, %zu mismatches, %zu oracle "
+                 "errors, %zu recovered, %zu drop claims refuted\n",
+                 res.stats.verify_confirmed, res.stats.claim_mismatch,
+                 res.stats.oracle_errors, res.stats.verify_recovered,
+                 res.stats.drop_mismatches);
+    for (const std::string& note : res.incident_notes)
+      std::fprintf(stderr, "incident: %s\n", note.c_str());
+  }
   std::printf("%s\n", res.stats.table1("campaign summary").c_str());
 
   if (!csv_path.empty()) {
@@ -242,16 +356,24 @@ int main(int argc, char** argv) {
       const auto& e = std::get<BusSslError>(row.error.e);
       const bool red = is_redundant(bc, e);
       redundant += red;
+      const bool quarantined =
+          row.attempt.outcome() == AttemptOutcome::kClaimMismatch;
       std::printf("  %-44s %s\n", row.error.describe(m.dp).c_str(),
-                  red ? "provably undetectable"
-                      : row.attempt.abort == AbortReason::kNone
-                            ? "generator gave up"
-                            : ("aborted: " +
-                               std::string(to_string(row.attempt.abort)))
-                                .c_str());
+                  quarantined
+                      ? "quarantined: claim mismatch"
+                      : red ? "provably undetectable"
+                            : row.attempt.abort == AbortReason::kNone
+                                  ? "generator gave up"
+                                  : ("aborted: " +
+                                     std::string(to_string(row.attempt.abort)))
+                                        .c_str());
     }
     std::printf("%zu of %zu aborted errors are provably undetectable\n",
                 redundant, res.stats.aborted);
   }
-  return res.interrupted ? 130 : 0;
+  if (res.interrupted) return 130;
+  // A claim mismatch means the campaign's own bookkeeping disagreed with
+  // the independent oracle: fail loudly so CI surfaces the quarantine.
+  if (res.stats.claim_mismatch > 0) return 2;
+  return 0;
 }

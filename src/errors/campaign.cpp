@@ -36,6 +36,13 @@ std::string CampaignStats::table1(const std::string& title) const {
   abort_row("  aborted: decision limit", aborted_decisions);
   abort_row("  aborted: cancelled", aborted_cancelled);
   abort_row("  aborted: exception", aborted_exception);
+  // Self-checking buckets render only when an incident actually occurred:
+  // a mismatch-free verified campaign prints byte-identically to an
+  // unverified one.
+  abort_row("No. of claim mismatches (quarantined)", claim_mismatch);
+  abort_row("No. of oracle errors", oracle_errors);
+  abort_row("No. of mismatches recovered cross-config", verify_recovered);
+  abort_row("No. of batch-drop claims refuted", drop_mismatches);
   if (attempted < total)
     t.add_kv("No. of errors not attempted (interrupted)",
              std::to_string(total - attempted));
@@ -54,6 +61,18 @@ std::string CampaignStats::table1(const std::string& title) const {
 void CampaignStats::add_attempt(const ErrorAttempt& a,
                                 std::uint64_t* length_sum) {
   ++attempted;
+  if (a.verify == WitnessVerdict::kConfirmed) ++verify_confirmed;
+  if (a.verify == WitnessVerdict::kOracleError) ++oracle_errors;
+  if (a.recovered) ++verify_recovered;
+  if (a.outcome() == AttemptOutcome::kClaimMismatch) {
+    ++claim_mismatch;
+    implications += a.implications;
+    learned += a.learned;
+    nogood_hits += a.nogood_hits;
+    cache_hits += a.cache_hits;
+    cpu_seconds += a.seconds;
+    return;
+  }
   if (a.detected()) {
     ++detected;
     if (a.via_fallback)
@@ -97,8 +116,93 @@ const char* outcome_tag(const ErrorAttempt& a) {
     case AttemptOutcome::kDetectedDeterministic: return "det ";
     case AttemptOutcome::kDetectedFallback: return "fbk ";
     case AttemptOutcome::kAborted: return "abrt";
+    case AttemptOutcome::kClaimMismatch: return "mism";
   }
   return "?";
+}
+
+/// Self-checking cross-check (docs/ROBUSTNESS.md): re-validate a detection
+/// claim through the independent oracle, minimize a refuted witness, and
+/// retry once cross-config before the row is demoted to claim_mismatch.
+void apply_triage(const DesignError& err, ErrorAttempt* a,
+                  const CampaignConfig& cfg) {
+  const TriageConfig& tri = cfg.triage;
+  if (!tri.verify || !tri.oracle || !a->detected()) return;
+
+  bool oracle_agrees = false;
+  try {
+    oracle_agrees = tri.oracle(a->test, err);
+  } catch (const std::exception& e) {
+    a->verify = WitnessVerdict::kOracleError;
+    append_note(&a->note, std::string("oracle threw: ") + e.what());
+    return;
+  } catch (...) {
+    a->verify = WitnessVerdict::kOracleError;
+    append_note(&a->note, "oracle threw a non-std exception");
+    return;
+  }
+  if (oracle_agrees) {
+    a->verify = WitnessVerdict::kConfirmed;
+    return;
+  }
+
+  // Claim mismatch: the witness is preserved for the quarantine bundle.
+  a->verify = WitnessVerdict::kClaimMismatch;
+  a->incident_test = a->test;
+  append_note(&a->note,
+              "claim mismatch: independent oracle found no divergence");
+  if (tri.minimize && tri.minimizer) {
+    std::string mnote;
+    a->incident_min =
+        tri.minimizer(a->incident_test, err, /*expect_detected=*/false,
+                      &mnote);
+    a->minimized = true;
+    append_note(&a->note, mnote);
+  }
+
+  // Retry once with the cross-config generator; only an oracle-confirmed
+  // re-detection vindicates the row.
+  if (!tri.cross_gen) return;
+  ErrorAttempt re;
+  try {
+    Budget budget = cfg.budget.arm();
+    re = tri.cross_gen(err, budget);
+  } catch (...) {
+    append_note(&a->note, "cross-config retry threw");
+    return;
+  }
+  bool re_ok = false;
+  if (re.generated && re.sim_confirmed) {
+    try {
+      re_ok = tri.oracle(re.test, err);
+    } catch (...) {
+      re_ok = false;
+    }
+  }
+  if (!re_ok) {
+    a->seconds += re.seconds;
+    append_note(&a->note, "cross-config retry did not confirm");
+    return;
+  }
+  // Vindicated: adopt the cross-config witness but keep the incident
+  // payload (bogus witness + minimized form) and charge both efforts.
+  re.verify = WitnessVerdict::kConfirmed;
+  re.recovered = true;
+  re.minimized = a->minimized;
+  re.incident_test = std::move(a->incident_test);
+  re.incident_min = std::move(a->incident_min);
+  re.seconds += a->seconds;
+  re.backtracks += a->backtracks;
+  re.decisions += a->decisions;
+  re.implications += a->implications;
+  re.learned += a->learned;
+  re.nogood_hits += a->nogood_hits;
+  re.cache_hits += a->cache_hits;
+  std::string note = a->note;
+  append_note(&note, re.note.empty() ? "recovered by cross-config retry"
+                                     : re.note);
+  re.note = std::move(note);
+  *a = std::move(re);
 }
 
 }  // namespace
@@ -138,14 +242,22 @@ ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
   const bool degradable =
       !a.detected() && a.abort != AbortReason::kCancelled &&
       (cfg.fallback || (fault && fault->force_fallback));
-  if (!degradable) return a;
+  if (!degradable) {
+    apply_triage(err, &a, cfg);
+    return a;
+  }
 
   ErrorAttempt fb;
   try {
     if (fault && fault->force_fallback) {
       fb = fault->fallback_attempt;
     } else {
-      Budget budget = cfg.fallback_budget.arm();
+      // The fallback runs under its own budget recipe, but cancellation
+      // must reach it even when the caller only wired the token into the
+      // primary budget: a Ctrl-C during a fallback sweep aborts promptly.
+      BudgetSpec fspec = cfg.fallback_budget;
+      if (!fspec.cancel) fspec.cancel = cfg.budget.cancel;
+      Budget budget = fspec.arm();
       fb = cfg.fallback(err, budget);
     }
   } catch (const std::exception& e) {
@@ -163,6 +275,7 @@ ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
     a.seconds += fb.seconds;
     append_note(&a.note,
                 "fallback failed" + (fb.note.empty() ? "" : ": " + fb.note));
+    apply_triage(err, &a, cfg);
     return a;
   }
   fb.via_fallback = true;
@@ -177,7 +290,18 @@ ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
   std::string note = a.note;
   append_note(&note, fb.note.empty() ? "detected by fallback" : fb.note);
   fb.note = std::move(note);
+  apply_triage(err, &fb, cfg);
   return fb;
+}
+
+void record_incident(CampaignResult* res, const CampaignConfig& cfg,
+                     std::size_t index, const DesignError& err,
+                     const ErrorAttempt& a) {
+  if (cfg.triage.bundle) {
+    const std::string note = cfg.triage.bundle(res->incidents, index, err, a);
+    if (!note.empty()) res->incident_notes.push_back(note);
+  }
+  ++res->incidents;
 }
 
 CampaignResult run_campaign(const Netlist& nl,
@@ -207,6 +331,7 @@ CampaignResult run_campaign(const Netlist& nl,
       a = attempt_one_error(err, i, gen, cfg);
       if (journal.writer.is_open())
         journal.writer.append_line(journal_row_line(i, a));
+      if (a.incident()) record_incident(&res, cfg, i, err, a);
     }
     res.stats.add_attempt(a, &length_sum);
     if (cfg.verbose)
@@ -272,6 +397,45 @@ CampaignResult run_campaign_with_dropping(
             .count();
     for (std::size_t k = 0; k < rem.size(); ++k) {
       if (k >= det.size() || !det[k]) continue;
+      // Self-check: a batch-drop claim is re-validated with one scalar
+      // oracle run. A refuted claim is quarantined and the error stays in
+      // the population for its own generator attempt; an oracle failure
+      // leaves the claim standing but still raises an incident.
+      if (cfg.triage.verify && cfg.triage.oracle) {
+        ErrorAttempt claim;
+        claim.generated = claim.sim_confirmed = true;
+        claim.incident_test = test;
+        claim.note = "batch-drop claim for test of error " +
+                     std::to_string(i) + " cross-checked by scalar oracle";
+        bool ok = false;
+        bool oracle_failed = false;
+        try {
+          ok = cfg.triage.oracle(test, errors[idx[k]]);
+        } catch (...) {
+          oracle_failed = true;
+        }
+        if (oracle_failed) {
+          claim.verify = WitnessVerdict::kOracleError;
+          append_note(&claim.note, "oracle threw; claim left standing");
+          record_incident(&res, cfg, idx[k], errors[idx[k]], claim);
+        } else if (!ok) {
+          ++res.stats.drop_mismatches;
+          claim.verify = WitnessVerdict::kClaimMismatch;
+          append_note(&claim.note, "oracle found no divergence; not dropped");
+          if (cfg.triage.minimize && cfg.triage.minimizer) {
+            std::string mnote;
+            claim.incident_min = cfg.triage.minimizer(
+                test, errors[idx[k]], /*expect_detected=*/false, &mnote);
+            claim.minimized = true;
+            append_note(&claim.note, mnote);
+          }
+          record_incident(&res, cfg, idx[k], errors[idx[k]], claim);
+          if (cfg.verbose)
+            std::fprintf(stderr, "  [mism] drop claim refuted for %s\n",
+                         errors[idx[k]].describe(nl).c_str());
+          continue;  // the error keeps its own generator attempt
+        }
+      }
       done[idx[k]] = 1;
       ++res.stats.detected;
       ++res.stats.detected_deterministic;
@@ -300,6 +464,7 @@ CampaignResult run_campaign_with_dropping(
       a = attempt_one_error(errors[i], i, gen, cfg);
       if (journal.writer.is_open())
         journal.writer.append_line(journal_row_line(i, a));
+      if (a.incident()) record_incident(&res, cfg, i, errors[i], a);
     }
     res.stats.add_attempt(a, &length_sum);
     if (a.detected()) {

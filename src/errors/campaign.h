@@ -27,6 +27,7 @@ enum class AttemptOutcome : std::uint8_t {
   kDetectedDeterministic,  ///< the primary generator produced a confirmed test
   kDetectedFallback,       ///< the degradation generator produced one
   kAborted,                ///< no confirmed test (budget, give-up, exception)
+  kClaimMismatch,          ///< detection claim failed the independent oracle
 };
 
 constexpr std::string_view to_string(AttemptOutcome o) {
@@ -34,8 +35,38 @@ constexpr std::string_view to_string(AttemptOutcome o) {
     case AttemptOutcome::kDetectedDeterministic: return "detected_deterministic";
     case AttemptOutcome::kDetectedFallback: return "detected_fallback";
     case AttemptOutcome::kAborted: return "aborted";
+    case AttemptOutcome::kClaimMismatch: return "claim_mismatch";
   }
   return "?";
+}
+
+/// Verdict of the self-checking cross-check (docs/ROBUSTNESS.md): after any
+/// detection claim, the witness is re-validated through an independent
+/// oracle; a disagreement means one of the detectors is wrong and the row
+/// must not silently enter the Table-1 statistics.
+enum class WitnessVerdict : std::uint8_t {
+  kUnchecked,      ///< verification disabled, or the row claims no detection
+  kConfirmed,      ///< independent oracle reproduced the divergence
+  kClaimMismatch,  ///< oracle found NO divergence: the claim is bogus
+  kOracleError,    ///< the oracle itself failed (threw); claim left standing
+};
+
+constexpr std::string_view to_string(WitnessVerdict v) {
+  switch (v) {
+    case WitnessVerdict::kUnchecked: return "unchecked";
+    case WitnessVerdict::kConfirmed: return "confirmed";
+    case WitnessVerdict::kClaimMismatch: return "claim_mismatch";
+    case WitnessVerdict::kOracleError: return "oracle_error";
+  }
+  return "?";
+}
+
+/// Parse the strings to_string(WitnessVerdict) produces (journal round-trip).
+constexpr WitnessVerdict witness_verdict_from(std::string_view s) {
+  if (s == "confirmed") return WitnessVerdict::kConfirmed;
+  if (s == "claim_mismatch") return WitnessVerdict::kClaimMismatch;
+  if (s == "oracle_error") return WitnessVerdict::kOracleError;
+  return WitnessVerdict::kUnchecked;
 }
 
 /// Result of attempting one error.
@@ -57,8 +88,31 @@ struct ErrorAttempt {
   AbortReason abort = AbortReason::kNone;  ///< why the attempt was cut short
   bool via_fallback = false;  ///< produced by the degradation generator
 
-  bool detected() const { return generated && sim_confirmed; }
+  // Self-checking triage (src/triage/, docs/ROBUSTNESS.md). `verify` is the
+  // final cross-check verdict for the row; a kClaimMismatch verdict demotes
+  // the detection claim out of the Table-1 detected bucket. When a mismatch
+  // occurred, the offending witness (and, with minimization on, its
+  // delta-debugged shrink) is preserved for the quarantine bundle even if a
+  // cross-config retry later vindicated the row (`recovered`).
+  WitnessVerdict verify = WitnessVerdict::kUnchecked;
+  bool recovered = false;  ///< cross-config retry re-detected and confirmed
+  bool minimized = false;  ///< incident_min holds a ddmin-shrunk witness
+  TestCase incident_test;  ///< the witness that failed the cross-check
+  TestCase incident_min;   ///< its minimized form (valid iff `minimized`)
+
+  bool detected() const {
+    return generated && sim_confirmed &&
+           verify != WitnessVerdict::kClaimMismatch;
+  }
+  /// A claim mismatch or oracle failure happened on this row (even if a
+  /// retry recovered it): the row owns a quarantine incident.
+  bool incident() const {
+    return verify == WitnessVerdict::kClaimMismatch ||
+           verify == WitnessVerdict::kOracleError || recovered;
+  }
   AttemptOutcome outcome() const {
+    if (verify == WitnessVerdict::kClaimMismatch)
+      return AttemptOutcome::kClaimMismatch;
     if (!detected()) return AttemptOutcome::kAborted;
     return via_fallback ? AttemptOutcome::kDetectedFallback
                         : AttemptOutcome::kDetectedDeterministic;
@@ -96,6 +150,17 @@ struct CampaignStats {
   std::size_t aborted_decisions = 0;
   std::size_t aborted_cancelled = 0;
   std::size_t aborted_exception = 0;
+  /// Self-checking (quarantine) bucket: rows whose detection claim the
+  /// independent oracle refuted and no cross-config retry could vindicate.
+  /// Disjoint from `detected` and `aborted`.
+  std::size_t claim_mismatch = 0;
+  /// Cross-check tallies (not rendered in table1 unless nonzero, so a
+  /// mismatch-free verified campaign prints byte-identically to an
+  /// unverified one).
+  std::size_t verify_confirmed = 0;  ///< claims the oracle reproduced
+  std::size_t verify_recovered = 0;  ///< mismatches vindicated by retry
+  std::size_t oracle_errors = 0;     ///< oracle itself failed on the row
+  std::size_t drop_mismatches = 0;   ///< batch-drop claims the oracle refuted
   double avg_test_length = 0.0;       ///< over detected errors
   std::uint64_t backtracks = 0;       ///< over detected errors (Table 1)
   std::uint64_t decisions = 0;
@@ -125,6 +190,11 @@ struct CampaignResult {
   std::size_t tests_kept = 0;    ///< distinct tests in the compacted set
   double dropping_seconds = 0;   ///< wall time spent error-simulating drops
   std::string journal_note;      ///< journal open/replay diagnostics
+  /// Triage incidents raised by *fresh* rows this run (replayed rows were
+  /// bundled by the original run). Incident numbers are assigned in
+  /// error-index order, so they are deterministic for any --jobs value.
+  std::size_t incidents = 0;
+  std::vector<std::string> incident_notes;  ///< bundle paths / diagnostics
 };
 
 /// Fault-injection hook: deterministically forces per-error outcomes so the
@@ -148,6 +218,41 @@ struct CampaignFault {
 };
 using CampaignFaultPlan = std::map<std::size_t, CampaignFault>;
 
+/// Detection oracle: does `test` detect `err`? Used for error dropping and
+/// as the independent witness cross-check of the triage layer.
+using DetectFn = std::function<bool(const TestCase&, const DesignError&)>;
+
+/// Witness minimizer (src/triage/ddmin): shrink `test` while the oracle
+/// verdict stays `expect_detected`; `note` receives a human summary of the
+/// reduction. Must be thread-compatible (called from campaign workers).
+using TriageMinimizeFn = std::function<TestCase(
+    const TestCase&, const DesignError&, bool expect_detected,
+    std::string* note)>;
+
+/// Quarantine bundle writer (src/triage/bundle): emit one diagnostic
+/// directory for incident number `incident` (index-ordered, deterministic
+/// across --jobs). Returns a human note (bundle path or error). Called from
+/// the aggregation thread only.
+using TriageBundleFn = std::function<std::string(
+    std::size_t incident, std::size_t error_index, const DesignError& err,
+    const ErrorAttempt& attempt)>;
+
+/// Self-checking configuration (docs/ROBUSTNESS.md "Self-checking and
+/// triage"). With `verify` on, every detection claim - generator- or
+/// fallback-produced, and every batch-drop claim - is re-validated through
+/// `oracle`; a refuted claim is retried once through `cross_gen` (e.g. the
+/// legacy --solver off search) and, failing that, lands in the
+/// claim_mismatch bucket and is bundled for quarantine.
+struct TriageConfig {
+  bool verify = false;    ///< cross-check detection claims via `oracle`
+  bool minimize = false;  ///< ddmin mismatching witnesses via `minimizer`
+  DetectFn oracle;        ///< independent scalar oracle; a throw =>
+                          ///< WitnessVerdict::kOracleError
+  BudgetedGenFn cross_gen;     ///< one cross-config retry on claim mismatch
+  TriageMinimizeFn minimizer;  ///< witness shrinker (used when `minimize`)
+  TriageBundleFn bundle;       ///< quarantine writer (empty disables)
+};
+
 struct CampaignConfig {
   bool verbose = false;
   /// Armed per error for the primary (deterministic) generator.
@@ -170,6 +275,9 @@ struct CampaignConfig {
   /// the current error (its row is journaled first).
   const CancelToken* cancel = nullptr;
   const CampaignFaultPlan* faults = nullptr;  ///< test hook
+  /// Self-checking: oracle cross-check, cross-config retry, witness
+  /// minimization, quarantine bundling.
+  TriageConfig triage;
 };
 
 /// One error through the resilient pipeline: fault hook, primary generator
@@ -182,6 +290,15 @@ ErrorAttempt attempt_one_error(const DesignError& err, std::size_t index,
                                const BudgetedGenFn& gen,
                                const CampaignConfig& cfg);
 
+/// Record (and, when a writer is configured, emit) one quarantine incident.
+/// Shared by the three campaign engines, which call it in error-index order
+/// from the aggregation thread - incident numbering is therefore
+/// deterministic for any --jobs value. Replayed (resumed) rows are never
+/// re-bundled; only fresh attempts reach this.
+void record_incident(CampaignResult* res, const CampaignConfig& cfg,
+                     std::size_t index, const DesignError& err,
+                     const ErrorAttempt& a);
+
 CampaignResult run_campaign(const Netlist& nl,
                             const std::vector<DesignError>& errors,
                             const BudgetedGenFn& gen,
@@ -191,9 +308,6 @@ CampaignResult run_campaign(const Netlist& nl,
 CampaignResult run_campaign(const Netlist& nl,
                             const std::vector<DesignError>& errors,
                             const TestGenFn& gen, bool verbose = false);
-
-/// Detection oracle used for error dropping: does `test` detect `err`?
-using DetectFn = std::function<bool(const TestCase&, const DesignError&)>;
 
 /// Batched detection oracle: out[i] iff `test` detects errors[i]. The
 /// bit-parallel implementation (sim/batch_sim: one controller evaluation

@@ -218,6 +218,19 @@ std::string journal_row_line(std::size_t index, const ErrorAttempt& a) {
      << to_string(a.abort) << "\",\"via_fallback\":"
      << (a.via_fallback ? "true" : "false") << ",\"note\":\""
      << json_escape(a.note) << "\"";
+  // Triage fields are emitted only when set, so journals from unverified
+  // campaigns keep their pre-triage byte layout (and old journals replay
+  // with the kUnchecked default).
+  if (a.verify != WitnessVerdict::kUnchecked)
+    os << ",\"verify\":\"" << to_string(a.verify) << "\"";
+  if (a.recovered) os << ",\"recovered\":true";
+  if (a.incident()) {
+    os << ",\"bad_witness\":\"" << json_escape(serialize_test(a.incident_test))
+       << "\"";
+    if (a.minimized)
+      os << ",\"minimized\":\"" << json_escape(serialize_test(a.incident_min))
+         << "\"";
+  }
   if (a.detected())
     os << ",\"test\":\"" << json_escape(serialize_test(a.test)) << "\"";
   os << "}";
@@ -276,6 +289,23 @@ JournalReplay load_journal(const std::string& path) {
     if (j.get_string("abort", &abort_s)) a.abort = abort_reason_from(abort_s);
     j.get_bool("via_fallback", &a.via_fallback);
     j.get_string("note", &a.note);
+    // Triage fields: absent in pre-triage and unverified journals; the
+    // kUnchecked / false defaults keep those replayable.
+    std::string verify_s, witness_s;
+    if (j.get_string("verify", &verify_s))
+      a.verify = witness_verdict_from(verify_s);
+    j.get_bool("recovered", &a.recovered);
+    if (j.get_string("bad_witness", &witness_s)) {
+      TestLoadResult t = parse_test(witness_s);
+      if (t.ok()) a.incident_test = std::move(t.test);
+    }
+    if (j.get_string("minimized", &witness_s)) {
+      TestLoadResult t = parse_test(witness_s);
+      if (t.ok()) {
+        a.incident_min = std::move(t.test);
+        a.minimized = true;
+      }
+    }
     if (j.get_string("test", &test_s)) {
       TestLoadResult t = parse_test(test_s);
       if (t.ok()) a.test = std::move(t.test);

@@ -13,6 +13,10 @@
 //                    "test_length":N,"backtracks":N,"decisions":N,
 //                    "seconds":F,"abort":"<reason>","via_fallback":b,
 //                    "note":"...","test":"<testcase_io text>"}
+// Self-checking campaigns append optional triage fields per row (omitted
+// when at their defaults, so unverified journals keep the old layout):
+// "verify":"confirmed|claim_mismatch|oracle_error", "recovered":b,
+// "bad_witness":"<testcase_io text>", "minimized":"<testcase_io text>".
 // The fingerprint hashes the error population (model + description per
 // error), so a journal is only replayed against the same campaign. A torn
 // final row (crash mid-write) is detected and dropped on load.

@@ -24,6 +24,7 @@ const char* outcome_tag(const ErrorAttempt& a) {
     case AttemptOutcome::kDetectedDeterministic: return "det ";
     case AttemptOutcome::kDetectedFallback: return "fbk ";
     case AttemptOutcome::kAborted: return "abrt";
+    case AttemptOutcome::kClaimMismatch: return "mism";
   }
   return "?";
 }
@@ -120,6 +121,12 @@ CampaignResult run_campaign_parallel(const Netlist& nl,
     ++completed;
     if (state[i] == kReplayed) ++res.resumed_rows;
     ErrorAttempt& a = attempts[i];
+    // Quarantine bundles are written here, not in the workers: the
+    // aggregation loop runs in error-index order, so incident numbering is
+    // deterministic for any jobs value. Replayed rows were bundled by the
+    // original run.
+    if (state[i] == kFresh && a.incident())
+      record_incident(&res, cfg, i, errors[i], a);
     res.stats.add_attempt(a, &length_sum);
     if (cfg.verbose)
       std::fprintf(stderr, "  [%s] %s%s\n", outcome_tag(a),

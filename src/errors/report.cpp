@@ -19,14 +19,15 @@ std::string csv_escape(const std::string& s) {
 
 std::string campaign_csv(const Netlist& nl, const CampaignResult& res) {
   std::ostringstream os;
-  os << "model,error,outcome,abort,test_length,backtracks,decisions,seconds\n";
+  os << "model,error,outcome,abort,verify,test_length,backtracks,decisions,"
+        "seconds\n";
   for (const CampaignRow& row : res.rows) {
     const ErrorAttempt& a = row.attempt;
     os << row.error.model_name() << ','
        << csv_escape(row.error.describe(nl)) << ','
        << to_string(a.outcome()) << ',' << to_string(a.abort) << ','
-       << a.test_length << ',' << a.backtracks << ',' << a.decisions << ','
-       << a.seconds << '\n';
+       << to_string(a.verify) << ',' << a.test_length << ',' << a.backtracks
+       << ',' << a.decisions << ',' << a.seconds << '\n';
   }
   return os.str();
 }
@@ -39,6 +40,9 @@ std::string campaign_markdown(const Netlist& nl, const CampaignResult& res,
   os << "| errors | " << res.stats.total << " |\n";
   os << "| detected | " << res.stats.detected << " |\n";
   os << "| aborted | " << res.stats.aborted << " |\n";
+  if (res.stats.claim_mismatch > 0)
+    os << "| claim mismatches (quarantined) | " << res.stats.claim_mismatch
+       << " |\n";
   os << "| avg test length | " << res.stats.avg_test_length << " |\n";
   os << "| backtracks (detected) | " << res.stats.backtracks << " |\n";
   os << "| CPU seconds | " << res.stats.cpu_seconds << " |\n\n";

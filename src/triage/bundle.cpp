@@ -1,0 +1,141 @@
+#include "triage/bundle.h"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "isa/testcase_io.h"
+#include "sim/cosim.h"
+#include "sim/diff_debug.h"
+#include "sim/vcd.h"
+
+namespace hltg {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::filesystem::path& p, const std::string& text) {
+  std::ofstream out(p);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+std::string divergence_text(const DlxModel& m, const TestCase& tc,
+                            const DesignError& err) {
+  const unsigned cycles = drain_cycles(tc.imem.size());
+  std::ostringstream os;
+  const CosimResult cr = cosim(m, tc, cycles, err.injection());
+  os << "oracle (spec vs injected implementation, " << cycles
+     << " cycles): " << (cr.match ? "no divergence" : "DIVERGED") << "\n";
+  if (!cr.diff.empty()) os << cr.diff << "\n";
+  // Internal error-cone view: even when no divergence reaches the
+  // architectural trace, the injected run may depart from the good run
+  // inside the pipe - exactly the situation of a refuted detection claim.
+  os << "\ngood vs injected implementation (internal nets):\n"
+     << diff_runs(m, tc, cycles, err.injection()).to_string(m.dp);
+  return os.str();
+}
+
+std::string stats_json(const DlxModel& m, std::size_t incident,
+                       std::size_t error_index, const DesignError& err,
+                       const ErrorAttempt& a) {
+  std::ostringstream os;
+  os << "{\"incident\":" << incident << ",\"error_index\":" << error_index
+     << ",\"error_model\":\"" << json_escape(err.model_name())
+     << "\",\"error\":\"" << json_escape(err.describe(m.dp))
+     << "\",\"verify\":\"" << to_string(a.verify)
+     << "\",\"recovered\":" << (a.recovered ? "true" : "false")
+     << ",\"minimized\":" << (a.minimized ? "true" : "false")
+     << ",\"witness_instrs\":" << a.incident_test.imem.size();
+  if (a.minimized)
+    os << ",\"minimized_instrs\":" << a.incident_min.imem.size();
+  os << ",\"backtracks\":" << a.backtracks << ",\"decisions\":" << a.decisions
+     << ",\"seconds\":" << a.seconds << ",\"note\":\"" << json_escape(a.note)
+     << "\"}\n";
+  return os.str();
+}
+
+std::string repro_text(const BundleOptions& opt, const std::string& dir_name,
+                       std::size_t error_index, const ErrorAttempt& a) {
+  // A standing claim (oracle_error) replays as detected; a refuted or
+  // retry-recovered claim replays its bogus witness as undetected.
+  const bool expect_detected = a.verify == WitnessVerdict::kOracleError;
+  std::ostringstream os;
+  os << "# Reproduce this incident's oracle verdict (exit 0 = reproduced):\n"
+     << "./error_campaign " << opt.repro_flags << " --replay " << dir_name
+     << "/witness.txt --replay-error " << error_index << " --expect "
+     << (expect_detected ? "detected" : "undetected") << "\n";
+  if (a.minimized)
+    os << "# Same verdict from the minimized witness:\n"
+       << "./error_campaign " << opt.repro_flags << " --replay " << dir_name
+       << "/minimized.txt --replay-error " << error_index << " --expect "
+       << (expect_detected ? "detected" : "undetected") << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string bundle_dir_name(std::size_t incident, std::size_t error_index) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "incident_%04zu_err%zu", incident,
+                error_index);
+  return buf;
+}
+
+TriageBundleFn make_bundle_writer(const DlxModel& m, BundleOptions opt) {
+  return [&m, opt](std::size_t incident, std::size_t error_index,
+                   const DesignError& err, const ErrorAttempt& a) {
+    const std::string name = bundle_dir_name(incident, error_index);
+    const std::filesystem::path dir =
+        std::filesystem::path(opt.dir) / name;
+    try {
+      std::filesystem::create_directories(dir);
+      bool ok = write_file(dir / "witness.txt",
+                           serialize_test(a.incident_test));
+      if (a.minimized)
+        ok = write_file(dir / "minimized.txt",
+                        serialize_test(a.incident_min)) && ok;
+      ok = write_file(dir / "divergence.txt",
+                      divergence_text(m, a.incident_test, err)) && ok;
+      ok = write_file(
+               dir / "trace.vcd",
+               dump_vcd(m, a.incident_test,
+                        drain_cycles(a.incident_test.imem.size()),
+                        err.injection())) && ok;
+      ok = write_file(dir / "stats.json",
+                      stats_json(m, incident, error_index, err, a)) && ok;
+      ok = write_file(dir / "repro.txt",
+                      repro_text(opt, name, error_index, a)) && ok;
+      if (!ok) return "bundle write failed under " + dir.string();
+      return "quarantined: " + dir.string();
+    } catch (const std::exception& e) {
+      return "bundle write failed for " + dir.string() + ": " + e.what();
+    }
+  };
+}
+
+}  // namespace hltg

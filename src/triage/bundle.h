@@ -1,0 +1,41 @@
+// Quarantine bundles: one self-contained diagnostic directory per triage
+// incident, written in error-index order by the campaign's aggregation
+// thread (deterministic numbering for any --jobs value):
+//
+//   <dir>/incident_0000_err12/
+//     witness.txt     the testcase that failed the cross-check (testcase_io)
+//     minimized.txt   its ddmin shrink (only with --minimize)
+//     divergence.txt  oracle verdict + first-divergence report (diff_debug)
+//     trace.vcd       implementation waveform of the witness under injection
+//     stats.json      flat JSON: error identity, verdict, effort counters
+//     repro.txt       the error_campaign --replay command reproducing the
+//                     mismatch from the shipped files
+//
+// The bundle must stand alone: a verification engineer picks up the
+// directory days later, runs the repro line, and sees the same verdict.
+#pragma once
+
+#include <string>
+
+#include "dlx/dlx.h"
+#include "errors/campaign.h"
+
+namespace hltg {
+
+struct BundleOptions {
+  std::string dir;  ///< quarantine root; created on first incident
+  /// Campaign-identifying flags reproduced verbatim in repro.txt (e.g.
+  /// "--model ssl --stages EX,MEM,WB"), so --replay re-enumerates the same
+  /// error population and --replay-error N lands on the same error.
+  std::string repro_flags;
+};
+
+/// Deterministic bundle directory name for one incident.
+std::string bundle_dir_name(std::size_t incident, std::size_t error_index);
+
+/// Build the campaign's TriageBundleFn. Returns the written bundle path as
+/// the incident note, or an error diagnostic (the campaign records either;
+/// a failed bundle write never aborts the sweep).
+TriageBundleFn make_bundle_writer(const DlxModel& m, BundleOptions opt);
+
+}  // namespace hltg

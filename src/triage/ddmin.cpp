@@ -1,0 +1,150 @@
+#include "triage/ddmin.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace hltg {
+
+std::string DdminStats::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "ddmin: %u -> %u instrs, -%u data words, %llu probes",
+                orig_instrs, min_instrs, data_removed,
+                static_cast<unsigned long long>(probes));
+  std::string s = buf;
+  if (!property_held) s += " (property did not hold; input returned)";
+  if (abort != AbortReason::kNone)
+    s += " (budget: " + std::string(to_string(abort)) + ")";
+  return s;
+}
+
+namespace {
+
+/// One probe: charge the budget, then evaluate the property. A fired
+/// budget ends the pass without evaluating (the candidate is treated as
+/// failing, so the best-so-far reduction survives).
+class Prober {
+ public:
+  Prober(const TestPredicate& property, Budget& budget, DdminStats* stats)
+      : property_(property), budget_(budget), stats_(stats) {}
+
+  bool exhausted() {
+    if (stats_->abort != AbortReason::kNone) return true;
+    const AbortReason why = budget_.exhausted();
+    if (why != AbortReason::kNone) stats_->abort = why;
+    return stats_->abort != AbortReason::kNone;
+  }
+
+  bool holds(const TestCase& tc) {
+    if (exhausted()) return false;
+    budget_.charge_decisions(1);
+    ++stats_->probes;
+    return property_(tc);
+  }
+
+ private:
+  const TestPredicate& property_;
+  Budget& budget_;
+  DdminStats* stats_;
+};
+
+TestCase with_imem(const TestCase& base, std::vector<std::uint32_t> imem) {
+  TestCase tc = base;
+  tc.imem = std::move(imem);
+  return tc;
+}
+
+/// Classic ddmin over the instruction vector: alternate trying each chunk
+/// alone ("reduce to subset") and each chunk's complement ("reduce to
+/// complement") at doubling granularity until single-instruction removal
+/// fails everywhere.
+void ddmin_imem(TestCase* tc, Prober* probe) {
+  std::vector<std::uint32_t> cur = tc->imem;
+  std::size_t n = 2;
+  while (cur.size() >= 1 && !probe->exhausted()) {
+    n = std::min(n, cur.size());
+    const std::size_t chunk = (cur.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t b = 0; b < cur.size() && !reduced; b += chunk) {
+      const std::size_t e = std::min(b + chunk, cur.size());
+      // Subset: does the chunk alone still exhibit the property?
+      std::vector<std::uint32_t> subset(cur.begin() + b, cur.begin() + e);
+      if (subset.size() < cur.size() &&
+          probe->holds(with_imem(*tc, subset))) {
+        cur = std::move(subset);
+        n = 2;
+        reduced = true;
+        break;
+      }
+      // Complement: does removing the chunk keep the property?
+      std::vector<std::uint32_t> rest(cur.begin(), cur.begin() + b);
+      rest.insert(rest.end(), cur.begin() + e, cur.end());
+      if (rest.size() < cur.size() && probe->holds(with_imem(*tc, rest))) {
+        cur = std::move(rest);
+        n = n > 2 ? n - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    if (n >= cur.size()) break;  // single-element granularity exhausted
+    n = std::min(2 * n, cur.size());
+  }
+  tc->imem = std::move(cur);
+}
+
+/// Data shrink: zero initial registers and drop initial memory words that
+/// the property does not need. One pass each (idempotent: a kept entry
+/// failed its removal probe and will fail it again).
+unsigned shrink_data(TestCase* tc, Prober* probe) {
+  unsigned removed = 0;
+  for (unsigned r = 1; r < 32 && !probe->exhausted(); ++r) {
+    if (tc->rf_init[r] == 0) continue;
+    TestCase cand = *tc;
+    cand.rf_init[r] = 0;
+    if (probe->holds(cand)) {
+      tc->rf_init[r] = 0;
+      ++removed;
+    }
+  }
+  std::vector<std::uint32_t> addrs;
+  addrs.reserve(tc->dmem_init.size());
+  for (const auto& [a, v] : tc->dmem_init) addrs.push_back(a);
+  for (std::uint32_t a : addrs) {
+    if (probe->exhausted()) break;
+    TestCase cand = *tc;
+    cand.dmem_init.erase(a);
+    if (probe->holds(cand)) {
+      tc->dmem_init.erase(a);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+DdminResult ddmin_test(const TestCase& orig, const TestPredicate& property,
+                       Budget& budget) {
+  DdminResult res;
+  res.test = orig;
+  res.stats.orig_instrs = static_cast<unsigned>(orig.imem.size());
+  res.stats.min_instrs = res.stats.orig_instrs;
+  Prober probe(property, budget, &res.stats);
+  if (!probe.holds(orig)) {
+    res.stats.property_held = false;
+    // A budget firing on the very first probe is indistinguishable from a
+    // failing property; the abort reason disambiguates for the caller.
+    res.stats.property_held = res.stats.abort != AbortReason::kNone
+                                  ? res.stats.property_held
+                                  : false;
+    return res;
+  }
+  ddmin_imem(&res.test, &probe);
+  res.stats.min_instrs = static_cast<unsigned>(res.test.imem.size());
+  res.stats.data_removed = shrink_data(&res.test, &probe);
+  return res;
+}
+
+}  // namespace hltg

@@ -1,0 +1,52 @@
+// Witness minimization by delta debugging (Zeller's ddmin) over a
+// TestCase: shrink the instruction sequence, then the initial register-file
+// and data-memory words, while a caller-supplied property keeps holding.
+//
+// The property is the incident's oracle-relevant invariant - for a
+// confirmed detecting witness "the oracle still detects", for a
+// quarantined claim-mismatch witness "the oracle still finds no
+// divergence" - so the minimized testcase reproduces the incident with the
+// printed repro command. Minimization is idempotent: running ddmin on an
+// already-minimal case performs only failing probes and returns it
+// unchanged.
+//
+// Every candidate probe charges one decision against the supplied Budget
+// (src/util/budget.h), so a deadline, decision cap, or cancellation bounds
+// the pass; the best reduction found so far is returned with the abort
+// reason recorded.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "isa/spec_sim.h"
+#include "util/budget.h"
+
+namespace hltg {
+
+/// Does the (shrunk) candidate still exhibit the property under test?
+using TestPredicate = std::function<bool(const TestCase&)>;
+
+struct DdminStats {
+  std::uint64_t probes = 0;      ///< property evaluations
+  unsigned orig_instrs = 0;      ///< imem words before minimization
+  unsigned min_instrs = 0;       ///< imem words after
+  unsigned data_removed = 0;     ///< rf entries zeroed + dmem words dropped
+  AbortReason abort = AbortReason::kNone;  ///< budget cut the pass short
+  bool property_held = true;     ///< property held on the input at all
+
+  std::string summary() const;  ///< e.g. "ddmin: 28 -> 3 instrs, 41 probes"
+};
+
+struct DdminResult {
+  TestCase test;
+  DdminStats stats;
+};
+
+/// Minimize `orig` under `property`. Precondition: property(orig) should
+/// hold; if it does not, `orig` is returned unchanged with
+/// stats.property_held = false (a minimizer must never *invent* a witness).
+DdminResult ddmin_test(const TestCase& orig, const TestPredicate& property,
+                       Budget& budget);
+
+}  // namespace hltg

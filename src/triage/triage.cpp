@@ -1,0 +1,54 @@
+#include "triage/triage.h"
+
+#include <utility>
+
+#include "sim/cosim.h"
+#include "triage/ddmin.h"
+#include "triage/witness_check.h"
+
+namespace hltg {
+
+TriageConfig make_triage(const DlxModel& m, const TriageOptions& opt) {
+  TriageConfig tri;
+  tri.verify = opt.verify;
+  tri.minimize = opt.minimize;
+  if (!opt.verify) return tri;
+
+  tri.oracle = scalar_oracle(m);
+
+  if (opt.minimize) {
+    const BudgetSpec spec = opt.minimize_budget;
+    tri.minimizer = [&m, spec](const TestCase& tc, const DesignError& err,
+                               bool expect_detected, std::string* note) {
+      const ErrorInjection inj = err.injection();
+      TestPredicate property = [&m, inj, expect_detected](const TestCase& c) {
+        return detects(m, c, inj) == expect_detected;
+      };
+      Budget budget = spec.arm();
+      DdminResult r = ddmin_test(tc, property, budget);
+      if (note) *note = r.stats.summary();
+      return std::move(r.test);
+    };
+  }
+
+  if (opt.cross_retry) {
+    const TgConfig cfg = opt.cross_config;
+    tri.cross_gen = [&m, cfg](const DesignError& err, Budget& b) {
+      // A fresh generator per call: campaign workers may retry
+      // concurrently, and per-error solver state must not leak between
+      // rows (same isolation rule as the per-worker generator instances).
+      TestGenerator tg(m, cfg);
+      return tg.budgeted_strategy()(err, b);
+    };
+  }
+
+  if (!opt.quarantine_dir.empty()) {
+    BundleOptions bopt;
+    bopt.dir = opt.quarantine_dir;
+    bopt.repro_flags = opt.repro_flags;
+    tri.bundle = make_bundle_writer(m, std::move(bopt));
+  }
+  return tri;
+}
+
+}  // namespace hltg

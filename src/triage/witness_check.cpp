@@ -1,0 +1,43 @@
+#include "triage/witness_check.h"
+
+#include <exception>
+
+#include "sim/cosim.h"
+
+namespace hltg {
+
+DetectFn scalar_oracle(const DlxModel& m) {
+  return [&m](const TestCase& tc, const DesignError& err) {
+    return detects(m, tc, err.injection());
+  };
+}
+
+WitnessCheck check_witness(const DlxModel& m, const TestCase& tc,
+                           const DesignError& err, bool claimed_detected) {
+  WitnessCheck out;
+  bool oracle_detected = false;
+  try {
+    oracle_detected = detects(m, tc, err.injection());
+  } catch (const std::exception& e) {
+    out.verdict = WitnessVerdict::kOracleError;
+    out.note = std::string("oracle threw: ") + e.what();
+    return out;
+  } catch (...) {
+    out.verdict = WitnessVerdict::kOracleError;
+    out.note = "oracle threw a non-std exception";
+    return out;
+  }
+  if (oracle_detected == claimed_detected) {
+    out.verdict = WitnessVerdict::kConfirmed;
+    out.note = oracle_detected ? "oracle reproduced the divergence"
+                               : "oracle agrees: no divergence";
+  } else {
+    out.verdict = WitnessVerdict::kClaimMismatch;
+    out.note = claimed_detected
+                   ? "claimed detected, but oracle found no divergence"
+                   : "claimed undetected, but oracle found a divergence";
+  }
+  return out;
+}
+
+}  // namespace hltg

@@ -1,0 +1,35 @@
+// Independent witness cross-check: the self-checking campaign's second
+// opinion on every detection claim. The campaign's generator path confirms
+// tests through its own dual-simulation call; this module re-runs the
+// claim through a freshly-constructed scalar cosimulation (sim/cosim) so a
+// bookkeeping bug anywhere in the generator/batch pipeline - a stale
+// injection, a test/error index swap, a batch-simulator lane mix-up -
+// surfaces as a classified divergence instead of silently inflating the
+// Table-1 detection count.
+#pragma once
+
+#include <string>
+
+#include "dlx/dlx.h"
+#include "errors/campaign.h"
+
+namespace hltg {
+
+/// The independent scalar oracle as a campaign DetectFn: one cosim run of
+/// spec vs injected implementation over drain_cycles(|test|). Thread-safe
+/// (the model is shared read-only; all simulation state is per-call).
+DetectFn scalar_oracle(const DlxModel& m);
+
+struct WitnessCheck {
+  WitnessVerdict verdict = WitnessVerdict::kUnchecked;
+  std::string note;  ///< human-readable classification detail
+};
+
+/// Classify one claim: `claimed_detected` is what the campaign recorded,
+/// the oracle's verdict decides. Agreement => kConfirmed, disagreement =>
+/// kClaimMismatch, an oracle throw => kOracleError. Used by the campaign
+/// wiring, the --replay repro mode, and the triage tests.
+WitnessCheck check_witness(const DlxModel& m, const TestCase& tc,
+                           const DesignError& err, bool claimed_detected);
+
+}  // namespace hltg

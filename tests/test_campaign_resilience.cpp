@@ -239,6 +239,40 @@ TEST(FaultPlan, RealFallbackGeneratorRescuesBudgetAbort) {
     }
 }
 
+TEST(FaultPlan, CancelTokenReachesFallbackBudget) {
+  // The cancel token is usually wired only into the primary BudgetSpec;
+  // the fallback runs under its own recipe, which must inherit the token -
+  // a Ctrl-C during a fallback sweep has to abort promptly.
+  CancelToken tok;
+  CampaignConfig cfg;
+  cfg.budget.cancel = &tok;  // note: NOT set on cfg.fallback_budget
+  BudgetedGenFn primary = [&tok](const DesignError&, Budget&) {
+    tok.request_stop();     // stop lands mid-attempt, before the fallback
+    return ErrorAttempt{};  // plain give-up (abort kNone): fallback is tried
+  };
+  AbortReason seen_by_fallback = AbortReason::kNone;
+  cfg.fallback = [&seen_by_fallback](const DesignError&, Budget& b) {
+    seen_by_fallback = b.exhausted();
+    ErrorAttempt a;
+    a.abort = seen_by_fallback;
+    return a;
+  };
+  const std::vector<DesignError> one = {ssl("ex.alu_add", 0, false)};
+  run_campaign(model().dp, one, primary, cfg);
+  EXPECT_EQ(seen_by_fallback, AbortReason::kCancelled);
+
+  // And through the real biased-random fallback: a huge program budget
+  // must be cut off immediately with the structured reason in the note.
+  tok.reset();
+  RandomTgConfig rcfg;
+  rcfg.max_programs_per_error = 1000000;
+  cfg.fallback = random_budgeted_strategy(model(), rcfg);
+  const CampaignResult res = run_campaign(model().dp, one, primary, cfg);
+  EXPECT_FALSE(res.rows[0].attempt.detected());
+  EXPECT_NE(res.rows[0].attempt.note.find("budget: cancelled"),
+            std::string::npos);
+}
+
 // -------------------------------------------------------------- journal
 
 TEST(Journal, RowRoundTripsAttempt) {
