@@ -1,17 +1,24 @@
-// Solver-subsystem benchmark: the Table-1 bus-SSL error set generated with
-// the shared deduction subsystem (implication engine + learned nogoods +
-// justification cache, docs/SOLVER.md) against the legacy pure-PODEM
-// CTRLJUST, emitted as a machine-readable JSON report (BENCH_tg.json) so CI
-// can archive the numbers run over run.
+// Solver-subsystem benchmark: the Table-1 bus-SSL error set generated under
+// four configurations, emitted as a machine-readable JSON report
+// (BENCH_tg.json) so CI can archive the numbers run over run and guard the
+// hot-path counters against regressions (tools/check_bench.py).
+//
+//   engine_off     legacy pure-PODEM CTRLJUST, no DPTRACE reuse
+//   no_reuse       engine on, but DPTRACE memo / nogood watches / DPRELAX
+//                  memo all off - the hot paths before the reuse overhaul
+//   engine_on      full defaults (per-error solver scope)
+//   campaign_scope engine on with campaign-lifetime deduction reuse
 //
 //   $ ./bench_solver [--quick] [--out BENCH_tg.json]
 //
-// Per configuration the report carries per-error wall-time p50/p95,
-// decision/backtrack/implication totals, and the justification-cache hit
-// rate; the headline comparison is the (decisions + backtracks) reduction
-// with the engine on. The benchmark also asserts that the two
-// configurations detect the *same* errors - the solver is a pure search
-// accelerator, never a behaviour change - and exits nonzero on divergence.
+// Per configuration the report carries per-error wall-time p50/p95, the
+// decision/backtrack/implication totals, DPTRACE expansion counts, nogood
+// literal-probe counts and the cache hit rates. Headlines: the
+// (decisions + backtracks) reduction engine-on vs engine-off, the DPTRACE
+// expansion reduction and the nogood-probe reduction reuse-on vs reuse-off.
+// The benchmark also asserts that every configuration detects the *same*
+// errors - the solver and the reuse layers are pure search accelerators,
+// never a behaviour change - and exits nonzero on divergence.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,8 +43,14 @@ struct RunStats {
   std::uint64_t implications = 0;
   std::uint64_t learned = 0;
   std::uint64_t nogood_hits = 0;
+  std::uint64_t nogood_comparisons = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_lookups = 0;
+  std::uint64_t dptrace_expansions = 0;
+  std::uint64_t dptrace_searches = 0;
+  std::uint64_t dptrace_reused = 0;
+  std::uint64_t relax_hits = 0;
+  std::uint64_t relax_lookups = 0;
   double total_seconds = 0;
 
   double percentile(double p) const {
@@ -53,9 +66,7 @@ struct RunStats {
 };
 
 RunStats run(const DlxModel& m, const std::vector<DesignError>& errors,
-             bool engine) {
-  TgConfig cfg;
-  cfg.solver.enable = engine;
+             const TgConfig& cfg) {
   TestGenerator tg(m, cfg);
   RunStats out;
   for (const DesignError& err : errors) {
@@ -73,30 +84,48 @@ RunStats run(const DlxModel& m, const std::vector<DesignError>& errors,
     out.implications += r.stats.implications;
     out.learned += r.stats.learned;
     out.nogood_hits += r.stats.nogood_hits;
+    out.nogood_comparisons += r.stats.nogood_comparisons;
     out.cache_hits += r.stats.cache_hits;
     out.cache_lookups += r.stats.cache_lookups;
+    out.dptrace_expansions += r.stats.dptrace_expansions;
+    out.dptrace_searches += r.stats.dptrace_searches;
+    out.dptrace_reused += r.stats.dptrace_reused;
+    out.relax_hits += r.stats.relax_hits;
+    out.relax_lookups += r.stats.relax_lookups;
   }
   return out;
 }
 
 void emit(std::FILE* f, const char* name, const RunStats& r) {
-  std::fprintf(f,
-               "  \"%s\": {\"seconds\": %.4f, \"per_error_p50\": %.6f, "
-               "\"per_error_p95\": %.6f, \"detected\": %zu, "
-               "\"decisions\": %llu, \"backtracks\": %llu, "
-               "\"implications\": %llu, \"learned\": %llu, "
-               "\"nogood_hits\": %llu, \"cache_hits\": %llu, "
-               "\"cache_lookups\": %llu, \"cache_hit_rate\": %.4f}",
-               name, r.total_seconds, r.percentile(0.50), r.percentile(0.95),
-               r.detected_count,
-               static_cast<unsigned long long>(r.decisions),
-               static_cast<unsigned long long>(r.backtracks),
-               static_cast<unsigned long long>(r.implications),
-               static_cast<unsigned long long>(r.learned),
-               static_cast<unsigned long long>(r.nogood_hits),
-               static_cast<unsigned long long>(r.cache_hits),
-               static_cast<unsigned long long>(r.cache_lookups),
-               r.cache_hit_rate());
+  std::fprintf(
+      f,
+      "  \"%s\": {\"seconds\": %.4f, \"per_error_p50\": %.6f, "
+      "\"per_error_p95\": %.6f, \"detected\": %zu, "
+      "\"decisions\": %llu, \"backtracks\": %llu, "
+      "\"implications\": %llu, \"learned\": %llu, "
+      "\"nogood_hits\": %llu, \"nogood_comparisons\": %llu, "
+      "\"cache_hits\": %llu, \"cache_lookups\": %llu, "
+      "\"cache_hit_rate\": %.4f, \"dptrace_expansions\": %llu, "
+      "\"dptrace_searches\": %llu, \"dptrace_reused\": %llu, "
+      "\"relax_hits\": %llu, \"relax_lookups\": %llu}",
+      name, r.total_seconds, r.percentile(0.50), r.percentile(0.95),
+      r.detected_count, static_cast<unsigned long long>(r.decisions),
+      static_cast<unsigned long long>(r.backtracks),
+      static_cast<unsigned long long>(r.implications),
+      static_cast<unsigned long long>(r.learned),
+      static_cast<unsigned long long>(r.nogood_hits),
+      static_cast<unsigned long long>(r.nogood_comparisons),
+      static_cast<unsigned long long>(r.cache_hits),
+      static_cast<unsigned long long>(r.cache_lookups), r.cache_hit_rate(),
+      static_cast<unsigned long long>(r.dptrace_expansions),
+      static_cast<unsigned long long>(r.dptrace_searches),
+      static_cast<unsigned long long>(r.dptrace_reused),
+      static_cast<unsigned long long>(r.relax_hits),
+      static_cast<unsigned long long>(r.relax_lookups));
+}
+
+double ratio(std::uint64_t base, std::uint64_t opt) {
+  return opt > 0 ? static_cast<double>(base) / static_cast<double>(opt) : 0;
 }
 
 }  // namespace
@@ -120,17 +149,33 @@ int main(int argc, char** argv) {
   if (quick && errors.size() > 64) errors.resize(64);
   std::printf("bench_solver: %zu Table-1 SSL errors\n", errors.size());
 
-  const RunStats off = run(m, errors, /*engine=*/false);
-  std::printf("engine off: %.2fs, %zu detected, %llu decisions, "
-              "%llu backtracks\n",
+  TgConfig off_cfg;
+  off_cfg.solver.enable = false;
+  off_cfg.trace.reuse = false;
+  const RunStats off = run(m, errors, off_cfg);
+  std::printf("engine off    : %.2fs, %zu detected, %llu decisions, "
+              "%llu backtracks, %llu expansions\n",
               off.total_seconds, off.detected_count,
               static_cast<unsigned long long>(off.decisions),
-              static_cast<unsigned long long>(off.backtracks));
+              static_cast<unsigned long long>(off.backtracks),
+              static_cast<unsigned long long>(off.dptrace_expansions));
 
-  const RunStats on = run(m, errors, /*engine=*/true);
-  std::printf("engine on : %.2fs, %zu detected, %llu decisions, "
+  TgConfig noreuse_cfg;
+  noreuse_cfg.trace.reuse = false;
+  noreuse_cfg.solver.use_nogood_watches = false;
+  noreuse_cfg.solver.use_relax_cache = false;
+  const RunStats noreuse = run(m, errors, noreuse_cfg);
+  std::printf("no reuse      : %.2fs, %zu detected, %llu expansions, "
+              "%llu nogood probes\n",
+              noreuse.total_seconds, noreuse.detected_count,
+              static_cast<unsigned long long>(noreuse.dptrace_expansions),
+              static_cast<unsigned long long>(noreuse.nogood_comparisons));
+
+  const RunStats on = run(m, errors, TgConfig{});
+  std::printf("engine on     : %.2fs, %zu detected, %llu decisions, "
               "%llu backtracks, %llu forced, %llu nogoods (%llu fired), "
-              "cache %.0f%% of %llu lookups\n",
+              "cache %.0f%% of %llu lookups, %llu expansions "
+              "(%llu/%llu searches reused), %llu nogood probes\n",
               on.total_seconds, on.detected_count,
               static_cast<unsigned long long>(on.decisions),
               static_cast<unsigned long long>(on.backtracks),
@@ -138,18 +183,49 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(on.learned),
               static_cast<unsigned long long>(on.nogood_hits),
               100.0 * on.cache_hit_rate(),
-              static_cast<unsigned long long>(on.cache_lookups));
+              static_cast<unsigned long long>(on.cache_lookups),
+              static_cast<unsigned long long>(on.dptrace_expansions),
+              static_cast<unsigned long long>(on.dptrace_reused),
+              static_cast<unsigned long long>(on.dptrace_searches +
+                                              on.dptrace_reused),
+              static_cast<unsigned long long>(on.nogood_comparisons));
 
-  const double effort_off = static_cast<double>(off.decisions + off.backtracks);
-  const double effort_on = static_cast<double>(on.decisions + on.backtracks);
-  const double reduction = effort_on > 0 ? effort_off / effort_on : 0;
-  std::printf("search effort (decisions + backtracks): %.0f -> %.0f "
+  TgConfig campaign_cfg;
+  campaign_cfg.solver.scope = SolverScope::kCampaign;
+  const RunStats campaign = run(m, errors, campaign_cfg);
+  std::printf("campaign scope: %.2fs, %zu detected, cache %.0f%% of %llu "
+              "lookups, %llu relax replays of %llu\n",
+              campaign.total_seconds, campaign.detected_count,
+              100.0 * campaign.cache_hit_rate(),
+              static_cast<unsigned long long>(campaign.cache_lookups),
+              static_cast<unsigned long long>(campaign.relax_hits),
+              static_cast<unsigned long long>(campaign.relax_lookups));
+
+  const double effort_reduction =
+      ratio(off.decisions + off.backtracks, on.decisions + on.backtracks);
+  const double expansion_reduction =
+      ratio(noreuse.dptrace_expansions, on.dptrace_expansions);
+  const double probe_reduction =
+      ratio(noreuse.nogood_comparisons, on.nogood_comparisons);
+  std::printf("search effort (decisions + backtracks): %llu -> %llu "
               "(%.2fx reduction)\n",
-              effort_off, effort_on, reduction);
+              static_cast<unsigned long long>(off.decisions + off.backtracks),
+              static_cast<unsigned long long>(on.decisions + on.backtracks),
+              effort_reduction);
+  std::printf("DPTRACE expansions: %llu -> %llu (%.2fx reduction)\n",
+              static_cast<unsigned long long>(noreuse.dptrace_expansions),
+              static_cast<unsigned long long>(on.dptrace_expansions),
+              expansion_reduction);
+  std::printf("nogood literal probes: %llu -> %llu (%.2fx reduction)\n",
+              static_cast<unsigned long long>(noreuse.nogood_comparisons),
+              static_cast<unsigned long long>(on.nogood_comparisons),
+              probe_reduction);
 
-  bool outcomes_identical = off.detected == on.detected;
+  const bool outcomes_identical = off.detected == on.detected &&
+                                  off.detected == noreuse.detected &&
+                                  off.detected == campaign.detected;
   if (!outcomes_identical)
-    std::printf("ERROR: detection outcomes diverged between engine on/off\n");
+    std::printf("ERROR: detection outcomes diverged between configurations\n");
 
   std::FILE* f = std::fopen(out_path.c_str(), "wb");
   if (!f) {
@@ -164,13 +240,20 @@ int main(int argc, char** argv) {
                quick ? "true" : "false", errors.size());
   emit(f, "engine_off", off);
   std::fprintf(f, ",\n");
+  emit(f, "no_reuse", noreuse);
+  std::fprintf(f, ",\n");
   emit(f, "engine_on", on);
+  std::fprintf(f, ",\n");
+  emit(f, "campaign_scope", campaign);
   std::fprintf(f,
                ",\n"
                "  \"effort_reduction\": %.3f,\n"
+               "  \"expansion_reduction\": %.3f,\n"
+               "  \"probe_reduction\": %.3f,\n"
                "  \"outcomes_identical\": %s\n"
                "}\n",
-               reduction, outcomes_identical ? "true" : "false");
+               effort_reduction, expansion_reduction, probe_reduction,
+               outcomes_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return outcomes_identical ? 0 : 2;

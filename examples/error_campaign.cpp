@@ -7,6 +7,7 @@
 //                      [--max-decisions N] [--fallback [tries]]
 //                      [--journal file.jsonl] [--resume]
 //                      [--jobs N] [--drop] [--solver on|off]
+//                      [--solver-scope error|campaign]
 //                      [--verify-witness] [--minimize] [--quarantine-dir D]
 //   $ ./error_campaign [--stages ...] [--model ...] --replay test.txt
 //                      --replay-error N --expect detected|undetected
@@ -39,6 +40,14 @@
 // (docs/SOLVER.md): no implication engine, nogood learning or justification
 // cache. Detection outcomes are identical either way; only the effort
 // counters differ.
+//
+// --solver-scope campaign keeps the learned nogoods, justification cache
+// and DPRELAX memo alive across the whole error population instead of
+// resetting them per error (docs/SOLVER.md has the determinism argument:
+// outcomes, witnesses and emitted tests stay identical to error scope;
+// effort counters drop - that is the reuse). Single-worker only - it is
+// rejected with --jobs > 1, where "which errors came before" would depend
+// on thread scheduling.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -132,6 +141,7 @@ int main(int argc, char** argv) {
   unsigned jobs = 1;
   bool use_drop = false;
   bool use_solver = true;
+  SolverScope scope = SolverScope::kError;
   bool verify_witness = false;
   bool minimize = false;
   std::string quarantine_dir;
@@ -179,6 +189,19 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    else if (!std::strcmp(argv[i], "--solver-scope") && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "error")
+        scope = SolverScope::kError;
+      else if (v == "campaign")
+        scope = SolverScope::kCampaign;
+      else {
+        std::fprintf(stderr,
+                     "--solver-scope takes 'error' or 'campaign', not '%s'\n",
+                     v.c_str());
+        return 1;
+      }
+    }
     else if (!std::strcmp(argv[i], "--verify-witness"))
       verify_witness = true;
     else if (!std::strcmp(argv[i], "--minimize"))
@@ -209,6 +232,11 @@ int main(int argc, char** argv) {
   }
   if (use_drop && jobs > 1) {
     std::fprintf(stderr, "--drop and --jobs are mutually exclusive\n");
+    return 1;
+  }
+  if (scope == SolverScope::kCampaign && jobs > 1) {
+    std::fprintf(stderr, "--solver-scope campaign requires --jobs 1 "
+                 "(cross-error reuse is per worker)\n");
     return 1;
   }
   if (!replay_path.empty() &&
@@ -256,6 +284,7 @@ int main(int argc, char** argv) {
 
   TgConfig tgcfg;
   tgcfg.solver.enable = use_solver;
+  tgcfg.solver.scope = scope;
   if (verify_witness) {
     TriageOptions topt;
     topt.verify = true;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "solver/justcache.h"
+#include "solver/nogood_watch.h"
 
 namespace hltg {
 
@@ -267,6 +268,9 @@ bool CtrlJust::apply_nogoods(CtrlJustResult& res) {
   if (!ctx_ || !ctx_->cfg.use_nogoods) return true;
   ImplicationEngine& eng = *engine_;
   NogoodStore& store = ctx_->nogoods;
+  if (watcher_)
+    return watcher_->propagate(store, &res.stats.nogood_hits,
+                               &res.stats.nogood_comparisons);
   bool changed = true;
   while (changed) {
     changed = false;
@@ -283,6 +287,7 @@ bool CtrlJust::apply_nogoods(CtrlJustResult& res) {
           applicable = false;
           break;
         }
+        ++res.stats.nogood_comparisons;
         const L3 v = eng.value(l.gate, l.cycle);
         if (v == L3::X) {
           if (open >= 0) applicable = false;  // two free lits: inert
@@ -316,7 +321,14 @@ bool CtrlJust::apply_nogoods(CtrlJustResult& res) {
 
 void CtrlJust::learn_conflict(CtrlJustResult& res) {
   if (!ctx_ || !ctx_->cfg.use_nogoods || !engine_->in_conflict()) return;
-  if (ctx_->nogoods.learn(engine_->conflict_cut())) ++res.stats.learned;
+  if (ctx_->nogoods.learn(engine_->conflict_cut())) {
+    ++res.stats.learned;
+    if (watcher_) {
+      NogoodStore& store = ctx_->nogoods;
+      const std::size_t slot = store.last_index();
+      watcher_->add(store.lits(slot), slot, store.id(slot));
+    }
+  }
 }
 
 // Engine-assisted search: the decision sequence is driven by the exact
@@ -340,6 +352,12 @@ CtrlJustResult CtrlJust::solve_engine(
   if (!engine_) engine_ = std::make_unique<ImplicationEngine>(gn_, cycles_);
   ImplicationEngine& eng = *engine_;
   eng.reset();
+  if (ctx_ && ctx_->cfg.use_nogoods && ctx_->cfg.use_nogood_watches) {
+    if (!watcher_) watcher_ = std::make_unique<NogoodWatcher>(eng);
+    watcher_->rebuild(ctx_->nogoods);
+  } else {
+    watcher_.reset();
+  }
   win_.clear();
   std::vector<Decision> stack;
 
@@ -420,6 +438,7 @@ CtrlJustResult CtrlJust::solve_engine(
             res.trace.push_back(
                 {SearchEvent::kFlip, d.gate, d.cycle, d.value});
           eng.pop_to(static_cast<unsigned>(stack.size()) - 1);
+          if (watcher_) watcher_->on_pop(eng.trail().size());
           eng.push_level();
           conflict = !shadow(d.gate, d.cycle, d.value, true);
           resumed = true;
@@ -428,6 +447,7 @@ CtrlJustResult CtrlJust::solve_engine(
         if (cfg_.record_trace)
           res.trace.push_back({SearchEvent::kPop, d.gate, d.cycle, d.value});
         eng.pop_to(static_cast<unsigned>(stack.size()) - 1);
+        if (watcher_) watcher_->on_pop(eng.trail().size());
         stack.pop_back();
       }
       if (!resumed) {

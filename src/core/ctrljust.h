@@ -31,6 +31,8 @@
 
 namespace hltg {
 
+class NogoodWatcher;
+
 /// One entry of the recorded search trace.
 struct SearchEvent {
   enum Kind : std::uint8_t { kDecide, kFlip, kPop } kind;
@@ -45,6 +47,9 @@ struct CtrlJustStats {
   std::uint64_t implications = 0;
   std::uint64_t learned = 0;      ///< nogoods recorded from conflict cuts
   std::uint64_t nogood_hits = 0;  ///< learned nogoods that pruned or forced
+  /// Literal probes spent applying learned nogoods - the cost the watch
+  /// scheme attacks (the legacy rescan probes store x lits per round).
+  std::uint64_t nogood_comparisons = 0;
   std::uint64_t cache_hits = 0;     ///< solves answered from the cache
   std::uint64_t cache_lookups = 0;  ///< cache probes (hits + misses)
 };
@@ -130,6 +135,9 @@ class CtrlJust {
   CtrlJustConfig cfg_;
   SolverContext* ctx_ = nullptr;
   std::unique_ptr<ImplicationEngine> engine_;  ///< lazy; engine back end only
+  /// Watch-based nogood applier (lazy; engine back end with a context whose
+  /// config enables use_nogood_watches). Rebuilt at the top of every solve.
+  std::unique_ptr<NogoodWatcher> watcher_;
 };
 
 }  // namespace hltg

@@ -1,7 +1,7 @@
 #include "core/dptrace.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "util/word.h"
 
@@ -323,68 +323,128 @@ unsigned DpTrace::earliest_cycle(NetId n) const {
   }
 }
 
+const DpTrace::SearchMemo* DpTrace::find_memo(NetId site,
+                                              unsigned depth) const {
+  const auto it = search_memo_.find(site);
+  if (it == search_memo_.end()) return nullptr;
+  for (const SearchMemo& m : it->second) {
+    if (m.depth_run == depth) return &m;
+    // Bound-inert entry: the expansion never attempted an offset at its
+    // limit, so it equals the unbounded search and covers any deeper bound.
+    if (m.max_t2 < m.depth_run && m.max_t2 < depth) return &m;
+  }
+  return nullptr;
+}
+
 std::vector<PathPlan> DpTrace::plans(
     NetId site, const std::vector<RelaxConstraint>& activation,
-    Budget* budget) const {
+    Budget* budget, DpTraceStats* stats) const {
   std::vector<PathPlan> out;
   if (!observable_[site]) return out;
 
-  // Best-first search over (net, cycle) nodes, one search per activation
-  // cycle, cheapest activation cycles first.
+  // Best-first search over (net, offset) nodes in activation-relative
+  // "offset" space (offset = cycle - t_act). Every edge annotation is
+  // cycle-relative, so one activation cycle's search depends only on its
+  // depth limit D = window - t_act; reconstruction adds t_act back.
+  //
+  // Search reuse (cfg_.reuse): every recorded expansion lives in the
+  // per-site memo for the tracer's lifetime, so reuse fires both *within*
+  // one call - the t_act loop runs depth limits window-t_min,
+  // window-t_min-1, ... and a bound-inert expansion (max_t2 < D) replays
+  // for every later activation cycle - and *across* calls: errors sharing
+  // the site (every stuck bit of one bus) and the window retry replay the
+  // exact recorded tree instead of re-expanding. A memoized tree - pop
+  // order, found list and all - is byte-for-byte what a fresh search would
+  // rebuild, shifted by t_act, because the search is a pure function of
+  // (site, depth limit). (A naive "filter deeper nodes out of the memo"
+  // would NOT be equivalent: dropping nodes changes queue insertion
+  // indices, which break ties among equal-cost entries.)
+  //
+  // The queue/visited containers are hoisted out of the t_act loop and the
+  // per-search visited set is a single flat epoch-stamped array, so a
+  // re-expansion costs no reallocation either.
+  const std::size_t num_nets = m_.dp.num_nets();
+  // Min-heap on (cost, node index); ties cannot happen (indices unique), so
+  // the pop order equals the former std::priority_queue exactly.
+  std::vector<std::pair<unsigned, int>> heap;
+  heap.reserve(256);
+  std::vector<std::uint32_t> seen_epoch(
+      static_cast<std::size_t>(cfg_.window) * num_nets, 0);
+  std::vector<std::uint32_t> sink_epoch(m_.dp.num_modules(), 0);
+  std::uint32_t epoch = 0;
+
+  // `found` collects several alternative observation routes per activation
+  // cycle, preferring *distinct* observation modules (different sinks catch
+  // differences the cheapest one may structurally lose).
+  auto run_search = [&](SearchMemo& mem, unsigned depth_limit) {
+    ++epoch;
+    mem.nodes.clear();
+    mem.found.clear();
+    mem.depth_run = depth_limit;
+    mem.max_t2 = 0;
+    if (stats) ++stats->searches_run;
+    mem.nodes.push_back({site, 0, 0, -1, -1});
+    heap.clear();
+    heap.emplace_back(0u, 0);
+    seen_epoch[site] = epoch;  // offset 0
+    while (!heap.empty() && mem.found.size() < cfg_.plans_per_activation) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const auto [cost, ni] = heap.back();
+      heap.pop_back();
+      if (stats) ++stats->expansions;
+      const SearchNode nd = mem.nodes[ni];
+      for (std::size_t ei = 0; ei < edges_[nd.net].size(); ++ei) {
+        const Edge& e = edges_[nd.net][ei];
+        if (e.needs_redirect) continue;  // taken-branch emission unsupported
+        const unsigned t2 = nd.offset + e.dt;
+        if (t2 > mem.max_t2) mem.max_t2 = t2;
+        if (t2 >= depth_limit) continue;
+        if (e.observe != kNoMod) {
+          if (sink_epoch[e.observe] == epoch)
+            continue;  // already have a route to this sink
+          sink_epoch[e.observe] = epoch;
+          mem.found.emplace_back(ni, static_cast<int>(ei));
+          continue;
+        }
+        if (!observable_[e.to_net]) continue;
+        std::uint32_t& mark =
+            seen_epoch[static_cast<std::size_t>(t2) * num_nets + e.to_net];
+        if (mark == epoch) continue;
+        mark = epoch;
+        mem.nodes.push_back({e.to_net, t2, cost + e.cost, ni,
+                             static_cast<int>(ei)});
+        heap.emplace_back(cost + e.cost,
+                          static_cast<int>(mem.nodes.size() - 1));
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  };
+
+  SearchMemo scratch;  // reuse off: re-expanded every activation cycle
   const unsigned t_min = earliest_cycle(site);
   for (unsigned t_act = t_min;
        t_act + 1 < cfg_.window && out.size() < cfg_.max_plans; ++t_act) {
     // A fired budget stops enumeration; the plans found so far are still
     // valid, so TG can try them (and will hit the same budget right away).
     if (budget && budget->exhausted() != AbortReason::kNone) break;
-    struct Node {
-      NetId net;
-      unsigned cycle;
-      unsigned cost;
-      int parent;       ///< index into `nodes`
-      int via_edge;     ///< edge index in edges_[parent.net]
-    };
-    std::vector<Node> nodes;
-    std::priority_queue<std::pair<unsigned, int>,
-                        std::vector<std::pair<unsigned, int>>,
-                        std::greater<>>
-        pq;
-    std::vector<std::vector<bool>> seen(cfg_.window,
-                                        std::vector<bool>(m_.dp.num_nets()));
-    nodes.push_back({site, t_act, 0, -1, -1});
-    pq.push({0, 0});
-    seen[t_act][site] = true;
-
-    // Collect several alternative observation routes from this activation
-    // cycle, preferring *distinct* observation modules: different sinks
-    // catch differences the cheapest one may structurally lose.
-    std::vector<std::pair<int, int>> found;  // (node, observation edge)
-    std::vector<ModId> found_sinks;
-    while (!pq.empty() && found.size() < cfg_.plans_per_activation) {
-      const auto [cost, ni] = pq.top();
-      pq.pop();
-      const Node nd = nodes[ni];
-      for (std::size_t ei = 0; ei < edges_[nd.net].size(); ++ei) {
-        const Edge& e = edges_[nd.net][ei];
-        if (e.needs_redirect) continue;  // taken-branch emission unsupported
-        const unsigned t2 = nd.cycle + e.dt;
-        if (t2 >= cfg_.window) continue;
-        if (e.observe != kNoMod) {
-          if (std::find(found_sinks.begin(), found_sinks.end(), e.observe) !=
-              found_sinks.end())
-            continue;  // already have a route to this sink
-          found_sinks.push_back(e.observe);
-          found.emplace_back(ni, static_cast<int>(ei));
-          continue;
-        }
-        if (!observable_[e.to_net]) continue;
-        if (seen[t2][e.to_net]) continue;
-        seen[t2][e.to_net] = true;
-        nodes.push_back({e.to_net, t2, cost + e.cost, ni,
-                         static_cast<int>(ei)});
-        pq.push({cost + e.cost, static_cast<int>(nodes.size() - 1)});
+    const unsigned depth_limit = cfg_.window - t_act;
+    const SearchMemo* mem = nullptr;
+    if (cfg_.reuse) {
+      mem = find_memo(site, depth_limit);
+      if (mem) {
+        if (stats) ++stats->searches_reused;
+      } else {
+        std::vector<SearchMemo>& recorded = search_memo_[site];
+        recorded.emplace_back();
+        run_search(recorded.back(), depth_limit);
+        mem = &recorded.back();
       }
+    } else {
+      run_search(scratch, depth_limit);
+      mem = &scratch;
     }
+    const std::vector<SearchNode>& nodes = mem->nodes;
+    const std::vector<std::pair<int, int>>& found = mem->found;
 
     // Reconstruct one plan per observation: walk parents, offsetting the
     // cycle-relative objective/constraint annotations by each hop's cycle.
@@ -403,19 +463,20 @@ std::vector<PathPlan> DpTrace::plans(
       }
       std::reverse(chain.begin(), chain.end());
       for (auto [ni, ei] : chain) {
-        const Node& nd = nodes[ni];
-        plan.hops.push_back({nd.net, nd.cycle});
+        const SearchNode& nd = nodes[ni];
+        const unsigned cycle = nd.offset + t_act;
+        plan.hops.push_back({nd.net, cycle});
         if (ei < 0) continue;
         const Edge& e = edges_[nd.net][ei];
         for (CtrlObjective o : e.objectives_rel) {
-          o.cycle = nd.cycle;
+          o.cycle = cycle;
           plan.ctrl_objectives.push_back(o);
         }
         for (RelaxConstraint c : e.constraints_rel) {
-          c.cycle = nd.cycle;
+          c.cycle = cycle;
           plan.relax_constraints.push_back(c);
         }
-        if (e.observe != kNoMod) plan.observe_cycle = nd.cycle;
+        if (e.observe != kNoMod) plan.observe_cycle = cycle;
       }
       for (RelaxConstraint act : activation) {
         act.cycle = t_act;

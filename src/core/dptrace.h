@@ -22,6 +22,8 @@
 // optimistic O-state can reach O3.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/objectives.h"
@@ -37,6 +39,22 @@ struct DpTraceConfig {
   unsigned plans_per_activation = 3;
   unsigned slice_penalty = 3;  ///< cost bump for lossy hops
   unsigned rfwrite_penalty = 4;
+  /// Reuse the expanded best-first search across activation cycles. Edge
+  /// annotations are cycle-relative, so the search for activation cycle t
+  /// is a pure function of its depth limit D = window - t; when the last
+  /// expansion never reached the window bound, the recorded node tree is
+  /// replayed (shifted by t) for later activation cycles instead of being
+  /// re-expanded from scratch. Plan order and contents are identical to
+  /// the per-cycle enumerator (tests/test_dptrace.cpp locks this).
+  bool reuse = true;
+};
+
+/// Search-effort counters for the plan enumerator (the campaign benchmark
+/// tracks expansions per configuration; see docs/PERFORMANCE.md).
+struct DpTraceStats {
+  std::uint64_t expansions = 0;       ///< best-first queue pops
+  std::uint64_t searches_run = 0;     ///< activation cycles actually expanded
+  std::uint64_t searches_reused = 0;  ///< activation cycles served by reuse
 };
 
 class DpTrace {
@@ -48,9 +66,11 @@ class DpTrace {
   /// constraints with their cycle set to the plan's activation cycle.
   /// `budget`, when given, is polled per activation cycle; a fired budget
   /// truncates the enumeration (already-found plans are returned).
+  /// `stats`, when given, accumulates search-effort counters.
   std::vector<PathPlan> plans(NetId site,
                               const std::vector<RelaxConstraint>& activation,
-                              Budget* budget = nullptr) const;
+                              Budget* budget = nullptr,
+                              DpTraceStats* stats = nullptr) const;
 
   /// Static optimistic observability: can this net's error effect possibly
   /// reach an observation point (O-state could become O3)? Used by tests
@@ -84,6 +104,27 @@ class DpTrace {
                         std::vector<CtrlObjective>* objs,
                         std::vector<RelaxConstraint>* cons) const;
 
+  /// One recorded best-first expansion in activation-relative offset space.
+  /// The search for an activation cycle is a pure function of its depth
+  /// limit D = window - t_act, so a recorded tree replays exactly for any
+  /// later query it covers: an entry whose depth bound never bit
+  /// (max_t2 < depth_run) equals the unbounded search and serves ANY depth
+  /// limit > max_t2; otherwise it serves exactly depth_run.
+  struct SearchNode {
+    NetId net;
+    unsigned offset;  ///< cycle - t_act
+    unsigned cost;
+    int parent;       ///< index into `nodes`
+    int via_edge;     ///< edge index in edges_[parent.net]
+  };
+  struct SearchMemo {
+    std::vector<SearchNode> nodes;
+    std::vector<std::pair<int, int>> found;  ///< (node, observation edge)
+    unsigned depth_run = 0;  ///< depth limit the expansion ran at
+    unsigned max_t2 = 0;     ///< deepest offset the expansion attempted
+  };
+  const SearchMemo* find_memo(NetId site, unsigned depth) const;
+
   const DlxModel& m_;
   DpTraceConfig cfg_;
   ScoapCosts scoap_;
@@ -93,6 +134,13 @@ class DpTrace {
   /// Earliest cycle an instruction's effect can appear per stage (pipeline
   /// fill from reset: IF=0 ... WB=4).
   unsigned earliest_cycle(NetId n) const;
+  /// Recorded searches per site, kept for the tracer's lifetime (enabled by
+  /// cfg_.reuse). Entries are pure functions of (site, depth limit), so
+  /// replaying them is outcome-neutral for any error order or campaign
+  /// sharding. mutable: plans() is const; one DpTrace belongs to one
+  /// campaign worker (thread-compatible, not thread-safe - the campaign
+  /// engines construct one generator per worker).
+  mutable std::unordered_map<NetId, std::vector<SearchMemo>> search_memo_;
 };
 
 }  // namespace hltg

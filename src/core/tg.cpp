@@ -68,9 +68,10 @@ std::vector<CtrlObjective> TestGenerator::usage_objectives(
 }
 
 TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
-  // Fresh deduction state per error: reuse spans this error's plans and
-  // windows only (see solver_ctx_ comment in tg.h for the why).
-  solver_ctx_.reset();
+  // Error scope: fresh deduction state per error, so reuse spans this
+  // error's plans and windows only. Campaign scope keeps the context for
+  // the generator's lifetime (see solver_ctx_ comment in tg.h).
+  if (cfg_.solver.scope == SolverScope::kError) solver_ctx_.reset();
   TgResult first = generate_with_window(err, cfg_.window, budget);
   if (first.status == TgStatus::kSuccess || cfg_.retry_window <= cfg_.window)
     return first;
@@ -86,8 +87,17 @@ TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
   second.stats.relax_iterations += first.stats.relax_iterations;
   second.stats.learned += first.stats.learned;
   second.stats.nogood_hits += first.stats.nogood_hits;
+  second.stats.nogood_comparisons += first.stats.nogood_comparisons;
   second.stats.cache_hits += first.stats.cache_hits;
   second.stats.cache_lookups += first.stats.cache_lookups;
+  second.stats.dptrace_expansions += first.stats.dptrace_expansions;
+  second.stats.dptrace_searches += first.stats.dptrace_searches;
+  second.stats.dptrace_reused += first.stats.dptrace_reused;
+  second.stats.relax_hits += first.stats.relax_hits;
+  second.stats.relax_lookups += first.stats.relax_lookups;
+  second.stats.dptrace_ns += first.stats.dptrace_ns;
+  second.stats.ctrljust_ns += first.stats.ctrljust_ns;
+  second.stats.dprelax_ns += first.stats.dprelax_ns;
   if (second.status != TgStatus::kSuccess && second.note.empty())
     second.note = first.note;
   return second;
@@ -111,13 +121,13 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
   const ErrorInjection inj = err.injection();
   const NetId site = err.site_net(m_.dp);
   const bool base_window = window == cfg_.window;
-  std::unique_ptr<DpTrace> retry_tracer;
-  if (!base_window) {
+  if (!base_window && (!retry_trace_ || retry_trace_window_ != window)) {
     DpTraceConfig tcfg = cfg_.trace;
     tcfg.window = window;
-    retry_tracer = std::make_unique<DpTrace>(m_, tcfg);
+    retry_trace_ = std::make_unique<DpTrace>(m_, tcfg);
+    retry_trace_window_ = window;
   }
-  const DpTrace& tracer = base_window ? trace_ : *retry_tracer;
+  const DpTrace& tracer = base_window ? trace_ : *retry_trace_;
   if (!tracer.observable_without_redirect(site)) {
     // Control-transfer-path site: the only routes to an observation point
     // run through a taken branch; use the divergence templates directly.
@@ -131,7 +141,23 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     return res;
   }
 
-  const auto plans = tracer.plans(site, activation_constraints(err), budget);
+  // Phase timing: one monotonic stamp per engine call, accumulated into
+  // the attempt's stats (surfaced in the campaign CSV and --replay).
+  auto tick = [] { return std::chrono::steady_clock::now(); };
+  auto lap = [&](std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tick() - t0)
+            .count());
+  };
+
+  DpTraceStats trace_stats;
+  const auto trace_t0 = tick();
+  const auto plans =
+      tracer.plans(site, activation_constraints(err), budget, &trace_stats);
+  res.stats.dptrace_ns += lap(trace_t0);
+  res.stats.dptrace_expansions += trace_stats.expansions;
+  res.stats.dptrace_searches += trace_stats.searches_run;
+  res.stats.dptrace_reused += trace_stats.searches_reused;
   if (budget_fired()) return res;
   if (plans.empty()) {
     res.note = "DPTRACE: no propagation path";
@@ -188,12 +214,15 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
          usage_objectives(err, plan.activate_cycle))
       objectives.push_back(o);
 
+    const auto cj_t0 = tick();
     const CtrlJustResult cr = cj.solve(objectives, budget);
+    res.stats.ctrljust_ns += lap(cj_t0);
     res.stats.decisions += cr.stats.decisions;
     res.stats.backtracks += cr.stats.backtracks;
     res.stats.implications += cr.stats.implications;
     res.stats.learned += cr.stats.learned;
     res.stats.nogood_hits += cr.stats.nogood_hits;
+    res.stats.nogood_comparisons += cr.stats.nogood_comparisons;
     res.stats.cache_hits += cr.stats.cache_hits;
     res.stats.cache_lookups += cr.stats.cache_lookups;
     if (cr.status != TgStatus::kSuccess) {
@@ -231,8 +260,30 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     DpRelaxConfig rcfg = cfg_.relax;
     rcfg.seed ^= static_cast<std::uint64_t>(err.site_net(m_.dp)) * 0x9E3779B9u +
                  res.stats.plans_tried;
-    DpRelax relax(m_, window, rcfg);
-    const DpRelaxResult rr = relax.solve(vars, cons, inj, budget);
+    // DPRELAX memo: a solve is a pure function of its subproblem (window
+    // excluded - argument in solver/relax_cache.h), so replaying a recorded
+    // definitive result is byte-identical to recomputing it. The window
+    // retry replays the same plans with the same derived seeds, which is
+    // where the hits come from.
+    const bool memoize = cfg_.solver.enable && cfg_.solver.use_relax_cache;
+    RelaxCache::Key rkey;
+    DpRelaxResult rr;
+    bool replayed = false;
+    const auto rx_t0 = tick();
+    if (memoize) {
+      rkey = RelaxCache::make_key(rcfg, vars, cons, inj);
+      ++res.stats.relax_lookups;
+      if (solver_ctx_.relax.find(rkey, &rr, &vars)) {
+        ++res.stats.relax_hits;
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      DpRelax relax(m_, window, rcfg);
+      rr = relax.solve(vars, cons, inj, budget);
+      if (memoize) solver_ctx_.relax.store(rkey, rr, vars);
+    }
+    res.stats.dprelax_ns += lap(rx_t0);
     res.stats.relax_iterations += rr.iterations;
     if (rr.status != TgStatus::kSuccess) {
       if (budget_fired()) return res;
@@ -312,6 +363,9 @@ ErrorAttempt to_attempt(const TgResult& r, double seconds) {
   a.learned = r.stats.learned;
   a.nogood_hits = r.stats.nogood_hits;
   a.cache_hits = r.stats.cache_hits;
+  a.dptrace_ns = r.stats.dptrace_ns;
+  a.ctrljust_ns = r.stats.ctrljust_ns;
+  a.dprelax_ns = r.stats.dprelax_ns;
   a.note = r.note;
   a.abort = r.stats.abort;
   return a;

@@ -15,6 +15,8 @@
 // CONFLICT -> backtrack arrows of Fig. 3 (granularity note in DESIGN.md).
 #pragma once
 
+#include <memory>
+
 #include "core/ctrljust.h"
 #include "core/dprelax.h"
 #include "core/dptrace.h"
@@ -54,8 +56,19 @@ struct TgStats {
   std::uint64_t relax_iterations = 0;
   std::uint64_t learned = 0;        ///< nogoods recorded by conflict analysis
   std::uint64_t nogood_hits = 0;    ///< learned nogoods that pruned or forced
+  /// Literal probes spent applying nogoods (rescan or watch scheme).
+  std::uint64_t nogood_comparisons = 0;
   std::uint64_t cache_hits = 0;     ///< CTRLJUST solves answered from cache
   std::uint64_t cache_lookups = 0;  ///< cache probes (hits + misses)
+  std::uint64_t dptrace_expansions = 0;  ///< best-first nodes expanded
+  std::uint64_t dptrace_searches = 0;    ///< per-activation searches run
+  std::uint64_t dptrace_reused = 0;      ///< searches answered by the memo
+  std::uint64_t relax_hits = 0;     ///< DPRELAX solves replayed from the memo
+  std::uint64_t relax_lookups = 0;  ///< DPRELAX memo probes
+  // Per-phase wall time (monotonic clock), for the campaign CSV / --replay.
+  std::uint64_t dptrace_ns = 0;
+  std::uint64_t ctrljust_ns = 0;
+  std::uint64_t dprelax_ns = 0;
   /// Set when the attempt unwound because its Budget fired (deadline /
   /// backtracks / decisions / cancelled); kNone for ordinary exhaustion of
   /// the plan list or for success.
@@ -111,10 +124,19 @@ class TestGenerator {
   const DlxModel& m_;
   TgConfig cfg_;
   DpTrace trace_;
-  /// Per-generator deduction state, reset at the start of every generate():
-  /// nogoods and cached justifications are shared across the plans and
-  /// windows of ONE error, never across errors - campaign rows stay
-  /// byte-identical however errors are distributed over --jobs workers.
+  /// Lazily built tracer for the retry window, kept for the generator's
+  /// lifetime so its search memo (dptrace.h) survives across errors the
+  /// same way trace_'s does. Plans are pure functions of (site, window),
+  /// so the reuse is outcome-neutral for any error order or --jobs split.
+  std::unique_ptr<DpTrace> retry_trace_;
+  unsigned retry_trace_window_ = 0;  ///< window retry_trace_ was built for
+  /// Per-generator deduction state. With solver.scope == kError (default)
+  /// it is reset at the start of every generate(): nogoods, cached
+  /// justifications and relax memos are shared across the plans and windows
+  /// of ONE error, never across errors - campaign rows stay byte-identical
+  /// however errors are distributed over --jobs workers. With kCampaign the
+  /// context lives for the generator's lifetime (single-worker runs only;
+  /// outcome-neutrality argument in solver/solver.h and docs/SOLVER.md).
   SolverContext solver_ctx_;
 };
 

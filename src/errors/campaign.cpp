@@ -54,6 +54,13 @@ std::string CampaignStats::table1(const std::string& title) const {
     t.add_kv("Solver: nogood prunes/forcings", std::to_string(nogood_hits));
     t.add_kv("Solver: justification cache hits", std::to_string(cache_hits));
   }
+  // Phase attribution renders only for instrumented strategies, so the
+  // summary of older journals / custom generators is unchanged.
+  if (dptrace_ns > 0 || ctrljust_ns > 0 || dprelax_ns > 0) {
+    t.add_kv("Phase time: DPTRACE [ms]", fmt_double(dptrace_ns / 1e6, 1));
+    t.add_kv("Phase time: CTRLJUST [ms]", fmt_double(ctrljust_ns / 1e6, 1));
+    t.add_kv("Phase time: DPRELAX [ms]", fmt_double(dprelax_ns / 1e6, 1));
+  }
   t.add_kv("CPU time [minutes]", fmt_double(cpu_seconds / 60.0, 2));
   return t.to_string();
 }
@@ -70,6 +77,9 @@ void CampaignStats::add_attempt(const ErrorAttempt& a,
     learned += a.learned;
     nogood_hits += a.nogood_hits;
     cache_hits += a.cache_hits;
+    dptrace_ns += a.dptrace_ns;
+    ctrljust_ns += a.ctrljust_ns;
+    dprelax_ns += a.dprelax_ns;
     cpu_seconds += a.seconds;
     return;
   }
@@ -100,6 +110,9 @@ void CampaignStats::add_attempt(const ErrorAttempt& a,
   learned += a.learned;
   nogood_hits += a.nogood_hits;
   cache_hits += a.cache_hits;
+  dptrace_ns += a.dptrace_ns;
+  ctrljust_ns += a.ctrljust_ns;
+  dprelax_ns += a.dprelax_ns;
   cpu_seconds += a.seconds;
 }
 
@@ -334,10 +347,16 @@ CampaignResult run_campaign(const Netlist& nl,
       if (a.incident()) record_incident(&res, cfg, i, err, a);
     }
     res.stats.add_attempt(a, &length_sum);
-    if (cfg.verbose)
-      std::fprintf(stderr, "  [%s] %s%s\n", outcome_tag(a),
+    if (cfg.verbose) {
+      std::fprintf(stderr, "  [%s] %s%s", outcome_tag(a),
                    err.describe(nl).c_str(),
                    a.note.empty() ? "" : ("  (" + a.note + ")").c_str());
+      if (a.dptrace_ns || a.ctrljust_ns || a.dprelax_ns)
+        std::fprintf(stderr, "  [trace %.2fms just %.2fms relax %.2fms]",
+                     a.dptrace_ns / 1e6, a.ctrljust_ns / 1e6,
+                     a.dprelax_ns / 1e6);
+      std::fprintf(stderr, "\n");
+    }
     res.rows.push_back({err, std::move(a)});
   }
   if (res.stats.detected > 0)

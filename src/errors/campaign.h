@@ -82,6 +82,12 @@ struct ErrorAttempt {
   std::uint64_t learned = 0;
   std::uint64_t nogood_hits = 0;
   std::uint64_t cache_hits = 0;
+  // Per-phase wall time of the attempt (monotonic clock; zero for
+  // strategies that predate the instrumentation or for replayed rows from
+  // an old journal).
+  std::uint64_t dptrace_ns = 0;
+  std::uint64_t ctrljust_ns = 0;
+  std::uint64_t dprelax_ns = 0;
   double seconds = 0.0;
   TestCase test;
   std::string note;
@@ -170,6 +176,11 @@ struct CampaignStats {
   std::uint64_t learned = 0;
   std::uint64_t nogood_hits = 0;
   std::uint64_t cache_hits = 0;
+  /// Per-phase wall-time attribution over all attempted errors (zero for
+  /// uninstrumented strategies; see ErrorAttempt).
+  std::uint64_t dptrace_ns = 0;
+  std::uint64_t ctrljust_ns = 0;
+  std::uint64_t dprelax_ns = 0;
   double cpu_seconds = 0.0;
   std::vector<unsigned> length_histogram;  ///< index = length
 

@@ -213,8 +213,14 @@ std::string journal_row_line(std::size_t index, const ErrorAttempt& a) {
      << ",\"backtracks\":" << a.backtracks << ",\"decisions\":" << a.decisions
      << ",\"implications\":" << a.implications << ",\"learned\":" << a.learned
      << ",\"nogood_hits\":" << a.nogood_hits
-     << ",\"cache_hits\":" << a.cache_hits
-     << ",\"seconds\":" << fmt_seconds(a.seconds) << ",\"abort\":\""
+     << ",\"cache_hits\":" << a.cache_hits;
+  // Phase timings are emitted only when present, so journals from
+  // uninstrumented strategies keep their old byte layout.
+  if (a.dptrace_ns || a.ctrljust_ns || a.dprelax_ns)
+    os << ",\"dptrace_ns\":" << a.dptrace_ns
+       << ",\"ctrljust_ns\":" << a.ctrljust_ns
+       << ",\"dprelax_ns\":" << a.dprelax_ns;
+  os << ",\"seconds\":" << fmt_seconds(a.seconds) << ",\"abort\":\""
      << to_string(a.abort) << "\",\"via_fallback\":"
      << (a.via_fallback ? "true" : "false") << ",\"note\":\""
      << json_escape(a.note) << "\"";
@@ -285,6 +291,9 @@ JournalReplay load_journal(const std::string& path) {
     j.get_u64("learned", &a.learned);
     j.get_u64("nogood_hits", &a.nogood_hits);
     j.get_u64("cache_hits", &a.cache_hits);
+    j.get_u64("dptrace_ns", &a.dptrace_ns);
+    j.get_u64("ctrljust_ns", &a.ctrljust_ns);
+    j.get_u64("dprelax_ns", &a.dprelax_ns);
     j.get_double("seconds", &a.seconds);
     if (j.get_string("abort", &abort_s)) a.abort = abort_reason_from(abort_s);
     j.get_bool("via_fallback", &a.via_fallback);

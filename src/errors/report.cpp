@@ -20,14 +20,15 @@ std::string csv_escape(const std::string& s) {
 std::string campaign_csv(const Netlist& nl, const CampaignResult& res) {
   std::ostringstream os;
   os << "model,error,outcome,abort,verify,test_length,backtracks,decisions,"
-        "seconds\n";
+        "seconds,dptrace_ns,ctrljust_ns,dprelax_ns\n";
   for (const CampaignRow& row : res.rows) {
     const ErrorAttempt& a = row.attempt;
     os << row.error.model_name() << ','
        << csv_escape(row.error.describe(nl)) << ','
        << to_string(a.outcome()) << ',' << to_string(a.abort) << ','
        << to_string(a.verify) << ',' << a.test_length << ',' << a.backtracks
-       << ',' << a.decisions << ',' << a.seconds << '\n';
+       << ',' << a.decisions << ',' << a.seconds << ',' << a.dptrace_ns << ','
+       << a.ctrljust_ns << ',' << a.dprelax_ns << '\n';
   }
   return os.str();
 }

@@ -96,6 +96,11 @@ class ImplicationEngine {
   /// Forced (non-root) assignments made since construction/reset.
   std::uint64_t propagations() const { return propagations_; }
 
+  /// The assignment trail in chronological order (pop_to truncates it).
+  /// The nogood watcher keys its wake-ups off new trail entries; anything
+  /// else should treat this as read-only diagnostics.
+  const std::vector<NodeId>& trail() const { return trail_; }
+
  private:
   enum class Reason : std::uint8_t {
     kUnset,

@@ -16,9 +16,13 @@ bool NogoodStore::learn(std::vector<Lit> lits) {
     auto victim = std::min_element(
         entries_.begin(), entries_.end(),
         [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
-    *victim = {std::move(lits), h, ++clock_};
+    const std::uint64_t stamp = ++clock_;
+    *victim = {std::move(lits), h, stamp, stamp};
+    last_index_ = static_cast<std::size_t>(victim - entries_.begin());
   } else {
-    entries_.push_back({std::move(lits), h, ++clock_});
+    const std::uint64_t stamp = ++clock_;
+    entries_.push_back({std::move(lits), h, stamp, stamp});
+    last_index_ = entries_.size() - 1;
   }
   ++learned_;
   return true;

@@ -37,11 +37,25 @@ class NogoodStore {
   }
   /// LRU bump: call when nogood `i` fired (pruned or forced a value).
   void touch(std::size_t i) { entries_[i].stamp = ++clock_; }
+  /// Stable identity of slot `i`'s current occupant (eviction replaces the
+  /// occupant in place, so an index alone can go stale across learns).
+  std::uint64_t id(std::size_t i) const { return entries_[i].id; }
+  /// LRU bump that tolerates staleness: bumps only while slot `i` still
+  /// holds the nogood it held at registration time. The watch-based
+  /// applier fires from its own literal copies, so this is its only
+  /// feedback into the store's eviction order.
+  void touch_if(std::size_t i, std::uint64_t expected_id) {
+    if (i < entries_.size() && entries_[i].id == expected_id)
+      entries_[i].stamp = ++clock_;
+  }
+  /// Slot filled by the most recent successful learn().
+  std::size_t last_index() const { return last_index_; }
 
   void clear() {
     entries_.clear();
     learned_ = 0;
     clock_ = 0;
+    last_index_ = 0;
   }
 
  private:
@@ -49,6 +63,7 @@ class NogoodStore {
     std::vector<Lit> lits;
     std::uint64_t hash = 0;
     std::uint64_t stamp = 0;
+    std::uint64_t id = 0;
   };
 
   std::size_t capacity_;
@@ -56,6 +71,7 @@ class NogoodStore {
   std::vector<Entry> entries_;
   std::uint64_t learned_ = 0;
   std::uint64_t clock_ = 0;
+  std::size_t last_index_ = 0;
 };
 
 }  // namespace hltg

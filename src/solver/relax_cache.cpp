@@ -1,0 +1,129 @@
+#include "solver/relax_cache.h"
+
+#include <algorithm>
+
+namespace hltg {
+
+namespace {
+
+void put(RelaxCache::Key& k, std::uint64_t v) { k.push_back(v); }
+
+void put_str(RelaxCache::Key& k, const std::string& s) {
+  put(k, s.size());
+  std::uint64_t word = 0;
+  unsigned n = 0;
+  for (const char c : s) {
+    word = (word << 8) | static_cast<unsigned char>(c);
+    if (++n == 8) {
+      put(k, word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n) put(k, word);
+}
+
+}  // namespace
+
+RelaxCache::Key RelaxCache::make_key(
+    const DpRelaxConfig& cfg, const RelaxVars& vars,
+    const std::vector<RelaxConstraint>& constraints,
+    const ErrorInjection& inj) {
+  Key k;
+  k.reserve(64);
+  put(k, cfg.seed);
+  put(k, cfg.max_iterations);
+  put(k, cfg.max_depth);
+
+  put(k, constraints.size());
+  for (const RelaxConstraint& c : constraints) {
+    put(k, static_cast<std::uint64_t>(c.kind));
+    put(k, static_cast<std::uint64_t>(c.net));
+    put(k, c.cycle);
+    put(k, c.mask);
+    put(k, c.value);
+    put(k, static_cast<std::uint64_t>(c.net2));
+    put_str(k, c.why);
+  }
+
+  put(k, vars.imem.size());
+  for (const std::uint32_t w : vars.imem) put(k, w);
+  put(k, vars.imem_fixed.size());
+  for (const std::uint32_t w : vars.imem_fixed) put(k, w);
+  for (const std::uint32_t r : vars.rf_init) put(k, r);
+  put(k, vars.mem_init.size());
+  for (const auto& [addr, val] : vars.mem_init) {
+    put(k, addr);
+    put(k, val);
+  }
+
+  put(k, inj.stuck.size());
+  for (const StuckLine& s : inj.stuck) {
+    put(k, static_cast<std::uint64_t>(s.net));
+    put(k, s.bit);
+    put(k, s.stuck_value ? 1 : 0);
+  }
+  put(k, inj.substitute.size());
+  for (const auto& [mod, kind] : inj.substitute) {
+    put(k, static_cast<std::uint64_t>(mod));
+    put(k, static_cast<std::uint64_t>(kind));
+  }
+  put(k, inj.swap_inputs.size());
+  for (const ModId m : inj.swap_inputs) put(k, static_cast<std::uint64_t>(m));
+  put(k, inj.rewire.size());
+  for (const auto& [slot, net] : inj.rewire) {
+    put(k, static_cast<std::uint64_t>(slot.first));
+    put(k, slot.second);
+    put(k, static_cast<std::uint64_t>(net));
+  }
+  return k;
+}
+
+std::uint64_t RelaxCache::hash_key(const Key& k) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the word stream
+  for (const std::uint64_t w : k) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool RelaxCache::find(const Key& key, DpRelaxResult* result, RelaxVars* vars) {
+  ++lookups_;
+  const std::uint64_t h = hash_key(key);
+  for (Entry& e : entries_)
+    if (e.hash == h && e.key == key) {
+      e.stamp = ++clock_;
+      *result = e.result;
+      *vars = e.vars;
+      ++hits_;
+      return true;
+    }
+  return false;
+}
+
+void RelaxCache::store(const Key& key, const DpRelaxResult& result,
+                       const RelaxVars& vars) {
+  if (capacity_ == 0 || result.abort != AbortReason::kNone) return;
+  const std::uint64_t h = hash_key(key);
+  for (const Entry& e : entries_)
+    if (e.hash == h && e.key == key) return;  // first writer wins
+  Entry fresh{key, h, result, vars, ++clock_};
+  if (entries_.size() >= capacity_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    *victim = std::move(fresh);
+  } else {
+    entries_.push_back(std::move(fresh));
+  }
+}
+
+std::size_t RelaxCache::failure_entries() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_)
+    if (e.result.status != TgStatus::kSuccess) ++n;
+  return n;
+}
+
+}  // namespace hltg

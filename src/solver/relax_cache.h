@@ -1,0 +1,91 @@
+// DPRELAX memo: bounded LRU over definitive backsolve results.
+//
+// Learning hard nogoods from DPRELAX failures would be unsound: the
+// backsolve is incomplete ("may fail to find a solution even if there is
+// one"), so a failure is not a proof, and pruning CTRLJUST with it would
+// change which witness the search lands on - diverging campaign rows.
+// What IS sound is memoization: a DpRelax::solve call is a pure function
+// of its full subproblem (rng seed, iteration/depth caps, constraint set
+// including provenance, entry-point free variables, and the injected
+// error), so replaying a recorded definitive result - success or failure,
+// including the final variable state - is byte-identical to recomputing
+// it. The cached failures are this cache's "learned cuts": the TG window
+// retry (14 -> 20) replays the same plans with the same derived seeds, and
+// every plan whose subproblem already failed definitively is answered
+// without a single relaxation sweep.
+//
+// The window is deliberately NOT part of the key. Every constraint a plan
+// produces lives at cycles below its window, the pipeline simulation is
+// causal (values at cycle t do not depend on how far past t the window
+// extends), and the rng consumption is driven entirely by the backsolve's
+// value inspections below those cycles - so for any window large enough to
+// admit the constraint set at all, the solve result is the same. That is
+// exactly what makes the retry reuse possible.
+//
+// Results that aborted on a budget (abort != kNone) are never stored: they
+// depend on how much budget was left, which is caller state, not
+// subproblem state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dprelax.h"
+#include "core/objectives.h"
+#include "sim/proc_sim.h"
+
+namespace hltg {
+
+class RelaxCache {
+ public:
+  explicit RelaxCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Serialized subproblem identity (exact, not just a hash).
+  using Key = std::vector<std::uint64_t>;
+
+  /// Build the key for one solve call. `vars` must be the ENTRY state
+  /// (before solve mutates it).
+  static Key make_key(const DpRelaxConfig& cfg, const RelaxVars& vars,
+                      const std::vector<RelaxConstraint>& constraints,
+                      const ErrorInjection& inj);
+
+  /// Probe. On a hit, *result and *vars are overwritten with the recorded
+  /// outcome and final variable state. Counts a lookup either way.
+  bool find(const Key& key, DpRelaxResult* result, RelaxVars* vars);
+
+  /// Record a definitive result (ignored when result.abort != kNone or
+  /// capacity is zero). `vars` is the FINAL state after solve.
+  void store(const Key& key, const DpRelaxResult& result,
+             const RelaxVars& vars);
+
+  void clear() {
+    entries_.clear();
+    hits_ = lookups_ = 0;
+    clock_ = 0;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t lookups() const { return lookups_; }
+  /// Cached definitive failures currently resident - the "learned cuts".
+  std::size_t failure_entries() const;
+
+ private:
+  struct Entry {
+    Key key;
+    std::uint64_t hash = 0;
+    DpRelaxResult result;
+    RelaxVars vars;
+    std::uint64_t stamp = 0;
+  };
+
+  static std::uint64_t hash_key(const Key& k);
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hltg

@@ -1,28 +1,57 @@
 // Shared deduction context: one SolverContext per generator (per campaign
-// worker), owning the learned-conflict store and the justification cache
-// that successive CTRLJUST searches of the same error share.
+// worker), owning the learned-conflict store, the justification cache and
+// the DPRELAX memo that successive searches share.
 //
-// Scope and determinism: TG resets the context at the start of every
-// generate() call, so learned nogoods and cached justifications are reused
-// across the plans x windows of ONE error but never leak between errors.
-// This keeps campaign rows byte-identical regardless of how errors are
-// distributed over --jobs workers - a campaign-lifetime store would make
-// each error's search depend on which errors its worker saw before it.
+// Scope and determinism: with scope == kError (the default) TG resets the
+// context at the start of every generate() call, so learned state is
+// reused across the plans x windows of ONE error but never leaks between
+// errors. This keeps campaign rows byte-identical regardless of how errors
+// are distributed over --jobs workers. scope == kCampaign keeps the
+// context alive across errors of a single worker: outcomes, witnesses and
+// emitted tests stay identical to error scope because every piece of
+// carried state is outcome-neutral - nogoods are consequences of the
+// controller netlist alone (valid for any objective set and window, see
+// nogoods.h), cached justifications and relax results replay the exact
+// result the fresh search would recompute, and the engine-assisted search
+// only prunes proven-doomed subtrees, which never changes the first
+// success leaf. Effort counters (decisions, hits) legitimately differ -
+// that is the reuse. Campaign scope is only offered for single-worker
+// runs (--jobs 1), where "which errors came before" is a deterministic
+// function of the campaign itself, keeping those counters reproducible
+// run over run (docs/SOLVER.md).
 #pragma once
 
 #include <cstddef>
 
 #include "solver/justcache.h"
 #include "solver/nogoods.h"
+#include "solver/relax_cache.h"
 
 namespace hltg {
+
+/// Lifetime of the deduction state (see header comment).
+enum class SolverScope {
+  kError,     ///< reset per error: order-independent, any --jobs
+  kCampaign,  ///< keep across a worker's errors: --jobs 1 only
+};
 
 struct SolverConfig {
   bool enable = true;       ///< false: legacy PODEM search, no solver state
   bool use_nogoods = true;  ///< learn + apply conflict cuts
   bool use_cache = true;    ///< reuse justification results across plans
+  /// Apply nogoods through two watched assignments per nogood instead of
+  /// rescanning the whole store every propagation round. Same fixpoints,
+  /// same firings - strictly fewer literal probes (docs/SOLVER.md).
+  bool use_nogood_watches = true;
+  /// Memoize definitive DPRELAX backsolve results keyed on the full
+  /// subproblem (seed, constraints, entry state, injection). The failure
+  /// entries act as learned cuts for the window retry, which replays the
+  /// same plans against a wider window.
+  bool use_relax_cache = true;
+  SolverScope scope = SolverScope::kError;
   std::size_t nogood_capacity = 256;
   std::size_t cache_capacity = 512;
+  std::size_t relax_cache_capacity = 256;
   /// Cuts wider than this are not worth storing: they almost never fire
   /// again and linear matching would dominate.
   std::size_t max_nogood_lits = 8;
@@ -32,15 +61,18 @@ struct SolverContext {
   SolverConfig cfg;
   NogoodStore nogoods;
   JustCache cache;
+  RelaxCache relax;
 
   explicit SolverContext(SolverConfig c = {})
       : cfg(c),
         nogoods(c.nogood_capacity, c.max_nogood_lits),
-        cache(c.cache_capacity) {}
+        cache(c.cache_capacity),
+        relax(c.relax_cache_capacity) {}
 
   void reset() {
     nogoods.clear();
     cache.clear();
+    relax.clear();
   }
 };
 

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "core/dptrace.h"
+#include "errors/bus_ssl.h"
+#include "errors/inject.h"
 
 namespace hltg {
 namespace {
@@ -166,6 +169,93 @@ TEST(DpTrace, PlanCyclesFitWindow) {
     EXPECT_LT(p.observe_cycle, 8u);
     for (const PathHop& h : p.hops) EXPECT_LT(h.cycle, 8u);
   }
+}
+
+// ------------------------------------------- shared-prefix reuse equivalence
+
+bool same_objective(const CtrlObjective& a, const CtrlObjective& b) {
+  return a.gate == b.gate && a.cycle == b.cycle && a.value == b.value;
+}
+
+bool same_constraint(const RelaxConstraint& a, const RelaxConstraint& b) {
+  return a.kind == b.kind && a.net == b.net && a.cycle == b.cycle &&
+         a.mask == b.mask && a.value == b.value && a.net2 == b.net2 &&
+         a.why == b.why;
+}
+
+::testing::AssertionResult same_plans(const std::vector<PathPlan>& a,
+                                      const std::vector<PathPlan>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "plan count " << a.size() << " vs " << b.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const PathPlan& p = a[i];
+    const PathPlan& q = b[i];
+    if (p.activate_cycle != q.activate_cycle ||
+        p.observe_cycle != q.observe_cycle ||
+        p.observe_module != q.observe_module)
+      return ::testing::AssertionFailure() << "plan " << i << " header";
+    if (p.hops.size() != q.hops.size() ||
+        p.ctrl_objectives.size() != q.ctrl_objectives.size() ||
+        p.relax_constraints.size() != q.relax_constraints.size())
+      return ::testing::AssertionFailure() << "plan " << i << " sizes";
+    for (std::size_t j = 0; j < p.hops.size(); ++j)
+      if (p.hops[j].net != q.hops[j].net || p.hops[j].cycle != q.hops[j].cycle)
+        return ::testing::AssertionFailure() << "plan " << i << " hop " << j;
+    for (std::size_t j = 0; j < p.ctrl_objectives.size(); ++j)
+      if (!same_objective(p.ctrl_objectives[j], q.ctrl_objectives[j]))
+        return ::testing::AssertionFailure()
+               << "plan " << i << " objective " << j;
+    for (std::size_t j = 0; j < p.relax_constraints.size(); ++j)
+      if (!same_constraint(p.relax_constraints[j], q.relax_constraints[j]))
+        return ::testing::AssertionFailure()
+               << "plan " << i << " constraint " << j;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(DpTraceReuse, PlansIdenticalToLegacyAcrossTable1Sites) {
+  // The memoized enumerator must reproduce the per-cycle enumerator's plans
+  // exactly - order AND contents - for every Table-1 SSL error site, at the
+  // base and the retry window. This is the equivalence the tentpole reuse
+  // optimization is gated on.
+  std::set<NetId> sites;
+  for (const DesignError& e : wrap(enumerate_bus_ssl(model().dp)))
+    sites.insert(e.site_net(model().dp));
+  ASSERT_FALSE(sites.empty());
+  for (unsigned window : {14u, 20u}) {
+    DpTraceConfig legacy_cfg;
+    legacy_cfg.window = window;
+    legacy_cfg.reuse = false;
+    DpTraceConfig reuse_cfg = legacy_cfg;
+    reuse_cfg.reuse = true;
+    const DpTrace legacy(model(), legacy_cfg);
+    const DpTrace reusing(model(), reuse_cfg);
+    for (NetId site : sites) {
+      SCOPED_TRACE("site " + std::to_string(site) + " window " +
+                   std::to_string(window));
+      EXPECT_TRUE(same_plans(reusing.plans(site, act_bit0(site)),
+                             legacy.plans(site, act_bit0(site))));
+    }
+  }
+}
+
+TEST(DpTraceReuse, ReuseSkipsSearchesAndCutsExpansions) {
+  std::set<NetId> sites;
+  for (const DesignError& e : wrap(enumerate_bus_ssl(model().dp)))
+    sites.insert(e.site_net(model().dp));
+  DpTraceConfig legacy_cfg;
+  legacy_cfg.reuse = false;
+  const DpTrace legacy(model(), legacy_cfg);
+  DpTraceStats on{}, off{};
+  for (NetId site : sites) {
+    tracer().plans(site, act_bit0(site), nullptr, &on);
+    legacy.plans(site, act_bit0(site), nullptr, &off);
+  }
+  EXPECT_GT(on.searches_reused, 0u);
+  EXPECT_EQ(on.searches_run + on.searches_reused,
+            off.searches_run);  // same activation cycles visited
+  EXPECT_LT(on.expansions, off.expansions);
 }
 
 TEST(DpTrace, HopsAreConnectedInTime) {

@@ -69,12 +69,16 @@ BudgetedGenFn pure_gen(int* calls = nullptr) {
 }
 
 /// Canonical byte rendering of a result's rows; `zero_seconds` strips the
-/// only nondeterministic field a real generator produces.
+/// wall-clock fields (seconds + per-phase ns), the only nondeterministic
+/// fields a real generator produces.
 std::string render_rows(const CampaignResult& r, bool zero_seconds = false) {
   std::string s;
   for (std::size_t i = 0; i < r.rows.size(); ++i) {
     ErrorAttempt a = r.rows[i].attempt;
-    if (zero_seconds) a.seconds = 0;
+    if (zero_seconds) {
+      a.seconds = 0;
+      a.dptrace_ns = a.ctrljust_ns = a.dprelax_ns = 0;
+    }
     s += journal_row_line(i, a) + "\n";
   }
   return s;

@@ -413,5 +413,126 @@ TEST(SolverEquivalence, DetectionOutcomesMatchAcrossConfigs) {
   EXPECT_EQ(on, nocache);
 }
 
+// ------------------------------------------- watched vs rescan nogood apply
+
+TEST(SolverEquivalence, WatchedNogoodsMatchRescan) {
+  // The watch scheme is a pure application-cost optimization: identical
+  // statuses and witnesses over the corpus, strictly fewer literal probes
+  // than rescanning the whole store every propagation round. One shared
+  // context per run so cuts learned early are applied in later solves
+  // (the regime the watches exist for). Cache off to keep every solve live.
+  const unsigned kCycles = 10;
+  auto run = [&](bool watches) {
+    SolverConfig cfg;
+    cfg.use_cache = false;
+    cfg.use_nogood_watches = watches;
+    SolverContext ctx(cfg);
+    std::vector<CtrlJustResult> results;
+    std::uint64_t comparisons = 0;
+    for (const auto& objs : objective_corpus()) {
+      CtrlJust cj(model().ctrl, kCycles);
+      cj.set_context(&ctx);
+      results.push_back(cj.solve(objs));
+      comparisons += results.back().stats.nogood_comparisons;
+    }
+    return std::pair(std::move(results), comparisons);
+  };
+  const auto [watched, wc] = run(true);
+  const auto [rescan, rc] = run(false);
+  ASSERT_EQ(watched.size(), rescan.size());
+  for (std::size_t i = 0; i < watched.size(); ++i) {
+    SCOPED_TRACE("objective set #" + std::to_string(i));
+    EXPECT_EQ(watched[i].status, rescan[i].status);
+    EXPECT_EQ(watched[i].cpi_assignments, rescan[i].cpi_assignments);
+    EXPECT_EQ(watched[i].sts_assignments, rescan[i].sts_assignments);
+  }
+  EXPECT_GT(rc, 0u);  // the corpus must actually exercise the store
+  EXPECT_LT(wc, rc);
+}
+
+// --------------------------------------------------------- DPRELAX memo
+
+TEST(RelaxCacheTest, ReplaysDefinitiveResultsAndSkipsAborts) {
+  RelaxCache cache(4);
+  DpRelaxConfig cfg;
+  RelaxVars entry;
+  entry.imem = {0x11u, 0x22u};
+  entry.imem_fixed = {0xFFu, 0x00u};
+  std::vector<RelaxConstraint> cons(1);
+  cons[0].net = 7;
+  cons[0].cycle = 3;
+  cons[0].value = 1;
+  cons[0].why = "activation";
+  ErrorInjection inj;
+  const RelaxCache::Key key = RelaxCache::make_key(cfg, entry, cons, inj);
+
+  DpRelaxResult out;
+  RelaxVars vars = entry;
+  EXPECT_FALSE(cache.find(key, &out, &vars));
+
+  // A definitive result replays with the *final* vars the solve produced.
+  DpRelaxResult solved;
+  solved.status = TgStatus::kSuccess;
+  solved.iterations = 5;
+  RelaxVars final_vars = entry;
+  final_vars.imem[1] = 0x33u;
+  cache.store(key, solved, final_vars);
+  ASSERT_TRUE(cache.find(key, &out, &vars));
+  EXPECT_EQ(out.status, TgStatus::kSuccess);
+  EXPECT_EQ(out.iterations, 5u);
+  EXPECT_EQ(vars.imem, final_vars.imem);
+
+  // Aborted (budget-fired) results are never stored: the retry runs live.
+  std::vector<RelaxConstraint> cons2 = cons;
+  cons2[0].cycle = 4;
+  const RelaxCache::Key key2 = RelaxCache::make_key(cfg, entry, cons2, inj);
+  EXPECT_NE(key, key2);  // distinct subproblems, distinct keys
+  DpRelaxResult aborted;
+  aborted.abort = AbortReason::kDeadline;
+  cache.store(key2, aborted, final_vars);
+  EXPECT_FALSE(cache.find(key2, &out, &vars));
+  EXPECT_EQ(cache.failure_entries(), 0u);
+}
+
+// --------------------------------------------- campaign-scope determinism
+
+TEST(SolverEquivalence, CampaignScopeMatchesErrorScope) {
+  // Campaign-lifetime deduction reuse must be outcome-neutral: the same
+  // error sequence through one generator with scope kCampaign emits exactly
+  // the tests the per-error-reset kError scope emits (the argument is in
+  // solver/solver.h). A subset of the SSL population keeps the test fast.
+  std::vector<DesignError> errors = wrap(enumerate_bus_ssl(model().dp));
+  if (errors.size() > 30) errors.resize(30);
+
+  struct Outcome {
+    TgStatus status;
+    AbortReason abort;
+    unsigned test_length;
+    std::vector<std::uint32_t> imem;
+    std::array<std::uint32_t, 32> rf_init;
+    std::map<std::uint32_t, std::uint32_t> dmem_init;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run = [&](SolverScope scope, std::uint64_t* reuse) {
+    TgConfig cfg;
+    cfg.solver.scope = scope;
+    TestGenerator tg(model(), cfg);
+    std::vector<Outcome> out;
+    for (const DesignError& e : errors) {
+      const TgResult r = tg.generate(e);
+      *reuse += r.stats.cache_hits + r.stats.relax_hits;
+      out.push_back({r.status, r.stats.abort, r.test_length, r.test.imem,
+                     r.test.rf_init, r.test.dmem_init});
+    }
+    return out;
+  };
+  std::uint64_t campaign_reuse = 0, error_reuse = 0;
+  const auto campaign = run(SolverScope::kCampaign, &campaign_reuse);
+  const auto fresh = run(SolverScope::kError, &error_reuse);
+  EXPECT_EQ(campaign, fresh);
+  // Carried state must actually fire across errors, not merely not hurt.
+  EXPECT_GT(campaign_reuse, error_reuse);
+}
+
 }  // namespace
 }  // namespace hltg

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Perf guard for the solver benchmark (bench_solver -> BENCH_tg.json).
+
+Compares the *deterministic* search-effort counters of a fresh run against
+the committed baseline (bench/baselines/BENCH_tg_baseline.json) and fails
+when any regresses by more than the tolerance. Wall-clock fields are
+ignored on purpose: CI machines vary, counters do not - decisions,
+backtracks, DPTRACE expansions and nogood literal probes are pure functions
+of the model and the configuration.
+
+Usage: check_bench.py CURRENT.json BASELINE.json [--tolerance 0.10]
+Exit: 0 ok, 1 regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+# Lower is better; a rise beyond tolerance is a hot-path regression.
+GUARDED_COUNTERS = ("decisions", "backtracks", "dptrace_expansions",
+                    "nogood_comparisons")
+CONFIGS = ("engine_off", "no_reuse", "engine_on", "campaign_scope")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional increase per counter")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        cur = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    failures = []
+    if cur.get("errors") != base.get("errors"):
+        failures.append(
+            f"error-set size differs: current {cur.get('errors')} vs "
+            f"baseline {base.get('errors')} - run bench_solver with the "
+            "same --quick setting as the baseline")
+    if not cur.get("outcomes_identical", False):
+        failures.append("detection outcomes diverged between configurations")
+
+    for cfg in CONFIGS:
+        c, b = cur.get(cfg), base.get(cfg)
+        if c is None or b is None:
+            failures.append(f"{cfg}: missing from current or baseline report")
+            continue
+        if c.get("detected") != b.get("detected"):
+            failures.append(f"{cfg}: detected {c.get('detected')} != "
+                            f"baseline {b.get('detected')}")
+        for key in GUARDED_COUNTERS:
+            cv, bv = c.get(key), b.get(key)
+            if cv is None or bv is None:
+                failures.append(f"{cfg}.{key}: missing counter")
+                continue
+            limit = bv * (1.0 + args.tolerance)
+            if cv > limit:
+                failures.append(
+                    f"{cfg}.{key}: {cv} exceeds baseline {bv} "
+                    f"by more than {args.tolerance:.0%}")
+
+    if failures:
+        print("perf guard FAILED:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print(f"perf guard ok: {len(CONFIGS)} configs x "
+          f"{len(GUARDED_COUNTERS)} counters within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
