@@ -8,6 +8,13 @@
 //                  memo all off - the hot paths before the reuse overhaul
 //   engine_on      full defaults (per-error solver scope)
 //   campaign_scope engine on with campaign-lifetime deduction reuse
+//   warm_start     campaign scope warm-started from the deduction snapshot
+//                  the campaign_scope pass exported (the persisted-store
+//                  path of docs/ROBUSTNESS.md, minus the file I/O)
+//   campaign_shard campaign scope split over 4 round-robin shards with a
+//                  shared NogoodBoard, interleaved deterministically on one
+//                  thread - the per-worker deduction state of a --jobs 4
+//                  sharded campaign without scheduler noise
 //
 //   $ ./bench_solver [--quick] [--out BENCH_tg.json]
 //
@@ -24,11 +31,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tg.h"
 #include "sim/cosim.h"
+#include "solver/nogood_board.h"
+#include "solver/store.h"
 
 using namespace hltg;
 
@@ -51,6 +61,7 @@ struct RunStats {
   std::uint64_t dptrace_reused = 0;
   std::uint64_t relax_hits = 0;
   std::uint64_t relax_lookups = 0;
+  std::uint64_t relax_cross_site_misses = 0;
   double total_seconds = 0;
 
   double percentile(double p) const {
@@ -65,9 +76,35 @@ struct RunStats {
   }
 };
 
+void fold(RunStats* out, const TgResult& r, double s) {
+  out->seconds.push_back(s);
+  out->total_seconds += s;
+  out->detected.push_back(r.status == TgStatus::kSuccess);
+  out->detected_count += r.status == TgStatus::kSuccess;
+  out->decisions += r.stats.decisions;
+  out->backtracks += r.stats.backtracks + r.stats.plan_retries;
+  out->implications += r.stats.implications;
+  out->learned += r.stats.learned;
+  out->nogood_hits += r.stats.nogood_hits;
+  out->nogood_comparisons += r.stats.nogood_comparisons;
+  out->cache_hits += r.stats.cache_hits;
+  out->cache_lookups += r.stats.cache_lookups;
+  out->dptrace_expansions += r.stats.dptrace_expansions;
+  out->dptrace_searches += r.stats.dptrace_searches;
+  out->dptrace_reused += r.stats.dptrace_reused;
+  out->relax_hits += r.stats.relax_hits;
+  out->relax_lookups += r.stats.relax_lookups;
+  out->relax_cross_site_misses += r.stats.relax_cross_site_misses;
+}
+
+/// One generator over the whole population. `warm` (optional) is imported
+/// before the first error; `out_snap` (optional) receives the final
+/// deduction snapshot - together they model the persisted-store warm start.
 RunStats run(const DlxModel& m, const std::vector<DesignError>& errors,
-             const TgConfig& cfg) {
+             const TgConfig& cfg, const DedSnapshot* warm = nullptr,
+             DedSnapshot* out_snap = nullptr) {
   TestGenerator tg(m, cfg);
+  if (warm) import_context(*warm, &tg.solver_context());
   RunStats out;
   for (const DesignError& err : errors) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -75,23 +112,32 @@ RunStats run(const DlxModel& m, const std::vector<DesignError>& errors,
     const double s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    out.seconds.push_back(s);
-    out.total_seconds += s;
-    out.detected.push_back(r.status == TgStatus::kSuccess);
-    out.detected_count += r.status == TgStatus::kSuccess;
-    out.decisions += r.stats.decisions;
-    out.backtracks += r.stats.backtracks + r.stats.plan_retries;
-    out.implications += r.stats.implications;
-    out.learned += r.stats.learned;
-    out.nogood_hits += r.stats.nogood_hits;
-    out.nogood_comparisons += r.stats.nogood_comparisons;
-    out.cache_hits += r.stats.cache_hits;
-    out.cache_lookups += r.stats.cache_lookups;
-    out.dptrace_expansions += r.stats.dptrace_expansions;
-    out.dptrace_searches += r.stats.dptrace_searches;
-    out.dptrace_reused += r.stats.dptrace_reused;
-    out.relax_hits += r.stats.relax_hits;
-    out.relax_lookups += r.stats.relax_lookups;
+    fold(&out, r, s);
+  }
+  if (out_snap) *out_snap = export_context(tg.solver_context());
+  return out;
+}
+
+/// `lanes` campaign-scope generators sharing one NogoodBoard, error i on
+/// lane i % lanes - a sharded multi-worker campaign interleaved
+/// deterministically on one thread. The board sync runs inside generate(),
+/// exactly as in the parallel engine.
+RunStats run_sharded(const DlxModel& m, const std::vector<DesignError>& errors,
+                     TgConfig cfg, unsigned lanes) {
+  NogoodBoard board;
+  cfg.solver.scope = SolverScope::kCampaign;
+  cfg.solver.shared_board = &board;
+  std::vector<std::unique_ptr<TestGenerator>> gens;
+  for (unsigned i = 0; i < lanes; ++i)
+    gens.push_back(std::make_unique<TestGenerator>(m, cfg));
+  RunStats out;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TgResult r = gens[i % lanes]->generate(errors[i]);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    fold(&out, r, s);
   }
   return out;
 }
@@ -107,7 +153,8 @@ void emit(std::FILE* f, const char* name, const RunStats& r) {
       "\"cache_hits\": %llu, \"cache_lookups\": %llu, "
       "\"cache_hit_rate\": %.4f, \"dptrace_expansions\": %llu, "
       "\"dptrace_searches\": %llu, \"dptrace_reused\": %llu, "
-      "\"relax_hits\": %llu, \"relax_lookups\": %llu}",
+      "\"relax_hits\": %llu, \"relax_lookups\": %llu, "
+      "\"relax_cross_site_misses\": %llu}",
       name, r.total_seconds, r.percentile(0.50), r.percentile(0.95),
       r.detected_count, static_cast<unsigned long long>(r.decisions),
       static_cast<unsigned long long>(r.backtracks),
@@ -121,7 +168,8 @@ void emit(std::FILE* f, const char* name, const RunStats& r) {
       static_cast<unsigned long long>(r.dptrace_searches),
       static_cast<unsigned long long>(r.dptrace_reused),
       static_cast<unsigned long long>(r.relax_hits),
-      static_cast<unsigned long long>(r.relax_lookups));
+      static_cast<unsigned long long>(r.relax_lookups),
+      static_cast<unsigned long long>(r.relax_cross_site_misses));
 }
 
 double ratio(std::uint64_t base, std::uint64_t opt) {
@@ -192,14 +240,37 @@ int main(int argc, char** argv) {
 
   TgConfig campaign_cfg;
   campaign_cfg.solver.scope = SolverScope::kCampaign;
-  const RunStats campaign = run(m, errors, campaign_cfg);
+  DedSnapshot snapshot;
+  const RunStats campaign = run(m, errors, campaign_cfg, nullptr, &snapshot);
   std::printf("campaign scope: %.2fs, %zu detected, cache %.0f%% of %llu "
-              "lookups, %llu relax replays of %llu\n",
+              "lookups, %llu relax replays of %llu (%llu cross-site "
+              "misses)\n",
               campaign.total_seconds, campaign.detected_count,
               100.0 * campaign.cache_hit_rate(),
               static_cast<unsigned long long>(campaign.cache_lookups),
               static_cast<unsigned long long>(campaign.relax_hits),
-              static_cast<unsigned long long>(campaign.relax_lookups));
+              static_cast<unsigned long long>(campaign.relax_lookups),
+              static_cast<unsigned long long>(
+                  campaign.relax_cross_site_misses));
+
+  const RunStats warm = run(m, errors, campaign_cfg, &snapshot);
+  std::printf("warm start    : %.2fs, %zu detected, cache %.0f%% of %llu "
+              "lookups, %llu relax replays of %llu (%zu deductions "
+              "carried in)\n",
+              warm.total_seconds, warm.detected_count,
+              100.0 * warm.cache_hit_rate(),
+              static_cast<unsigned long long>(warm.cache_lookups),
+              static_cast<unsigned long long>(warm.relax_hits),
+              static_cast<unsigned long long>(warm.relax_lookups),
+              snapshot.entries());
+
+  const RunStats shard = run_sharded(m, errors, TgConfig{}, 4);
+  std::printf("campaign shard: %.2fs, %zu detected, %llu nogoods learned, "
+              "cache %.0f%% of %llu lookups (4 lanes, shared board)\n",
+              shard.total_seconds, shard.detected_count,
+              static_cast<unsigned long long>(shard.learned),
+              100.0 * shard.cache_hit_rate(),
+              static_cast<unsigned long long>(shard.cache_lookups));
 
   const double effort_reduction =
       ratio(off.decisions + off.backtracks, on.decisions + on.backtracks);
@@ -223,7 +294,9 @@ int main(int argc, char** argv) {
 
   const bool outcomes_identical = off.detected == on.detected &&
                                   off.detected == noreuse.detected &&
-                                  off.detected == campaign.detected;
+                                  off.detected == campaign.detected &&
+                                  off.detected == warm.detected &&
+                                  off.detected == shard.detected;
   if (!outcomes_identical)
     std::printf("ERROR: detection outcomes diverged between configurations\n");
 
@@ -245,6 +318,10 @@ int main(int argc, char** argv) {
   emit(f, "engine_on", on);
   std::fprintf(f, ",\n");
   emit(f, "campaign_scope", campaign);
+  std::fprintf(f, ",\n");
+  emit(f, "warm_start", warm);
+  std::fprintf(f, ",\n");
+  emit(f, "campaign_shard", shard);
   std::fprintf(f,
                ",\n"
                "  \"effort_reduction\": %.3f,\n"

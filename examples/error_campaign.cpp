@@ -7,7 +7,8 @@
 //                      [--max-decisions N] [--fallback [tries]]
 //                      [--journal file.jsonl] [--resume]
 //                      [--jobs N] [--drop] [--solver on|off]
-//                      [--solver-scope error|campaign]
+//                      [--solver-scope error|campaign] [--store file.ded]
+//                      [--failpoints SPEC]
 //                      [--verify-witness] [--minimize] [--quarantine-dir D]
 //   $ ./error_campaign [--stages ...] [--model ...] --replay test.txt
 //                      --replay-error N --expect detected|undetected
@@ -45,16 +46,28 @@
 // and DPRELAX memo alive across the whole error population instead of
 // resetting them per error (docs/SOLVER.md has the determinism argument:
 // outcomes, witnesses and emitted tests stay identical to error scope;
-// effort counters drop - that is the reuse). Single-worker only - it is
-// rejected with --jobs > 1, where "which errors came before" would depend
-// on thread scheduling.
+// effort counters drop - that is the reuse). With --jobs > 1 the parallel
+// engine shards errors round-robin per worker (deterministic for any N)
+// and the workers exchange learned netlist-level nogoods through a shared
+// board between errors.
+//
+// --store FILE persists the campaign-scope deduction state across process
+// lifetimes (docs/ROBUSTNESS.md "Persisted deduction store"): loaded -
+// after a design-hash/config-hash validation - before the campaign for a
+// warm start, saved atomically after it. Requires --solver-scope campaign.
+// --failpoints SPEC (or HLTG_FAILPOINTS in the environment) arms the I/O
+// fault-injection harness for crash-recovery testing; see
+// src/util/failpoint.h for the grammar.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/random_tg.h"
 #include "core/tg.h"
@@ -63,8 +76,11 @@
 #include "errors/report.h"
 #include "isa/testcase_io.h"
 #include "sim/batch_sim.h"
+#include "solver/nogood_board.h"
+#include "solver/store.h"
 #include "triage/triage.h"
 #include "triage/witness_check.h"
+#include "util/failpoint.h"
 #include "util/table.h"
 
 using namespace hltg;
@@ -99,6 +115,17 @@ std::string stages_to_string(const std::vector<Stage>& stages) {
 
 CancelToken g_cancel;
 extern "C" void on_sigint(int) { g_cancel.request_stop(); }
+
+/// A zero-length store file (e.g. just created by the writability probe)
+/// is a cold start, not a load candidate.
+bool nonempty_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  std::fclose(f);
+  return n > 0;
+}
 
 /// Bundle repro mode: replay one saved testcase through the independent
 /// oracle and compare against the expected verdict. Exit 0 iff reproduced.
@@ -145,6 +172,7 @@ int main(int argc, char** argv) {
   bool verify_witness = false;
   bool minimize = false;
   std::string quarantine_dir;
+  std::string store_path, failpoint_spec;
   std::string replay_path, expect;
   std::size_t replay_error = 0;
   bool have_replay_error = false;
@@ -202,6 +230,10 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    else if (!std::strcmp(argv[i], "--store") && i + 1 < argc)
+      store_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc)
+      failpoint_spec = argv[++i];
     else if (!std::strcmp(argv[i], "--verify-witness"))
       verify_witness = true;
     else if (!std::strcmp(argv[i], "--minimize"))
@@ -234,9 +266,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--drop and --jobs are mutually exclusive\n");
     return 1;
   }
-  if (scope == SolverScope::kCampaign && jobs > 1) {
-    std::fprintf(stderr, "--solver-scope campaign requires --jobs 1 "
-                 "(cross-error reuse is per worker)\n");
+  if (!store_path.empty() && scope != SolverScope::kCampaign) {
+    std::fprintf(stderr, "--store requires --solver-scope campaign (a "
+                 "per-error-scope context has nothing to persist)\n");
     return 1;
   }
   if (!replay_path.empty() &&
@@ -247,6 +279,38 @@ int main(int argc, char** argv) {
   }
   // Minimization and quarantine are refinements of the cross-check.
   if (minimize || !quarantine_dir.empty()) verify_witness = true;
+
+  // Arm the I/O fault-injection harness (zero-cost when unused).
+  failpoint::configure_from_env();
+  if (!failpoint_spec.empty()) {
+    std::string fperr;
+    if (!failpoint::configure(failpoint_spec, &fperr)) {
+      std::fprintf(stderr, "--failpoints: %s\n", fperr.c_str());
+      return 1;
+    }
+  }
+
+  // Fail fast on unwritable output paths: a campaign that runs for an hour
+  // and then cannot journal, persist, or quarantine wasted the hour. The
+  // store's prior size is recorded BEFORE the probe (the probe leaves an
+  // empty file behind when the path was absent).
+  const bool store_existed = !store_path.empty() && nonempty_file(store_path);
+  std::string why;
+  if (!ccfg.journal_path.empty() &&
+      !probe_writable_file(ccfg.journal_path, &why)) {
+    std::fprintf(stderr, "--journal %s: %s\n", ccfg.journal_path.c_str(),
+                 why.c_str());
+    return 1;
+  }
+  if (!store_path.empty() && !probe_writable_file(store_path, &why)) {
+    std::fprintf(stderr, "--store %s: %s\n", store_path.c_str(), why.c_str());
+    return 1;
+  }
+  if (!quarantine_dir.empty() && !probe_writable_dir(quarantine_dir, &why)) {
+    std::fprintf(stderr, "--quarantine-dir %s: %s\n", quarantine_dir.c_str(),
+                 why.c_str());
+    return 1;
+  }
 
   const DlxModel m = build_dlx();
   std::vector<DesignError> errors;
@@ -285,6 +349,40 @@ int main(int argc, char** argv) {
   TgConfig tgcfg;
   tgcfg.solver.enable = use_solver;
   tgcfg.solver.scope = scope;
+
+  // Provenance stamps: recorded in the journal header and the store meta
+  // record, validated on --resume and on store load so deduction state is
+  // never replayed against a different design or solver configuration.
+  ccfg.design_hash = tg_design_hash(m);
+  ccfg.solver_config_hash = tg_config_hash(tgcfg);
+
+  // Cross-worker nogood exchange for the sharded campaign scope: workers
+  // publish learned netlist-level cuts between errors and import the
+  // others' via epoch-published read-only snapshots.
+  NogoodBoard board;
+  if (scope == SolverScope::kCampaign && jobs > 1)
+    tgcfg.solver.shared_board = &board;
+
+  // Warm start: load the persisted deduction store (validated against the
+  // stamps above). A missing or empty file is a cold start; a mismatched
+  // or unreadable one is a hard error - silently searching cold after the
+  // user asked for a warm start would hide the problem.
+  DedSnapshot warm;
+  if (!store_path.empty() && store_existed) {
+    DedStoreLoad load =
+        load_ded_store(store_path, ccfg.design_hash, ccfg.solver_config_hash);
+    if (!load.ok) {
+      std::fprintf(stderr, "--store %s: %s\n", store_path.c_str(),
+                   load.note.c_str());
+      return 1;
+    }
+    warm = std::move(load.snapshot);
+    std::printf("store: warm start, %zu deductions from %s%s%s\n",
+                warm.entries(), store_path.c_str(),
+                load.note.empty() ? "" : " - ",
+                load.note.c_str());
+  }
+
   if (verify_witness) {
     TriageOptions topt;
     topt.verify = true;
@@ -294,14 +392,19 @@ int main(int argc, char** argv) {
         "--model " + emodel + " --stages " + stages_to_string(stages);
     topt.cross_config = tgcfg;
     topt.cross_config.solver.enable = !use_solver;  // the other search
+    topt.cross_config.solver.shared_board = nullptr;  // oracle stays cold
     ccfg.triage = make_triage(m, topt);
   }
 
+  const bool persist = !store_path.empty();
+  DedSnapshot saved;  // merged deduction state persisted after the campaign
   CampaignResult res;
   if (use_drop) {
     TestGenerator tg(m, tgcfg);
+    if (!warm.empty()) import_context(warm, &tg.solver_context());
     res = run_campaign_with_dropping(m.dp, errors, tg.budgeted_strategy(),
                                      batch_detector(m), ccfg);
+    if (persist) saved = export_context(tg.solver_context());
   } else if (jobs > 1) {
     // Workers share the model read-only; materialise its lazy caches before
     // handing out const refs.
@@ -318,18 +421,49 @@ int main(int argc, char** argv) {
         return random_budgeted_strategy(m, rcfg);
       };
     }
+    // Keep each worker's generator reachable so its deduction state can be
+    // exported after the pool joins (merged in worker-id order: the saved
+    // store must be reproducible).
+    std::mutex gen_mu;
+    std::vector<std::shared_ptr<TestGenerator>> worker_gens(jobs);
     res = run_campaign_parallel(
         m.dp, errors,
-        [&m, tgcfg](unsigned) {
+        [&](unsigned w) {
           auto tg = std::make_shared<TestGenerator>(m, tgcfg);
+          if (!warm.empty()) import_context(warm, &tg->solver_context());
+          {
+            std::lock_guard<std::mutex> lk(gen_mu);
+            worker_gens[w] = tg;
+          }
           BudgetedGenFn s = tg->budgeted_strategy();
           return [tg, s](const DesignError& e, Budget& b) { return s(e, b); };
         },
         pcfg);
     std::printf("ran on %u worker threads\n", jobs);
+    if (persist)
+      for (const auto& tg : worker_gens)
+        if (tg) saved.merge(export_context(tg->solver_context()));
   } else {
     TestGenerator tg(m, tgcfg);
+    if (!warm.empty()) import_context(warm, &tg.solver_context());
     res = run_campaign(m.dp, errors, tg.budgeted_strategy(), ccfg);
+    if (persist) saved = export_context(tg.solver_context());
+  }
+  if (res.resume_refused) {
+    std::fprintf(stderr, "journal: %s\n", res.journal_note.c_str());
+    return 1;
+  }
+  if (persist) {
+    DedStoreMeta meta;
+    meta.design_hash = ccfg.design_hash;
+    meta.config_hash = ccfg.solver_config_hash;
+    std::string swhy;
+    if (save_ded_store(store_path, meta, saved, &swhy))
+      std::printf("store: saved %zu deductions to %s\n", saved.entries(),
+                  store_path.c_str());
+    else
+      std::fprintf(stderr, "store: save failed: %s (next run starts cold)\n",
+                   swhy.c_str());
   }
   if (use_drop)
     std::printf("dropping: kept %zu tests, dropped %zu errors (%.2f s error "

@@ -72,6 +72,11 @@ TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
   // error's plans and windows only. Campaign scope keeps the context for
   // the generator's lifetime (see solver_ctx_ comment in tg.h).
   if (cfg_.solver.scope == SolverScope::kError) solver_ctx_.reset();
+  // Campaign scope under --jobs > 1: trade nogoods with the other workers
+  // through the shared board. Strictly between errors - the search hot
+  // path below only ever touches the worker-private context.
+  if (cfg_.solver.scope == SolverScope::kCampaign)
+    solver_ctx_.sync_shared_nogoods();
   TgResult first = generate_with_window(err, cfg_.window, budget);
   if (first.status == TgStatus::kSuccess || cfg_.retry_window <= cfg_.window)
     return first;
@@ -95,6 +100,7 @@ TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
   second.stats.dptrace_reused += first.stats.dptrace_reused;
   second.stats.relax_hits += first.stats.relax_hits;
   second.stats.relax_lookups += first.stats.relax_lookups;
+  second.stats.relax_cross_site_misses += first.stats.relax_cross_site_misses;
   second.stats.dptrace_ns += first.stats.dptrace_ns;
   second.stats.ctrljust_ns += first.stats.ctrljust_ns;
   second.stats.dprelax_ns += first.stats.dprelax_ns;
@@ -273,10 +279,13 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     if (memoize) {
       rkey = RelaxCache::make_key(rcfg, vars, cons, inj);
       ++res.stats.relax_lookups;
+      const std::uint64_t xsite0 = solver_ctx_.relax.cross_site_misses();
       if (solver_ctx_.relax.find(rkey, &rr, &vars)) {
         ++res.stats.relax_hits;
         replayed = true;
       }
+      res.stats.relax_cross_site_misses +=
+          solver_ctx_.relax.cross_site_misses() - xsite0;
     }
     if (!replayed) {
       DpRelax relax(m_, window, rcfg);
@@ -390,6 +399,88 @@ BudgetedGenFn TestGenerator::budgeted_strategy() {
         r, std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                .count());
   };
+}
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(const std::string& s) {
+    mix(s.size());
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t tg_design_hash(const DlxModel& m) {
+  Fnv f;
+  f.mix(m.ctrl.num_gates());
+  for (GateId g = 0; g < m.ctrl.num_gates(); ++g) {
+    const Gate& gate = m.ctrl.gate(g);
+    f.mix(gate.name);
+    f.mix(static_cast<std::uint64_t>(gate.kind));
+    f.mix(static_cast<std::uint64_t>(gate.stage));
+    f.mix(static_cast<std::uint64_t>(gate.role));
+    f.mix((gate.tertiary ? 2u : 0u) | (gate.reset_value ? 1u : 0u));
+    f.mix(gate.fanin.size());
+    for (const GateId in : gate.fanin) f.mix(in);
+  }
+  f.mix(m.dp.num_nets());
+  for (NetId n = 0; n < m.dp.num_nets(); ++n) {
+    const Net& net = m.dp.net(n);
+    f.mix(net.name);
+    f.mix(net.width);
+    f.mix(static_cast<std::uint64_t>(net.stage));
+    f.mix(static_cast<std::uint64_t>(net.role));
+    f.mix(static_cast<std::uint64_t>(net.driver));
+    f.mix(net.sinks.size());
+    for (const auto& [mod, slot] : net.sinks) {
+      f.mix(static_cast<std::uint64_t>(mod));
+      f.mix(slot);
+    }
+  }
+  f.mix(m.dp.num_modules());
+  for (ModId mod = 0; mod < m.dp.num_modules(); ++mod) {
+    const Module& mo = m.dp.module(mod);
+    f.mix(mo.name);
+    f.mix(static_cast<std::uint64_t>(mo.kind));
+    f.mix(static_cast<std::uint64_t>(mo.stage));
+    f.mix(mo.data_in.size());
+    for (const NetId in : mo.data_in) f.mix(static_cast<std::uint64_t>(in));
+    f.mix(mo.ctrl_in.size());
+    for (const NetId in : mo.ctrl_in) f.mix(static_cast<std::uint64_t>(in));
+    f.mix(static_cast<std::uint64_t>(mo.out));
+    f.mix(mo.param);
+    f.mix(mo.tag);
+  }
+  return f.h;
+}
+
+std::uint64_t tg_config_hash(const TgConfig& cfg) {
+  Fnv f;
+  f.mix(cfg.window);
+  f.mix(cfg.retry_window);
+  f.mix(cfg.ctrljust.max_backtracks);
+  f.mix(cfg.ctrljust.max_decisions);
+  f.mix(cfg.ctrljust.use_engine ? 1u : 0u);
+  f.mix(cfg.relax.max_iterations);
+  f.mix(cfg.relax.max_depth);
+  f.mix(cfg.relax.seed);
+  f.mix((cfg.solver.enable ? 1u : 0u) | (cfg.solver.use_nogoods ? 2u : 0u) |
+        (cfg.solver.use_cache ? 4u : 0u) |
+        (cfg.solver.use_nogood_watches ? 8u : 0u) |
+        (cfg.solver.use_relax_cache ? 16u : 0u));
+  return f.h;
 }
 
 }  // namespace hltg

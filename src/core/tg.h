@@ -65,6 +65,10 @@ struct TgStats {
   std::uint64_t dptrace_reused = 0;      ///< searches answered by the memo
   std::uint64_t relax_hits = 0;     ///< DPRELAX solves replayed from the memo
   std::uint64_t relax_lookups = 0;  ///< DPRELAX memo probes
+  /// DPRELAX memo misses where a resident entry differed only in the
+  /// injection-site suffix of the key - the reuse a site-independent
+  /// keying would capture (measured, not exploited; docs/SOLVER.md).
+  std::uint64_t relax_cross_site_misses = 0;
   // Per-phase wall time (monotonic clock), for the campaign CSV / --replay.
   std::uint64_t dptrace_ns = 0;
   std::uint64_t ctrljust_ns = 0;
@@ -113,6 +117,13 @@ class TestGenerator {
 
   const DpTrace& tracer() const { return trace_; }
 
+  /// The per-generator deduction state, exposed for persistence: a warm
+  /// start imports a DedSnapshot here before the first generate(), and the
+  /// campaign driver exports/merges the contexts afterwards
+  /// (src/solver/store.h, docs/ROBUSTNESS.md).
+  SolverContext& solver_context() { return solver_ctx_; }
+  const SolverContext& solver_context() const { return solver_ctx_; }
+
  private:
   std::vector<RelaxConstraint> activation_constraints(
       const DesignError& err) const;
@@ -139,5 +150,18 @@ class TestGenerator {
   /// outcome-neutrality argument in solver/solver.h and docs/SOLVER.md).
   SolverContext solver_ctx_;
 };
+
+/// Fingerprint of the implementation model TG searches: every gate of the
+/// controller network and every net/module of the datapath netlist. Two
+/// runs with equal hashes search the same design, so netlist-level
+/// deductions (nogoods, cached justifications, relax memos) transfer
+/// between them. Gates campaign journals and persisted deduction stores.
+std::uint64_t tg_design_hash(const DlxModel& m);
+
+/// Fingerprint of the TgConfig knobs that cached deduction results depend
+/// on (windows, search caps, relaxation seed, solver toggles). Capacities
+/// are deliberately excluded: they change what stays resident, never what
+/// a resident entry means.
+std::uint64_t tg_config_hash(const TgConfig& cfg);
 
 }  // namespace hltg

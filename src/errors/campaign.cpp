@@ -327,8 +327,14 @@ CampaignResult run_campaign(const Netlist& nl,
 
   JournalSession journal;
   journal.open(nl, errors, cfg.journal_path, cfg.resume,
-               cfg.journal_fsync_interval);
+               cfg.journal_fsync_interval, cfg.design_hash,
+               cfg.solver_config_hash);
   res.journal_note = journal.note;
+  if (journal.refused) {
+    res.resume_refused = true;
+    res.interrupted = true;
+    return res;
+  }
 
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (cfg.cancel && cfg.cancel->stop_requested()) {
@@ -363,6 +369,10 @@ CampaignResult run_campaign(const Netlist& nl,
     res.stats.avg_test_length =
         static_cast<double>(length_sum) / res.stats.detected;
   res.tests_kept = res.stats.detected;
+  if (!journal.writer.error().empty()) {
+    if (!res.journal_note.empty()) res.journal_note += "; ";
+    res.journal_note += journal.writer.error();
+  }
   return res;
 }
 
@@ -395,8 +405,14 @@ CampaignResult run_campaign_with_dropping(
 
   JournalSession journal;
   journal.open(nl, errors, cfg.journal_path, cfg.resume,
-               cfg.journal_fsync_interval);
+               cfg.journal_fsync_interval, cfg.design_hash,
+               cfg.solver_config_hash);
   res.journal_note = journal.note;
+  if (journal.refused) {
+    res.resume_refused = true;
+    res.interrupted = true;
+    return res;
+  }
 
   // One batched detector call sweeps the new test over every remaining
   // error (dropped and journaled errors are already excluded).
@@ -500,6 +516,10 @@ CampaignResult run_campaign_with_dropping(
   if (res.tests_kept > 0)
     res.stats.avg_test_length =
         static_cast<double>(length_sum) / res.tests_kept;
+  if (!journal.writer.error().empty()) {
+    if (!res.journal_note.empty()) res.journal_note += "; ";
+    res.journal_note += journal.writer.error();
+  }
   return res;
 }
 

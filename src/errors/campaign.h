@@ -196,6 +196,9 @@ struct CampaignResult {
   std::vector<CampaignRow> rows;
   CampaignStats stats;
   bool interrupted = false;      ///< cancellation stopped the sweep early
+  /// --resume named a journal stamped with a DIFFERENT design or solver
+  /// configuration: nothing ran (rows empty), journal_note explains.
+  bool resume_refused = false;
   std::size_t resumed_rows = 0;  ///< rows replayed from the journal
   std::size_t dropped = 0;       ///< errors detected fortuitously
   std::size_t tests_kept = 0;    ///< distinct tests in the compacted set
@@ -282,6 +285,15 @@ struct CampaignConfig {
   /// Replay journaled rows (skipping their generator runs) before
   /// attempting the rest. Requires journal_path.
   bool resume = false;
+  /// Provenance stamps recorded in the journal header and checked on
+  /// resume: a journal whose stamps conflict with these is REFUSED
+  /// (CampaignResult::resume_refused) instead of replayed, because rows
+  /// from a different design or solver configuration would silently
+  /// corrupt the Table-1 statistics. Zero means "unstamped" (legacy
+  /// callers, unit tests): no stamp is written and none is enforced.
+  /// Campaign drivers pass tg_design_hash() / tg_config_hash().
+  std::uint64_t design_hash = 0;
+  std::uint64_t solver_config_hash = 0;
   /// Checked between errors: a stop request ends the sweep cleanly after
   /// the current error (its row is journaled first).
   const CancelToken* cancel = nullptr;

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "isa/testcase_io.h"
+#include "util/failpoint.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -194,13 +195,28 @@ std::uint64_t campaign_fingerprint(const Netlist& nl,
   return h;
 }
 
-std::string journal_header_line(std::size_t total, std::uint64_t fingerprint) {
+std::string journal_header_line(std::size_t total, std::uint64_t fingerprint,
+                                std::uint64_t design_hash,
+                                std::uint64_t solver_hash) {
   char fp[32];
   std::snprintf(fp, sizeof fp, "%016llx",
                 static_cast<unsigned long long>(fingerprint));
   std::ostringstream os;
   os << "{\"kind\":\"hltg-campaign\",\"version\":1,\"total\":" << total
-     << ",\"fingerprint\":\"" << fp << "\"}";
+     << ",\"fingerprint\":\"" << fp << "\"";
+  // Provenance stamps are emitted only when the campaign supplies them, so
+  // unstamped headers keep the pre-stamp byte layout.
+  if (design_hash) {
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(design_hash));
+    os << ",\"design\":\"" << fp << "\"";
+  }
+  if (solver_hash) {
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(solver_hash));
+    os << ",\"solver\":\"" << fp << "\"";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -269,6 +285,11 @@ JournalReplay load_journal(const std::string& path) {
       out.header_ok = true;
       out.total = static_cast<std::size_t>(total);
       out.fingerprint = std::strtoull(fp.c_str(), nullptr, 16);
+      std::string stamp;
+      if (j.get_string("design", &stamp))
+        out.design_hash = std::strtoull(stamp.c_str(), nullptr, 16);
+      if (j.get_string("solver", &stamp))
+        out.solver_hash = std::strtoull(stamp.c_str(), nullptr, 16);
       continue;
     }
     std::uint64_t index = 0;
@@ -341,10 +362,19 @@ bool CampaignJournal::open(const std::string& path, bool append,
 
 bool CampaignJournal::append_line(const std::string& line) {
   if (!f_) return false;
-  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size())
+  // One write per row (payload + newline together): an injected short
+  // write or crash leaves at most one torn trailing row, which the loader
+  // drops.
+  const std::string row = line + '\n';
+  if (failpoint::checked_fwrite(row.data(), row.size(), f_,
+                                "journal.write") != row.size()) {
+    disable("journal write failed: " + std::string(std::strerror(errno)));
     return false;
-  if (std::fputc('\n', f_) == EOF) return false;
-  if (std::fflush(f_) != 0) return false;
+  }
+  if (std::fflush(f_) != 0) {
+    disable("journal flush failed: " + std::string(std::strerror(errno)));
+    return false;
+  }
   // Durability in batches: fsync every fsync_interval_ rows (plus on
   // close/sync). A crash mid-batch loses only unsynced rows; the loader
   // drops a torn trailing row, so the synced prefix always replays.
@@ -356,9 +386,20 @@ void CampaignJournal::sync() {
   if (!f_) return;
   std::fflush(f_);
 #ifndef _WIN32
-  fsync(fileno(f_));
+  if (failpoint::checked_fsync(fileno(f_), "journal.fsync") != 0) {
+    disable("journal fsync failed: " + std::string(std::strerror(errno)));
+    return;
+  }
 #endif
   rows_since_sync_ = 0;
+}
+
+void CampaignJournal::disable(const std::string& why) {
+  if (error_.empty()) error_ = why + " (journaling disabled)";
+  if (f_) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
 }
 
 void CampaignJournal::close() {
@@ -372,13 +413,35 @@ void CampaignJournal::close() {
 void JournalSession::open(const Netlist& nl,
                           const std::vector<DesignError>& errors,
                           const std::string& path, bool resume,
-                          unsigned fsync_interval) {
+                          unsigned fsync_interval, std::uint64_t design_hash,
+                          std::uint64_t solver_hash) {
   if (path.empty()) return;
   writer.set_fsync_interval(fsync_interval);
   const std::uint64_t fp = campaign_fingerprint(nl, errors);
   bool append = false;
   if (resume) {
     JournalReplay jr = load_journal(path);
+    // Stamped conflicts refuse outright: those rows were produced against
+    // a different design or solver configuration, and replaying them would
+    // silently corrupt the campaign statistics. Unstamped journals (hash
+    // 0, pre-stamp format) cannot be validated and keep the tolerant
+    // behavior below.
+    if (jr.header_ok && design_hash && jr.design_hash &&
+        jr.design_hash != design_hash) {
+      refused = true;
+      note = "refusing to resume: journal '" + path +
+             "' was recorded against a different design (design hash "
+             "mismatch); use a fresh --journal path or drop --resume";
+      return;
+    }
+    if (jr.header_ok && solver_hash && jr.solver_hash &&
+        jr.solver_hash != solver_hash) {
+      refused = true;
+      note = "refusing to resume: journal '" + path +
+             "' was recorded under a different solver configuration; use a "
+             "fresh --journal path or drop --resume";
+      return;
+    }
     if (jr.header_ok && jr.fingerprint == fp && jr.total == errors.size()) {
       replay = std::move(jr.rows);
       append = true;
@@ -396,7 +459,8 @@ void JournalSession::open(const Netlist& nl,
     if (!note.empty()) note += "; ";
     note += jerr + " (journaling disabled)";
   } else if (!append) {
-    writer.append_line(journal_header_line(errors.size(), fp));
+    writer.append_line(
+        journal_header_line(errors.size(), fp, design_hash, solver_hash));
   }
 }
 

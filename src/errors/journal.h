@@ -9,6 +9,13 @@
 // Format:
 //   line 1  header  {"kind":"hltg-campaign","version":1,"total":N,
 //                    "fingerprint":"<hex64>"}
+//                   plus, when the campaign stamps them (nonzero),
+//                   "design":"<hex64>","solver":"<hex64>" - the
+//                   tg_design_hash / tg_config_hash of the run. A resume
+//                   whose stamps conflict with the journal's is REFUSED
+//                   (JournalSession::refused): replaying rows searched
+//                   against a different design or solver configuration
+//                   would silently corrupt the campaign statistics.
 //   line 2+ rows    {"index":I,"generated":b,"sim_confirmed":b,
 //                    "test_length":N,"backtracks":N,"decisions":N,
 //                    "seconds":F,"abort":"<reason>","via_fallback":b,
@@ -35,13 +42,19 @@ namespace hltg {
 std::uint64_t campaign_fingerprint(const Netlist& nl,
                                    const std::vector<DesignError>& errors);
 
-std::string journal_header_line(std::size_t total, std::uint64_t fingerprint);
+/// `design_hash` / `solver_hash` are emitted only when nonzero, keeping
+/// unstamped headers byte-identical to the pre-stamp format.
+std::string journal_header_line(std::size_t total, std::uint64_t fingerprint,
+                                std::uint64_t design_hash = 0,
+                                std::uint64_t solver_hash = 0);
 std::string journal_row_line(std::size_t index, const ErrorAttempt& a);
 
 struct JournalReplay {
   bool header_ok = false;
   std::size_t total = 0;
   std::uint64_t fingerprint = 0;
+  std::uint64_t design_hash = 0;  ///< 0: header predates the stamps
+  std::uint64_t solver_hash = 0;
   std::map<std::size_t, ErrorAttempt> rows;
   std::string note;  ///< diagnostics (missing file, torn rows dropped, ...)
 };
@@ -73,10 +86,22 @@ class CampaignJournal {
   void set_fsync_interval(unsigned n) { fsync_interval_ = n; }
   unsigned fsync_interval() const { return fsync_interval_; }
 
+  /// Diagnostic from a write/fsync failure that disabled the journal
+  /// mid-campaign (I/O errors degrade to an unjournaled campaign; the
+  /// append goes through the failpoint hooks "journal.write" /
+  /// "journal.fsync"). Empty while healthy.
+  const std::string& error() const { return error_; }
+
  private:
+  /// An append or fsync failed: stop journaling. The file is closed
+  /// WITHOUT another sync attempt, so whatever prefix reached the OS
+  /// stays; the loader's torn-row handling covers any partial final row.
+  void disable(const std::string& why);
+
   std::FILE* f_ = nullptr;
   unsigned fsync_interval_ = 32;
   unsigned rows_since_sync_ = 0;
+  std::string error_;
 };
 
 /// One campaign's journal lifecycle, shared by the serial, dropping and
@@ -89,11 +114,17 @@ struct JournalSession {
   CampaignJournal writer;
   std::map<std::size_t, ErrorAttempt> replay;
   std::string note;
+  /// The resume target carries provenance stamps that CONFLICT with this
+  /// campaign's (different design or solver configuration). The writer is
+  /// not opened; the campaign engines return without attempting anything.
+  /// A plain fingerprint mismatch (different error population) keeps the
+  /// old degrade-to-fresh behavior - only stamped conflicts refuse.
+  bool refused = false;
   std::size_t resumed() const { return replay.size(); }
 
   void open(const Netlist& nl, const std::vector<DesignError>& errors,
-            const std::string& path, bool resume,
-            unsigned fsync_interval = 32);
+            const std::string& path, bool resume, unsigned fsync_interval = 32,
+            std::uint64_t design_hash = 0, std::uint64_t solver_hash = 0);
 };
 
 }  // namespace hltg

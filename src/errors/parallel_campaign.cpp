@@ -1,6 +1,6 @@
 #include "errors/parallel_campaign.h"
 
-#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -44,8 +44,14 @@ CampaignResult run_campaign_parallel(const Netlist& nl,
 
   JournalSession journal;
   journal.open(nl, errors, cfg.journal_path, cfg.resume,
-               cfg.journal_fsync_interval);
+               cfg.journal_fsync_interval, cfg.design_hash,
+               cfg.solver_config_hash);
   res.journal_note = journal.note;
+  if (journal.refused) {
+    res.resume_refused = true;
+    res.interrupted = true;
+    return res;
+  }
 
   std::vector<ErrorAttempt> attempts(errors.size());
   std::vector<unsigned char> state(errors.size(), kPending);
@@ -66,32 +72,30 @@ CampaignResult run_campaign_parallel(const Netlist& nl,
   // const refs.
   if (!errors.empty()) (void)nl.topo_order();
 
-  // Work stealing by atomic counter: each worker grabs the next unclaimed
-  // index. Assignment of errors to workers is load-dependent and does not
-  // matter: attempts are pure functions of the error, and aggregation below
-  // is index-ordered.
-  std::atomic<std::size_t> next{0};
+  // Deterministic sharding: worker w owns the pending positions p with
+  // p % jobs == w, walked in ascending order. Unlike work stealing, the
+  // error sequence each worker sees is a pure function of (campaign,
+  // jobs), which makes per-worker deduction state (campaign-scope
+  // SolverContext) reproducible run over run. Aggregation below stays
+  // index-ordered, so rows and stats remain jobs-independent as before.
   std::mutex journal_mu;
   std::mutex note_mu;
+  // Orphan adoption: when a worker's generator factory fails, its shard
+  // must not be lost. Survivors wait until every factory outcome is known,
+  // then adopt orphaned shards whole (each by exactly one survivor).
+  // Adoption order is racy, but attempts are pure functions of the error,
+  // so only reuse counters can vary on this (abnormal) path - never
+  // outcomes.
+  std::mutex shard_mu;
+  std::condition_variable shard_cv;
+  unsigned factories_resolved = 0;
+  std::vector<unsigned> orphan_shards;
 
-  auto worker = [&](unsigned w) {
-    CampaignConfig wcfg = cfg;  // slice: per-worker view of the shared knobs
-    BudgetedGenFn gen;
-    try {
-      gen = make_gen(w);
-      if (cfg.fallback_factory) wcfg.fallback = cfg.fallback_factory(w);
-    } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lk(note_mu);
-      if (!res.journal_note.empty()) res.journal_note += "; ";
-      res.journal_note +=
-          "worker " + std::to_string(w) + " unavailable: " + e.what();
-      return;  // remaining workers drain the queue
-    }
-    for (;;) {
+  auto run_shard = [&](unsigned shard, const BudgetedGenFn& gen,
+                       const CampaignConfig& wcfg) {
+    for (std::size_t p = shard; p < pending.size(); p += jobs) {
       if (cfg.cancel && cfg.cancel->stop_requested()) return;
-      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= pending.size()) return;
-      const std::size_t i = pending[k];
+      const std::size_t i = pending[p];
       ErrorAttempt a = attempt_one_error(errors[i], i, gen, wcfg);
       {
         std::lock_guard<std::mutex> lk(journal_mu);
@@ -100,6 +104,41 @@ CampaignResult run_campaign_parallel(const Netlist& nl,
       }
       attempts[i] = std::move(a);
       state[i] = kFresh;
+    }
+  };
+
+  auto worker = [&](unsigned w) {
+    CampaignConfig wcfg = cfg;  // slice: per-worker view of the shared knobs
+    BudgetedGenFn gen;
+    bool available = true;
+    try {
+      gen = make_gen(w);
+      if (cfg.fallback_factory) wcfg.fallback = cfg.fallback_factory(w);
+    } catch (const std::exception& e) {
+      available = false;
+      std::lock_guard<std::mutex> lk(note_mu);
+      if (!res.journal_note.empty()) res.journal_note += "; ";
+      res.journal_note +=
+          "worker " + std::to_string(w) + " unavailable: " + e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lk(shard_mu);
+      ++factories_resolved;
+      if (!available) orphan_shards.push_back(w);
+    }
+    shard_cv.notify_all();
+    if (!available) return;  // survivors adopt this worker's shard
+
+    run_shard(w, gen, wcfg);
+
+    std::unique_lock<std::mutex> lk(shard_mu);
+    shard_cv.wait(lk, [&] { return factories_resolved == jobs; });
+    while (!orphan_shards.empty()) {
+      const unsigned orphan = orphan_shards.front();
+      orphan_shards.erase(orphan_shards.begin());
+      lk.unlock();
+      run_shard(orphan, gen, wcfg);
+      lk.lock();
     }
   };
 
@@ -139,6 +178,11 @@ CampaignResult run_campaign_parallel(const Netlist& nl,
     res.stats.avg_test_length =
         static_cast<double>(length_sum) / res.stats.detected;
   res.tests_kept = res.stats.detected;
+  if (!journal.writer.error().empty()) {
+    std::lock_guard<std::mutex> lk(note_mu);
+    if (!res.journal_note.empty()) res.journal_note += "; ";
+    res.journal_note += journal.writer.error();
+  }
   return res;
 }
 

@@ -6,11 +6,17 @@
 // and .stats are identical for any --jobs value. Workers only *compute*
 // attempts; all aggregation (stats tallies, row order, verbose output)
 // happens on the calling thread in error-index order after the pool joins.
-// Work distribution is an atomic index counter (work stealing by
-// fetch_add), so which worker runs which error varies - but each attempt is
-// a pure function of (error, per-error budget, per-worker generator), and
-// generators are constructed per worker from a factory so no search state
-// is shared.
+// Work distribution is deterministic round-robin sharding: worker w runs
+// the pending errors at positions p with p % jobs == w, in ascending
+// order. Each worker's error sequence - and therefore any per-worker
+// carried deduction state (campaign-scope SolverContext) - is a pure
+// function of (campaign, jobs), reproducible run over run. Each attempt
+// remains a pure function of (error, per-error budget, per-worker
+// generator); generators are constructed per worker from a factory.
+// If a worker's factory throws, its shard is not lost: once every factory
+// outcome is known, surviving workers adopt orphaned shards whole (each
+// adopted by exactly one survivor). Outcomes stay identical on that path;
+// only reuse-effort counters can vary with adoption order.
 //
 // Journal contract: rows are appended under a mutex as workers finish, so
 // they may land *out of index order*. That is within the JSONL journal

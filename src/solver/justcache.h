@@ -61,6 +61,18 @@ class JustCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Resident entries in slot order, for persistence (src/solver/store.h).
+  struct Exported {
+    std::vector<Lit> key;
+    JustCacheEntry entry;
+  };
+  std::vector<Exported> export_entries() const {
+    std::vector<Exported> out;
+    out.reserve(slots_.size());
+    for (const Slot& s : slots_) out.push_back({s.key, s.entry});
+    return out;
+  }
+
   void clear() {
     slots_.clear();
     hits_ = misses_ = 0;

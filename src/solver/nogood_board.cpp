@@ -1,0 +1,33 @@
+#include "solver/nogood_board.h"
+
+namespace hltg {
+
+void NogoodBoard::publish(std::vector<std::vector<Lit>> cuts) {
+  if (cuts.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<Lit>> fresh;
+  for (std::vector<Lit>& c : cuts) {
+    if (c.empty()) continue;
+    // A hash collision drops a cut, which only costs reuse - cuts are
+    // redundant consequences of the netlist, never load-bearing.
+    if (seen_.insert(hash_lits(c)).second) fresh.push_back(std::move(c));
+  }
+  if (fresh.empty()) return;
+  auto next = std::make_shared<Snapshot>();
+  if (snap_) next->cuts = snap_->cuts;  // copy-on-publish
+  for (std::vector<Lit>& c : fresh) next->cuts.push_back(std::move(c));
+  snap_ = std::move(next);
+  ++epoch_;
+}
+
+std::shared_ptr<const NogoodBoard::Snapshot> NogoodBoard::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+std::uint64_t NogoodBoard::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace hltg

@@ -1,0 +1,60 @@
+// Shared nogood board: cross-worker exchange of learned conflict cuts.
+//
+// Campaign-scope deduction under --jobs > 1 wants every worker to benefit
+// from every worker's conflicts, but the propagation hot path must stay
+// free of locks and atomics. The board gets both by trading in immutable
+// snapshots:
+//
+//  - The master cut list is append-only and content-deduplicated, guarded
+//    by a mutex that is only ever taken BETWEEN errors (publish / import),
+//    never inside a search.
+//  - Each publish that actually adds cuts builds a fresh immutable
+//    Snapshot (copy-on-publish) and bumps the epoch; readers grab the
+//    current shared_ptr under the mutex and then walk it lock-free.
+//  - A worker imports by replaying the master list's tail (everything past
+//    its own cursor) into its private NogoodStore via learn() - after
+//    which the hot path sees only its private store, exactly as in
+//    single-worker campaign scope.
+//
+// Sharing is outcome-neutral for the same reason campaign scope is: a cut
+// is a consequence of the controller netlist alone, so importing another
+// worker's cut can only prune proven-doomed subtrees (docs/SOLVER.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "solver/lit.h"
+
+namespace hltg {
+
+class NogoodBoard {
+ public:
+  /// Immutable published state. `cuts` extends append-only from snapshot
+  /// to snapshot, so a cursor into one snapshot stays valid in the next.
+  struct Snapshot {
+    std::vector<std::vector<Lit>> cuts;
+  };
+
+  /// Append the cuts not already on the board (content-hash dedup) and, if
+  /// any were new, publish a fresh snapshot. Thread-safe.
+  void publish(std::vector<std::vector<Lit>> cuts);
+
+  /// Current snapshot (nullptr until the first productive publish).
+  /// Thread-safe; the returned snapshot is immutable.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Bumped once per productive publish.
+  std::uint64_t epoch() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> snap_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace hltg

@@ -6,7 +6,7 @@ namespace hltg {
 
 namespace {
 
-void put(RelaxCache::Key& k, std::uint64_t v) { k.push_back(v); }
+void put(RelaxCache::Key& k, std::uint64_t v) { k.words.push_back(v); }
 
 void put_str(RelaxCache::Key& k, const std::string& s) {
   put(k, s.size());
@@ -30,7 +30,7 @@ RelaxCache::Key RelaxCache::make_key(
     const std::vector<RelaxConstraint>& constraints,
     const ErrorInjection& inj) {
   Key k;
-  k.reserve(64);
+  k.words.reserve(64);
   put(k, cfg.seed);
   put(k, cfg.max_iterations);
   put(k, cfg.max_depth);
@@ -57,6 +57,8 @@ RelaxCache::Key RelaxCache::make_key(
     put(k, val);
   }
 
+  // The injection goes last so the site-independent core is a prefix.
+  const std::size_t core_words = k.words.size();
   put(k, inj.stuck.size());
   for (const StuckLine& s : inj.stuck) {
     put(k, static_cast<std::uint64_t>(s.net));
@@ -76,17 +78,31 @@ RelaxCache::Key RelaxCache::make_key(
     put(k, slot.second);
     put(k, static_cast<std::uint64_t>(net));
   }
+  k.site_words = static_cast<std::uint32_t>(k.words.size() - core_words);
   return k;
 }
 
 std::uint64_t RelaxCache::hash_key(const Key& k) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the word stream
-  for (const std::uint64_t w : k) {
+  for (const std::uint64_t w : k.words) {
     h ^= w;
     h *= 1099511628211ull;
   }
   return h;
 }
+
+namespace {
+
+/// Do two keys agree on everything but the trailing injection words?
+bool same_core(const RelaxCache::Key& a, const RelaxCache::Key& b) {
+  if (a.words.size() < a.site_words || b.words.size() < b.site_words)
+    return false;
+  const std::size_t na = a.words.size() - a.site_words;
+  if (na != b.words.size() - b.site_words) return false;
+  return std::equal(a.words.begin(), a.words.begin() + na, b.words.begin());
+}
+
+}  // namespace
 
 bool RelaxCache::find(const Key& key, DpRelaxResult* result, RelaxVars* vars) {
   ++lookups_;
@@ -98,6 +114,14 @@ bool RelaxCache::find(const Key& key, DpRelaxResult* result, RelaxVars* vars) {
       *vars = e.vars;
       ++hits_;
       return true;
+    }
+  // Miss: would a site-independent key have hit? Pure instrumentation -
+  // the recorded result is NOT reused, since DPRELAX simulates the faulty
+  // machine and its result genuinely depends on the injection.
+  for (const Entry& e : entries_)
+    if (same_core(e.key, key)) {
+      ++cross_site_misses_;
+      break;
     }
   return false;
 }
@@ -117,6 +141,13 @@ void RelaxCache::store(const Key& key, const DpRelaxResult& result,
   } else {
     entries_.push_back(std::move(fresh));
   }
+}
+
+std::vector<RelaxCache::Exported> RelaxCache::export_entries() const {
+  std::vector<Exported> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back({e.key, e.result, e.vars});
+  return out;
 }
 
 std::size_t RelaxCache::failure_entries() const {

@@ -40,8 +40,16 @@ class RelaxCache {
  public:
   explicit RelaxCache(std::size_t capacity = 256) : capacity_(capacity) {}
 
-  /// Serialized subproblem identity (exact, not just a hash).
-  using Key = std::vector<std::uint64_t>;
+  /// Serialized subproblem identity (exact, not just a hash). The injected
+  /// error is serialized LAST, and `site_words` records how many trailing
+  /// words it occupies, so the injection-free core of two keys can be
+  /// compared without re-deriving it - the instrumentation behind the
+  /// cross-site miss counter below.
+  struct Key {
+    std::vector<std::uint64_t> words;
+    std::uint32_t site_words = 0;
+    bool operator==(const Key&) const = default;
+  };
 
   /// Build the key for one solve call. `vars` must be the ENTRY state
   /// (before solve mutates it).
@@ -50,7 +58,11 @@ class RelaxCache {
                       const ErrorInjection& inj);
 
   /// Probe. On a hit, *result and *vars are overwritten with the recorded
-  /// outcome and final variable state. Counts a lookup either way.
+  /// outcome and final variable state. Counts a lookup either way. A miss
+  /// whose injection-free core matches a resident entry (only the
+  /// injection-site suffix differs) is additionally counted as a
+  /// cross-site miss - the reuse that keying site-independent subproblems
+  /// separately would unlock (docs/SOLVER.md).
   bool find(const Key& key, DpRelaxResult* result, RelaxVars* vars);
 
   /// Record a definitive result (ignored when result.abort != kNone or
@@ -60,15 +72,27 @@ class RelaxCache {
 
   void clear() {
     entries_.clear();
-    hits_ = lookups_ = 0;
+    hits_ = lookups_ = cross_site_misses_ = 0;
     clock_ = 0;
   }
 
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t lookups() const { return lookups_; }
+  /// Misses where a resident entry matched everything but the injection
+  /// site (subset of lookups - hits).
+  std::uint64_t cross_site_misses() const { return cross_site_misses_; }
   /// Cached definitive failures currently resident - the "learned cuts".
   std::size_t failure_entries() const;
+
+  /// Resident entries, for persistence (src/solver/store.h). Order is the
+  /// slot order, which is deterministic for a deterministic campaign.
+  struct Exported {
+    Key key;
+    DpRelaxResult result;
+    RelaxVars vars;
+  };
+  std::vector<Exported> export_entries() const;
 
  private:
   struct Entry {
@@ -85,6 +109,7 @@ class RelaxCache {
   std::vector<Entry> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t lookups_ = 0;
+  std::uint64_t cross_site_misses_ = 0;
   std::uint64_t clock_ = 0;
 };
 

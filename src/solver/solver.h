@@ -15,15 +15,22 @@
 // result the fresh search would recompute, and the engine-assisted search
 // only prunes proven-doomed subtrees, which never changes the first
 // success leaf. Effort counters (decisions, hits) legitimately differ -
-// that is the reuse. Campaign scope is only offered for single-worker
-// runs (--jobs 1), where "which errors came before" is a deterministic
-// function of the campaign itself, keeping those counters reproducible
-// run over run (docs/SOLVER.md).
+// that is the reuse.
+//
+// Multi-worker campaigns (--jobs > 1) attach every worker's context to one
+// NogoodBoard: workers publish their newly learned cuts and import the
+// other workers' cuts between errors (see TestGenerator::generate), so the
+// hot path still only ever touches the worker-private stores. Contexts can
+// also be persisted across processes through src/solver/store.h; both
+// mechanisms move only outcome-neutral state, so the byte-identical
+// guarantee above extends to sharded and warm-started campaigns
+// (docs/ROBUSTNESS.md).
 #pragma once
 
 #include <cstddef>
 
 #include "solver/justcache.h"
+#include "solver/nogood_board.h"
 #include "solver/nogoods.h"
 #include "solver/relax_cache.h"
 
@@ -32,7 +39,8 @@ namespace hltg {
 /// Lifetime of the deduction state (see header comment).
 enum class SolverScope {
   kError,     ///< reset per error: order-independent, any --jobs
-  kCampaign,  ///< keep across a worker's errors: --jobs 1 only
+  kCampaign,  ///< keep across a worker's errors (any --jobs; workers
+              ///< exchange nogoods through a shared NogoodBoard)
 };
 
 struct SolverConfig {
@@ -49,6 +57,9 @@ struct SolverConfig {
   /// same plans against a wider window.
   bool use_relax_cache = true;
   SolverScope scope = SolverScope::kError;
+  /// Cross-worker nogood exchange (campaign scope only). Not owned; must
+  /// outlive every generator attached to it. nullptr: no sharing.
+  NogoodBoard* shared_board = nullptr;
   std::size_t nogood_capacity = 256;
   std::size_t cache_capacity = 512;
   std::size_t relax_cache_capacity = 256;
@@ -67,13 +78,35 @@ struct SolverContext {
       : cfg(c),
         nogoods(c.nogood_capacity, c.max_nogood_lits),
         cache(c.cache_capacity),
-        relax(c.relax_cache_capacity) {}
+        relax(c.relax_cache_capacity) {
+    // Recording feeds the board; without one it would only burn memory.
+    if (cfg.shared_board) nogoods.set_recording(true);
+  }
 
   void reset() {
     nogoods.clear();
     cache.clear();
     relax.clear();
   }
+
+  /// Exchange nogoods with the shared board: publish cuts learned since
+  /// the last sync, then import the other workers' cuts this context has
+  /// not seen yet. Called by TG between errors (never inside a search);
+  /// no-op without a board.
+  void sync_shared_nogoods() {
+    NogoodBoard* board = cfg.shared_board;
+    if (!board) return;
+    board->publish(nogoods.drain_recorded());
+    const auto snap = board->snapshot();
+    if (!snap) return;
+    // Re-importing a cut this store already holds (including its own
+    // publications) is a learn() duplicate no-op.
+    for (; board_cursor_ < snap->cuts.size(); ++board_cursor_)
+      nogoods.learn(snap->cuts[board_cursor_]);
+  }
+
+ private:
+  std::size_t board_cursor_ = 0;  ///< master-list position already imported
 };
 
 }  // namespace hltg

@@ -1,0 +1,264 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sys/stat.h>
+#include <vector>
+
+namespace hltg::failpoint {
+
+namespace {
+
+struct Point {
+  std::string site;
+  Action action = Action::kNone;
+  int err = 0;
+  unsigned at = 1;  ///< fires on the at-th hit of the site (1-based)
+  bool fired = false;
+};
+
+struct State {
+  std::mutex mu;
+  std::vector<Point> points;
+  std::vector<std::pair<std::string, unsigned>> counts;  ///< hits per site
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// The only thing the disabled fast path reads. Stores happen under the
+// mutex; a stale read just means one extra locked hit() call.
+std::atomic<bool> g_enabled{false};
+
+void recompute_enabled_locked(State& s) {
+  bool any = false;
+  for (const Point& p : s.points)
+    if (!p.fired) any = true;
+  g_enabled.store(any, std::memory_order_relaxed);
+}
+
+bool parse_action(const std::string& word, Action* action, int* err) {
+  if (word == "short") {
+    *action = Action::kShortWrite;
+    *err = ENOSPC;
+  } else if (word == "enospc") {
+    *action = Action::kError;
+    *err = ENOSPC;
+  } else if (word == "eio") {
+    *action = Action::kError;
+    *err = EIO;
+  } else if (word == "kill") {
+    *action = Action::kKill;
+  } else if (word == "kill-after") {
+    *action = Action::kKillAfter;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+[[noreturn]] void die() { _exit(kKillExitCode); }
+
+}  // namespace
+
+bool configure(const std::string& spec, std::string* error) {
+  std::vector<Point> parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string point = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (point.empty()) continue;
+    const std::size_t eq = point.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error) *error = "failpoint spec needs site=action: '" + point + "'";
+      return false;
+    }
+    Point p;
+    p.site = point.substr(0, eq);
+    std::string action = point.substr(eq + 1);
+    const std::size_t at = action.find('@');
+    if (at != std::string::npos) {
+      const std::string count = action.substr(at + 1);
+      action = action.substr(0, at);
+      char* rest = nullptr;
+      const unsigned long n = std::strtoul(count.c_str(), &rest, 10);
+      if (count.empty() || *rest != '\0' || n == 0) {
+        if (error) *error = "failpoint hit count must be >= 1: '" + point + "'";
+        return false;
+      }
+      p.at = static_cast<unsigned>(n);
+    }
+    if (!parse_action(action, &p.action, &p.err)) {
+      if (error) *error = "unknown failpoint action: '" + action + "'";
+      return false;
+    }
+    parsed.push_back(std::move(p));
+  }
+
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.points = std::move(parsed);
+  s.counts.clear();
+  recompute_enabled_locked(s);
+  return true;
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("HLTG_FAILPOINTS");
+  if (spec && *spec) configure(spec);
+}
+
+void clear() { configure(""); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Action hit(const char* site, int* err) {
+  if (!enabled()) return Action::kNone;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  unsigned* count = nullptr;
+  for (auto& [name, n] : s.counts)
+    if (name == site) count = &n;
+  if (!count) {
+    s.counts.emplace_back(site, 0u);
+    count = &s.counts.back().second;
+  }
+  ++*count;
+  for (Point& p : s.points) {
+    if (p.fired || p.site != site || p.at != *count) continue;
+    p.fired = true;
+    recompute_enabled_locked(s);
+    if (err) *err = p.err;
+    return p.action;
+  }
+  return Action::kNone;
+}
+
+std::size_t checked_fwrite(const void* data, std::size_t size, std::FILE* f,
+                           const char* site) {
+  if (!enabled()) return std::fwrite(data, 1, size, f);
+  int err = 0;
+  switch (hit(site, &err)) {
+    case Action::kNone:
+      return std::fwrite(data, 1, size, f);
+    case Action::kShortWrite: {
+      const std::size_t half = size / 2;
+      const std::size_t wrote = std::fwrite(data, 1, half, f);
+      std::fflush(f);
+      errno = ENOSPC;
+      return wrote;
+    }
+    case Action::kError:
+      errno = err;
+      return 0;
+    case Action::kKill: {
+      // Crash mid-write: half the payload reaches the file, then death.
+      std::fwrite(data, 1, size / 2, f);
+      std::fflush(f);
+      die();
+    }
+    case Action::kKillAfter: {
+      std::fwrite(data, 1, size, f);
+      std::fflush(f);
+      die();
+    }
+  }
+  return 0;  // unreachable
+}
+
+int checked_fsync(int fd, const char* site) {
+  if (!enabled()) return ::fsync(fd);
+  int err = 0;
+  switch (hit(site, &err)) {
+    case Action::kNone:
+      return ::fsync(fd);
+    case Action::kShortWrite:
+    case Action::kError:
+      errno = err ? err : EIO;
+      return -1;
+    case Action::kKill:
+      die();  // crash before the barrier took effect
+    case Action::kKillAfter: {
+      ::fsync(fd);
+      die();
+    }
+  }
+  return -1;  // unreachable
+}
+
+int checked_rename(const char* from, const char* to, const char* site) {
+  if (!enabled()) return std::rename(from, to);
+  int err = 0;
+  switch (hit(site, &err)) {
+    case Action::kNone:
+      return std::rename(from, to);
+    case Action::kShortWrite:
+    case Action::kError:
+      errno = err ? err : EIO;
+      return -1;
+    case Action::kKill:
+      die();  // crash before the commit point: old file survives
+    case Action::kKillAfter: {
+      std::rename(from, to);
+      die();
+    }
+  }
+  return -1;  // unreachable
+}
+
+}  // namespace hltg::failpoint
+
+namespace hltg {
+
+bool probe_writable_file(const std::string& path, std::string* why) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) {
+    if (why)
+      *why = "cannot open '" + path + "' for writing: " +
+             std::string(std::strerror(errno));
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool probe_writable_dir(const std::string& dir, std::string* why) {
+  struct stat st {};
+  if (stat(dir.c_str(), &st) != 0) {
+    // Consumers (e.g. the quarantine bundle writer) create their target
+    // directory lazily, so the probe does the same rather than reject it.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      if (why) *why = "cannot create directory '" + dir + "': " + ec.message();
+      return false;
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    if (why) *why = "'" + dir + "' exists but is not a directory";
+    return false;
+  }
+  const std::string probe =
+      dir + "/.hltg-probe-" + std::to_string(static_cast<long>(getpid()));
+  std::FILE* f = std::fopen(probe.c_str(), "wb");
+  if (!f) {
+    if (why)
+      *why = "cannot create files in '" + dir + "': " +
+             std::string(std::strerror(errno));
+    return false;
+  }
+  std::fclose(f);
+  std::remove(probe.c_str());
+  return true;
+}
+
+}  // namespace hltg

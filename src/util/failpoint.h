@@ -1,0 +1,100 @@
+// I/O fault-injection harness ("failpoints").
+//
+// Compiled-in hooks at the syscall boundary of the persistence layers (the
+// campaign JSONL journal and the deduction store) that inject the failures
+// crash-safety must survive: short writes, ENOSPC/EIO errors, fsync
+// failures, and process death at (or right after) a syscall. Activation is
+// opt-in via the HLTG_FAILPOINTS environment variable or an explicit
+// configure() call; when no failpoint is armed the wrappers cost a single
+// relaxed-bool load before delegating to the real call, so production runs
+// pay nothing.
+//
+// Spec grammar (env var or configure() string):
+//
+//   spec    := point (';' point)*
+//   point   := site '=' action ('@' N)?
+//   action  := 'short' | 'enospc' | 'eio' | 'kill' | 'kill-after'
+//
+// `site` names a hook location ("journal.write", "store.fsync", ...); `N`
+// is the 1-based hit count at which the failpoint fires (default 1: the
+// first hit). Each point fires exactly once, then disarms - recovery code
+// paths run against healthy I/O, like a real transient fault.
+//
+//   short      write only half the buffer, then report failure (torn write)
+//   enospc     fail the operation with ENOSPC, nothing written
+//   eio        fail the operation with EIO
+//   kill       die AT the syscall: writes tear (half the buffer reaches the
+//              file), fsync/rename die before taking effect
+//   kill-after die right after the operation completed
+//
+// Death is _exit(kKillExitCode): no unwinding, no atexit, no buffer
+// flushing - the closest portable approximation of a crash.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hltg::failpoint {
+
+/// What a hit at an armed site injects.
+enum class Action {
+  kNone,       ///< proceed normally
+  kShortWrite, ///< partial write, then failure
+  kError,      ///< fail with errno-style code (ENOSPC, EIO)
+  kKill,       ///< _exit at the syscall
+  kKillAfter,  ///< _exit right after the syscall
+};
+
+/// Exit code used by kill/kill-after (looks like SIGKILL's 128+9 to
+/// harnesses that only see a status).
+inline constexpr int kKillExitCode = 137;
+
+/// Parse and arm `spec` (grammar above), replacing any previous
+/// configuration. Empty spec == clear(). Returns false (and sets *error)
+/// on a malformed spec, leaving the previous configuration in place.
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// configure() from HLTG_FAILPOINTS when the variable is set and non-empty.
+void configure_from_env();
+
+/// Disarm everything.
+void clear();
+
+/// True when at least one failpoint is armed (fast path guard).
+bool enabled();
+
+/// Consult the failpoint table for one hit at `site`. Returns the action
+/// to inject (kNone almost always); for kError the errno value is stored
+/// in *err. Fired points disarm themselves.
+Action hit(const char* site, int* err);
+
+/// fwrite() with a failpoint at `site`. Returns bytes written; on an
+/// injected failure errno is set and the return is short. kKill tears the
+/// write (half the payload reaches the stream) before dying.
+std::size_t checked_fwrite(const void* data, std::size_t size, std::FILE* f,
+                           const char* site);
+
+/// fsync() with a failpoint at `site`. Returns 0 or -1 (errno set).
+int checked_fsync(int fd, const char* site);
+
+/// rename() with a failpoint at `site`. Returns 0 or -1 (errno set).
+int checked_rename(const char* from, const char* to, const char* site);
+
+}  // namespace hltg::failpoint
+
+namespace hltg {
+
+/// Startup probe: can we create (or append to) the file at `path` and
+/// sync it? Used by error_campaign to fail fast on unwritable --journal /
+/// --store paths instead of erroring mid-campaign. Creates the file if
+/// missing and leaves it in place (empty) so a subsequent open sees the
+/// same permissions the probe saw. Returns true on success; on failure
+/// *why explains.
+bool probe_writable_file(const std::string& path, std::string* why);
+
+/// Same for a directory: creates it if missing (mirroring the lazy
+/// create-on-first-bundle of the quarantine writer) and verifies a file
+/// can be created inside it. The probe file is removed afterwards.
+bool probe_writable_dir(const std::string& dir, std::string* why);
+
+}  // namespace hltg

@@ -1,0 +1,366 @@
+// I/O fault-injection harness (util/failpoint) and the crash-recovery
+// claims it exists to prove: spec parsing and one-shot semantics, injected
+// write/fsync failures degrading the journal without corrupting the
+// campaign, and fork-based kill-at-syscall tests asserting that every
+// injected crash ends in a clean warm- or cold-start - never a wrong
+// answer. (docs/ROBUSTNESS.md "Fault injection".)
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tg.h"
+#include "errors/bus_ssl.h"
+#include "errors/journal.h"
+#include "solver/store.h"
+#include "util/failpoint.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+DesignError ssl_err(unsigned bit, bool v) {
+  const NetId n = model().dp.find_net("ex.alu_add");
+  EXPECT_NE(n, kNoNet);
+  return DesignError{BusSslError{n, bit, v}};
+}
+
+std::vector<DesignError> small_population(std::size_t n = 8) {
+  std::vector<DesignError> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ssl_err(static_cast<unsigned>(i % 32), i % 2));
+  return out;
+}
+
+/// Scripted generator, a pure function of the error (as in
+/// test_parallel_campaign): crash-recovery comparisons need reruns to be
+/// byte-identical.
+BudgetedGenFn pure_gen() {
+  auto hash = [](const DesignError& e) {
+    return std::hash<std::string>{}(e.describe(model().dp));
+  };
+  return [hash](const DesignError& e, Budget&) {
+    const std::size_t h = hash(e);
+    ErrorAttempt a;
+    a.generated = a.sim_confirmed = (h % 3) != 0;
+    a.test_length = 3 + static_cast<unsigned>(h % 5);
+    a.backtracks = h % 7;
+    a.decisions = h % 11;
+    if (a.detected()) {
+      a.test.imem = {0x20220000u | static_cast<std::uint32_t>(h & 0xFF)};
+      a.test.rf_init[3] = static_cast<std::uint32_t>(h);
+    } else {
+      a.note = "scripted give-up";
+    }
+    return a;
+  };
+}
+
+std::string render_rows(const CampaignResult& r) {
+  std::string s;
+  for (std::size_t i = 0; i < r.rows.size(); ++i)
+    s += journal_row_line(i, r.rows[i].attempt) + "\n";
+  return s;
+}
+
+std::string temp_path(const char* tag) {
+  return testing::TempDir() + "hltg_failpoint_" + tag;
+}
+
+/// RAII disarm: a test that configures failpoints must not leak them into
+/// the next test.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoint::clear(); }
+};
+
+// ------------------------------------------------------------ spec parsing
+
+TEST(FailpointSpec, ParsesGoodSpecsRejectsBadOnes) {
+  FailpointGuard guard;
+  std::string err;
+  EXPECT_TRUE(failpoint::configure("journal.write=short", &err)) << err;
+  EXPECT_TRUE(failpoint::configure("a=enospc;b=eio@3;c=kill-after", &err))
+      << err;
+  EXPECT_TRUE(failpoint::enabled());
+
+  EXPECT_FALSE(failpoint::configure("nonsense", &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_TRUE(failpoint::enabled());  // bad spec leaves previous config armed
+
+  EXPECT_FALSE(failpoint::configure("x=explode", &err));
+  EXPECT_FALSE(failpoint::configure("x=kill@0", &err));
+  EXPECT_FALSE(failpoint::configure("x=kill@junk", &err));
+
+  EXPECT_TRUE(failpoint::configure("", &err));  // empty == clear
+  EXPECT_FALSE(failpoint::enabled());
+}
+
+TEST(FailpointSpec, FiresAtTheNthHitThenDisarms) {
+  FailpointGuard guard;
+  ASSERT_TRUE(failpoint::configure("s=eio@2"));
+  int err = 0;
+  EXPECT_EQ(failpoint::hit("s", &err), failpoint::Action::kNone);
+  EXPECT_EQ(failpoint::hit("other", &err), failpoint::Action::kNone);
+  EXPECT_EQ(failpoint::hit("s", &err), failpoint::Action::kError);
+  EXPECT_EQ(err, EIO);
+  // One-shot: fired points disarm, and with no points left the fast path
+  // goes back to disabled.
+  EXPECT_EQ(failpoint::hit("s", &err), failpoint::Action::kNone);
+  EXPECT_FALSE(failpoint::enabled());
+}
+
+TEST(FailpointSpec, ShortWriteTearsAndSetsErrno) {
+  FailpointGuard guard;
+  const std::string path = temp_path("short.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(failpoint::configure("w=short"));
+  const char buf[10] = "123456789";
+  errno = 0;
+  const std::size_t wrote = failpoint::checked_fwrite(buf, 10, f, "w");
+  EXPECT_EQ(wrote, 5u);  // torn: half the payload reached the stream
+  EXPECT_EQ(errno, ENOSPC);
+  // Disarmed: the retry goes through untouched.
+  EXPECT_EQ(failpoint::checked_fwrite(buf, 10, f, "w"), 10u);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------- injected failures degrade cleanly
+
+TEST(FailpointJournal, WriteFailureDisablesJournalingNotTheCampaign) {
+  FailpointGuard guard;
+  const auto errors = small_population();
+  const std::string path = temp_path("enospc.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig cfg;
+  cfg.journal_path = path;
+  ASSERT_TRUE(failpoint::configure("journal.write=enospc@3"));
+  const CampaignResult res =
+      run_campaign(model().dp, errors, pure_gen(), cfg);
+
+  // The campaign itself is unharmed - every error attempted, stats intact.
+  EXPECT_EQ(res.stats.attempted, errors.size());
+  EXPECT_FALSE(res.interrupted);
+  EXPECT_NE(res.journal_note.find("journaling disabled"), std::string::npos);
+
+  // The journal holds the healthy prefix only, and that prefix replays.
+  const JournalReplay jr = load_journal(path);
+  EXPECT_LT(jr.rows.size(), errors.size());
+  std::remove(path.c_str());
+}
+
+TEST(FailpointJournal, TornFinalRowIsDroppedAndResumeMatches) {
+  const auto errors = small_population();
+  const std::string path = temp_path("torn.jsonl");
+  std::remove(path.c_str());
+
+  CampaignConfig cfg;
+  cfg.journal_path = path;
+  const CampaignResult full =
+      run_campaign(model().dp, errors, pure_gen(), cfg);
+  EXPECT_EQ(full.stats.attempted, errors.size());
+
+  // Tear the final row mid-line, as a crash between write and flush would.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 20u);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 15));
+  out.close();
+
+  CampaignConfig rcfg;
+  rcfg.journal_path = path;
+  rcfg.resume = true;
+  const CampaignResult resumed =
+      run_campaign(model().dp, errors, pure_gen(), rcfg);
+  EXPECT_LT(resumed.resumed_rows, errors.size());  // torn row was dropped
+  EXPECT_EQ(render_rows(resumed), render_rows(full));
+  EXPECT_EQ(resumed.stats.table1("t"), full.stats.table1("t"));
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- kill-at-syscall (fork'ed)
+
+/// Run `body` in a fork'ed child and expect it to die with the failpoint
+/// kill exit code. The child must not return normally; if it survives the
+/// injection it exits 0 and the expectation fails loudly.
+void expect_killed(const std::function<void()>& body) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    body();
+    _exit(0);  // survived: the failpoint did not fire
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), failpoint::kKillExitCode);
+}
+
+TEST(FailpointCrash, KillDuringJournalWriteResumesByteIdentical) {
+  const auto errors = small_population();
+  const std::string path = temp_path("kill_write.jsonl");
+  std::remove(path.c_str());
+
+  expect_killed([&] {
+    failpoint::configure("journal.write=kill@5");
+    CampaignConfig cfg;
+    cfg.journal_path = path;
+    cfg.journal_fsync_interval = 1;  // every surviving row is durable
+    run_campaign(model().dp, errors, pure_gen(), cfg);
+  });
+
+  // The survivor prefix (possibly ending in a torn row, which the loader
+  // drops) plus a resumed run reproduces the uninterrupted campaign
+  // byte-for-byte.
+  const JournalReplay jr = load_journal(path);
+  EXPECT_TRUE(jr.header_ok);
+  EXPECT_GT(jr.rows.size(), 0u);
+  EXPECT_LT(jr.rows.size(), errors.size());
+
+  CampaignConfig rcfg;
+  rcfg.journal_path = path;
+  rcfg.resume = true;
+  const CampaignResult resumed =
+      run_campaign(model().dp, errors, pure_gen(), rcfg);
+  const CampaignResult reference =
+      run_campaign(model().dp, errors, pure_gen(), CampaignConfig{});
+  EXPECT_EQ(resumed.resumed_rows, jr.rows.size());
+  EXPECT_EQ(render_rows(resumed), render_rows(reference));
+  EXPECT_EQ(resumed.stats.table1("t"), reference.stats.table1("t"));
+  std::remove(path.c_str());
+}
+
+TEST(FailpointCrash, KillDuringJournalFsyncResumesByteIdentical) {
+  const auto errors = small_population();
+  const std::string path = temp_path("kill_fsync.jsonl");
+  std::remove(path.c_str());
+
+  expect_killed([&] {
+    failpoint::configure("journal.fsync=kill@3");
+    CampaignConfig cfg;
+    cfg.journal_path = path;
+    cfg.journal_fsync_interval = 1;
+    run_campaign(model().dp, errors, pure_gen(), cfg);
+  });
+
+  CampaignConfig rcfg;
+  rcfg.journal_path = path;
+  rcfg.resume = true;
+  const CampaignResult resumed =
+      run_campaign(model().dp, errors, pure_gen(), rcfg);
+  const CampaignResult reference =
+      run_campaign(model().dp, errors, pure_gen(), CampaignConfig{});
+  EXPECT_GT(resumed.resumed_rows, 0u);
+  EXPECT_EQ(render_rows(resumed), render_rows(reference));
+  std::remove(path.c_str());
+}
+
+/// Store image for the crash tests: real deduction state, small but
+/// nonempty.
+DedSnapshot sample_snapshot(std::uint32_t salt) {
+  SolverContext ctx;
+  ctx.nogoods.learn({{GateId{salt}, 1, true}});
+  ctx.nogoods.learn({{GateId{salt + 1}, 2, false}});
+  return export_context(ctx);
+}
+
+TEST(FailpointCrash, KillDuringStoreSaveLeavesOldStoreIntact) {
+  const std::string path = temp_path("kill_store.ded");
+  std::remove(path.c_str());
+  std::string why;
+  const DedSnapshot old_snap = sample_snapshot(10);
+  ASSERT_TRUE(save_ded_store(path, DedStoreMeta{}, old_snap, &why)) << why;
+
+  // Die at three different syscalls of the save; after each, the
+  // previously committed store must load unchanged (atomic replace).
+  for (const char* spec :
+       {"store.write=kill@2", "store.fsync=kill", "store.rename=kill"}) {
+    expect_killed([&] {
+      failpoint::configure(spec);
+      std::string w;
+      save_ded_store(path, DedStoreMeta{}, sample_snapshot(99), &w);
+    });
+    const DedStoreLoad load = load_ded_store(path, 0, 0);
+    ASSERT_TRUE(load.ok) << spec << ": " << load.note;
+    EXPECT_EQ(load.snapshot.nogoods, old_snap.nogoods) << spec;
+  }
+
+  // And a healthy save afterwards replaces it (the crash left no state
+  // that blocks recovery).
+  const DedSnapshot new_snap = sample_snapshot(99);
+  ASSERT_TRUE(save_ded_store(path, DedStoreMeta{}, new_snap, &why)) << why;
+  const DedStoreLoad load = load_ded_store(path, 0, 0);
+  ASSERT_TRUE(load.ok) << load.note;
+  EXPECT_EQ(load.snapshot.nogoods, new_snap.nogoods);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(FailpointCrash, KillAfterRenameIsAlreadyCommitted) {
+  // kill-after on the rename: the new store IS the store (the crash
+  // happened after the commit point).
+  const std::string path = temp_path("kill_after.ded");
+  std::remove(path.c_str());
+  std::string why;
+  ASSERT_TRUE(save_ded_store(path, DedStoreMeta{}, sample_snapshot(1), &why))
+      << why;
+
+  const DedSnapshot next = sample_snapshot(50);
+  expect_killed([&] {
+    failpoint::configure("store.rename=kill-after");
+    std::string w;
+    save_ded_store(path, DedStoreMeta{}, sample_snapshot(50), &w);
+  });
+  const DedStoreLoad load = load_ded_store(path, 0, 0);
+  ASSERT_TRUE(load.ok) << load.note;
+  EXPECT_EQ(load.snapshot.nogoods, next.nogoods);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- writability probes
+
+TEST(Probes, FileAndDirProbesDiagnoseUnwritablePaths) {
+  std::string why;
+  EXPECT_FALSE(probe_writable_file("/nonexistent-dir/x.jsonl", &why));
+  EXPECT_FALSE(why.empty());
+
+  const std::string good = temp_path("probe.bin");
+  std::remove(good.c_str());
+  EXPECT_TRUE(probe_writable_file(good, &why)) << why;
+  // The probe leaves the (empty) file in place by contract.
+  std::FILE* f = std::fopen(good.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  if (f) std::fclose(f);
+  std::remove(good.c_str());
+
+  EXPECT_TRUE(probe_writable_dir(testing::TempDir(), &why)) << why;
+  // A missing directory is created, mirroring the quarantine writer.
+  const std::string fresh = temp_path("probe_dir/nested");
+  EXPECT_TRUE(probe_writable_dir(fresh, &why)) << why;
+  // A path whose parent is a regular file can never become a directory
+  // (works for root too, unlike a permission-based negative case).
+  const std::string blocker = temp_path("probe_blocker");
+  { std::ofstream(blocker) << "x"; }
+  EXPECT_FALSE(probe_writable_dir(blocker + "/sub", &why));
+  EXPECT_FALSE(probe_writable_dir(blocker, &why));  // exists, not a dir
+  std::remove(blocker.c_str());
+}
+
+}  // namespace
+}  // namespace hltg

@@ -4,9 +4,12 @@
 // engine (budget / cancel / journal).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -16,6 +19,7 @@
 #include "errors/parallel_campaign.h"
 #include "sim/batch_sim.h"
 #include "sim/cosim.h"
+#include "solver/nogood_board.h"
 
 namespace hltg {
 namespace {
@@ -165,6 +169,110 @@ TEST(ParallelCampaign, RealGeneratorIsJobsIndependent) {
       EXPECT_TRUE(detects(model(), row.attempt.test, row.error.injection()));
     }
   }
+}
+
+TEST(ParallelCampaign, ShardedCampaignScopeMatchesErrorScopeForAnyJobs) {
+  // The tentpole claim of the sharded engine: campaign-lifetime deduction
+  // reuse (per-worker SolverContext + cross-worker NogoodBoard) stays
+  // outcome-neutral for ANY --jobs, because each worker's error sequence
+  // is the deterministic round-robin shard and every piece of shared state
+  // is outcome-neutral (solver/solver.h). Only effort counters may differ,
+  // so the comparison is on the outcome tuple, not the journal rows.
+  model().ctrl.warm_caches();
+  (void)model().dp.topo_order();
+  const auto all = wrap(enumerate_bus_ssl(model().dp));
+  const std::vector<DesignError> errors(all.begin(), all.begin() + 12);
+
+  struct Outcome {
+    bool detected;
+    AbortReason abort;
+    unsigned test_length;
+    std::vector<std::uint32_t> imem;
+    std::array<std::uint32_t, 32> rf_init;
+    std::map<std::uint32_t, std::uint32_t> dmem_init;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto outcomes = [](const CampaignResult& r) {
+    std::vector<Outcome> out;
+    for (const CampaignRow& row : r.rows)
+      out.push_back({row.attempt.detected(), row.attempt.abort,
+                     row.attempt.test_length, row.attempt.test.imem,
+                     row.attempt.test.rf_init, row.attempt.test.dmem_init});
+    return out;
+  };
+  auto run = [&](SolverScope scope, unsigned jobs, NogoodBoard* board) {
+    TgConfig tcfg;
+    tcfg.solver.scope = scope;
+    tcfg.solver.shared_board = board;
+    ParallelCampaignConfig cfg;
+    cfg.jobs = jobs;
+    return run_campaign_parallel(
+        model().dp, errors,
+        [&](unsigned) {
+          auto tg = std::make_shared<TestGenerator>(model(), tcfg);
+          BudgetedGenFn s = tg->budgeted_strategy();
+          return [tg, s](const DesignError& e, Budget& b) { return s(e, b); };
+        },
+        cfg);
+  };
+
+  const auto reference = outcomes(run(SolverScope::kError, 1, nullptr));
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    NogoodBoard board;
+    const CampaignResult r = run(SolverScope::kCampaign, jobs, &board);
+    EXPECT_EQ(outcomes(r), reference) << "jobs=" << jobs;
+    if (jobs > 1) EXPECT_GT(board.epoch(), 0u) << "board never used";
+  }
+}
+
+TEST(ParallelCampaign, ResumeRefusedOnConflictingProvenanceStamps) {
+  const auto errors = small_population(10);
+  const std::string path = temp_journal("stamped");
+  std::remove(path.c_str());
+
+  ParallelCampaignConfig cfg;
+  cfg.journal_path = path;
+  cfg.design_hash = 0xAA;
+  cfg.solver_config_hash = 0xBB;
+  const CampaignResult ran = run_jobs(errors, 2, cfg);
+  EXPECT_EQ(ran.stats.attempted, errors.size());
+
+  // Same stamps: resumes normally.
+  {
+    ParallelCampaignConfig rcfg = cfg;
+    rcfg.resume = true;
+    int calls = 0;
+    const CampaignResult ok = run_jobs(errors, 2, rcfg, &calls);
+    EXPECT_FALSE(ok.resume_refused);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(ok.resumed_rows, errors.size());
+  }
+  // Conflicting design stamp: refused outright, nothing attempted.
+  {
+    ParallelCampaignConfig rcfg = cfg;
+    rcfg.resume = true;
+    rcfg.design_hash = 0xDEAD;
+    int calls = 0;
+    const CampaignResult refused = run_jobs(errors, 2, rcfg, &calls);
+    EXPECT_TRUE(refused.resume_refused);
+    EXPECT_TRUE(refused.interrupted);
+    EXPECT_EQ(calls, 0);
+    EXPECT_TRUE(refused.rows.empty());
+    EXPECT_NE(refused.journal_note.find("different design"),
+              std::string::npos);
+  }
+  // Unstamped resumer (legacy caller): fingerprint match still replays.
+  {
+    ParallelCampaignConfig rcfg;
+    rcfg.journal_path = path;
+    rcfg.resume = true;
+    int calls = 0;
+    const CampaignResult legacy = run_jobs(errors, 2, rcfg, &calls);
+    EXPECT_FALSE(legacy.resume_refused);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(legacy.resumed_rows, errors.size());
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ParallelCampaign, WorkerFactoryFailureDegradesToRemainingWorkers) {

@@ -494,6 +494,50 @@ TEST(RelaxCacheTest, ReplaysDefinitiveResultsAndSkipsAborts) {
   EXPECT_EQ(cache.failure_entries(), 0u);
 }
 
+TEST(RelaxCacheTest, CountsCrossSiteMissesSeparately) {
+  // Two errors at different injection sites can pose the same relaxation
+  // core. The memo must still miss (DPRELAX simulates the faulty machine,
+  // so the result depends on the site) but the miss is tallied separately:
+  // it measures how much of the miss traffic is injection-site dependence
+  // rather than genuinely new subproblems.
+  RelaxCache cache(4);
+  DpRelaxConfig cfg;
+  RelaxVars entry;
+  entry.imem = {0x11u, 0x22u};
+  std::vector<RelaxConstraint> cons(1);
+  cons[0].net = 7;
+  cons[0].cycle = 3;
+  cons[0].value = 1;
+  cons[0].why = "activation";
+
+  ErrorInjection site_a;
+  site_a.stuck.push_back({NetId{4}, 0, true});
+  const RelaxCache::Key ka = RelaxCache::make_key(cfg, entry, cons, site_a);
+  DpRelaxResult solved;
+  solved.status = TgStatus::kSuccess;
+  cache.store(ka, solved, entry);
+
+  // Same core, different site: a miss, counted as cross-site.
+  ErrorInjection site_b;
+  site_b.stuck.push_back({NetId{9}, 2, false});
+  const RelaxCache::Key kb = RelaxCache::make_key(cfg, entry, cons, site_b);
+  DpRelaxResult out;
+  RelaxVars vars = entry;
+  EXPECT_FALSE(cache.find(kb, &out, &vars));
+  EXPECT_EQ(cache.cross_site_misses(), 1u);
+
+  // Different core (new constraint cycle): an ordinary miss.
+  std::vector<RelaxConstraint> cons2 = cons;
+  cons2[0].cycle = 9;
+  const RelaxCache::Key kc = RelaxCache::make_key(cfg, entry, cons2, site_a);
+  EXPECT_FALSE(cache.find(kc, &out, &vars));
+  EXPECT_EQ(cache.cross_site_misses(), 1u);
+
+  // The exact key still replays, and a hit is never a cross-site miss.
+  EXPECT_TRUE(cache.find(ka, &out, &vars));
+  EXPECT_EQ(cache.cross_site_misses(), 1u);
+}
+
 // --------------------------------------------- campaign-scope determinism
 
 TEST(SolverEquivalence, CampaignScopeMatchesErrorScope) {

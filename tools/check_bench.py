@@ -19,7 +19,8 @@ import sys
 # Lower is better; a rise beyond tolerance is a hot-path regression.
 GUARDED_COUNTERS = ("decisions", "backtracks", "dptrace_expansions",
                     "nogood_comparisons")
-CONFIGS = ("engine_off", "no_reuse", "engine_on", "campaign_scope")
+CONFIGS = ("engine_off", "no_reuse", "engine_on", "campaign_scope",
+           "warm_start", "campaign_shard")
 
 
 def main():
