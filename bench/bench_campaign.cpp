@@ -1,7 +1,8 @@
-// Campaign-engine benchmark: serial vs parallel test generation and
-// scalar vs bit-parallel (64-lane) error simulation, emitted as a
-// machine-readable JSON report (BENCH_campaign.json) so CI can archive the
-// numbers run over run. See docs/PERFORMANCE.md for how to read it.
+// Campaign-engine benchmark: serial vs parallel test generation, scalar vs
+// bit-parallel error simulation, and a lane-engine sweep (64 / 256 / 512
+// lanes per batch, gatenet/evalw) whose pass counters CI guards, emitted
+// as a machine-readable JSON report (BENCH_campaign.json). See
+// docs/PERFORMANCE.md for how to read it.
 //
 //   $ ./bench_campaign [--quick] [--jobs N] [--out file.json]
 //
@@ -125,6 +126,54 @@ int main(int argc, char** argv) {
     std::printf("WARNING: batch detector diverged from scalar (%zu vs %zu)\n",
                 batch_hits, scalar_hits);
 
+  // --- lane-engine sweep: the same dropping pass at forced widths -------
+  // Wider lanes pack more injected errors per controller sweep; detections
+  // must be width-invariant while the pass counters shrink ~linearly. The
+  // sweep always runs the FULL SSL population (even under --quick): a
+  // population that fits one 64-lane batch would make every width cost the
+  // same and the guard vacuous.
+  const std::vector<DesignError> full_errors = wrap(enumerate_bus_ssl(m.dp));
+  std::vector<const DesignError*> full_ptrs;
+  for (const DesignError& e : full_errors) full_ptrs.push_back(&e);
+  struct LaneRun {
+    unsigned width;
+    BatchSimStats stats;
+    double seconds = 0;
+    std::size_t detections = 0;
+  };
+  std::vector<LaneRun> lane_runs;
+  for (unsigned width : {64u, 256u, 512u}) {
+    LaneRun run;
+    run.width = width;
+    BatchDetectConfig cfg;
+    cfg.max_lanes = width;
+    cfg.stats = &run.stats;
+    t0 = now_seconds();
+    for (const TestCase& tc : tests)
+      for (const bool b : detect_errors(m, tc, full_ptrs, cfg))
+        run.detections += b;
+    run.seconds = now_seconds() - t0;
+    std::printf(
+        "lanes %3u : %.2fs, %llu batches, %llu controller passes, "
+        "%llu gate evals (%s, %zu hits)\n",
+        width, run.seconds,
+        static_cast<unsigned long long>(run.stats.batches),
+        static_cast<unsigned long long>(run.stats.controller_passes),
+        static_cast<unsigned long long>(run.stats.gate_evals),
+        std::string(to_string(run.stats.backend)).c_str(), run.detections);
+    if (!lane_runs.empty() && run.detections != lane_runs[0].detections)
+      std::printf("WARNING: %u-lane detections diverged\n", width);
+    lane_runs.push_back(run);
+  }
+  const double pass_reduction_256 =
+      static_cast<double>(lane_runs[0].stats.controller_passes) /
+      static_cast<double>(lane_runs[1].stats.controller_passes);
+  const double pass_reduction_512 =
+      static_cast<double>(lane_runs[0].stats.controller_passes) /
+      static_cast<double>(lane_runs[2].stats.controller_passes);
+  std::printf("lane pass reduction: 256 vs 64 %.2fx, 512 vs 64 %.2fx\n",
+              pass_reduction_256, pass_reduction_512);
+
   // --- full dropping campaign (generator + batched error simulation) ----
   TestGenerator tg2(m);
   t0 = now_seconds();
@@ -159,15 +208,37 @@ int main(int argc, char** argv) {
                "\"detections\": %zu},\n"
                "  \"dropping_campaign\": {\"seconds\": %.4f, "
                "\"generator_runs\": %zu, \"dropped\": %zu, \"tests_kept\": "
-               "%zu, \"error_sim_seconds\": %.4f}\n"
-               "}\n",
+               "%zu, \"error_sim_seconds\": %.4f},\n"
+               "  \"lane_engine\": {\n"
+               "    \"sweep_errors\": %zu,\n"
+               "    \"auto_lanes\": %u,\n"
+               "    \"pass_reduction_256_vs_64\": %.3f,\n"
+               "    \"pass_reduction_512_vs_64\": %.3f,\n",
                quick ? "true" : "false", errors.size(),
                std::thread::hardware_concurrency(), serial_s,
                errors.size() / serial_s, serial.stats.detected, jobs, par_s,
                errors.size() / par_s, par_speedup, par.stats.detected,
                tests.size(), scalar_s, batch_s, drop_speedup, batch_hits,
                drop_campaign_s, dres.stats.total - dres.dropped, dres.dropped,
-               dres.tests_kept, dres.dropping_seconds);
+               dres.tests_kept, dres.dropping_seconds, full_errors.size(),
+               resolve_lanes(), pass_reduction_256, pass_reduction_512);
+  for (std::size_t i = 0; i < lane_runs.size(); ++i) {
+    const LaneRun& r = lane_runs[i];
+    std::fprintf(f,
+                 "    \"lanes_%u\": {\"backend\": \"%s\", \"seconds\": %.4f, "
+                 "\"batches\": %llu, \"controller_passes\": %llu, "
+                 "\"gate_evals\": %llu, \"lanes_evaluated\": %llu, "
+                 "\"detections\": %zu}%s\n",
+                 r.width, std::string(to_string(r.stats.backend)).c_str(),
+                 r.seconds, static_cast<unsigned long long>(r.stats.batches),
+                 static_cast<unsigned long long>(r.stats.controller_passes),
+                 static_cast<unsigned long long>(r.stats.gate_evals),
+                 static_cast<unsigned long long>(r.stats.lanes_evaluated),
+                 r.detections, i + 1 < lane_runs.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  }\n"
+               "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -62,6 +62,9 @@ struct RunStats {
   std::uint64_t relax_hits = 0;
   std::uint64_t relax_lookups = 0;
   std::uint64_t relax_cross_site_misses = 0;
+  std::uint64_t relax_pair_captures = 0;
+  std::uint64_t cpi_dont_cares = 0;
+  std::uint64_t dontcare_candidates = 0;
   double total_seconds = 0;
 
   double percentile(double p) const {
@@ -95,6 +98,9 @@ void fold(RunStats* out, const TgResult& r, double s) {
   out->relax_hits += r.stats.relax_hits;
   out->relax_lookups += r.stats.relax_lookups;
   out->relax_cross_site_misses += r.stats.relax_cross_site_misses;
+  out->relax_pair_captures += r.stats.relax_pair_captures;
+  out->cpi_dont_cares += r.stats.cpi_dont_cares;
+  out->dontcare_candidates += r.stats.dontcare_candidates;
 }
 
 /// One generator over the whole population. `warm` (optional) is imported
@@ -154,7 +160,9 @@ void emit(std::FILE* f, const char* name, const RunStats& r) {
       "\"cache_hit_rate\": %.4f, \"dptrace_expansions\": %llu, "
       "\"dptrace_searches\": %llu, \"dptrace_reused\": %llu, "
       "\"relax_hits\": %llu, \"relax_lookups\": %llu, "
-      "\"relax_cross_site_misses\": %llu}",
+      "\"relax_cross_site_misses\": %llu, "
+      "\"relax_pair_captures\": %llu, \"cpi_dont_cares\": %llu, "
+      "\"dontcare_candidates\": %llu}",
       name, r.total_seconds, r.percentile(0.50), r.percentile(0.95),
       r.detected_count, static_cast<unsigned long long>(r.decisions),
       static_cast<unsigned long long>(r.backtracks),
@@ -169,7 +177,10 @@ void emit(std::FILE* f, const char* name, const RunStats& r) {
       static_cast<unsigned long long>(r.dptrace_reused),
       static_cast<unsigned long long>(r.relax_hits),
       static_cast<unsigned long long>(r.relax_lookups),
-      static_cast<unsigned long long>(r.relax_cross_site_misses));
+      static_cast<unsigned long long>(r.relax_cross_site_misses),
+      static_cast<unsigned long long>(r.relax_pair_captures),
+      static_cast<unsigned long long>(r.cpi_dont_cares),
+      static_cast<unsigned long long>(r.dontcare_candidates));
 }
 
 double ratio(std::uint64_t base, std::uint64_t opt) {

@@ -6,7 +6,7 @@
 //                      [--deadline-ms N] [--max-backtracks N]
 //                      [--max-decisions N] [--fallback [tries]]
 //                      [--journal file.jsonl] [--resume]
-//                      [--jobs N] [--drop] [--solver on|off]
+//                      [--jobs N] [--drop] [--lanes N] [--solver on|off]
 //                      [--solver-scope error|campaign] [--store file.ded]
 //                      [--failpoints SPEC]
 //                      [--verify-witness] [--minimize] [--quarantine-dir D]
@@ -35,7 +35,9 @@
 // each generated test against all remaining errors with the bit-parallel
 // batch simulator and drops the fortuitously detected ones. The two are
 // mutually exclusive (dropping is inherently sequential: each drop pass
-// depends on the tests kept so far).
+// depends on the tests kept so far). --lanes N caps the batch width
+// (default: CPUID auto up to 512, or HLTG_LANES); any width yields the
+// identical summary - only the pass counters change.
 //
 // --solver off is the escape hatch back to the legacy CTRLJUST search
 // (docs/SOLVER.md): no implication engine, nogood learning or justification
@@ -167,6 +169,7 @@ int main(int argc, char** argv) {
   unsigned fallback_tries = 64;
   unsigned jobs = 1;
   bool use_drop = false;
+  unsigned lanes = 0;  // --drop batch width; 0 = resolve_lanes() auto
   bool use_solver = true;
   SolverScope scope = SolverScope::kError;
   bool verify_witness = false;
@@ -205,6 +208,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (!std::strcmp(argv[i], "--drop"))
       use_drop = true;
+    else if (!std::strcmp(argv[i], "--lanes") && i + 1 < argc)
+      lanes = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (!std::strcmp(argv[i], "--solver") && i + 1 < argc) {
       const std::string v = argv[++i];
       if (v == "on")
@@ -402,8 +407,10 @@ int main(int argc, char** argv) {
   if (use_drop) {
     TestGenerator tg(m, tgcfg);
     if (!warm.empty()) import_context(warm, &tg.solver_context());
+    BatchDetectConfig bcfg;
+    bcfg.max_lanes = lanes;  // 0 = resolve_lanes (CPUID auto / HLTG_LANES)
     res = run_campaign_with_dropping(m.dp, errors, tg.budgeted_strategy(),
-                                     batch_detector(m), ccfg);
+                                     batch_detector(m, bcfg), ccfg);
     if (persist) saved = export_context(tg.solver_context());
   } else if (jobs > 1) {
     // Workers share the model read-only; materialise its lazy caches before

@@ -1,5 +1,7 @@
 #include "core/archstate.h"
 
+#include "sim/batch_sim.h"
+
 namespace hltg {
 
 WindowCapture capture_window(const DlxModel& m, const TestCase& tc,
@@ -20,6 +22,18 @@ WindowCapture capture_window(const DlxModel& m, const TestCase& tc,
     sim.end_cycle();
   }
   return cap;
+}
+
+void capture_window_pair(const DlxModel& m, const TestCase& tc,
+                         unsigned cycles, const ErrorInjection& inj,
+                         WindowCapture* good, WindowCapture* err) {
+  const ErrorInjection clean;
+  const std::vector<const ErrorInjection*> lanes{&clean, &inj};
+  std::vector<LaneCapture> caps = batch_capture(m, tc, cycles, lanes);
+  good->nets = std::move(caps[0].nets);
+  good->gates = std::move(caps[0].gates);
+  err->nets = std::move(caps[1].nets);
+  err->gates = std::move(caps[1].gates);
 }
 
 int last_rf_write(const DlxModel& m, const WindowCapture& cap, unsigned reg,

@@ -32,6 +32,14 @@ WindowCapture capture_window(const DlxModel& m, const TestCase& tc,
                              unsigned cycles,
                              const ErrorInjection& inj = {});
 
+/// Capture the good machine and the `inj`-erroneous machine on the same test
+/// in one batch simulation (sim/batch_sim): the controller evaluates both
+/// lanes per gate visit instead of running two full window simulations.
+/// Value-identical to two capture_window calls.
+void capture_window_pair(const DlxModel& m, const TestCase& tc,
+                         unsigned cycles, const ErrorInjection& inj,
+                         WindowCapture* good, WindowCapture* err);
+
 /// Latest cycle t' <= t whose register-file write targets `reg` (write-
 /// through makes a same-cycle write visible). -1 if none: the read sees the
 /// initial register file.

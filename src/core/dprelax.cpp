@@ -362,9 +362,15 @@ DpRelaxResult DpRelax::solve(RelaxVars& vars,
       }
     }
     res.iterations = iter + 1;
-    const WindowCapture good = capture_window(m_, vars.to_test(), T_);
-    WindowCapture err;
-    if (needs_err) err = capture_window(m_, vars.to_test(), T_, inj);
+    WindowCapture good, err;
+    if (needs_err) {
+      // Both machines ride one batch simulation: the controller is swept
+      // once per cycle for the pair instead of once per machine.
+      capture_window_pair(m_, vars.to_test(), T_, inj, &good, &err);
+      ++res.pair_captures;
+    } else {
+      good = capture_window(m_, vars.to_test(), T_);
+    }
 
     // Find all violated constraints; fix one (rotating start so one stubborn
     // constraint cannot starve the others).

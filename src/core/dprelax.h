@@ -53,6 +53,7 @@ struct DpRelaxResult {
   TgStatus status = TgStatus::kFailure;
   AbortReason abort = AbortReason::kNone;  ///< set when the budget fired
   unsigned iterations = 0;
+  unsigned pair_captures = 0;  ///< good+err windows captured as one batch
   std::string note;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "core/emit.h"
+#include "gatenet/evalw.h"
 #include "isa/asm.h"
 #include "sim/cosim.h"
 #include "util/log.h"
@@ -16,6 +17,70 @@ DpTraceConfig trace_cfg(const TgConfig& c) {
   DpTraceConfig t = c.trace;
   t.window = c.window;
   return t;
+}
+
+struct DontCareCount {
+  std::uint64_t candidates = 0;
+  std::uint64_t droppable = 0;
+};
+
+/// Post-success CPI don't-care analysis via the bit-parallel 01X evaluator:
+/// lane k carries the winning assignment with candidate CPI bit k relaxed
+/// to X; one eval_cycle3w sweep per window cycle answers all candidates at
+/// once. A candidate is droppable when every CTRL objective stays forced to
+/// its required value in that lane. Conservative (X-propagation may hide a
+/// don't-care) and purely statistical: the emitted test keeps every bit.
+DontCareCount count_cpi_dont_cares(
+    const GateNet& ctrl, unsigned window,
+    const std::vector<std::tuple<GateId, unsigned, bool>>& cpi,
+    const std::vector<std::tuple<GateId, unsigned, bool>>& sts,
+    const std::vector<CtrlObjective>& objectives) {
+  DontCareCount out;
+  const std::size_t k =
+      std::min<std::size_t>(cpi.size(), kMaxLanes);  // one lane per candidate
+  if (k == 0) return out;
+  out.candidates = k;
+  const unsigned words = lane_words(static_cast<unsigned>(k));
+  const std::size_t ngates = ctrl.num_gates();
+  std::vector<std::uint64_t> ones, zeros, scratch;
+  load_reset3w(ctrl, ones, zeros, words);
+  std::vector<std::uint64_t> ok(words, 0);
+  for (std::size_t lane = 0; lane < k; ++lane)
+    ok[lane >> 6] |= std::uint64_t{1} << (lane & 63);
+
+  auto assign = [&](GateId g, unsigned cycle, bool v, unsigned t,
+                    std::size_t dropped) {
+    if (cycle != t) return;
+    std::uint64_t* plane = (v ? ones : zeros).data() + std::size_t{g} * words;
+    for (unsigned w = 0; w < words; ++w) plane[w] = ~std::uint64_t{0};
+    if (dropped < k)
+      plane[dropped >> 6] &= ~(std::uint64_t{1} << (dropped & 63));
+  };
+
+  for (unsigned t = 0; t < window; ++t) {
+    // Unassigned free variables are X in every lane.
+    for (GateId g = 0; g < ngates; ++g)
+      if (ctrl.gate(g).kind == GateKind::kVar) {
+        std::fill_n(ones.data() + std::size_t{g} * words, words, 0);
+        std::fill_n(zeros.data() + std::size_t{g} * words, words, 0);
+      }
+    for (std::size_t i = 0; i < cpi.size(); ++i) {
+      const auto& [g, cycle, v] = cpi[i];
+      assign(g, cycle, v, t, i);  // lane i: this very bit relaxed to X
+    }
+    for (const auto& [g, cycle, v] : sts) assign(g, cycle, v, t, k);
+    eval_cycle3w(ctrl, ones.data(), zeros.data(), words);
+    for (const CtrlObjective& o : objectives) {
+      if (o.cycle != t) continue;
+      const std::uint64_t* forced =
+          (o.value ? ones : zeros).data() + std::size_t{o.gate} * words;
+      for (unsigned w = 0; w < words; ++w) ok[w] &= forced[w];
+    }
+    clock_dffs3w(ctrl, ones.data(), zeros.data(), words, scratch);
+  }
+  for (std::size_t lane = 0; lane < k; ++lane)
+    if ((ok[lane >> 6] >> (lane & 63)) & 1) ++out.droppable;
+  return out;
 }
 }  // namespace
 
@@ -101,6 +166,9 @@ TgResult TestGenerator::generate(const DesignError& err, Budget* budget) {
   second.stats.relax_hits += first.stats.relax_hits;
   second.stats.relax_lookups += first.stats.relax_lookups;
   second.stats.relax_cross_site_misses += first.stats.relax_cross_site_misses;
+  second.stats.relax_pair_captures += first.stats.relax_pair_captures;
+  second.stats.cpi_dont_cares += first.stats.cpi_dont_cares;
+  second.stats.dontcare_candidates += first.stats.dontcare_candidates;
   second.stats.dptrace_ns += first.stats.dptrace_ns;
   second.stats.ctrljust_ns += first.stats.ctrljust_ns;
   second.stats.dprelax_ns += first.stats.dprelax_ns;
@@ -264,13 +332,16 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     }
 
     DpRelaxConfig rcfg = cfg_.relax;
-    rcfg.seed ^= static_cast<std::uint64_t>(err.site_net(m_.dp)) * 0x9E3779B9u +
-                 res.stats.plans_tried;
-    // DPRELAX memo: a solve is a pure function of its subproblem (window
-    // excluded - argument in solver/relax_cache.h), so replaying a recorded
-    // definitive result is byte-identical to recomputing it. The window
-    // retry replays the same plans with the same derived seeds, which is
-    // where the hits come from.
+    // The derived seed is a pure function of the plan's identity - never of
+    // trial position - so the same plan relaxes identically no matter how
+    // many predecessors a warm start's imported deductions skipped
+    // (relax_plan_seed doc in tg.h).
+    rcfg.seed = relax_plan_seed(cfg_.relax.seed, site, shape_of(plan),
+                                plan.activate_cycle, window);
+    // DPRELAX memo: a solve is a pure function of its subproblem, so
+    // replaying a recorded definitive result is byte-identical to
+    // recomputing it. Repeat visits to a plan (shape-duplicated paths,
+    // warm-started reruns) are answered without a relaxation sweep.
     const bool memoize = cfg_.solver.enable && cfg_.solver.use_relax_cache;
     RelaxCache::Key rkey;
     DpRelaxResult rr;
@@ -294,6 +365,7 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
     }
     res.stats.dprelax_ns += lap(rx_t0);
     res.stats.relax_iterations += rr.iterations;
+    res.stats.relax_pair_captures += rr.pair_captures;
     if (rr.status != TgStatus::kSuccess) {
       if (budget_fired()) return res;
       fail_note("DPRELAX: " + rr.note);
@@ -307,6 +379,10 @@ TgResult TestGenerator::generate_with_window(const DesignError& err,
       unconfirmed_shapes.insert(shape_of(plan));
       continue;
     }
+    const DontCareCount dc = count_cpi_dont_cares(
+        m_.ctrl, window, cr.cpi_assignments, cr.sts_assignments, objectives);
+    res.stats.dontcare_candidates += dc.candidates;
+    res.stats.cpi_dont_cares += dc.droppable;
     res.status = TgStatus::kSuccess;
     res.test = std::move(tc);
     res.test_length = plan.observe_cycle + 1;
@@ -421,6 +497,18 @@ struct Fnv {
 };
 
 }  // namespace
+
+std::uint64_t relax_plan_seed(std::uint64_t base_seed, NetId site,
+                              const std::string& plan_shape,
+                              unsigned activate_cycle, unsigned window) {
+  Fnv f;
+  f.mix(base_seed);
+  f.mix(static_cast<std::uint64_t>(site));
+  f.mix(plan_shape);
+  f.mix(activate_cycle);
+  f.mix(window);
+  return f.h;
+}
 
 std::uint64_t tg_design_hash(const DlxModel& m) {
   Fnv f;

@@ -65,6 +65,14 @@ struct TgStats {
   std::uint64_t dptrace_reused = 0;      ///< searches answered by the memo
   std::uint64_t relax_hits = 0;     ///< DPRELAX solves replayed from the memo
   std::uint64_t relax_lookups = 0;  ///< DPRELAX memo probes
+  /// DPRELAX good+err window captures run as one 2-lane batch simulation
+  /// (sim/batch_sim) instead of two full window simulations.
+  std::uint64_t relax_pair_captures = 0;
+  /// Post-success 01X analysis (gatenet/evalw): candidate CPI bits whose
+  /// relaxation to X still forces every CTRL objective of the winning plan.
+  /// Pure statistics - the emitted test is unchanged.
+  std::uint64_t cpi_dont_cares = 0;
+  std::uint64_t dontcare_candidates = 0;
   /// DPRELAX memo misses where a resident entry differed only in the
   /// injection-site suffix of the key - the reuse a site-independent
   /// keying would capture (measured, not exploited; docs/SOLVER.md).
@@ -157,6 +165,19 @@ class TestGenerator {
 /// deductions (nogoods, cached justifications, relax memos) transfer
 /// between them. Gates campaign journals and persisted deduction stores.
 std::uint64_t tg_design_hash(const DlxModel& m);
+
+/// Seed DPRELAX uses for a given plan: a pure function of the base seed and
+/// the plan's identity (error site, path shape, activation cycle, window).
+/// Because trial order is not an input, a plan relaxes identically whether
+/// it is trial #1 or #7 of its window - in particular a warm start whose
+/// imported deductions skip earlier plans replays the same seeds, which the
+/// DPRELAX memo's byte-identical replay depends on. The window IS an input:
+/// a solve is window-dependent at the margin (the runaway-PC cap in
+/// DpRelax::set_instr_word scales with it), so memo entries must never
+/// transfer between windows on a seed collision.
+std::uint64_t relax_plan_seed(std::uint64_t base_seed, NetId site,
+                              const std::string& plan_shape,
+                              unsigned activate_cycle, unsigned window);
 
 /// Fingerprint of the TgConfig knobs that cached deduction results depend
 /// on (windows, search caps, relaxation seed, solver toggles). Capacities

@@ -104,6 +104,29 @@ const std::vector<GateId>& GateNet::topo_order() const {
   return topo_;
 }
 
+const PackedLayout& GateNet::packed() const {
+  if (!packed_.ops.empty() || !packed_.dffs.empty() || gates_.empty())
+    return packed_;
+  for (GateId g : topo_order()) {
+    const Gate& gate = gates_[g];
+    if (gate.kind == GateKind::kVar || gate.kind == GateKind::kDff) continue;
+    PackedLayout::Op op;
+    op.gate = g;
+    op.fanin_at = static_cast<std::uint32_t>(packed_.fanin.size());
+    op.nfanin = static_cast<std::uint16_t>(gate.fanin.size());
+    op.kind = gate.kind;
+    packed_.ops.push_back(op);
+    packed_.fanin.insert(packed_.fanin.end(), gate.fanin.begin(),
+                         gate.fanin.end());
+  }
+  for (GateId g : dffs()) {
+    packed_.dffs.push_back(g);
+    packed_.dff_d.push_back(gates_[g].fanin[0]);
+    packed_.dff_reset.push_back(gates_[g].reset_value ? 1 : 0);
+  }
+  return packed_;
+}
+
 GateId GateNet::find(const std::string& name) const {
   for (GateId i = 0; i < gates_.size(); ++i)
     if (gates_[i].name == name) return i;

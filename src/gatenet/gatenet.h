@@ -46,6 +46,26 @@ enum class SigRole : std::uint8_t { kInternal = 0, kCPI, kSts, kCtrl, kCPO };
 std::string_view to_string(GateKind k);
 std::string_view to_string(SigRole r);
 
+/// Flattened evaluation program for the bit-parallel kernels: the
+/// combinational gates in topological order with their fanin lists packed
+/// into one contiguous array, plus the DFF index/D-input/reset tables. The
+/// wide evaluators (gatenet/evalw) walk this instead of chasing the
+/// per-Gate std::vector fanins; GateNet caches one per network so campaign
+/// rows share a single layout instead of re-deriving it per evaluation.
+struct PackedLayout {
+  struct Op {
+    GateId gate;             ///< output slot
+    std::uint32_t fanin_at;  ///< offset into `fanin`
+    std::uint16_t nfanin;
+    GateKind kind;
+  };
+  std::vector<Op> ops;        ///< combinational gates, topological order
+  std::vector<GateId> fanin;  ///< concatenated fanin ids of `ops`
+  std::vector<GateId> dffs;   ///< DFF gate ids (same order as GateNet::dffs)
+  std::vector<GateId> dff_d;  ///< dff_d[i] = D input of dffs[i]
+  std::vector<std::uint8_t> dff_reset;  ///< reset value per DFF
+};
+
 struct Gate {
   std::string name;
   GateKind kind = GateKind::kBuf;
@@ -79,6 +99,10 @@ class GateNet {
   /// sources. Throws on a combinational cycle.
   const std::vector<GateId>& topo_order() const;
 
+  /// Packed evaluation program (computed lazily from topo_order). The wide
+  /// evaluators consume this; see PackedLayout.
+  const PackedLayout& packed() const;
+
   GateId find(const std::string& name) const;
 
   /// Count of state bits (DFFs) and per-stage breakdown - the paper's n2.
@@ -90,16 +114,23 @@ class GateNet {
     topo_.clear();
     fanout_.clear();
     dffs_.clear();
+    packed_.ops.clear();
+    packed_.fanin.clear();
+    packed_.dffs.clear();
+    packed_.dff_d.clear();
+    packed_.dff_reset.clear();
   }
 
-  /// Force-compute the lazy caches (topo order, fanouts, DFF list). Call
-  /// once before sharing a const GateNet across threads: the lazy getters
-  /// mutate `mutable` members and are not safe to race on first use.
+  /// Force-compute the lazy caches (topo order, fanouts, DFF list, packed
+  /// evaluation layout). Call once before sharing a const GateNet across
+  /// threads: the lazy getters mutate `mutable` members and are not safe to
+  /// race on first use.
   void warm_caches() const {
     if (!gates_.empty()) {
       topo_order();
       fanouts();
       dffs();
+      packed();
     }
   }
 
@@ -108,6 +139,7 @@ class GateNet {
   mutable std::vector<GateId> topo_;
   mutable std::vector<std::vector<GateId>> fanout_;
   mutable std::vector<GateId> dffs_;
+  mutable PackedLayout packed_;
 };
 
 }  // namespace hltg

@@ -2,7 +2,6 @@
 
 #include <array>
 
-#include "gatenet/eval64.h"
 #include "netlist/eval.h"
 #include "sim/cosim.h"
 #include "sim/schedule.h"
@@ -12,14 +11,18 @@ namespace hltg {
 
 namespace {
 
-/// Lane-indexed mirror of ProcSim: one shared controller word per gate
-/// (gatenet/eval64), per-lane scalar datapath state. Kept cycle-for-cycle
+/// Lane-indexed mirror of ProcSim: shared wide controller words per gate
+/// (gatenet/evalw), per-lane scalar datapath state. Kept cycle-for-cycle
 /// equivalent to ProcSim; any behavioural change there must land here too.
 class BatchSim {
  public:
   BatchSim(const DlxModel& m, const TestCase& tc,
            const std::vector<const ErrorInjection*>& lanes)
-      : m_(m), lanes_(lanes), nets_(m.dp.num_nets()), imem_(tc.imem) {
+      : m_(m),
+        lanes_(lanes),
+        nets_(m.dp.num_nets()),
+        words_(lane_words(static_cast<unsigned>(lanes.size()))),
+        imem_(tc.imem) {
     const std::size_t n = lanes_.size();
     dpv_.assign(n * nets_, 0);
     stuck_or_.assign(n * nets_, 0);
@@ -27,7 +30,7 @@ class BatchSim {
     rf_.assign(n, tc.rf_init);
     dmem_.resize(n);
     matched_writes_.assign(n, 0);
-    load_reset64(m_.ctrl, gv_);
+    load_resetw(m_.ctrl, gv_, words_);
     for (std::size_t lane = 0; lane < n; ++lane) {
       rf_[lane][0] = 0;
       dmem_[lane].load(tc.dmem_init);
@@ -44,8 +47,15 @@ class BatchSim {
     for (ModId i = 0; i < m_.dp.num_modules(); ++i)
       if (m_.dp.module(i).kind == ModuleKind::kReg) reg_mods_.push_back(i);
 
+    // Live mask: the low `n` lanes across the mask words.
+    live_.assign(words_, 0);
+    detected_.assign(words_, 0);
+    for (std::size_t lane = 0; lane < n; ++lane)
+      live_[lane >> 6] |= std::uint64_t{1} << (lane & 63);
+
+    backend_ = backend_for(words_);
+
     // Initialize register outputs to their reset values (with injection).
-    live_ = n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
     for (std::size_t lane = 0; lane < n; ++lane)
       for (ModId i : reg_mods_) {
         const Module& mod = m_.dp.module(i);
@@ -53,32 +63,63 @@ class BatchSim {
       }
   }
 
-  /// Run `cycles` cycles against `spec`; returns the detection mask.
-  std::uint64_t run_detect(const ArchTrace& spec, unsigned cycles) {
-    for (unsigned c = 0; c < cycles && live_ != 0; ++c) {
+  /// Run `cycles` cycles against `spec`; returns the detection mask words.
+  std::vector<std::uint64_t> run_detect(const ArchTrace& spec,
+                                        unsigned cycles) {
+    for (unsigned c = 0; c < cycles && any_live(); ++c) {
       fetch();
       eval_pass();
-      clock_edge(spec);
+      clock_edge(&spec);
     }
     // Lanes that survived the run undetected: their store sequence matched
     // the spec prefix; they mismatch iff they stored too few words or ended
     // with a different register file.
-    std::uint64_t mask = detected_;
+    std::vector<std::uint64_t> mask = detected_;
     for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-      const std::uint64_t bit = std::uint64_t{1} << lane;
-      if (!(live_ & bit)) continue;
+      if (!lane_live(lane)) continue;
       if (matched_writes_[lane] != spec.writes.size()) {
-        mask |= bit;
+        mask[lane >> 6] |= std::uint64_t{1} << (lane & 63);
         continue;
       }
       for (unsigned r = 0; r < 32; ++r)
         if (reg(lane, r) != spec.rf_final[r]) {
-          mask |= bit;
+          mask[lane >> 6] |= std::uint64_t{1} << (lane & 63);
           break;
         }
     }
     return mask;
   }
+
+  /// Run `cycles` cycles recording every lane's settled net/gate values per
+  /// cycle (ProcSim::begin_cycle points). No spec comparison: lanes never
+  /// freeze.
+  std::vector<LaneCapture> run_capture(unsigned cycles) {
+    std::vector<LaneCapture> out(lanes_.size());
+    for (LaneCapture& lc : out) {
+      lc.nets.reserve(cycles);
+      lc.gates.reserve(cycles);
+    }
+    const std::size_t ngates = m_.ctrl.num_gates();
+    for (unsigned c = 0; c < cycles; ++c) {
+      fetch();
+      eval_pass();
+      for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+        std::vector<std::uint64_t> nv(nets_);
+        for (NetId n = 0; n < nets_; ++n) nv[n] = dpv(lane, n);
+        std::vector<std::uint8_t> gvals(ngates);
+        for (GateId g = 0; g < ngates; ++g)
+          gvals[g] = gate_bit(g, lane) ? 1 : 0;
+        out[lane].nets.push_back(std::move(nv));
+        out[lane].gates.push_back(std::move(gvals));
+      }
+      clock_edge(nullptr);
+    }
+    return out;
+  }
+
+  std::uint64_t controller_passes() const { return controller_passes_; }
+  std::uint64_t gate_evals() const { return gate_evals_; }
+  LaneBackend backend() const { return backend_; }
 
  private:
   std::uint64_t dpv(std::size_t lane, NetId n) const {
@@ -86,6 +127,14 @@ class BatchSim {
   }
   std::uint32_t reg(std::size_t lane, unsigned r) const {
     return r == 0 ? 0 : rf_[lane][r];
+  }
+  bool lane_live(std::size_t lane) const {
+    return (live_[lane >> 6] >> (lane & 63)) & 1;
+  }
+  bool any_live() const {
+    for (std::uint64_t w : live_)
+      if (w) return true;
+    return false;
   }
 
   void set_net(std::size_t lane, NetId n, std::uint64_t v) {
@@ -95,14 +144,19 @@ class BatchSim {
     dpv_[at] = trunc(v, m_.dp.net(n).width);
   }
 
+  bool gate_bit(GateId g, std::size_t lane) const {
+    return (gv_[std::size_t{g} * words_ + (lane >> 6)] >> (lane & 63)) & 1;
+  }
+
   void set_gate_bit(GateId g, std::size_t lane, bool v) {
-    const std::uint64_t bit = std::uint64_t{1} << lane;
-    gv_[g] = v ? (gv_[g] | bit) : (gv_[g] & ~bit);
+    std::uint64_t& w = gv_[std::size_t{g} * words_ + (lane >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (lane & 63);
+    w = v ? (w | bit) : (w & ~bit);
   }
 
   void fetch() {
     for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-      if (!(live_ & (std::uint64_t{1} << lane))) continue;
+      if (!lane_live(lane)) continue;
       const std::uint32_t pc =
           static_cast<std::uint32_t>(dpv(lane, m_.sig.pc_q));
       const std::size_t idx = pc / 4;
@@ -145,6 +199,7 @@ class BatchSim {
   }
 
   void eval_pass() {
+    ++controller_passes_;
     const Module& rfw = m_.dp.module(m_.rf_write_mod);
     for (const EvalStep& st : sched_) {
       switch (st.kind) {
@@ -161,16 +216,17 @@ class BatchSim {
                 set_gate_bit(g, lane, dpv(lane, sn) & 1);
             break;
           }
-          gv_[g] = eval_gate64(m_.ctrl, g, gv_);  // all lanes at once
+          eval_gatew(m_.ctrl, g, gv_.data(), words_, backend_);
+          ++gate_evals_;
           break;
         }
         case EvalStep::kCtrlBind: {
           const CtrlBind& cb = m_.ctrl_binds[st.index];
           for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-            if (!(live_ & (std::uint64_t{1} << lane))) continue;
+            if (!lane_live(lane)) continue;
             std::uint64_t v = 0;
             for (std::size_t i = 0; i < cb.bits.size(); ++i)
-              if ((gv_[cb.bits[i]] >> lane) & 1) v |= std::uint64_t{1} << i;
+              if (gate_bit(cb.bits[i], lane)) v |= std::uint64_t{1} << i;
             set_net(lane, cb.dp_net, v);
           }
           break;
@@ -186,7 +242,7 @@ class BatchSim {
               break;  // state / externally driven / sinks
             case ModuleKind::kRfRead:
               for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-                if (!(live_ & (std::uint64_t{1} << lane))) continue;
+                if (!lane_live(lane)) continue;
                 const unsigned addr =
                     static_cast<unsigned>(dpv(lane, mod.data_in[0]) & 31);
                 const unsigned waddr =
@@ -204,7 +260,7 @@ class BatchSim {
               break;
             case ModuleKind::kMemRead:
               for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-                if (!(live_ & (std::uint64_t{1} << lane))) continue;
+                if (!lane_live(lane)) continue;
                 const bool re = dpv(lane, mod.ctrl_in[0]) & 1;
                 const std::uint32_t addr =
                     static_cast<std::uint32_t>(dpv(lane, mod.data_in[0]));
@@ -214,7 +270,7 @@ class BatchSim {
               break;
             default:
               for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-                if (!(live_ & (std::uint64_t{1} << lane))) continue;
+                if (!lane_live(lane)) continue;
                 set_net(lane, mod.out, eval_module(lane, mod));
               }
               break;
@@ -225,12 +281,14 @@ class BatchSim {
     }
   }
 
-  void clock_edge(const ArchTrace& spec) {
+  /// Clock edge; with `spec` the incremental store-trace comparison detects
+  /// and freezes diverging lanes, without it (capture mode) lanes run on.
+  void clock_edge(const ArchTrace* spec) {
     const Module& rfw = m_.dp.module(m_.rf_write_mod);
     const Module& mw = m_.dp.module(m_.mem_write_mod);
     for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
-      const std::uint64_t bit = std::uint64_t{1} << lane;
-      if (!(live_ & bit)) continue;
+      if (!lane_live(lane)) continue;
+      const std::uint64_t bit = std::uint64_t{1} << (lane & 63);
 
       // Register next-state values: q' = clr ? 0 : (en ? d : q).
       next_.clear();
@@ -253,27 +311,32 @@ class BatchSim {
         const unsigned addr =
             static_cast<unsigned>(dpv(lane, rfw.data_in[0]) & 31);
         if (addr != 0)
-          rf_[lane][addr] = static_cast<std::uint32_t>(dpv(lane, rfw.data_in[1]));
+          rf_[lane][addr] =
+              static_cast<std::uint32_t>(dpv(lane, rfw.data_in[1]));
       }
       if (dpv(lane, mw.ctrl_in[0]) & 1) {
         const std::uint32_t addr =
             static_cast<std::uint32_t>(dpv(lane, mw.data_in[0]));
-        std::uint32_t data = static_cast<std::uint32_t>(dpv(lane, mw.data_in[1]));
-        const unsigned mask = static_cast<unsigned>(dpv(lane, mw.data_in[2]) & 0xF);
+        std::uint32_t data =
+            static_cast<std::uint32_t>(dpv(lane, mw.data_in[1]));
+        const unsigned mask =
+            static_cast<unsigned>(dpv(lane, mw.data_in[2]) & 0xF);
         for (unsigned b = 0; b < 4; ++b)
           if (!(mask & (1u << b)))
             data = static_cast<std::uint32_t>(set_field(data, 8 * b, 8, 0));
         dmem_[lane].write_word(addr, data, mask);
-        // Incremental trace comparison: a store that differs from the
-        // specification's store at the same position - or overflows the
-        // specification's store count - is a permanent mismatch, so the
-        // lane is detected and frozen.
-        const MemWrite w{addr & ~3u, data, mask};
-        const std::size_t k = matched_writes_[lane]++;
-        if (k >= spec.writes.size() || !(spec.writes[k] == w)) {
-          detected_ |= bit;
-          live_ &= ~bit;
-          continue;  // skip the register latch: the lane is frozen
+        if (spec) {
+          // Incremental trace comparison: a store that differs from the
+          // specification's store at the same position - or overflows the
+          // specification's store count - is a permanent mismatch, so the
+          // lane is detected and frozen.
+          const MemWrite w{addr & ~3u, data, mask};
+          const std::size_t k = matched_writes_[lane]++;
+          if (k >= spec->writes.size() || !(spec->writes[k] == w)) {
+            detected_[lane >> 6] |= bit;
+            live_[lane >> 6] &= ~bit;
+            continue;  // skip the register latch: the lane is frozen
+          }
         }
       }
 
@@ -281,40 +344,71 @@ class BatchSim {
       for (auto [net, v] : next_) set_net(lane, net, v);
     }
     // Controller pipe registers: all lanes in one pass.
-    dff_next_.clear();
-    for (GateId g : m_.ctrl.dffs())
-      dff_next_.push_back(gv_[m_.ctrl.gate(g).fanin[0]]);
-    std::size_t k = 0;
-    for (GateId g : m_.ctrl.dffs()) gv_[g] = dff_next_[k++];
+    clock_dffsw(m_.ctrl, gv_.data(), words_, dff_scratch_);
   }
 
   const DlxModel& m_;
   const std::vector<const ErrorInjection*>& lanes_;
   const std::size_t nets_;
+  const unsigned words_;  ///< 64-bit words per gate (lanes / 64 rounded up)
   std::vector<std::uint32_t> imem_;
-  std::vector<std::uint64_t> dpv_;        ///< [lane * nets_ + net]
+  std::vector<std::uint64_t> dpv_;  ///< [lane * nets_ + net]
   std::vector<std::uint64_t> stuck_or_, stuck_and_;
-  std::vector<std::uint64_t> gv_;         ///< per gate, bit k = lane k
+  std::vector<std::uint64_t> gv_;   ///< [gate * words_ + w], bit k = lane
+                                    ///< 64*w + k
   std::vector<std::array<std::uint32_t, 32>> rf_;
   std::vector<SparseMemory> dmem_;
   std::vector<std::size_t> matched_writes_;
-  std::uint64_t live_ = 0;
-  std::uint64_t detected_ = 0;
+  std::vector<std::uint64_t> live_, detected_;  ///< mask words
   std::vector<EvalStep> sched_;
   std::vector<NetId> sts_net_of_gate_;
   std::vector<ModId> reg_mods_;
+  LaneBackend backend_ = LaneBackend::kScalar;
+  std::uint64_t controller_passes_ = 0;
+  std::uint64_t gate_evals_ = 0;
   mutable std::vector<std::uint64_t> scratch_in_, scratch_ctrl_;
   std::vector<std::pair<NetId, std::uint64_t>> next_;
-  std::vector<std::uint64_t> dff_next_;
+  std::vector<std::uint64_t> dff_scratch_;
 };
 
+void fold_stats(BatchSimStats* stats, const BatchSim& sim,
+                std::size_t lanes, unsigned width) {
+  if (!stats) return;
+  ++stats->batches;
+  stats->controller_passes += sim.controller_passes();
+  stats->gate_evals += sim.gate_evals();
+  stats->lanes_evaluated += lanes;
+  stats->lane_width = width;
+  stats->backend = sim.backend();
+}
+
 }  // namespace
+
+std::vector<std::uint64_t> batch_detectw(
+    const DlxModel& m, const TestCase& tc, const ArchTrace& spec,
+    unsigned cycles, const std::vector<const ErrorInjection*>& lanes,
+    BatchSimStats* stats) {
+  BatchSim sim(m, tc, lanes);
+  std::vector<std::uint64_t> mask = sim.run_detect(spec, cycles);
+  fold_stats(stats, sim, lanes.size(),
+             lane_words(static_cast<unsigned>(lanes.size())) * 64);
+  return mask;
+}
 
 std::uint64_t batch_detect64(const DlxModel& m, const TestCase& tc,
                              const ArchTrace& spec, unsigned cycles,
                              const std::vector<const ErrorInjection*>& lanes) {
+  return batch_detectw(m, tc, spec, cycles, lanes)[0];
+}
+
+std::vector<LaneCapture> batch_capture(
+    const DlxModel& m, const TestCase& tc, unsigned cycles,
+    const std::vector<const ErrorInjection*>& lanes, BatchSimStats* stats) {
   BatchSim sim(m, tc, lanes);
-  return sim.run_detect(spec, cycles);
+  std::vector<LaneCapture> out = sim.run_capture(cycles);
+  fold_stats(stats, sim, lanes.size(),
+             lane_words(static_cast<unsigned>(lanes.size())) * 64);
+  return out;
 }
 
 std::vector<bool> detect_errors(const DlxModel& m, const TestCase& tc,
@@ -330,9 +424,7 @@ std::vector<bool> detect_errors(const DlxModel& m, const TestCase& tc,
     return out;
   }
   const ArchTrace spec = spec_run(tc, cycles);
-  const unsigned width = cfg.max_lanes == 0     ? 64
-                         : cfg.max_lanes > 64   ? 64
-                                                : cfg.max_lanes;
+  const unsigned width = resolve_lanes(cfg.max_lanes);
   std::vector<ErrorInjection> injs;
   std::vector<const ErrorInjection*> lanes;
   std::vector<std::size_t> which;
@@ -347,9 +439,11 @@ std::vector<bool> detect_errors(const DlxModel& m, const TestCase& tc,
       which.push_back(i);
     }
     for (const ErrorInjection& inj : injs) lanes.push_back(&inj);
-    const std::uint64_t mask = batch_detect64(m, tc, spec, cycles, lanes);
+    const std::vector<std::uint64_t> mask =
+        batch_detectw(m, tc, spec, cycles, lanes, cfg.stats);
+    if (cfg.stats) cfg.stats->lane_width = width;
     for (std::size_t k = 0; k < which.size(); ++k)
-      if ((mask >> k) & 1) out[which[k]] = true;
+      if ((mask[k >> 6] >> (k & 63)) & 1) out[which[k]] = true;
   }
   return out;
 }

@@ -9,18 +9,19 @@
 // including provenance, entry-point free variables, and the injected
 // error), so replaying a recorded definitive result - success or failure,
 // including the final variable state - is byte-identical to recomputing
-// it. The cached failures are this cache's "learned cuts": the TG window
-// retry (14 -> 20) replays the same plans with the same derived seeds, and
-// every plan whose subproblem already failed definitively is answered
-// without a single relaxation sweep.
+// it. The cached failures are this cache's "learned cuts": repeat visits
+// to a plan (shape-duplicated paths within a window, warm-started reruns
+// replaying the same derived seeds) are answered without a single
+// relaxation sweep.
 //
-// The window is deliberately NOT part of the key. Every constraint a plan
-// produces lives at cycles below its window, the pipeline simulation is
-// causal (values at cycle t do not depend on how far past t the window
-// extends), and the rng consumption is driven entirely by the backsolve's
-// value inspections below those cycles - so for any window large enough to
-// admit the constraint set at all, the solve result is the same. That is
-// exactly what makes the retry reuse possible.
+// The window is NOT part of the key, but it IS mixed into the derived seed
+// (core/tg.h relax_plan_seed), which the key serializes - so entries never
+// transfer between windows. The causality argument for window-independence
+// (constraints live at cycles below the window; the simulation is causal)
+// holds everywhere EXCEPT one margin: the runaway-PC cap in
+// DpRelax::set_instr_word scales with the window, so a backsolve that
+// walks near the cap can genuinely depend on it. Seed separation closes
+// that hole without widening the key.
 //
 // Results that aborted on a budget (abort != kNone) are never stored: they
 // depend on how much budget was left, which is caller state, not

@@ -166,6 +166,7 @@ std::string encode_relax(const RelaxCache::Exported& r) {
   s.put_u8(static_cast<std::uint8_t>(r.result.status));
   s.put_u8(static_cast<std::uint8_t>(r.result.abort));
   s.put_u32(r.result.iterations);
+  s.put_u32(r.result.pair_captures);
   s.put_str(r.result.note);
   s.put_u32(static_cast<std::uint32_t>(r.vars.imem.size()));
   for (const std::uint32_t w : r.vars.imem) s.put_u32(w);
@@ -194,7 +195,8 @@ bool decode_relax(ByteSource& s, RelaxCache::Exported* r) {
   if (r->key.site_words > r->key.words.size()) return false;
   std::uint8_t status = 0, abort = 0;
   if (!s.get_u8(&status) || !s.get_u8(&abort) ||
-      !s.get_u32(&r->result.iterations) || !s.get_str(&r->result.note))
+      !s.get_u32(&r->result.iterations) ||
+      !s.get_u32(&r->result.pair_captures) || !s.get_str(&r->result.note))
     return false;
   r->result.status = static_cast<TgStatus>(status);
   r->result.abort = static_cast<AbortReason>(abort);

@@ -69,7 +69,7 @@ DedSnapshot export_context(const SolverContext& ctx);
 /// Replay `snap` into `ctx` (learn/insert/store; capacity limits apply).
 void import_context(const DedSnapshot& snap, SolverContext* ctx);
 
-inline constexpr std::uint32_t kDedStoreVersion = 1;
+inline constexpr std::uint32_t kDedStoreVersion = 2;
 
 /// Provenance stamp gating a load. Hash 0 means "not validated" (tests,
 /// tools); campaigns always pass real hashes.

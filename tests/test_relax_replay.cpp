@@ -1,0 +1,150 @@
+// DPRELAX plan seeds and memo replay across warm starts.
+//
+// The derived seed must be a pure function of the plan's identity (site,
+// shape, activation cycle, window) and never of trial position - a warm
+// start whose imported deductions skip earlier plans must replay the same
+// seeds, or the relax memo's byte-identical-replay contract silently
+// breaks. The window must be an input: DpRelax::solve is window-dependent
+// at the margin (relax_plan_seed doc in core/tg.h), so memo entries may
+// never transfer between windows.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/tg.h"
+#include "dlx/dlx.h"
+#include "errors/bus_ssl.h"
+#include "solver/store.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+// ------------------------------------------------------------- the seed
+
+TEST(RelaxPlanSeed, PureFunctionOfPlanIdentity) {
+  const std::uint64_t a = relax_plan_seed(1, 42, "alu:x,y", 3, 14);
+  // Same inputs, any call order, any number of interleaved calls: same seed.
+  (void)relax_plan_seed(9, 7, "other", 0, 20);
+  EXPECT_EQ(relax_plan_seed(1, 42, "alu:x,y", 3, 14), a);
+
+  // Every identity component separates seeds.
+  EXPECT_NE(relax_plan_seed(2, 42, "alu:x,y", 3, 14), a);  // base seed
+  EXPECT_NE(relax_plan_seed(1, 43, "alu:x,y", 3, 14), a);  // site
+  EXPECT_NE(relax_plan_seed(1, 42, "alu:x,z", 3, 14), a);  // shape
+  EXPECT_NE(relax_plan_seed(1, 42, "alu:x,y", 4, 14), a);  // activation
+  EXPECT_NE(relax_plan_seed(1, 42, "alu:x,y", 3, 20), a);  // window
+}
+
+TEST(RelaxPlanSeed, WindowsNeverCollideOverPlanSpace) {
+  // A base-window seed must never equal the retry-window seed of any plan
+  // in a sizable sample: cross-window memo transfer is unsound.
+  std::set<std::uint64_t> win14, win20;
+  for (NetId site = 0; site < 64; ++site)
+    for (unsigned cyc = 0; cyc < 4; ++cyc) {
+      const std::string shape = "m" + std::to_string(site % 5);
+      win14.insert(relax_plan_seed(0xABCD, site, shape, cyc, 14));
+      win20.insert(relax_plan_seed(0xABCD, site, shape, cyc, 20));
+    }
+  for (std::uint64_t s : win14) EXPECT_EQ(win20.count(s), 0u) << s;
+}
+
+// --------------------------------------------------- warm-start replay
+
+TEST(RelaxReplay, WarmStartAnswersRelaxFromTheImportedMemo) {
+  // Generate for a slice of errors with a campaign-scope context, export
+  // it, then regenerate with the snapshot imported into a fresh generator:
+  // the emitted tests must be byte-identical while DPRELAX solves are
+  // answered from the memo instead of re-running relaxation sweeps.
+  std::vector<DesignError> errors = wrap(enumerate_bus_ssl(model().dp));
+  if (errors.size() > 8) errors.resize(8);
+
+  TgConfig cfg;
+  cfg.solver.scope = SolverScope::kCampaign;
+
+  struct RunOut {
+    std::vector<TestCase> tests;
+    std::vector<TgStatus> statuses;
+    std::uint64_t relax_hits = 0;
+    std::uint64_t relax_iterations = 0;
+    std::uint64_t pair_captures = 0;
+  };
+  auto run = [&](const DedSnapshot* warm, DedSnapshot* out_snap) {
+    TestGenerator tg(model(), cfg);
+    if (warm) import_context(*warm, &tg.solver_context());
+    RunOut out;
+    for (const DesignError& e : errors) {
+      const TgResult r = tg.generate(e);
+      out.tests.push_back(r.test);
+      out.statuses.push_back(r.status);
+      out.relax_hits += r.stats.relax_hits;
+      out.relax_iterations += r.stats.relax_iterations;
+      out.pair_captures += r.stats.relax_pair_captures;
+    }
+    if (out_snap) *out_snap = export_context(tg.solver_context());
+    return out;
+  };
+
+  DedSnapshot snap;
+  const RunOut cold = run(nullptr, &snap);
+  ASSERT_FALSE(snap.relax.empty()) << "cold run recorded no relax memos";
+
+  const RunOut warm = run(&snap, nullptr);
+  ASSERT_EQ(warm.statuses, cold.statuses);
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    EXPECT_EQ(warm.tests[i].imem, cold.tests[i].imem) << i;
+    EXPECT_EQ(warm.tests[i].rf_init, cold.tests[i].rf_init) << i;
+    EXPECT_EQ(warm.tests[i].dmem_init, cold.tests[i].dmem_init) << i;
+  }
+  // The warmth is specifically the relax memo.
+  EXPECT_GT(warm.relax_hits, cold.relax_hits);
+  // Replayed results carry the recorded iteration and pair-capture counts,
+  // so the Table-1 stats stay byte-identical across cold and warm runs -
+  // the memo accelerates, it never changes what is reported.
+  EXPECT_EQ(warm.relax_iterations, cold.relax_iterations);
+  EXPECT_EQ(warm.pair_captures, cold.pair_captures);
+}
+
+TEST(RelaxReplay, SnapshotSurvivesSerializationWithPairCaptures) {
+  // DpRelaxResult grew pair_captures (store format v2): a relax memo round-
+  // tripped through the byte format must replay identically, counter
+  // included - a silent drop here would skew the warm-start Table-1 stats.
+  RelaxCache::Exported e;
+  e.key.words = {0x1111, 0x2222, 0x3333};
+  e.key.site_words = 1;
+  e.result.status = TgStatus::kSuccess;
+  e.result.iterations = 5;
+  e.result.pair_captures = 3;
+  e.result.note = "fabricated";
+  e.vars.imem = {0xDEADBEEFu, 0x12345678u};
+  e.vars.imem_fixed = {0xFFFF0000u, 0x0000FFFFu};
+  e.vars.rf_init[7] = 42;
+  e.vars.mem_init[0x40] = 99;
+  DedSnapshot snap;
+  snap.relax.push_back(e);
+
+  const std::string path = "/tmp/hltg_relax_replay_store.bin";
+  std::string why;
+  ASSERT_TRUE(save_ded_store(path, DedStoreMeta{}, snap, &why)) << why;
+  const DedStoreLoad load = load_ded_store(path, 0, 0);
+  ASSERT_TRUE(load.ok) << load.note;
+  ASSERT_EQ(load.snapshot.relax.size(), 1u);
+  const RelaxCache::Exported& got = load.snapshot.relax[0];
+  EXPECT_EQ(got.key, e.key);
+  EXPECT_EQ(got.result.status, e.result.status);
+  EXPECT_EQ(got.result.iterations, e.result.iterations);
+  EXPECT_EQ(got.result.pair_captures, e.result.pair_captures);
+  EXPECT_EQ(got.vars.imem, e.vars.imem);
+  EXPECT_EQ(got.vars.imem_fixed, e.vars.imem_fixed);
+  EXPECT_EQ(got.vars.rf_init, e.vars.rf_init);
+  EXPECT_EQ(got.vars.mem_init, e.vars.mem_init);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hltg
