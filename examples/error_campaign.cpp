@@ -5,7 +5,7 @@
 //                      [--csv out.csv] [--save-tests dir]
 //                      [--deadline-ms N] [--max-backtracks N]
 //                      [--max-decisions N] [--fallback [tries]]
-//                      [--journal file.jsonl] [--resume]
+//                      [--journal file.jsonl] [--resume | --resume=strict]
 //                      [--jobs N] [--drop] [--lanes N] [--solver on|off]
 //                      [--solver-scope error|campaign] [--store file.ded]
 //                      [--failpoints SPEC]
@@ -204,6 +204,10 @@ int main(int argc, char** argv) {
       ccfg.journal_path = argv[++i];
     else if (!std::strcmp(argv[i], "--resume"))
       ccfg.resume = true;
+    else if (!std::strcmp(argv[i], "--resume=strict")) {
+      ccfg.resume = true;
+      ccfg.resume_strict = true;
+    }
     else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
       jobs = static_cast<unsigned>(std::atoi(argv[++i]));
     else if (!std::strcmp(argv[i], "--drop"))
@@ -481,6 +485,16 @@ int main(int argc, char** argv) {
   if (res.resumed_rows > 0)
     std::printf("resumed %zu journaled errors, ran %zu\n", res.resumed_rows,
                 res.stats.attempted - res.resumed_rows);
+  else if (ccfg.resume)
+    // --resume that replayed nothing means the checkpoint was not actually
+    // used - most often a typo'd path. Loud, because the run silently
+    // repeated all the work the journal was supposed to save.
+    std::fprintf(stderr,
+                 "WARNING: --resume replayed no journaled rows (%s); the "
+                 "campaign started fresh. Use --resume=strict to make this "
+                 "an error.\n",
+                 res.journal_note.empty() ? "journal was empty"
+                                          : res.journal_note.c_str());
   if (res.interrupted)
     std::printf("interrupted after %zu of %zu errors (journal is "
                 "resumable)\n",

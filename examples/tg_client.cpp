@@ -1,0 +1,181 @@
+// Thin client for the campaign service daemon (docs/SERVICE.md).
+//
+//   $ ./tg_client --socket /tmp/tg.sock [request flags] [--csv out.csv]
+//   $ ./tg_client --socket /tmp/tg.sock --cancel ID
+//   $ ./tg_client --socket /tmp/tg.sock --stats | --ping | --shutdown
+//
+// Request flags mirror error_campaign where they overlap: --model
+// ssl|mse|boe|bse, --stages EX,MEM,WB, --deadline-ms N,
+// --max-backtracks N, --max-decisions N, --fallback [tries], --solver
+// on|off, --solver-scope error|campaign, --drop, --jobs N, --lanes N,
+// --window N, --retry-window N, --tag S. --subscribe streams per-error
+// progress rows to stderr as they complete. The result CSV goes to stdout
+// (or --csv FILE); the ack line (request id + cache key) and the summary
+// go to stderr. Exit 0 on a completed campaign, 3 if it was cancelled,
+// 1 on any protocol or request error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "service/client.h"
+#include "service/request.h"
+#include "util/minijson.h"
+
+using namespace hltg;
+
+int main(int argc, char** argv) {
+  std::string socket_path, csv_path, op;
+  std::uint64_t cancel_id = 0;
+  RequestSpec spec;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
+      socket_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc)
+      csv_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--cancel") && i + 1 < argc) {
+      op = "cancel";
+      cancel_id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--stats"))
+      op = "stats";
+    else if (!std::strcmp(argv[i], "--ping"))
+      op = "ping";
+    else if (!std::strcmp(argv[i], "--shutdown"))
+      op = "shutdown";
+    else if (!std::strcmp(argv[i], "--model") && i + 1 < argc)
+      spec.model = argv[++i];
+    else if (!std::strcmp(argv[i], "--stages") && i + 1 < argc)
+      spec.stages = argv[++i];
+    else if (!std::strcmp(argv[i], "--deadline-ms") && i + 1 < argc)
+      spec.deadline_ms = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--max-backtracks") && i + 1 < argc)
+      spec.max_backtracks = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--max-decisions") && i + 1 < argc)
+      spec.max_decisions = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--fallback")) {
+      spec.fallback = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        spec.fallback_tries = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--solver") && i + 1 < argc)
+      spec.solver = !std::strcmp(argv[++i], "on");
+    else if (!std::strcmp(argv[i], "--solver-scope") && i + 1 < argc)
+      spec.solver_scope = argv[++i];
+    else if (!std::strcmp(argv[i], "--drop"))
+      spec.drop = true;
+    else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+      spec.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--lanes") && i + 1 < argc)
+      spec.lanes = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--window") && i + 1 < argc)
+      spec.window = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--retry-window") && i + 1 < argc)
+      spec.retry_window = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--tag") && i + 1 < argc)
+      spec.tag = argv[++i];
+    else if (!std::strcmp(argv[i], "--subscribe"))
+      spec.subscribe = true;
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "usage: tg_client --socket PATH [flags]\n");
+    return 1;
+  }
+
+  ServiceClient client;
+  std::string why;
+  if (!client.connect(socket_path, &why)) {
+    std::fprintf(stderr, "tg_client: %s\n", why.c_str());
+    return 1;
+  }
+
+  if (op == "cancel") {
+    JsonWriter w;
+    if (!client.send_line(w.str("op", "cancel").num("id", cancel_id).take()))
+      return 1;
+  } else if (!op.empty()) {
+    JsonWriter w;
+    if (!client.send_line(w.str("op", op).take())) return 1;
+  } else {
+    if (!client.send_line("{\"op\":\"submit\"," +
+                          request_fields_json(spec) + "}"))
+      return 1;
+  }
+
+  std::string line;
+  while (client.read_line(&line)) {
+    MiniJson j(line);
+    std::string event;
+    if (!j.ok() || !j.get_string("event", &event)) {
+      std::fprintf(stderr, "tg_client: unparseable event: %s\n", line.c_str());
+      return 1;
+    }
+    if (event == "error") {
+      std::string err;
+      j.get_string("error", &err);
+      std::fprintf(stderr, "tg_client: %s\n", err.c_str());
+      return 1;
+    }
+    if (event == "ack") {
+      std::uint64_t id = 0;
+      std::string key;
+      bool coalesced = false;
+      j.get_u64("id", &id);
+      j.get_string("key", &key);
+      j.get_bool("coalesced", &coalesced);
+      std::fprintf(stderr, "request %llu key %s%s\n",
+                   static_cast<unsigned long long>(id), key.c_str(),
+                   coalesced ? " (coalesced onto an identical in-flight "
+                               "request)"
+                             : "");
+      continue;
+    }
+    if (event == "progress") {
+      std::string row;
+      j.get_string("line", &row);
+      std::fprintf(stderr, "progress: %s\n", row.c_str());
+      continue;
+    }
+    if (event == "result") {
+      bool ok = false, cached = false, cancelled = false;
+      std::uint64_t total = 0, attempted = 0, detected = 0;
+      std::string csv, table1, err;
+      j.get_bool("ok", &ok);
+      j.get_bool("cached", &cached);
+      j.get_bool("cancelled", &cancelled);
+      j.get_u64("total", &total);
+      j.get_u64("attempted", &attempted);
+      j.get_u64("detected", &detected);
+      j.get_string("csv", &csv);
+      j.get_string("table1", &table1);
+      j.get_string("error", &err);
+      if (!ok) {
+        std::fprintf(stderr, "tg_client: %s\n",
+                     err.empty() ? "request failed" : err.c_str());
+        return cancelled ? 3 : 1;
+      }
+      std::fprintf(stderr, "%s: %llu/%llu detected of %llu errors\n",
+                   cached ? "cache hit" : "fresh run",
+                   static_cast<unsigned long long>(detected),
+                   static_cast<unsigned long long>(attempted),
+                   static_cast<unsigned long long>(total));
+      if (!table1.empty()) std::fprintf(stderr, "%s\n", table1.c_str());
+      if (csv_path.empty()) {
+        std::fputs(csv.c_str(), stdout);
+      } else {
+        std::ofstream out(csv_path);
+        out << csv;
+        std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+      }
+      return 0;
+    }
+    // pong / stats / shutdown / cancel acks: print and finish.
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "tg_client: connection closed without a result\n");
+  return 1;
+}

@@ -1,0 +1,121 @@
+// Campaign service daemon (docs/SERVICE.md): serve test-generation
+// campaigns to many concurrent clients over a unix-domain socket, with a
+// content-addressed result cache so identical requests are answered
+// without running anything.
+//
+//   $ ./tg_server --socket /tmp/tg.sock [--cache-dir DIR]
+//                 [--spool-dir DIR] [--executors N] [--jobs-cap N]
+//                 [--queue N] [--cache-entries N] [--failpoints SPEC]
+//
+// --cache-dir persists every completed result (atomic tmp+fsync+rename
+// per entry; corrupt entries are quarantined, never served). --spool-dir
+// enables per-request progress streaming (clients submit with
+// "subscribe":true). SIGTERM/SIGINT drain gracefully: admissions stop,
+// every admitted campaign completes and is delivered, then the daemon
+// exits 0. A client's {"op":"shutdown"} does the same.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "service/server.h"
+#include "util/failpoint.h"
+
+using namespace hltg;
+
+namespace {
+
+volatile std::sig_atomic_t g_term = 0;
+extern "C" void on_term(int) { g_term = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceConfig scfg;
+  ServerConfig srvcfg;
+  std::string failpoint_spec;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--socket") && i + 1 < argc)
+      srvcfg.socket_path = argv[++i];
+    else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
+      scfg.cache_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--spool-dir") && i + 1 < argc)
+      scfg.spool_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--executors") && i + 1 < argc)
+      scfg.executors = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--jobs-cap") && i + 1 < argc)
+      scfg.jobs_cap = static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--queue") && i + 1 < argc)
+      scfg.queue_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--cache-entries") && i + 1 < argc)
+      scfg.cache_memory_entries =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc)
+      failpoint_spec = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (srvcfg.socket_path.empty()) {
+    std::fprintf(stderr, "usage: tg_server --socket PATH [--cache-dir DIR] "
+                 "[--spool-dir DIR] [--executors N] [--jobs-cap N] "
+                 "[--queue N] [--cache-entries N]\n");
+    return 1;
+  }
+
+  failpoint::configure_from_env();
+  if (!failpoint_spec.empty()) {
+    std::string fperr;
+    if (!failpoint::configure(failpoint_spec, &fperr)) {
+      std::fprintf(stderr, "--failpoints: %s\n", fperr.c_str());
+      return 1;
+    }
+  }
+
+  // Fail fast on unwritable directories (same policy as error_campaign's
+  // --journal/--store probes): a daemon that accepts traffic for an hour
+  // and then cannot persist a single result wasted everyone's hour.
+  std::string why;
+  if (!scfg.cache_dir.empty() && !probe_writable_dir(scfg.cache_dir, &why)) {
+    std::fprintf(stderr, "--cache-dir %s: %s\n", scfg.cache_dir.c_str(),
+                 why.c_str());
+    return 1;
+  }
+  if (!scfg.spool_dir.empty() && !probe_writable_dir(scfg.spool_dir, &why)) {
+    std::fprintf(stderr, "--spool-dir %s: %s\n", scfg.spool_dir.c_str(),
+                 why.c_str());
+    return 1;
+  }
+
+  const DlxModel m = build_dlx();
+  CampaignService service(m, scfg);
+  ServiceServer server(service, srvcfg);
+  if (!server.start(&why)) {
+    std::fprintf(stderr, "tg_server: %s\n", why.c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, on_term);
+  std::signal(SIGINT, on_term);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("tg_server: serving on %s (executors %u, queue %zu%s%s)\n",
+              srvcfg.socket_path.c_str(), scfg.executors,
+              scfg.queue_capacity,
+              scfg.cache_dir.empty() ? "" : ", cache ",
+              scfg.cache_dir.c_str());
+  std::fflush(stdout);
+
+  // Serve until SIGTERM/SIGINT or a client's shutdown op, then drain:
+  // admitted work completes and every blocked client gets its result
+  // before the process exits 0.
+  while (!g_term && !server.shutdown_requested()) {
+    timespec ts{0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  server.stop();
+  std::printf("tg_server: drained, exiting\n");
+  return 0;
+}

@@ -328,7 +328,7 @@ CampaignResult run_campaign(const Netlist& nl,
   JournalSession journal;
   journal.open(nl, errors, cfg.journal_path, cfg.resume,
                cfg.journal_fsync_interval, cfg.design_hash,
-               cfg.solver_config_hash);
+               cfg.solver_config_hash, cfg.resume_strict);
   res.journal_note = journal.note;
   if (journal.refused) {
     res.resume_refused = true;
@@ -406,7 +406,7 @@ CampaignResult run_campaign_with_dropping(
   JournalSession journal;
   journal.open(nl, errors, cfg.journal_path, cfg.resume,
                cfg.journal_fsync_interval, cfg.design_hash,
-               cfg.solver_config_hash);
+               cfg.solver_config_hash, cfg.resume_strict);
   res.journal_note = journal.note;
   if (journal.refused) {
     res.resume_refused = true;

@@ -285,6 +285,11 @@ struct CampaignConfig {
   /// Replay journaled rows (skipping their generator runs) before
   /// attempting the rest. Requires journal_path.
   bool resume = false;
+  /// Strict resume: refuse (CampaignResult::resume_refused) when the
+  /// journal cannot actually be replayed - missing file, unreadable
+  /// header, or a different campaign's journal - instead of silently
+  /// starting fresh. Only meaningful with `resume`.
+  bool resume_strict = false;
   /// Provenance stamps recorded in the journal header and checked on
   /// resume: a journal whose stamps conflict with these is REFUSED
   /// (CampaignResult::resume_refused) instead of replayed, because rows

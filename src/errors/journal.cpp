@@ -1,6 +1,5 @@
 #include "errors/journal.h"
 
-#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -8,6 +7,7 @@
 
 #include "isa/testcase_io.h"
 #include "util/failpoint.h"
+#include "util/minijson.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -16,155 +16,6 @@
 namespace hltg {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
-/// Flat-object JSON scanner: enough for the journal's own records (string /
-/// number / bool values only, no nesting). Tolerant of unknown keys.
-class MiniJson {
- public:
-  explicit MiniJson(const std::string& line) { ok_ = parse(line); }
-
-  bool ok() const { return ok_; }
-
-  bool get_string(const char* key, std::string* out) const {
-    const auto it = strings_.find(key);
-    if (it == strings_.end()) return false;
-    *out = it->second;
-    return true;
-  }
-  bool get_u64(const char* key, std::uint64_t* out) const {
-    const auto it = scalars_.find(key);
-    if (it == scalars_.end()) return false;
-    char* end = nullptr;
-    *out = std::strtoull(it->second.c_str(), &end, 10);
-    return end && *end == '\0';
-  }
-  bool get_double(const char* key, double* out) const {
-    const auto it = scalars_.find(key);
-    if (it == scalars_.end()) return false;
-    char* end = nullptr;
-    *out = std::strtod(it->second.c_str(), &end);
-    return end && *end == '\0';
-  }
-  bool get_bool(const char* key, bool* out) const {
-    const auto it = scalars_.find(key);
-    if (it == scalars_.end()) return false;
-    if (it->second == "true") return *out = true, true;
-    if (it->second == "false") return *out = false, true;
-    return false;
-  }
-
- private:
-  bool parse(const std::string& s) {
-    std::size_t i = 0;
-    auto skip = [&] {
-      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
-        ++i;
-    };
-    skip();
-    if (i >= s.size() || s[i] != '{') return false;
-    ++i;
-    for (;;) {
-      skip();
-      if (i < s.size() && s[i] == '}') return true;
-      std::string key;
-      if (!parse_string(s, &i, &key)) return false;
-      skip();
-      if (i >= s.size() || s[i] != ':') return false;
-      ++i;
-      skip();
-      if (i < s.size() && s[i] == '"') {
-        std::string val;
-        if (!parse_string(s, &i, &val)) return false;
-        strings_[key] = val;
-      } else {
-        const std::size_t b = i;
-        while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
-        std::size_t e = i;
-        while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
-          --e;
-        if (e == b) return false;
-        scalars_[key] = s.substr(b, e - b);
-      }
-      skip();
-      if (i < s.size() && s[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < s.size() && s[i] == '}') return true;
-      return false;
-    }
-  }
-
-  static bool parse_string(const std::string& s, std::size_t* ip,
-                           std::string* out) {
-    std::size_t i = *ip;
-    if (i >= s.size() || s[i] != '"') return false;
-    ++i;
-    out->clear();
-    while (i < s.size() && s[i] != '"') {
-      if (s[i] == '\\') {
-        if (i + 1 >= s.size()) return false;
-        const char c = s[i + 1];
-        switch (c) {
-          case '"': *out += '"'; break;
-          case '\\': *out += '\\'; break;
-          case '/': *out += '/'; break;
-          case 'n': *out += '\n'; break;
-          case 'r': *out += '\r'; break;
-          case 't': *out += '\t'; break;
-          case 'u': {
-            if (i + 5 >= s.size()) return false;
-            unsigned v = 0;
-            for (int k = 0; k < 4; ++k) {
-              const char h = s[i + 2 + k];
-              if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
-              v = v * 16 + static_cast<unsigned>(
-                               h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
-            }
-            // The writer only emits \u00XX for control bytes.
-            *out += static_cast<char>(v & 0xFF);
-            i += 4;
-            break;
-          }
-          default: return false;
-        }
-        i += 2;
-      } else {
-        *out += s[i++];
-      }
-    }
-    if (i >= s.size()) return false;  // unterminated: torn row
-    *ip = i + 1;
-    return true;
-  }
-
-  bool ok_ = false;
-  std::map<std::string, std::string> strings_;
-  std::map<std::string, std::string> scalars_;
-};
 
 std::string fmt_seconds(double s) {
   // 17 significant digits round-trip any double exactly, which the
@@ -264,6 +115,7 @@ JournalReplay load_journal(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     out.note = "journal not found: " + path;
+    out.file_missing = true;
     return out;
   }
   std::string line;
@@ -342,6 +194,14 @@ JournalReplay load_journal(const std::string& path) {
     }
     out.rows[static_cast<std::size_t>(index)] = std::move(a);
   }
+  if (!out.header_ok) {
+    // The CLI's writability probe creates the journal file before the
+    // session opens it, so a checkpoint that was never written shows up
+    // here as an existing zero-row file rather than a missing one.
+    out.note = "journal " + path + " is empty (no header was ever written)";
+    out.file_missing = true;
+    return out;
+  }
   if (dropped)
     out.note = "dropped a torn trailing journal row (line " +
                std::to_string(lineno) + ")";
@@ -414,7 +274,7 @@ void JournalSession::open(const Netlist& nl,
                           const std::vector<DesignError>& errors,
                           const std::string& path, bool resume,
                           unsigned fsync_interval, std::uint64_t design_hash,
-                          std::uint64_t solver_hash) {
+                          std::uint64_t solver_hash, bool strict) {
   if (path.empty()) return;
   writer.set_fsync_interval(fsync_interval);
   const std::uint64_t fp = campaign_fingerprint(nl, errors);
@@ -446,6 +306,19 @@ void JournalSession::open(const Netlist& nl,
       replay = std::move(jr.rows);
       append = true;
       note = jr.note;
+    } else if (strict) {
+      // Strict resume: anything short of an actually replayable journal is
+      // an error, not a silent fresh start. A missing file usually means a
+      // typo'd path or a checkpoint that was never written - restarting
+      // from scratch would quietly discard the operator's intent.
+      refused = true;
+      note = "refusing to resume (strict): " +
+             (jr.header_ok ? std::string(
+                                 "journal '" + path +
+                                 "' belongs to a different campaign")
+                           : jr.note) +
+             "; use --resume to degrade to a fresh start instead";
+      return;
     } else if (jr.header_ok) {
       note = "journal belongs to a different campaign; starting fresh";
     } else {

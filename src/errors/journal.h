@@ -57,6 +57,10 @@ struct JournalReplay {
   std::uint64_t solver_hash = 0;
   std::map<std::size_t, ErrorAttempt> rows;
   std::string note;  ///< diagnostics (missing file, torn rows dropped, ...)
+  /// The journal file could not be opened, or existed but carried no data
+  /// (the CLI's writability probe pre-creates an empty file). Strict
+  /// resume turns this into a refusal instead of a silent fresh start.
+  bool file_missing = false;
 };
 
 /// Load and decode a journal; malformed trailing rows are dropped with a
@@ -118,13 +122,17 @@ struct JournalSession {
   /// campaign's (different design or solver configuration). The writer is
   /// not opened; the campaign engines return without attempting anything.
   /// A plain fingerprint mismatch (different error population) keeps the
-  /// old degrade-to-fresh behavior - only stamped conflicts refuse.
+  /// old degrade-to-fresh behavior - only stamped conflicts refuse, unless
+  /// `strict` is set, in which case ANY resume that cannot replay the
+  /// journal (missing file, unreadable header, foreign campaign) refuses
+  /// too instead of silently starting fresh.
   bool refused = false;
   std::size_t resumed() const { return replay.size(); }
 
   void open(const Netlist& nl, const std::vector<DesignError>& errors,
             const std::string& path, bool resume, unsigned fsync_interval = 32,
-            std::uint64_t design_hash = 0, std::uint64_t solver_hash = 0);
+            std::uint64_t design_hash = 0, std::uint64_t solver_hash = 0,
+            bool strict = false);
 };
 
 }  // namespace hltg

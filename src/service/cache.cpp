@@ -1,0 +1,199 @@
+#include "service/cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "solver/store.h"
+#include "util/failpoint.h"
+
+namespace hltg {
+
+namespace {
+
+// Entry file layout (little-endian): magic, payload length, CRC32 of the
+// payload, payload bytes. Fixed-size header keeps validation trivial; the
+// CRC catches torn or bit-rotted payloads.
+constexpr std::uint32_t kMagic = 0x53455248;  // "HRES" on disk (LE)
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+bool valid_key(const std::string& key) {
+  // Keys are the hex content addresses plan_request derives; anything else
+  // (path separators in particular) never touches the filesystem.
+  if (key.empty() || key.size() > 64) return false;
+  for (const char c : key)
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.memory_entries == 0) cfg_.memory_entries = 1;
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return cfg_.dir + "/" + key + ".res";
+}
+
+bool ResultCache::lookup(const std::string& key, std::string* payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *payload = it->second->second;
+    ++stats_.hits;
+    ++stats_.memory_hits;
+    return true;
+  }
+  if (!cfg_.dir.empty() && valid_key(key) &&
+      load_from_disk_locked(key, payload)) {
+    touch_locked(key, *payload);
+    ++stats_.hits;
+    ++stats_.disk_hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool ResultCache::insert(const std::string& key, const std::string& payload,
+                         std::string* why) {
+  std::lock_guard<std::mutex> lk(mu_);
+  touch_locked(key, payload);
+  ++stats_.insertions;
+  if (cfg_.dir.empty()) return true;
+  if (!valid_key(key)) {
+    if (why) *why = "refusing to persist non-hex cache key '" + key + "'";
+    ++stats_.persist_failures;
+    return false;
+  }
+  std::string perr;
+  if (!persist_locked(key, payload, &perr)) {
+    ++stats_.persist_failures;
+    if (why) *why = perr;
+    return false;
+  }
+  return true;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ResultCache::touch_locked(const std::string& key,
+                               const std::string& payload) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, payload);
+  index_[key] = lru_.begin();
+  while (lru_.size() > cfg_.memory_entries) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+bool ResultCache::load_from_disk_locked(const std::string& key,
+                                        std::string* payload) {
+  const std::string path = entry_path(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;  // plain miss
+  std::string bytes;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool read_ok = !std::ferror(f);
+  std::fclose(f);
+
+  auto quarantine = [&] {
+    // Never serve (or silently delete) a corrupt entry: set it aside under
+    // a stable name for post-mortem and report a miss. The next insert of
+    // this key writes a fresh entry.
+    std::rename(path.c_str(), (path + ".quarantine").c_str());
+    ++stats_.quarantined;
+    return false;
+  };
+
+  if (!read_ok || bytes.size() < 12) return quarantine();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (get_u32(p) != kMagic) return quarantine();
+  const std::uint32_t len = get_u32(p + 4);
+  const std::uint32_t crc = get_u32(p + 8);
+  if (bytes.size() != 12 + static_cast<std::size_t>(len)) return quarantine();
+  if (ded_crc32(bytes.data() + 12, len) != crc) return quarantine();
+  payload->assign(bytes, 12, len);
+  return true;
+}
+
+bool ResultCache::persist_locked(const std::string& key,
+                                 const std::string& payload,
+                                 std::string* why) {
+  // Atomic publish, same discipline as save_ded_store: a reader (or a
+  // daemon restarted after a crash) sees either the complete old entry,
+  // the complete new one, or nothing - never a torn file under the final
+  // name. The failpoint sites make each step independently killable in
+  // the crash-recovery tests.
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    if (why) *why = "cannot create '" + tmp + "': " + std::strerror(errno);
+    return false;
+  }
+  auto fail = [&](const std::string& what) {
+    const int err = errno;
+    if (why) *why = what + ": " + std::strerror(err);
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return false;
+  };
+  std::string framed;
+  framed.reserve(12 + payload.size());
+  put_u32(&framed, kMagic);
+  put_u32(&framed, static_cast<std::uint32_t>(payload.size()));
+  put_u32(&framed, ded_crc32(payload.data(), payload.size()));
+  framed += payload;
+  if (failpoint::checked_fwrite(framed.data(), framed.size(), f,
+                                "cache.write") != framed.size())
+    return fail("short write to '" + tmp + "'");
+  if (std::fflush(f) != 0) return fail("flush of '" + tmp + "' failed");
+  if (failpoint::checked_fsync(fileno(f), "cache.fsync") != 0)
+    return fail("fsync of '" + tmp + "' failed");
+  std::fclose(f);
+
+  if (failpoint::checked_rename(tmp.c_str(), path.c_str(), "cache.rename") !=
+      0) {
+    const int err = errno;
+    if (why)
+      *why = "rename '" + tmp + "' -> '" + path +
+             "' failed: " + std::strerror(err);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  const int dfd = ::open(cfg_.dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+}  // namespace hltg

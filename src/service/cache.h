@@ -1,0 +1,79 @@
+// Content-addressed result cache for the campaign service
+// (docs/SERVICE.md): completed campaign payloads keyed on the request's
+// content address (service/request.h), so an identical request is answered
+// with the identical bytes without running anything.
+//
+// Two tiers. A bounded in-memory LRU serves the hot set; an optional
+// on-disk store (one file per key) persists every insertion across daemon
+// restarts with the same atomic discipline as the deduction store
+// (src/solver/store.cpp): write <key>.tmp, fsync, rename, fsync the
+// directory - through the failpoint sites "cache.write" / "cache.fsync" /
+// "cache.rename", so crash-safety is provable under --failpoints.
+//
+// Corruption policy is quarantine-or-skip, never a wrong answer: a disk
+// entry whose magic, length or CRC32 does not check out is renamed to
+// <key>.res.quarantine and reported as a miss; the campaign simply runs
+// again and overwrites it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace hltg {
+
+struct ResultCacheConfig {
+  /// On-disk store directory; empty disables persistence (memory only).
+  std::string dir;
+  /// In-memory LRU capacity in entries (disk entries are unbounded).
+  std::size_t memory_entries = 64;
+};
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;         ///< lookups answered (memory or disk)
+  std::uint64_t memory_hits = 0;  ///< ... of which from the LRU
+  std::uint64_t disk_hits = 0;    ///< ... of which faulted in from disk
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t persist_failures = 0;  ///< disk writes that failed
+  std::uint64_t quarantined = 0;       ///< corrupt disk entries set aside
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheConfig cfg);
+
+  /// Look `key` up (memory first, then disk). On a disk hit the entry is
+  /// promoted into the LRU. Returns true and fills *payload on a hit.
+  bool lookup(const std::string& key, std::string* payload);
+
+  /// Insert (or overwrite) an entry. The memory tier always takes it; with
+  /// a disk tier configured the entry is also persisted atomically, and a
+  /// persistence failure (ENOSPC, injected fault, ...) degrades to
+  /// memory-only - the insertion itself still succeeds. Returns false and
+  /// sets *why only when persistence was requested and failed.
+  bool insert(const std::string& key, const std::string& payload,
+              std::string* why = nullptr);
+
+  ResultCacheStats stats() const;
+
+ private:
+  void touch_locked(const std::string& key, const std::string& payload);
+  bool load_from_disk_locked(const std::string& key, std::string* payload);
+  bool persist_locked(const std::string& key, const std::string& payload,
+                      std::string* why);
+  std::string entry_path(const std::string& key) const;
+
+  ResultCacheConfig cfg_;
+  mutable std::mutex mu_;
+  /// LRU: most recent at front; map values point into the list.
+  std::list<std::pair<std::string, std::string>> lru_;
+  std::unordered_map<
+      std::string, std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace hltg

@@ -1,0 +1,36 @@
+// Thin blocking client for the campaign service socket protocol
+// (service/server.h documents the wire format). Used by the tg_client CLI
+// and the service tests; deliberately line-level - callers parse events
+// with MiniJson.
+#pragma once
+
+#include <string>
+
+namespace hltg {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connect to the daemon's unix socket. False (with *why) on failure.
+  bool connect(const std::string& socket_path, std::string* why);
+
+  /// Send one protocol line (the trailing newline is added).
+  bool send_line(const std::string& line);
+
+  /// Block until one full event line arrives (or the peer hangs up /
+  /// `timeout_ms` elapses, 0 = no timeout). False on EOF/timeout/error.
+  bool read_line(std::string* line, int timeout_ms = 0);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace hltg

@@ -1,0 +1,289 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/minijson.h"
+
+namespace hltg {
+
+namespace {
+
+/// Full send with SIGPIPE suppressed: a client that hung up mid-reply
+/// kills its connection, never the daemon.
+bool send_line(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string error_event(const std::string& why) {
+  JsonWriter w;
+  return w.str("event", "error").str("error", why).take();
+}
+
+std::string result_event(const RequestOutcome& o) {
+  JsonWriter w;
+  w.str("event", "result")
+      .num("id", o.id)
+      .str("key", o.key)
+      .boolean("ok", o.ok)
+      .boolean("cached", o.cached)
+      .boolean("cancelled", o.cancelled)
+      .num("total", o.total)
+      .num("attempted", o.attempted)
+      .num("detected", o.detected)
+      .str("csv", o.csv);
+  if (!o.table1.empty()) w.str("table1", o.table1);
+  if (!o.error.empty()) w.str("error", o.error);
+  return w.take();
+}
+
+/// Tail helper for progress streaming: emit every complete line appended
+/// to `path` since `*offset`, skipping the header line. Returns false
+/// when the file cannot be read (yet).
+bool pump_progress(int fd, const std::string& path, std::size_t* offset,
+                   std::size_t* lineno) {
+  std::ifstream in(path);
+  if (!in) return false;
+  in.seekg(static_cast<std::streamoff>(*offset));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (in.eof() && !in.good()) break;  // incomplete trailing line: wait
+    *offset += line.size() + 1;
+    ++*lineno;
+    if (*lineno == 1) continue;  // journal header, not a row
+    JsonWriter w;
+    if (!send_line(fd,
+                   w.str("event", "progress").str("line", line).take()))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(CampaignService& service, ServerConfig cfg)
+    : service_(service), cfg_(std::move(cfg)) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+bool ServiceServer::start(std::string* why) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof addr.sun_path) {
+    if (why) *why = "socket path too long: " + cfg_.socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (why) *why = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a crashed daemon would fail the bind; the
+  // path is daemon-owned, so replacing it is the right recovery.
+  ::unlink(cfg_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    if (why)
+      *why = "bind " + cfg_.socket_path + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (why) *why = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void ServiceServer::stop() {
+  stopping_.store(true);
+  shutdown_requested_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  // Run every admitted flight to completion before closing connections:
+  // clients blocked on a result get it, then their connection threads
+  // observe stopping_ and wind down.
+  service_.drain();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+  }
+}
+
+void ServiceServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r <= 0) continue;  // timeout (recheck stopping_) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void ServiceServer::serve_connection(int fd) {
+  // Bounded receive timeout so the thread re-checks stopping_ while the
+  // client is idle.
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  std::string buf;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    const std::size_t nl = buf.find('\n');
+    if (nl == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n == 0) break;  // client hung up
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          continue;
+        break;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    if (line.empty()) continue;
+
+    MiniJson j(line);
+    std::string op;
+    if (!j.ok() || !j.get_string("op", &op)) {
+      if (!send_line(fd, error_event("malformed op line"))) break;
+      continue;
+    }
+
+    if (op == "ping") {
+      JsonWriter w;
+      if (!send_line(fd, w.str("event", "pong").take())) break;
+    } else if (op == "stats") {
+      const ServiceStats s = service_.stats();
+      JsonWriter w;
+      w.str("event", "stats")
+          .num("submitted", s.submitted)
+          .num("rejected_invalid", s.rejected_invalid)
+          .num("rejected_overload", s.rejected_overload)
+          .num("completed", s.completed)
+          .num("cancelled", s.cancelled)
+          .num("coalesced", s.coalesced)
+          .num("queued", s.queued)
+          .num("running", s.running)
+          .num("cache_hits", s.cache.hits)
+          .num("cache_memory_hits", s.cache.memory_hits)
+          .num("cache_disk_hits", s.cache.disk_hits)
+          .num("cache_misses", s.cache.misses)
+          .num("cache_insertions", s.cache.insertions)
+          .num("cache_persist_failures", s.cache.persist_failures)
+          .num("cache_quarantined", s.cache.quarantined);
+      if (!send_line(fd, w.take())) break;
+    } else if (op == "cancel") {
+      std::uint64_t id = 0;
+      const bool ok = j.get_u64("id", &id) && service_.cancel(id);
+      JsonWriter w;
+      if (!send_line(fd,
+                     w.str("event", "cancel").num("id", id).boolean("ok", ok)
+                         .take()))
+        break;
+    } else if (op == "shutdown") {
+      // The daemon's main thread owns the actual teardown (a connection
+      // thread cannot join itself): raise the flag it polls. Flag before
+      // reply, so a client that got the event observes it set.
+      shutdown_requested_.store(true);
+      JsonWriter w;
+      send_line(fd, w.str("event", "shutdown").take());
+    } else if (op == "submit") {
+      const ParsedRequest parsed = parse_request(j);
+      if (!parsed.ok) {
+        if (!send_line(fd, error_event(parsed.error))) break;
+        continue;
+      }
+      // Completion handoff: the executor (or submit itself, for cache
+      // hits) fills `outcome` and flips `done`.
+      auto state = std::make_shared<std::mutex>();
+      auto cv = std::make_shared<std::condition_variable>();
+      auto done = std::make_shared<bool>(false);
+      auto outcome = std::make_shared<RequestOutcome>();
+      const SubmitResult sub = service_.submit(
+          parsed.spec, [state, cv, done, outcome](const RequestOutcome& o) {
+            {
+              std::lock_guard<std::mutex> lk(*state);
+              *outcome = o;
+              *done = true;
+            }
+            cv->notify_all();
+          });
+      if (!sub.ok) {
+        if (!send_line(fd, error_event(sub.error))) break;
+        continue;
+      }
+      {
+        JsonWriter w;
+        w.str("event", "ack")
+            .num("id", sub.id)
+            .str("key", sub.key)
+            .boolean("coalesced", sub.coalesced);
+        if (!send_line(fd, w.take())) break;
+      }
+      // Block this connection until the flight completes - results are
+      // delivered even while the server is stopping (drain semantics) -
+      // streaming journal rows meanwhile when the client subscribed. A
+      // tail failure (journal not written yet, client hung up) is not
+      // fatal here; a dead client surfaces on the result write below.
+      const bool tail = parsed.spec.subscribe && !sub.journal_path.empty();
+      std::size_t tail_offset = 0, tail_lineno = 0;
+      for (;;) {
+        std::unique_lock<std::mutex> lk(*state);
+        if (cv->wait_for(lk, std::chrono::milliseconds(100),
+                         [&] { return *done; }))
+          break;
+        lk.unlock();
+        if (tail)
+          pump_progress(fd, sub.journal_path, &tail_offset, &tail_lineno);
+      }
+      if (tail)
+        pump_progress(fd, sub.journal_path, &tail_offset, &tail_lineno);
+      if (!send_line(fd, result_event(*outcome))) break;
+    } else {
+      if (!send_line(fd, error_event("unknown op '" + op + "'"))) break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace hltg

@@ -1,0 +1,79 @@
+// Unix-domain socket front end for CampaignService (docs/SERVICE.md has
+// the wire protocol). Line-delimited JSON, one object per line:
+//
+//   client -> server (the "op" field selects):
+//     {"op":"submit", ...request fields (service/request.h)...}
+//     {"op":"cancel","id":N}
+//     {"op":"stats"}
+//     {"op":"ping"}
+//     {"op":"shutdown"}            drain and stop serving
+//
+//   server -> client events:
+//     {"event":"ack","id":N,"key":"<hex16>","coalesced":b}
+//     {"event":"progress","id":N,"line":"<journal row JSON, escaped>"}
+//     {"event":"result","id":N,"key":"...","ok":b,"cached":b,
+//      "cancelled":b,"total":N,"attempted":N,"detected":N,
+//      "csv":"<campaign_csv bytes, escaped>","table1":"...","error":"..."}
+//     {"event":"stats",...service + cache counters...}
+//     {"event":"error","error":"..."}   (rejections, malformed lines)
+//     {"event":"pong"} / {"event":"shutdown"}
+//
+// One connection handles its ops sequentially; a submit blocks the
+// connection until its result (streaming progress rows meanwhile when the
+// request set "subscribe":true), so cancels are sent from a second
+// connection using the id from the ack. Threading: one acceptor thread,
+// one thread per connection, all joined by stop().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace hltg {
+
+struct ServerConfig {
+  std::string socket_path;
+};
+
+class ServiceServer {
+ public:
+  ServiceServer(CampaignService& service, ServerConfig cfg);
+  ~ServiceServer();
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Bind + listen + start the acceptor. False (with *why) on bind
+  /// failure. A stale socket file from a dead daemon is replaced.
+  bool start(std::string* why);
+
+  /// Stop accepting, drain the service, join every connection thread, and
+  /// unlink the socket. Idempotent; the destructor calls it. NOT
+  /// async-signal-safe - signal handlers set a flag and the main thread
+  /// calls this (see examples/tg_server.cpp).
+  void stop();
+
+  /// Set by a client's {"op":"shutdown"}; the daemon's main loop polls it
+  /// (together with its own signal flag) and then calls stop().
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  CampaignService& service_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace hltg

@@ -1,0 +1,294 @@
+#include "service/service.h"
+
+#include "baseline/random_tg.h"
+#include "errors/parallel_campaign.h"
+#include "errors/report.h"
+#include "sim/batch_sim.h"
+#include "solver/nogood_board.h"
+
+namespace hltg {
+
+namespace {
+
+/// Recover the attempted/detected counters from a cached CSV payload so a
+/// cache-served outcome summarises like the fresh run it replays. One data
+/// row per attempted error; the outcome column (third field) starts with
+/// "detected" for the detected ones.
+void count_csv_rows(const std::string& csv, std::size_t* attempted,
+                    std::size_t* detected) {
+  std::size_t pos = csv.find('\n');  // skip the header line
+  while (pos != std::string::npos && pos + 1 < csv.size()) {
+    const std::size_t eol = csv.find('\n', pos + 1);
+    const std::string line =
+        csv.substr(pos + 1, eol == std::string::npos ? eol : eol - pos - 1);
+    pos = eol;
+    if (line.empty()) continue;
+    ++*attempted;
+    // Walk to the third field; the error-description field may be quoted
+    // with embedded commas (csv_escape), so track quoting.
+    int commas = 0;
+    bool quoted = false;
+    std::size_t i = 0;
+    for (; i < line.size() && commas < 2; ++i) {
+      if (line[i] == '"')
+        quoted = !quoted;
+      else if (line[i] == ',' && !quoted)
+        ++commas;
+    }
+    if (commas == 2 && line.compare(i, 8, "detected") == 0) ++*detected;
+  }
+}
+
+}  // namespace
+
+CampaignResult run_campaign_plan(const DlxModel& m, const RequestPlan& plan,
+                                 const CampaignConfig& ccfg) {
+  const TgConfig& tgcfg = plan.tgcfg;
+  if (plan.drop) {
+    TestGenerator tg(m, tgcfg);
+    BatchDetectConfig bcfg;
+    bcfg.max_lanes = plan.lanes;
+    return run_campaign_with_dropping(m.dp, plan.errors,
+                                      tg.budgeted_strategy(),
+                                      batch_detector(m, bcfg), ccfg);
+  }
+  if (plan.jobs > 1) {
+    // Workers share the model read-only; its lazy caches are materialised
+    // once at service start (CampaignService ctor).
+    ParallelCampaignConfig pcfg;
+    static_cast<CampaignConfig&>(pcfg) = ccfg;
+    pcfg.jobs = plan.jobs;
+    TgConfig worker_cfg = tgcfg;
+    NogoodBoard board;
+    if (worker_cfg.solver.scope == SolverScope::kCampaign)
+      worker_cfg.solver.shared_board = &board;
+    if (plan.fallback) {
+      RandomTgConfig rcfg;
+      rcfg.max_programs_per_error = plan.fallback_tries;
+      pcfg.fallback = nullptr;  // replaced by per-worker instances
+      pcfg.fallback_factory = [&m, rcfg](unsigned) {
+        return random_budgeted_strategy(m, rcfg);
+      };
+    }
+    return run_campaign_parallel(
+        m.dp, plan.errors,
+        [&](unsigned) {
+          auto tg = std::make_shared<TestGenerator>(m, worker_cfg);
+          BudgetedGenFn s = tg->budgeted_strategy();
+          return [tg, s](const DesignError& e, Budget& b) { return s(e, b); };
+        },
+        pcfg);
+  }
+  TestGenerator tg(m, tgcfg);
+  return run_campaign(m.dp, plan.errors, tg.budgeted_strategy(), ccfg);
+}
+
+CampaignService::CampaignService(const DlxModel& m, ServiceConfig cfg)
+    : model_(m),
+      cfg_(std::move(cfg)),
+      cache_(ResultCacheConfig{cfg_.cache_dir, cfg_.cache_memory_entries}) {
+  // Parallel flights hand out const refs to the model across threads:
+  // materialise its lazy caches before any worker can race on them.
+  model_.ctrl.warm_caches();
+  model_.dp.topo_order();
+  if (cfg_.executors == 0) cfg_.executors = 1;
+  for (unsigned i = 0; i < cfg_.executors; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+CampaignService::~CampaignService() { drain(); }
+
+SubmitResult CampaignService::submit(const RequestSpec& spec, DoneFn done) {
+  SubmitResult out;
+  RequestPlan plan = plan_request(model_, spec);
+  if (!plan.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.rejected_invalid;
+    out.error = plan.error;
+    return out;
+  }
+  if (plan.jobs > cfg_.jobs_cap) plan.jobs = cfg_.jobs_cap;
+  out.key = plan.cache_key;
+
+  // Cache first: an identical completed request answers without a queue
+  // slot, an id, or an executor - this is the content-addressed fast path.
+  std::string payload;
+  if (cache_.lookup(plan.cache_key, &payload)) {
+    RequestOutcome o;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.submitted;
+      o.id = next_id_++;
+      out.id = o.id;
+    }
+    o.key = plan.cache_key;
+    o.ok = true;
+    o.cached = true;
+    o.csv = std::move(payload);
+    o.total = plan.errors.size();
+    count_csv_rows(o.csv, &o.attempted, &o.detected);
+    out.ok = true;
+    out.cached = true;
+    if (done) done(o);
+    return out;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  ++stats_.submitted;
+  if (draining_) {
+    out.error = "service is draining";
+    ++stats_.rejected_overload;
+    return out;
+  }
+  const std::uint64_t id = next_id_++;
+  out.id = id;
+
+  // Single-flight: identical work already admitted? Ride it.
+  const auto fit = inflight_by_key_.find(plan.cache_key);
+  if (fit != inflight_by_key_.end()) {
+    fit->second->subscribers.emplace_back(id, std::move(done));
+    inflight_by_id_[id] = fit->second;
+    ++stats_.coalesced;
+    out.ok = true;
+    out.coalesced = true;
+    out.journal_path = fit->second->journal_path;
+    return out;
+  }
+
+  if (queue_.size() >= cfg_.queue_capacity) {
+    out.error = "admission queue full";
+    ++stats_.rejected_overload;
+    return out;
+  }
+
+  auto fl = std::make_shared<Flight>();
+  fl->id = id;
+  fl->spec = spec;
+  fl->plan = std::move(plan);
+  if (!cfg_.spool_dir.empty())
+    fl->journal_path =
+        cfg_.spool_dir + "/req_" + std::to_string(id) + ".jsonl";
+  fl->subscribers.emplace_back(id, std::move(done));
+  queue_.push_back(fl);
+  inflight_by_key_[fl->plan.cache_key] = fl;
+  inflight_by_id_[id] = fl;
+  out.ok = true;
+  out.journal_path = fl->journal_path;
+  lk.unlock();
+  cv_.notify_one();
+  return out;
+}
+
+bool CampaignService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = inflight_by_id_.find(id);
+  if (it == inflight_by_id_.end()) return false;
+  // Cooperative: the campaign engine checks between errors; the current
+  // error finishes (and is journaled) first. Cancels the whole flight,
+  // coalesced subscribers included - they asked for the identical work.
+  it->second->cancel.request_stop();
+  return true;
+}
+
+void CampaignService::drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : executors_)
+    if (t.joinable()) t.join();
+}
+
+ServiceStats CampaignService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s = stats_;
+  s.queued = queue_.size();
+  s.running = running_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+void CampaignService::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Flight> fl;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      fl = queue_.front();
+      queue_.pop_front();
+      fl->running = true;
+      ++running_;
+    }
+    run_flight(fl);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+    }
+  }
+}
+
+void CampaignService::run_flight(const std::shared_ptr<Flight>& fl) {
+  CampaignConfig ccfg;
+  ccfg.budget = fl->plan.budget;
+  ccfg.budget.cancel = &fl->cancel;
+  ccfg.cancel = &fl->cancel;
+  ccfg.journal_path = fl->journal_path;
+  ccfg.design_hash = fl->plan.design_hash;
+  ccfg.solver_config_hash = fl->plan.config_hash;
+  if (fl->plan.fallback) {
+    RandomTgConfig rcfg;
+    rcfg.max_programs_per_error = fl->plan.fallback_tries;
+    ccfg.fallback = random_budgeted_strategy(model_, rcfg);
+    ccfg.fallback_budget = ccfg.budget;
+  }
+
+  RequestOutcome o;
+  o.id = fl->id;
+  o.key = fl->plan.cache_key;
+  try {
+    const CampaignResult res = cfg_.runner_override
+                                   ? cfg_.runner_override(fl->plan, ccfg)
+                                   : run_campaign_plan(model_, fl->plan, ccfg);
+    o.total = res.stats.total;
+    o.attempted = res.stats.attempted;
+    o.detected = res.stats.detected;
+    if (res.interrupted) {
+      o.cancelled = true;
+      o.error = "cancelled after " + std::to_string(res.stats.attempted) +
+                " of " + std::to_string(res.stats.total) + " errors";
+    } else {
+      o.ok = true;
+      o.csv = campaign_csv(model_.dp, res);
+      o.table1 = res.stats.table1("campaign summary");
+      // Only complete, uninterrupted results are content-addressable:
+      // a partial sweep under this key would be served as the full
+      // answer forever after.
+      cache_.insert(fl->plan.cache_key, o.csv);
+    }
+  } catch (const std::exception& e) {
+    o.error = std::string("campaign failed: ") + e.what();
+  }
+
+  std::vector<std::pair<std::uint64_t, DoneFn>> subs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    subs.swap(fl->subscribers);
+    inflight_by_key_.erase(fl->plan.cache_key);
+    for (const auto& [sid, fn] : subs) inflight_by_id_.erase(sid);
+    if (o.cancelled)
+      ++stats_.cancelled;
+    else
+      ++stats_.completed;
+  }
+  // Callbacks run outside the lock: they write sockets / take their own
+  // locks and must not be able to deadlock the service.
+  for (auto& [sid, fn] : subs) {
+    if (!fn) continue;
+    o.id = sid;
+    fn(o);
+  }
+}
+
+}  // namespace hltg

@@ -1,0 +1,164 @@
+// Campaign service core (docs/SERVICE.md): the in-process engine behind
+// the tg_server daemon, directly drivable (and unit-testable) without a
+// socket.
+//
+// Lifecycle of a submission:
+//
+//   submit() -> validate (plan_request)      -> rejected: invalid request
+//            -> content-addressed cache hit  -> answered synchronously
+//            -> identical request in flight  -> coalesced onto that flight
+//            -> bounded queue full           -> rejected: overloaded
+//            -> enqueued                     -> an executor thread runs the
+//                                               campaign, inserts the
+//                                               result into the cache, and
+//                                               fires every subscriber's
+//                                               completion callback
+//
+// Requests carry a per-flight cooperative CancelToken (cancel());
+// progress is observable by tailing the flight's spool journal (the
+// campaign engine's own JSONL checkpoint file, flushed per row). drain()
+// stops admissions and completes everything already admitted - the
+// SIGTERM path of the daemon.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "errors/campaign.h"
+#include "service/cache.h"
+#include "service/request.h"
+
+namespace hltg {
+
+/// Completion report delivered to every subscriber of a flight.
+struct RequestOutcome {
+  std::uint64_t id = 0;
+  std::string key;      ///< content address (cache key)
+  bool ok = false;      ///< campaign ran to completion (or cache hit)
+  bool cached = false;  ///< answered from the result cache
+  bool cancelled = false;
+  std::string error;   ///< when !ok
+  std::string csv;     ///< the result payload: campaign_csv bytes
+  std::string table1;  ///< Table-1 block (fresh runs only; empty cached)
+  std::size_t total = 0;
+  std::size_t attempted = 0;
+  std::size_t detected = 0;
+};
+
+using DoneFn = std::function<void(const RequestOutcome&)>;
+
+/// Campaign execution hook: validated plan + fully wired config in,
+/// engine result out (see ServiceConfig::runner_override).
+using CampaignRunner =
+    std::function<CampaignResult(const RequestPlan&, const CampaignConfig&)>;
+
+struct ServiceConfig {
+  unsigned executors = 2;  ///< concurrent campaigns (each may use `jobs`)
+  /// Clamp on a request's own worker count (the engine's determinism
+  /// contract makes any clamp result-invariant).
+  unsigned jobs_cap = 8;
+  std::size_t queue_capacity = 16;  ///< admission bound (excludes running)
+  std::string cache_dir;            ///< result-cache persistence ("" = off)
+  std::size_t cache_memory_entries = 64;
+  /// Directory for per-request progress journals ("" disables progress
+  /// streaming; results are unaffected).
+  std::string spool_dir;
+  /// Test hook: replaces the real campaign runner (build generator, run
+  /// engine). Receives the validated plan and the fully wired
+  /// CampaignConfig (budget, cancel token, journal path).
+  CampaignRunner runner_override;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;       ///< well-formed submissions received
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t completed = 0;  ///< flights run to completion
+  std::uint64_t cancelled = 0;  ///< flights stopped by cancel()
+  std::uint64_t coalesced = 0;  ///< submissions attached to in-flight work
+  std::size_t queued = 0;       ///< snapshot: flights waiting
+  std::size_t running = 0;      ///< snapshot: flights executing
+  ResultCacheStats cache;
+};
+
+struct SubmitResult {
+  bool ok = false;    ///< admitted, coalesced, or answered from cache
+  std::string error;  ///< when !ok
+  std::uint64_t id = 0;
+  std::string key;
+  bool cached = false;     ///< done callback already fired, synchronously
+  bool coalesced = false;  ///< attached to an identical in-flight request
+  std::string journal_path;  ///< spool journal to tail for progress ("")
+};
+
+/// Run a validated request plan through the right campaign engine (serial,
+/// parallel-sharded, or dropping), mirroring the error_campaign CLI's
+/// wiring - the byte-identity of service results against offline runs
+/// hangs on the two calling the engines identically. Exposed for tests.
+CampaignResult run_campaign_plan(const DlxModel& m, const RequestPlan& plan,
+                                 const CampaignConfig& ccfg);
+
+class CampaignService {
+ public:
+  /// `m` must outlive the service. Executor threads start immediately.
+  CampaignService(const DlxModel& m, ServiceConfig cfg);
+  ~CampaignService();
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Submit a request. On success `done` fires exactly once - already
+  /// (synchronously) when SubmitResult::cached, later from an executor
+  /// thread otherwise. For rejections (ok=false: invalid request, queue
+  /// full, draining) `done` never fires; the error is in the result.
+  SubmitResult submit(const RequestSpec& spec, DoneFn done);
+
+  /// Request cooperative cancellation of a flight. Affects every
+  /// subscriber coalesced onto it (they asked for identical work). False
+  /// when the id is unknown or already completed.
+  bool cancel(std::uint64_t id);
+
+  /// Stop admitting, run every already-admitted flight to completion, and
+  /// join the executors. Idempotent; the destructor calls it.
+  void drain();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Flight {
+    std::uint64_t id = 0;  ///< primary id (first submitter's)
+    RequestSpec spec;
+    RequestPlan plan;
+    CancelToken cancel;
+    std::string journal_path;
+    bool running = false;
+    std::vector<std::pair<std::uint64_t, DoneFn>> subscribers;
+  };
+
+  void executor_loop();
+  void run_flight(const std::shared_ptr<Flight>& fl);
+
+  const DlxModel& model_;
+  ServiceConfig cfg_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  std::size_t running_ = 0;  ///< flights currently on an executor
+  std::uint64_t next_id_ = 1;
+  std::deque<std::shared_ptr<Flight>> queue_;
+  std::map<std::string, std::shared_ptr<Flight>> inflight_by_key_;
+  std::map<std::uint64_t, std::shared_ptr<Flight>> inflight_by_id_;
+  ServiceStats stats_;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace hltg

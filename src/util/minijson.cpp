@@ -1,0 +1,189 @@
+#include "util/minijson.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hltg {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool MiniJson::get_string(const char* key, std::string* out) const {
+  const auto it = strings_.find(key);
+  if (it == strings_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool MiniJson::get_u64(const char* key, std::uint64_t* out) const {
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(it->second.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+bool MiniJson::get_double(const char* key, double* out) const {
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return false;
+  char* end = nullptr;
+  *out = std::strtod(it->second.c_str(), &end);
+  return end && *end == '\0';
+}
+
+bool MiniJson::get_bool(const char* key, bool* out) const {
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return false;
+  if (it->second == "true") return *out = true, true;
+  if (it->second == "false") return *out = false, true;
+  return false;
+}
+
+bool MiniJson::has(const char* key) const {
+  return strings_.count(key) > 0 || scalars_.count(key) > 0;
+}
+
+bool MiniJson::parse(const std::string& s) {
+  std::size_t i = 0;
+  auto skip = [&] {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  };
+  skip();
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  for (;;) {
+    skip();
+    if (i < s.size() && s[i] == '}') return true;
+    std::string key;
+    if (!parse_string(s, &i, &key)) return false;
+    skip();
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    skip();
+    if (i < s.size() && s[i] == '"') {
+      std::string val;
+      if (!parse_string(s, &i, &val)) return false;
+      strings_[key] = val;
+    } else {
+      const std::size_t b = i;
+      while (i < s.size() && s[i] != ',' && s[i] != '}') ++i;
+      std::size_t e = i;
+      while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+      if (e == b) return false;
+      scalars_[key] = s.substr(b, e - b);
+    }
+    skip();
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') return true;
+    return false;
+  }
+}
+
+bool MiniJson::parse_string(const std::string& s, std::size_t* ip,
+                            std::string* out) {
+  std::size_t i = *ip;
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out->clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      if (i + 1 >= s.size()) return false;
+      const char c = s[i + 1];
+      switch (c) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (i + 5 >= s.size()) return false;
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i + 2 + k];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+            v = v * 16 + static_cast<unsigned>(
+                             h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          // The writer only emits \u00XX for control bytes.
+          *out += static_cast<char>(v & 0xFF);
+          i += 4;
+          break;
+        }
+        default: return false;
+      }
+      i += 2;
+    } else {
+      *out += s[i++];
+    }
+  }
+  if (i >= s.size()) return false;  // unterminated: torn row
+  *ip = i + 1;
+  return true;
+}
+
+void JsonWriter::key(const char* k) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += k;
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::str(const char* k, const std::string& v) {
+  key(k);
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::num(const char* k, std::uint64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::num_signed(const char* k, std::int64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(const char* k, bool v) {
+  key(k);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const char* k, const std::string& v) {
+  key(k);
+  out_ += v;
+  return *this;
+}
+
+}  // namespace hltg

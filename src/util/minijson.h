@@ -1,0 +1,67 @@
+// Minimal flat-object JSON: exactly what the line-delimited protocols of
+// this codebase need, and nothing more. One JSON object per line, values
+// restricted to strings, numbers and booleans (no nesting, no arrays);
+// unknown keys are tolerated so formats can grow without breaking old
+// readers. Shared by the campaign checkpoint journal (errors/journal) and
+// the campaign service protocol (service/proto) - one parser, one escaping
+// convention, so the journal rows a service subscriber streams are parsed
+// by the very scanner that wrote them.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace hltg {
+
+/// Escape a string for embedding in a JSON double-quoted literal
+/// (backslash, quote, control bytes as \u00XX).
+std::string json_escape(const std::string& s);
+
+/// Flat-object JSON scanner: enough for this repo's own line protocols
+/// (string / number / bool values only, no nesting). Tolerant of unknown
+/// keys. A malformed line parses as !ok(); a torn line (crash mid-write)
+/// always lands there because its final string is unterminated.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& line) { ok_ = parse(line); }
+
+  bool ok() const { return ok_; }
+
+  bool get_string(const char* key, std::string* out) const;
+  bool get_u64(const char* key, std::uint64_t* out) const;
+  bool get_double(const char* key, double* out) const;
+  bool get_bool(const char* key, bool* out) const;
+  bool has(const char* key) const;
+
+ private:
+  bool parse(const std::string& s);
+  static bool parse_string(const std::string& s, std::size_t* ip,
+                           std::string* out);
+
+  bool ok_ = false;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::string> scalars_;
+};
+
+/// Incremental JSON-object builder for one protocol line. Purely
+/// append-only; the caller decides the key order, which therefore is
+/// deterministic - byte-identical replies are part of the service cache
+/// contract.
+class JsonWriter {
+ public:
+  JsonWriter& str(const char* key, const std::string& v);
+  JsonWriter& num(const char* key, std::uint64_t v);
+  JsonWriter& num_signed(const char* key, std::int64_t v);
+  JsonWriter& boolean(const char* key, bool v);
+  /// Verbatim (pre-formatted) scalar, e.g. a %.17g double.
+  JsonWriter& raw(const char* key, const std::string& v);
+
+  std::string take() { return out_ + "}"; }
+
+ private:
+  void key(const char* k);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+}  // namespace hltg

@@ -467,6 +467,80 @@ TEST(Journal, MismatchedJournalIsNotReplayed) {
   std::remove(path.c_str());
 }
 
+// --------------------------------------------------------- strict resume
+
+TEST(Resume, MissingJournalIsFlaggedByLoader) {
+  const JournalReplay jr = load_journal(temp_journal("never_written"));
+  EXPECT_FALSE(jr.header_ok);
+  EXPECT_TRUE(jr.file_missing);
+  EXPECT_NE(jr.note.find("not found"), std::string::npos);
+}
+
+TEST(Resume, StrictRefusesMissingJournal) {
+  // Default --resume degrades a missing journal to a fresh start (only a
+  // journal_note records it); strict resume must refuse outright, because
+  // the checkpoint the operator asked to replay does not exist.
+  const auto errors = small_population();
+  CampaignConfig cfg;
+  cfg.journal_path = temp_journal("strict_missing");
+  std::remove(cfg.journal_path.c_str());
+  cfg.resume = true;
+  cfg.resume_strict = true;
+  int calls = 0;
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(&calls), cfg);
+  EXPECT_TRUE(res.resume_refused);
+  EXPECT_EQ(calls, 0);  // nothing ran
+  EXPECT_TRUE(res.rows.empty());
+  EXPECT_NE(res.journal_note.find("strict"), std::string::npos);
+  EXPECT_NE(res.journal_note.find("not found"), std::string::npos);
+  // The refusal must not create (or truncate) the journal path.
+  std::ifstream probe(cfg.journal_path);
+  EXPECT_FALSE(probe.good());
+}
+
+TEST(Resume, StrictRefusesForeignJournal) {
+  const auto errors = small_population();
+  const std::string path = temp_journal("strict_foreign");
+  {
+    std::ofstream out(path);
+    out << journal_header_line(errors.size(), /*wrong fingerprint*/ 123)
+        << "\n";
+  }
+  CampaignConfig cfg;
+  cfg.journal_path = path;
+  cfg.resume = true;
+  cfg.resume_strict = true;
+  int calls = 0;
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(&calls), cfg);
+  EXPECT_TRUE(res.resume_refused);
+  EXPECT_EQ(calls, 0);
+  EXPECT_NE(res.journal_note.find("different campaign"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, StrictReplaysAMatchingJournalNormally) {
+  // Strict must not get in the way of the path it exists to protect: a
+  // genuine checkpoint replays exactly as with plain --resume.
+  const auto errors = small_population();
+  const std::string path = temp_journal("strict_ok");
+  std::remove(path.c_str());
+  CampaignConfig cfg;
+  cfg.journal_path = path;
+  run_campaign(model().dp, errors, scripted_gen(), cfg);
+
+  cfg.resume = true;
+  cfg.resume_strict = true;
+  int calls = 0;
+  const CampaignResult res =
+      run_campaign(model().dp, errors, scripted_gen(&calls), cfg);
+  EXPECT_FALSE(res.resume_refused);
+  EXPECT_EQ(res.resumed_rows, errors.size());
+  EXPECT_EQ(calls, 0);  // fully replayed, nothing re-run
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------- interrupt + resume
 
 TEST(Resume, InterruptedCampaignReproducesIdenticalStats) {

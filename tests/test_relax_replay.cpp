@@ -110,6 +110,57 @@ TEST(RelaxReplay, WarmStartAnswersRelaxFromTheImportedMemo) {
   EXPECT_EQ(warm.pair_captures, cold.pair_captures);
 }
 
+TEST(RelaxReplay, MemoEntriesIndependentOfPriorErrorEffortHistory) {
+  // The ROADMAP carry-over this test closes out: the derived relax seed
+  // once folded in `plans_tried`, so an error's relaxation sweep (and
+  // therefore its recorded memo entries) depended on how much effort
+  // earlier errors had burned. Generate one error with a FRESH campaign-
+  // scope context, then the same error at the END of a multi-error
+  // campaign: the emitted test must be byte-identical, and every memo
+  // entry the fresh run recorded must appear in the history run with an
+  // identical solution - proof the memo key and its payload are pure
+  // functions of the subproblem, never of effort history.
+  std::vector<DesignError> errors = wrap(enumerate_bus_ssl(model().dp));
+  ASSERT_GE(errors.size(), 6u);
+  errors.resize(6);
+  const DesignError& last = errors.back();
+
+  TgConfig cfg;
+  cfg.solver.scope = SolverScope::kCampaign;
+
+  TestGenerator fresh_tg(model(), cfg);
+  const TgResult fresh = fresh_tg.generate(last);
+  const DedSnapshot fresh_snap = export_context(fresh_tg.solver_context());
+  ASSERT_FALSE(fresh_snap.relax.empty())
+      << "single-error run recorded no relax memos";
+
+  TestGenerator hist_tg(model(), cfg);
+  TgResult hist;  // the loop ends on `last`: its result after full history
+  for (const DesignError& e : errors) hist = hist_tg.generate(e);
+  const DedSnapshot hist_snap = export_context(hist_tg.solver_context());
+
+  EXPECT_EQ(hist.status, fresh.status);
+  EXPECT_EQ(hist.test.imem, fresh.test.imem);
+  EXPECT_EQ(hist.test.rf_init, fresh.test.rf_init);
+  EXPECT_EQ(hist.test.dmem_init, fresh.test.dmem_init);
+
+  for (const RelaxCache::Exported& want : fresh_snap.relax) {
+    bool found = false;
+    for (const RelaxCache::Exported& got : hist_snap.relax) {
+      if (!(got.key == want.key)) continue;
+      found = true;
+      EXPECT_EQ(got.result.status, want.result.status);
+      EXPECT_EQ(got.vars.imem, want.vars.imem);
+      EXPECT_EQ(got.vars.imem_fixed, want.vars.imem_fixed);
+      EXPECT_EQ(got.vars.rf_init, want.vars.rf_init);
+      EXPECT_EQ(got.vars.mem_init, want.vars.mem_init);
+      break;
+    }
+    EXPECT_TRUE(found) << "memo key recorded by the fresh run is absent "
+                          "after a campaign with prior-error history";
+  }
+}
+
 TEST(RelaxReplay, SnapshotSurvivesSerializationWithPairCaptures) {
   // DpRelaxResult grew pair_captures (store format v2): a relax memo round-
   // tripped through the byte format must replay identically, counter

@@ -1,0 +1,751 @@
+// Campaign service (src/service): cache-key semantics, the two-tier
+// content-addressed result cache (LRU + atomic disk store with
+// quarantine-or-skip corruption handling and failpoint-provable
+// crash-safety), the service core (single-flight coalescing, bounded
+// admission, cancellation, byte-identical cached replies), and the
+// unix-socket server end to end with concurrent clients.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "errors/report.h"
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/request.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/failpoint.h"
+#include "util/minijson.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+std::string temp_dir(const char* tag) {
+  const std::string d = testing::TempDir() + "hltg_service_" + tag + "_" +
+                        std::to_string(::getpid());
+  ::mkdir(d.c_str(), 0755);
+  return d;
+}
+
+/// Truncating runner: real engine, real config wiring, but only the first
+/// few errors of the plan's population - service behaviour without
+/// campaign-sized test times.
+CampaignRunner truncating_runner(std::size_t n) {
+  return [n](const RequestPlan& plan, const CampaignConfig& ccfg) {
+    RequestPlan p = plan;
+    if (p.errors.size() > n) p.errors.resize(n);
+    return run_campaign_plan(model(), p, ccfg);
+  };
+}
+
+/// Synchronisation wrapper for submit(): collect the outcome and wait.
+struct Waiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RequestOutcome outcome;
+
+  DoneFn fn() {
+    return [this](const RequestOutcome& o) {
+      std::lock_guard<std::mutex> lk(mu);
+      outcome = o;
+      done = true;
+      cv.notify_all();
+    };
+  }
+  const RequestOutcome& wait() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [this] { return done; });
+    return outcome;
+  }
+};
+
+void wait_until_running(const CampaignService& svc, std::size_t n) {
+  while (svc.stats().running < n)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+// ------------------------------------------------------------- cache key
+
+TEST(CacheKey, NonSemanticFieldsShareAKey) {
+  RequestSpec a;
+  const RequestPlan pa = plan_request(model(), a);
+  ASSERT_TRUE(pa.ok()) << pa.error;
+  ASSERT_EQ(pa.cache_key.size(), 16u);
+
+  RequestSpec b = a;
+  b.jobs = 8;       // determinism contract: any worker count, same bytes
+  b.lanes = 64;     // batch width is result-invariant
+  b.subscribe = true;
+  b.tag = "somebody else";
+  const RequestPlan pb = plan_request(model(), b);
+  ASSERT_TRUE(pb.ok()) << pb.error;
+  EXPECT_EQ(pa.cache_key, pb.cache_key);
+}
+
+TEST(CacheKey, EverySemanticFieldChangesTheKey) {
+  const std::string base = plan_request(model(), RequestSpec{}).cache_key;
+  std::vector<std::pair<const char*, RequestSpec>> variants;
+  auto add = [&](const char* what, std::function<void(RequestSpec&)> tweak) {
+    RequestSpec s;
+    tweak(s);
+    variants.emplace_back(what, s);
+  };
+  add("model", [](RequestSpec& s) { s.model = "mse"; });
+  add("stages", [](RequestSpec& s) { s.stages = "EX,MEM"; });
+  add("window", [](RequestSpec& s) { s.window = 12; });
+  add("retry_window", [](RequestSpec& s) { s.retry_window = 24; });
+  add("deadline_ms", [](RequestSpec& s) { s.deadline_ms = 50; });
+  add("max_backtracks", [](RequestSpec& s) { s.max_backtracks = 10; });
+  add("max_decisions", [](RequestSpec& s) { s.max_decisions = 1000; });
+  add("fallback", [](RequestSpec& s) { s.fallback = true; });
+  add("solver", [](RequestSpec& s) { s.solver = false; });
+  add("solver_scope", [](RequestSpec& s) { s.solver_scope = "campaign"; });
+  add("drop", [](RequestSpec& s) { s.drop = true; });
+  for (const auto& [what, spec] : variants) {
+    const RequestPlan p = plan_request(model(), spec);
+    ASSERT_TRUE(p.ok()) << what << ": " << p.error;
+    EXPECT_NE(p.cache_key, base) << what << " must change the cache key";
+  }
+}
+
+TEST(CacheKey, FallbackTriesOnlyMatterWhenFallbackIsOn) {
+  RequestSpec off_a, off_b;
+  off_b.fallback_tries = 7;  // dead knob while fallback is off
+  EXPECT_EQ(plan_request(model(), off_a).cache_key,
+            plan_request(model(), off_b).cache_key);
+
+  RequestSpec on_a, on_b;
+  on_a.fallback = on_b.fallback = true;
+  on_b.fallback_tries = 7;
+  EXPECT_NE(plan_request(model(), on_a).cache_key,
+            plan_request(model(), on_b).cache_key);
+}
+
+TEST(CacheKey, RequestJsonRoundTripsThroughTheWireFormat) {
+  RequestSpec s;
+  s.model = "mse";
+  s.stages = "EX,MEM";
+  s.window = 11;
+  s.deadline_ms = 12.5;
+  s.fallback = true;
+  s.solver_scope = "campaign";
+  s.jobs = 4;
+  s.tag = "with \"quotes\" and\nnewline";
+  const MiniJson j("{" + request_fields_json(s) + "}");
+  const ParsedRequest parsed = parse_request(j);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.spec.model, s.model);
+  EXPECT_EQ(parsed.spec.stages, s.stages);
+  EXPECT_EQ(parsed.spec.window, s.window);
+  EXPECT_EQ(parsed.spec.deadline_ms, s.deadline_ms);
+  EXPECT_EQ(parsed.spec.fallback, s.fallback);
+  EXPECT_EQ(parsed.spec.jobs, s.jobs);
+  EXPECT_EQ(parsed.spec.tag, s.tag);
+  EXPECT_EQ(plan_request(model(), parsed.spec).cache_key,
+            plan_request(model(), s).cache_key);
+}
+
+TEST(RequestPlan, RejectsNonsense) {
+  RequestSpec bad_model;
+  bad_model.model = "sse";
+  EXPECT_FALSE(plan_request(model(), bad_model).ok());
+
+  RequestSpec bad_stages;
+  bad_stages.stages = "NOPE";
+  EXPECT_FALSE(plan_request(model(), bad_stages).ok());
+
+  RequestSpec bad_scope;
+  bad_scope.solver_scope = "galaxy";
+  EXPECT_FALSE(plan_request(model(), bad_scope).ok());
+
+  RequestSpec drop_jobs;
+  drop_jobs.drop = true;
+  drop_jobs.jobs = 4;
+  EXPECT_FALSE(plan_request(model(), drop_jobs).ok());
+}
+
+// ---------------------------------------------------------- result cache
+
+TEST(ResultCache, MemoryLruEvictsLeastRecentlyUsed) {
+  ResultCache c(ResultCacheConfig{"", 2});
+  c.insert("aa", "one");
+  c.insert("bb", "two");
+  std::string p;
+  EXPECT_TRUE(c.lookup("aa", &p));  // aa is now most recent
+  c.insert("cc", "three");          // evicts bb
+  EXPECT_FALSE(c.lookup("bb", &p));
+  EXPECT_TRUE(c.lookup("aa", &p));
+  EXPECT_EQ(p, "one");
+  EXPECT_TRUE(c.lookup("cc", &p));
+  EXPECT_EQ(p, "three");
+  const ResultCacheStats s = c.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.memory_hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 3u);
+}
+
+TEST(ResultCache, DiskEntriesSurviveRestartAndPromoteIntoMemory) {
+  const std::string dir = temp_dir("roundtrip");
+  const std::string payload = "model,error\nssl,x\n";
+  {
+    ResultCache c(ResultCacheConfig{dir, 4});
+    std::string why;
+    ASSERT_TRUE(c.insert("deadbeef01234567", payload, &why)) << why;
+  }
+  ResultCache warm(ResultCacheConfig{dir, 4});
+  std::string p;
+  ASSERT_TRUE(warm.lookup("deadbeef01234567", &p));
+  EXPECT_EQ(p, payload);
+  EXPECT_EQ(warm.stats().disk_hits, 1u);
+  ASSERT_TRUE(warm.lookup("deadbeef01234567", &p));
+  EXPECT_EQ(warm.stats().memory_hits, 1u);  // promoted, no second disk read
+}
+
+TEST(ResultCache, CorruptDiskEntryIsQuarantinedNotServed) {
+  const std::string dir = temp_dir("corrupt");
+  const std::string key = "abcdef0123456789";
+  {
+    ResultCache c(ResultCacheConfig{dir, 4});
+    ASSERT_TRUE(c.insert(key, "trustworthy payload"));
+  }
+  const std::string path = dir + "/" + key + ".res";
+  {
+    // Flip the last payload byte: magic and length still check, CRC must
+    // catch it.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 12u);
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x5a);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ResultCache c(ResultCacheConfig{dir, 4});
+  std::string p;
+  EXPECT_FALSE(c.lookup(key, &p));
+  EXPECT_EQ(c.stats().quarantined, 1u);
+  EXPECT_FALSE(std::ifstream(path).good());  // set aside, not left behind
+  EXPECT_TRUE(std::ifstream(path + ".quarantine").good());
+
+  // The next insertion of the key repairs the entry.
+  ASSERT_TRUE(c.insert(key, "fresh payload"));
+  ResultCache again(ResultCacheConfig{dir, 4});
+  ASSERT_TRUE(again.lookup(key, &p));
+  EXPECT_EQ(p, "fresh payload");
+}
+
+TEST(ResultCache, TruncatedDiskEntryIsQuarantined) {
+  const std::string dir = temp_dir("truncated");
+  const std::string key = "00112233445566aa";
+  {
+    ResultCache c(ResultCacheConfig{dir, 4});
+    ASSERT_TRUE(c.insert(key, "a payload long enough to truncate"));
+  }
+  const std::string path = dir + "/" + key + ".res";
+  ::truncate(path.c_str(), 9);  // torn mid-header
+  ResultCache c(ResultCacheConfig{dir, 4});
+  std::string p;
+  EXPECT_FALSE(c.lookup(key, &p));
+  EXPECT_EQ(c.stats().quarantined, 1u);
+}
+
+TEST(ResultCache, PersistFailureDegradesToMemoryOnly) {
+  const std::string dir = temp_dir("degrade");
+  ResultCache c(ResultCacheConfig{dir, 4});
+  failpoint::configure("cache.write=eio@1");
+  std::string why;
+  EXPECT_FALSE(c.insert("feedfacefeedface", "payload", &why));
+  EXPECT_NE(why.find("feedfacefeedface"), std::string::npos);
+  EXPECT_EQ(c.stats().persist_failures, 1u);
+  // The memory tier still answers...
+  std::string p;
+  EXPECT_TRUE(c.lookup("feedfacefeedface", &p));
+  EXPECT_EQ(p, "payload");
+  // ...but a restarted cache finds nothing on disk (and no torn file).
+  ResultCache cold(ResultCacheConfig{dir, 4});
+  EXPECT_FALSE(cold.lookup("feedfacefeedface", &p));
+  EXPECT_EQ(cold.stats().quarantined, 0u);
+}
+
+// ------------------------------------------- cache crash-safety (fork'ed)
+
+/// Run `body` in a fork'ed child and expect the armed failpoint to kill it.
+void expect_killed(const std::function<void()>& body) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    body();
+    _exit(0);  // survived: the failpoint did not fire
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), failpoint::kKillExitCode);
+}
+
+TEST(ResultCacheCrash, KillBeforePublishLeavesTheOldEntryIntact) {
+  const std::string key = "0123456789abcdef";
+  for (const char* spec : {"cache.write=kill@1", "cache.fsync=kill@1",
+                           "cache.rename=kill@1"}) {
+    const std::string dir = temp_dir("kill_before");
+    {
+      ResultCache c(ResultCacheConfig{dir, 4});
+      ASSERT_TRUE(c.insert(key, "old complete payload"));
+    }
+    expect_killed([&] {
+      failpoint::configure(spec);
+      ResultCache c(ResultCacheConfig{dir, 4});
+      c.insert(key, "new payload the crash must not tear");
+    });
+    // The kill struck before the rename published the new entry: a
+    // restarted cache serves the complete old payload, never a torn mix.
+    ResultCache c(ResultCacheConfig{dir, 4});
+    std::string p;
+    ASSERT_TRUE(c.lookup(key, &p)) << spec;
+    EXPECT_EQ(p, "old complete payload") << spec;
+    EXPECT_EQ(c.stats().quarantined, 0u) << spec;
+    std::remove((dir + "/" + key + ".res").c_str());
+    std::remove((dir + "/" + key + ".res.tmp").c_str());
+  }
+}
+
+TEST(ResultCacheCrash, KillAfterPublishLeavesTheNewEntryIntact) {
+  const std::string dir = temp_dir("kill_after");
+  const std::string key = "fedcba9876543210";
+  {
+    ResultCache c(ResultCacheConfig{dir, 4});
+    ASSERT_TRUE(c.insert(key, "old"));
+  }
+  expect_killed([&] {
+    failpoint::configure("cache.rename=kill-after@1");
+    ResultCache c(ResultCacheConfig{dir, 4});
+    c.insert(key, "new payload, fully published");
+  });
+  ResultCache c(ResultCacheConfig{dir, 4});
+  std::string p;
+  ASSERT_TRUE(c.lookup(key, &p));
+  EXPECT_EQ(p, "new payload, fully published");
+  EXPECT_EQ(c.stats().quarantined, 0u);
+}
+
+// -------------------------------------------------------- service core
+
+TEST(Service, CompletesARequestAndAnswersTheRepeatFromTheCache) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.runner_override = truncating_runner(2);
+  CampaignService svc(model(), scfg);
+
+  RequestSpec spec;
+  Waiter w1;
+  const SubmitResult r1 = svc.submit(spec, w1.fn());
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_FALSE(r1.cached);
+  const RequestOutcome first = w1.wait();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.id, r1.id);
+  EXPECT_EQ(first.key, r1.key);
+  EXPECT_FALSE(first.csv.empty());
+  EXPECT_EQ(first.attempted, 2u);
+
+  // The repeat is answered synchronously with the identical bytes.
+  Waiter w2;
+  const SubmitResult r2 = svc.submit(spec, w2.fn());
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_TRUE(r2.cached);
+  const RequestOutcome second = w2.wait();
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.csv, first.csv);
+  EXPECT_NE(second.id, first.id);
+  // Counters are recovered from the cached payload, not zeroed.
+  EXPECT_EQ(second.attempted, first.attempted);
+  EXPECT_EQ(second.detected, first.detected);
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.cache.insertions, 1u);
+}
+
+TEST(Service, CsvMatchesTheOfflineEngineOnTheStableColumns) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.runner_override = truncating_runner(3);
+  CampaignService svc(model(), scfg);
+
+  RequestSpec spec;
+  Waiter w;
+  ASSERT_TRUE(svc.submit(spec, w.fn()).ok);
+  const RequestOutcome got = w.wait();
+  ASSERT_TRUE(got.ok) << got.error;
+
+  // Offline reference: same plan, same engine wiring, no service.
+  RequestPlan plan = plan_request(model(), spec);
+  ASSERT_TRUE(plan.ok());
+  plan.errors.resize(3);
+  CampaignConfig ccfg;
+  ccfg.budget = plan.budget;
+  ccfg.design_hash = plan.design_hash;
+  ccfg.solver_config_hash = plan.config_hash;
+  const std::string offline =
+      campaign_csv(model().dp, run_campaign_plan(model(), plan, ccfg));
+
+  // Columns 1-8 are deterministic; 9-12 are wall-clock timings.
+  auto stable = [](const std::string& csv) {
+    std::istringstream in(csv);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      std::size_t pos = 0;
+      for (int commas = 0; commas < 8 && pos != std::string::npos; ++commas)
+        pos = line.find(',', pos + 1);
+      out += line.substr(0, pos);
+      out += '\n';
+    }
+    return out;
+  };
+  EXPECT_EQ(stable(got.csv), stable(offline));
+}
+
+TEST(Service, CoalescesIdenticalInFlightRequests) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> runs{0};
+
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.runner_override = [&](const RequestPlan& plan,
+                             const CampaignConfig& ccfg) {
+    ++runs;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return release; });
+    }
+    return truncating_runner(1)(plan, ccfg);
+  };
+  CampaignService svc(model(), scfg);
+
+  RequestSpec spec;
+  Waiter w1, w2;
+  const SubmitResult r1 = svc.submit(spec, w1.fn());
+  ASSERT_TRUE(r1.ok) << r1.error;
+  const SubmitResult r2 = svc.submit(spec, w2.fn());
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_TRUE(r2.coalesced);
+  EXPECT_EQ(r1.key, r2.key);
+  EXPECT_NE(r1.id, r2.id);
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  const RequestOutcome o1 = w1.wait();
+  const RequestOutcome o2 = w2.wait();
+  EXPECT_TRUE(o1.ok && o2.ok);
+  EXPECT_EQ(o1.csv, o2.csv);
+  EXPECT_EQ(o1.id, r1.id);  // each subscriber sees its own id
+  EXPECT_EQ(o2.id, r2.id);
+  EXPECT_EQ(runs.load(), 1);  // the campaign ran once for both
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.coalesced, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(Service, BoundedQueueRejectsOverload) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.queue_capacity = 1;
+  scfg.runner_override = [&](const RequestPlan& plan,
+                             const CampaignConfig& ccfg) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return release; });
+    }
+    return truncating_runner(1)(plan, ccfg);
+  };
+  CampaignService svc(model(), scfg);
+
+  // Three distinct requests: one running, one queued, one over the bound.
+  RequestSpec a, b, c;
+  a.window = 10;
+  b.window = 11;
+  c.window = 12;
+  Waiter wa, wb;
+  ASSERT_TRUE(svc.submit(a, wa.fn()).ok);
+  wait_until_running(svc, 1);  // a is on the executor, the queue is empty
+  ASSERT_TRUE(svc.submit(b, wb.fn()).ok);
+  const SubmitResult rc = svc.submit(c, nullptr);
+  EXPECT_FALSE(rc.ok);
+  EXPECT_NE(rc.error.find("queue full"), std::string::npos);
+  EXPECT_EQ(svc.stats().rejected_overload, 1u);
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(wa.wait().ok);
+  EXPECT_TRUE(wb.wait().ok);
+}
+
+TEST(Service, CancelStopsAFlightCooperatively) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.runner_override = [](const RequestPlan& plan,
+                            const CampaignConfig& ccfg) {
+    // Stand-in for the engine's between-errors cancel check.
+    while (!ccfg.cancel->stop_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    CampaignResult r;
+    r.interrupted = true;
+    r.stats.total = plan.errors.size();
+    return r;
+  };
+  CampaignService svc(model(), scfg);
+
+  Waiter w;
+  const SubmitResult r = svc.submit(RequestSpec{}, w.fn());
+  ASSERT_TRUE(r.ok) << r.error;
+  wait_until_running(svc, 1);
+  EXPECT_TRUE(svc.cancel(r.id));
+  const RequestOutcome o = w.wait();
+  EXPECT_FALSE(o.ok);
+  EXPECT_TRUE(o.cancelled);
+  EXPECT_NE(o.error.find("cancelled"), std::string::npos);
+  EXPECT_FALSE(svc.cancel(r.id));  // already completed: unknown id
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.completed, 0u);
+  // An interrupted sweep is never cached: the repeat runs fresh.
+  EXPECT_EQ(s.cache.insertions, 0u);
+}
+
+TEST(Service, RejectsInvalidRequestsWithoutAnId) {
+  CampaignService svc(model(), ServiceConfig{});
+  RequestSpec bad;
+  bad.model = "nope";
+  const SubmitResult r = svc.submit(bad, nullptr);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(svc.stats().rejected_invalid, 1u);
+}
+
+TEST(Probe, DirectoryNestedUnderARegularFileIsRejected) {
+  // Works even as root: mkdir under a regular file fails for any uid.
+  const std::string file = testing::TempDir() + "hltg_service_plain_file";
+  std::ofstream(file) << "x";
+  std::string why;
+  EXPECT_FALSE(probe_writable_dir(file + "/nested", &why));
+  EXPECT_FALSE(why.empty());
+  std::remove(file.c_str());
+}
+
+// ----------------------------------------------------- socket end to end
+
+struct ClientResult {
+  bool ok = false;
+  bool cached = false;
+  std::string key;
+  std::string csv;
+  std::string error;
+  int progress = 0;
+};
+
+/// One full client conversation: connect, submit, collect events until the
+/// result.
+ClientResult run_client(const std::string& socket_path,
+                        const RequestSpec& spec) {
+  ClientResult out;
+  ServiceClient c;
+  std::string why;
+  if (!c.connect(socket_path, &why)) {
+    out.error = why;
+    return out;
+  }
+  if (!c.send_line("{\"op\":\"submit\"," + request_fields_json(spec) + "}")) {
+    out.error = "send failed";
+    return out;
+  }
+  std::string line;
+  while (c.read_line(&line)) {
+    const MiniJson j(line);
+    std::string event;
+    if (!j.ok() || !j.get_string("event", &event)) {
+      out.error = "unparseable: " + line;
+      return out;
+    }
+    if (event == "error") {
+      j.get_string("error", &out.error);
+      return out;
+    }
+    if (event == "progress") {
+      ++out.progress;
+      continue;
+    }
+    if (event == "ack") continue;
+    if (event == "result") {
+      j.get_bool("ok", &out.ok);
+      j.get_bool("cached", &out.cached);
+      j.get_string("key", &out.key);
+      j.get_string("csv", &out.csv);
+      if (!out.ok) j.get_string("error", &out.error);
+      return out;
+    }
+    out.error = "unexpected event: " + event;
+    return out;
+  }
+  out.error = "connection closed without a result";
+  return out;
+}
+
+TEST(ServiceServer, EightConcurrentClientsHalfDuplicatesAllByteIdentical) {
+  ServiceConfig scfg;
+  scfg.executors = 2;
+  scfg.cache_dir = temp_dir("e2e_cache");
+  scfg.runner_override = truncating_runner(2);
+  CampaignService svc(model(), scfg);
+  ServerConfig srvcfg;
+  srvcfg.socket_path = testing::TempDir() + "hltg_service_e2e.sock";
+  ServiceServer server(svc, srvcfg);
+  std::string why;
+  ASSERT_TRUE(server.start(&why)) << why;
+
+  // 8 clients, 4 distinct requests, each submitted twice concurrently.
+  std::vector<ClientResult> results(8);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 8; ++i)
+    clients.emplace_back([&, i] {
+      RequestSpec spec;
+      spec.window = 10 + static_cast<unsigned>(i % 4);
+      results[static_cast<std::size_t>(i)] =
+          run_client(srvcfg.socket_path, spec);
+    });
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(results[static_cast<std::size_t>(i)].ok)
+        << "client " << i << ": " << results[static_cast<std::size_t>(i)].error;
+    ASSERT_FALSE(results[static_cast<std::size_t>(i)].csv.empty());
+  }
+  // Duplicates got the identical bytes, whether coalesced or cache-served.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].key,
+              results[static_cast<std::size_t>(i + 4)].key);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].csv,
+              results[static_cast<std::size_t>(i + 4)].csv);
+  }
+  // Exactly 4 campaigns ran; every duplicate rode a flight or hit the cache.
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.cache.hits + s.coalesced, 4u);
+
+  // A latecomer is answered from the cache with the same bytes.
+  RequestSpec again;
+  again.window = 10;
+  const ClientResult late = run_client(srvcfg.socket_path, again);
+  ASSERT_TRUE(late.ok) << late.error;
+  EXPECT_TRUE(late.cached);
+  EXPECT_EQ(late.csv, results[0].csv);
+
+  server.stop();
+  EXPECT_FALSE(std::ifstream(srvcfg.socket_path).good());  // unlinked
+}
+
+TEST(ServiceServer, SubscribedClientStreamsProgressRows) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.spool_dir = temp_dir("e2e_spool");
+  scfg.runner_override = truncating_runner(2);
+  CampaignService svc(model(), scfg);
+  ServerConfig srvcfg;
+  srvcfg.socket_path = testing::TempDir() + "hltg_service_progress.sock";
+  ServiceServer server(svc, srvcfg);
+  std::string why;
+  ASSERT_TRUE(server.start(&why)) << why;
+
+  RequestSpec spec;
+  spec.subscribe = true;
+  const ClientResult r = run_client(srvcfg.socket_path, spec);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.progress, 2);  // one journal row per attempted error
+  server.stop();
+}
+
+TEST(ServiceServer, ControlOpsAnswer) {
+  CampaignService svc(model(), ServiceConfig{});
+  ServerConfig srvcfg;
+  srvcfg.socket_path = testing::TempDir() + "hltg_service_ops.sock";
+  ServiceServer server(svc, srvcfg);
+  std::string why;
+  ASSERT_TRUE(server.start(&why)) << why;
+
+  ServiceClient c;
+  ASSERT_TRUE(c.connect(srvcfg.socket_path, &why)) << why;
+  std::string line;
+
+  ASSERT_TRUE(c.send_line("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(c.read_line(&line, 5000));
+  EXPECT_EQ(line, "{\"event\":\"pong\"}");
+
+  ASSERT_TRUE(c.send_line("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(c.read_line(&line, 5000));
+  {
+    const MiniJson j(line);
+    std::string event;
+    std::uint64_t submitted = 99;
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.get_string("event", &event));
+    EXPECT_EQ(event, "stats");
+    EXPECT_TRUE(j.get_u64("submitted", &submitted));
+    EXPECT_EQ(submitted, 0u);
+  }
+
+  ASSERT_TRUE(c.send_line("{\"op\":\"cancel\",\"id\":12345}"));
+  ASSERT_TRUE(c.read_line(&line, 5000));
+  {
+    const MiniJson j(line);
+    bool ok = true;
+    ASSERT_TRUE(j.ok());
+    EXPECT_TRUE(j.get_bool("ok", &ok));
+    EXPECT_FALSE(ok);  // unknown id
+  }
+
+  EXPECT_FALSE(server.shutdown_requested());
+  ASSERT_TRUE(c.send_line("{\"op\":\"shutdown\"}"));
+  ASSERT_TRUE(c.read_line(&line, 5000));
+  EXPECT_EQ(line, "{\"event\":\"shutdown\"}");
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hltg
