@@ -6,13 +6,28 @@
 //   $ ./tg_server --socket /tmp/tg.sock [--cache-dir DIR]
 //                 [--spool-dir DIR] [--executors N] [--jobs-cap N]
 //                 [--queue N] [--cache-entries N] [--failpoints SPEC]
+//                 [--cache-max-bytes N] [--max-crashes N]
+//                 [--request-deadline-ms N] [--term-grace-ms N]
+//                 [--poison-dir DIR] [--spool-keep N] [--no-supervise]
 //
 // --cache-dir persists every completed result (atomic tmp+fsync+rename
-// per entry; corrupt entries are quarantined, never served). --spool-dir
+// per entry; corrupt entries are quarantined, never served);
+// --cache-max-bytes bounds the directory with LRU eviction. --spool-dir
 // enables per-request progress streaming (clients submit with
-// "subscribe":true). SIGTERM/SIGINT drain gracefully: admissions stop,
-// every admitted campaign completes and is delivered, then the daemon
-// exits 0. A client's {"op":"shutdown"} does the same.
+// "subscribe":true); --spool-keep bounds the retained journals.
+// SIGTERM/SIGINT drain gracefully: admissions stop, every admitted
+// campaign completes and is delivered, then the daemon exits 0. A
+// client's {"op":"shutdown"} does the same.
+//
+// Campaigns run in forked, supervised worker processes (docs/SERVICE.md
+// "Supervision"): a worker crash becomes a structured error and a retry
+// with jittered backoff (HLTG_WORKER_BACKOFF_BASE_MS /
+// HLTG_WORKER_BACKOFF_MAX_MS override the envelope); --max-crashes worker
+// deaths quarantine the request key as POISONED (--poison-dir makes the
+// quarantine durable); --request-deadline-ms bounds each request's wall
+// clock, escalating SIGTERM -> SIGKILL after --term-grace-ms.
+// --no-supervise reverts to in-process execution (debugging only: a
+// campaign crash then kills the daemon).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +49,7 @@ extern "C" void on_term(int) { g_term = 1; }
 
 int main(int argc, char** argv) {
   ServiceConfig scfg;
+  scfg.supervise = true;  // the daemon always isolates campaigns by default
   ServerConfig srvcfg;
   std::string failpoint_spec;
   for (int i = 1; i < argc; ++i) {
@@ -52,6 +68,21 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--cache-entries") && i + 1 < argc)
       scfg.cache_memory_entries =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--cache-max-bytes") && i + 1 < argc)
+      scfg.cache_max_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--max-crashes") && i + 1 < argc)
+      scfg.supervisor.max_crashes =
+          static_cast<unsigned>(std::atoi(argv[++i]));
+    else if (!std::strcmp(argv[i], "--request-deadline-ms") && i + 1 < argc)
+      scfg.supervisor.deadline_seconds = std::atof(argv[++i]) / 1000.0;
+    else if (!std::strcmp(argv[i], "--term-grace-ms") && i + 1 < argc)
+      scfg.supervisor.term_grace_seconds = std::atof(argv[++i]) / 1000.0;
+    else if (!std::strcmp(argv[i], "--poison-dir") && i + 1 < argc)
+      scfg.poison_dir = argv[++i];
+    else if (!std::strcmp(argv[i], "--spool-keep") && i + 1 < argc)
+      scfg.spool_keep = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (!std::strcmp(argv[i], "--no-supervise"))
+      scfg.supervise = false;
     else if (!std::strcmp(argv[i], "--failpoints") && i + 1 < argc)
       failpoint_spec = argv[++i];
     else {
@@ -62,9 +93,18 @@ int main(int argc, char** argv) {
   if (srvcfg.socket_path.empty()) {
     std::fprintf(stderr, "usage: tg_server --socket PATH [--cache-dir DIR] "
                  "[--spool-dir DIR] [--executors N] [--jobs-cap N] "
-                 "[--queue N] [--cache-entries N]\n");
+                 "[--queue N] [--cache-entries N] [--cache-max-bytes N] "
+                 "[--max-crashes N] [--request-deadline-ms N] "
+                 "[--term-grace-ms N] [--poison-dir DIR] [--spool-keep N] "
+                 "[--no-supervise]\n");
     return 1;
   }
+  // Backoff envelope overrides (ms): operators tune restart pacing
+  // without a redeploy; the flags stay small.
+  if (const char* e = std::getenv("HLTG_WORKER_BACKOFF_BASE_MS"))
+    scfg.supervisor.backoff_base_ms = std::atof(e);
+  if (const char* e = std::getenv("HLTG_WORKER_BACKOFF_MAX_MS"))
+    scfg.supervisor.backoff_max_ms = std::atof(e);
 
   failpoint::configure_from_env();
   if (!failpoint_spec.empty()) {
@@ -86,6 +126,12 @@ int main(int argc, char** argv) {
   }
   if (!scfg.spool_dir.empty() && !probe_writable_dir(scfg.spool_dir, &why)) {
     std::fprintf(stderr, "--spool-dir %s: %s\n", scfg.spool_dir.c_str(),
+                 why.c_str());
+    return 1;
+  }
+  if (!scfg.poison_dir.empty() &&
+      !probe_writable_dir(scfg.poison_dir, &why)) {
+    std::fprintf(stderr, "--poison-dir %s: %s\n", scfg.poison_dir.c_str(),
                  why.c_str());
     return 1;
   }

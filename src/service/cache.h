@@ -10,6 +10,16 @@
 // directory - through the failpoint sites "cache.write" / "cache.fsync" /
 // "cache.rename", so crash-safety is provable under --failpoints.
 //
+// The disk tier is bounded too (max_disk_bytes, the daemon's
+// --cache-max-bytes): every entry's size is accounted, and inserting past
+// the budget evicts least-recently-used entries (failpoint site
+// "cache.evict") until the store fits. LRU order is persisted in an
+// atomic index sidecar (`cache.index`, rewritten tmp+rename on every
+// mutation); the sidecar is advisory - a restart reconciles it against
+// the directory, adopting entries the index missed and dropping entries
+// the index lists but the disk lost, so a crash anywhere in the eviction
+// sequence leaves old entries intact or cleanly absent, never corrupt.
+//
 // Corruption policy is quarantine-or-skip, never a wrong answer: a disk
 // entry whose magic, length or CRC32 does not check out is renamed to
 // <key>.res.quarantine and reported as a miss; the campaign simply runs
@@ -27,8 +37,11 @@ namespace hltg {
 struct ResultCacheConfig {
   /// On-disk store directory; empty disables persistence (memory only).
   std::string dir;
-  /// In-memory LRU capacity in entries (disk entries are unbounded).
+  /// In-memory LRU capacity in entries (independent of the disk bound).
   std::size_t memory_entries = 64;
+  /// Disk-tier budget in bytes (entry files incl. their 12-byte header);
+  /// 0 = unbounded. Enforced by LRU eviction on insert and at startup.
+  std::size_t max_disk_bytes = 0;
 };
 
 struct ResultCacheStats {
@@ -39,6 +52,9 @@ struct ResultCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t persist_failures = 0;  ///< disk writes that failed
   std::uint64_t quarantined = 0;       ///< corrupt disk entries set aside
+  std::uint64_t evictions = 0;         ///< entries removed by the budget
+  std::size_t disk_bytes = 0;          ///< snapshot: disk tier footprint
+  std::size_t disk_entries = 0;        ///< snapshot: disk tier entry count
 };
 
 class ResultCache {
@@ -46,14 +62,17 @@ class ResultCache {
   explicit ResultCache(ResultCacheConfig cfg);
 
   /// Look `key` up (memory first, then disk). On a disk hit the entry is
-  /// promoted into the LRU. Returns true and fills *payload on a hit.
+  /// promoted into the LRU (and to disk-MRU; that promotion is volatile -
+  /// the index sidecar only persists mutation-time order). Returns true
+  /// and fills *payload on a hit.
   bool lookup(const std::string& key, std::string* payload);
 
   /// Insert (or overwrite) an entry. The memory tier always takes it; with
-  /// a disk tier configured the entry is also persisted atomically, and a
-  /// persistence failure (ENOSPC, injected fault, ...) degrades to
-  /// memory-only - the insertion itself still succeeds. Returns false and
-  /// sets *why only when persistence was requested and failed.
+  /// a disk tier configured the entry is also persisted atomically, the
+  /// budget enforced (evicting LRU entries), and a persistence failure
+  /// (ENOSPC, injected fault, ...) degrades to memory-only - the
+  /// insertion itself still succeeds. Returns false and sets *why only
+  /// when persistence was requested and failed.
   bool insert(const std::string& key, const std::string& payload,
               std::string* why = nullptr);
 
@@ -64,15 +83,29 @@ class ResultCache {
   bool load_from_disk_locked(const std::string& key, std::string* payload);
   bool persist_locked(const std::string& key, const std::string& payload,
                       std::string* why);
+  void scan_disk_locked();
+  void note_disk_entry_locked(const std::string& key, std::size_t bytes);
+  void forget_disk_entry_locked(const std::string& key);
+  void promote_disk_locked(const std::string& key);
+  void evict_overflow_locked(const std::string& keep);
+  void save_index_locked();
   std::string entry_path(const std::string& key) const;
 
   ResultCacheConfig cfg_;
   mutable std::mutex mu_;
-  /// LRU: most recent at front; map values point into the list.
+  /// Memory LRU: most recent at front; map values point into the list.
   std::list<std::pair<std::string, std::string>> lru_;
   std::unordered_map<
       std::string, std::list<std::pair<std::string, std::string>>::iterator>
       index_;
+  /// Disk tier accounting: LRU order (least recent at front) and sizes.
+  std::list<std::string> disk_lru_;
+  struct DiskEntry {
+    std::list<std::string>::iterator pos;
+    std::size_t bytes = 0;
+  };
+  std::unordered_map<std::string, DiskEntry> disk_index_;
+  std::size_t disk_total_ = 0;
   ResultCacheStats stats_;
 };
 

@@ -62,25 +62,33 @@ bool ServiceClient::send_line(const std::string& line) {
 }
 
 bool ServiceClient::read_line(std::string* line, int timeout_ms) {
-  if (fd_ < 0) return false;
+  return read_line_status(line, timeout_ms) == ReadStatus::kOk;
+}
+
+ReadStatus ServiceClient::read_line_status(std::string* line, int timeout_ms) {
+  if (fd_ < 0) return ReadStatus::kError;
   char chunk[4096];
   for (;;) {
     const std::size_t nl = buf_.find('\n');
     if (nl != std::string::npos) {
       line->assign(buf_, 0, nl);
       buf_.erase(0, nl + 1);
-      return true;
+      return ReadStatus::kOk;
     }
     if (timeout_ms > 0) {
       pollfd pfd{fd_, POLLIN, 0};
       const int r = ::poll(&pfd, 1, timeout_ms);
-      if (r <= 0) return false;  // timeout or error
+      if (r == 0) return ReadStatus::kTimeout;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ReadStatus::kError;
+      }
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n == 0) return false;  // peer hung up
+    if (n == 0) return ReadStatus::kEof;  // peer hung up
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return ReadStatus::kError;
     }
     buf_.append(chunk, static_cast<std::size_t>(n));
   }

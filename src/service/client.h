@@ -8,6 +8,17 @@
 
 namespace hltg {
 
+/// Why a read_line call returned without a line. The distinction matters
+/// to retry logic: EOF (daemon went away mid-stream) and timeout are
+/// transient - an idempotent resubmission may succeed - while a socket
+/// error is reported as its own failure class.
+enum class ReadStatus {
+  kOk,       ///< *line filled
+  kEof,      ///< orderly peer hang-up before a full line arrived
+  kTimeout,  ///< timeout_ms elapsed with no full line
+  kError,    ///< recv/poll failed (errno-level socket error)
+};
+
 class ServiceClient {
  public:
   ServiceClient() = default;
@@ -22,8 +33,14 @@ class ServiceClient {
   bool send_line(const std::string& line);
 
   /// Block until one full event line arrives (or the peer hangs up /
-  /// `timeout_ms` elapses, 0 = no timeout). False on EOF/timeout/error.
+  /// `timeout_ms` elapses, 0 = no timeout). False on EOF/timeout/error;
+  /// read_line_status distinguishes which.
   bool read_line(std::string* line, int timeout_ms = 0);
+
+  /// read_line with the failure mode reported: kOk fills *line; kEof /
+  /// kTimeout / kError say why no line arrived. A failed or timed-out
+  /// read leaves any partial line buffered for a later retry.
+  ReadStatus read_line_status(std::string* line, int timeout_ms = 0);
 
   bool connected() const { return fd_ >= 0; }
   void close();

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "service/client.h"
 #include "util/minijson.h"
 
 namespace hltg {
@@ -35,9 +36,14 @@ bool send_line(int fd, const std::string& line) {
   return true;
 }
 
-std::string error_event(const std::string& why) {
+std::string error_event(const std::string& why, bool transient = false) {
   JsonWriter w;
-  return w.str("event", "error").str("error", why).take();
+  w.str("event", "error").str("error", why);
+  // Retry hint for clients (tg_client --retries): transient rejections
+  // (queue full, draining) may succeed on an idempotent resubmission;
+  // terminal ones (invalid, poisoned) never will.
+  if (transient) w.boolean("transient", true);
+  return w.take();
 }
 
 std::string result_event(const RequestOutcome& o) {
@@ -54,16 +60,28 @@ std::string result_event(const RequestOutcome& o) {
       .str("csv", o.csv);
   if (!o.table1.empty()) w.str("table1", o.table1);
   if (!o.error.empty()) w.str("error", o.error);
+  if (o.poisoned) w.boolean("poisoned", true);
+  if (o.transient) w.boolean("transient", true);
   return w.take();
 }
 
 /// Tail helper for progress streaming: emit every complete line appended
 /// to `path` since `*offset`, skipping the header line. Returns false
-/// when the file cannot be read (yet).
+/// only when the client is gone (a send failed) - the caller then drops
+/// the subscription; an unreadable journal just means "nothing yet".
 bool pump_progress(int fd, const std::string& path, std::size_t* offset,
                    std::size_t* lineno) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) return true;
+  // A supervised worker restart reopens the journal truncating it: when
+  // the file shrank below our offset, restart the tail from scratch.
+  // Re-streamed rows are fine - progress is advisory, results are not.
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size >= 0 && static_cast<std::size_t>(size) < *offset) {
+    *offset = 0;
+    *lineno = 0;
+  }
   in.seekg(static_cast<std::streamoff>(*offset));
   std::string line;
   while (std::getline(in, line)) {
@@ -102,7 +120,26 @@ bool ServiceServer::start(std::string* why) {
     return false;
   }
   // A stale socket file from a crashed daemon would fail the bind; the
-  // path is daemon-owned, so replacing it is the right recovery.
+  // path is daemon-owned, so replacing it is the right recovery. But
+  // FIRST probe it: if a live daemon answers a ping there, unlinking
+  // would silently orphan it (clients still connected keep it; new
+  // clients reach us; two daemons race one cache dir). Refuse instead.
+  {
+    ServiceClient probe;
+    std::string ignored;
+    if (probe.connect(cfg_.socket_path, &ignored) &&
+        probe.send_line("{\"op\":\"ping\"}")) {
+      std::string reply;
+      if (probe.read_line_status(&reply, 1000) == ReadStatus::kOk) {
+        if (why)
+          *why = "refusing to start: a live daemon already answers on " +
+                 cfg_.socket_path;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+      }
+    }
+  }
   ::unlink(cfg_.socket_path.c_str());
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0) {
@@ -210,7 +247,16 @@ void ServiceServer::serve_connection(int fd) {
           .num("cache_misses", s.cache.misses)
           .num("cache_insertions", s.cache.insertions)
           .num("cache_persist_failures", s.cache.persist_failures)
-          .num("cache_quarantined", s.cache.quarantined);
+          .num("cache_quarantined", s.cache.quarantined)
+          .num("cache_evictions", s.cache.evictions)
+          .num("cache_disk_bytes", s.cache.disk_bytes)
+          .num("cache_disk_entries", s.cache.disk_entries)
+          .num("worker_crashes", s.worker_crashes)
+          .num("worker_restarts", s.worker_restarts)
+          .num("deadline_kills", s.deadline_kills)
+          .num("rejected_poisoned", s.rejected_poisoned)
+          .num("poisoned", s.poisoned)
+          .num("spool_gc", s.spool_gc);
       if (!send_line(fd, w.take())) break;
     } else if (op == "cancel") {
       std::uint64_t id = 0;
@@ -249,7 +295,7 @@ void ServiceServer::serve_connection(int fd) {
             cv->notify_all();
           });
       if (!sub.ok) {
-        if (!send_line(fd, error_event(sub.error))) break;
+        if (!send_line(fd, error_event(sub.error, sub.transient))) break;
         continue;
       }
       {
@@ -263,9 +309,11 @@ void ServiceServer::serve_connection(int fd) {
       // Block this connection until the flight completes - results are
       // delivered even while the server is stopping (drain semantics) -
       // streaming journal rows meanwhile when the client subscribed. A
-      // tail failure (journal not written yet, client hung up) is not
-      // fatal here; a dead client surfaces on the result write below.
-      const bool tail = parsed.spec.subscribe && !sub.journal_path.empty();
+      // send failure while tailing means the client is gone (half-close):
+      // drop the subscription but keep waiting for the outcome - the
+      // flight belongs to every coalesced subscriber, and the executor
+      // must never stall on one dead socket.
+      bool tail = parsed.spec.subscribe && !sub.journal_path.empty();
       std::size_t tail_offset = 0, tail_lineno = 0;
       for (;;) {
         std::unique_lock<std::mutex> lk(*state);
@@ -273,8 +321,9 @@ void ServiceServer::serve_connection(int fd) {
                          [&] { return *done; }))
           break;
         lk.unlock();
-        if (tail)
-          pump_progress(fd, sub.journal_path, &tail_offset, &tail_lineno);
+        if (tail &&
+            !pump_progress(fd, sub.journal_path, &tail_offset, &tail_lineno))
+          tail = false;
       }
       if (tail)
         pump_progress(fd, sub.journal_path, &tail_offset, &tail_lineno);

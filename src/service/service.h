@@ -19,6 +19,13 @@
 // campaign engine's own JSONL checkpoint file, flushed per row). drain()
 // stops admissions and completes everything already admitted - the
 // SIGTERM path of the daemon.
+//
+// With ServiceConfig::supervise set, each flight runs in a forked worker
+// process under service/supervisor.h: worker crashes come back as
+// structured errors and are retried with jittered backoff, a per-request
+// wall-clock deadline escalates SIGTERM -> SIGKILL, and a key whose
+// workers crash max_crashes times is quarantined as POISONED - a terminal
+// error served synchronously to every later submission of that key.
 #pragma once
 
 #include <condition_variable>
@@ -35,6 +42,7 @@
 #include "errors/campaign.h"
 #include "service/cache.h"
 #include "service/request.h"
+#include "service/supervisor.h"
 
 namespace hltg {
 
@@ -45,6 +53,13 @@ struct RequestOutcome {
   bool ok = false;      ///< campaign ran to completion (or cache hit)
   bool cached = false;  ///< answered from the result cache
   bool cancelled = false;
+  /// Terminal: the crash-count circuit breaker quarantined this request
+  /// key (docs/ROBUSTNESS.md "Poisoned requests"). Never retried.
+  bool poisoned = false;
+  /// The failure is retryable: an identical resubmission may succeed
+  /// (worker crashed while draining, fork failure, ...). Clients with
+  /// retry enabled resubmit; poisoned/invalid outcomes never set this.
+  bool transient = false;
   std::string error;   ///< when !ok
   std::string csv;     ///< the result payload: campaign_csv bytes
   std::string table1;  ///< Table-1 block (fresh runs only; empty cached)
@@ -68,12 +83,31 @@ struct ServiceConfig {
   std::size_t queue_capacity = 16;  ///< admission bound (excludes running)
   std::string cache_dir;            ///< result-cache persistence ("" = off)
   std::size_t cache_memory_entries = 64;
+  /// Disk budget for the result cache in bytes (0 = unbounded): LRU
+  /// eviction keeps the cache directory under this bound.
+  std::size_t cache_max_bytes = 0;
   /// Directory for per-request progress journals ("" disables progress
   /// streaming; results are unaffected).
   std::string spool_dir;
+  /// Completed flights whose spool journal is kept before GC reclaims it
+  /// (subscribers tail the journal briefly after completion).
+  std::size_t spool_keep = 4;
+  /// Run each flight in a forked, supervised worker process: a campaign
+  /// crash (or OOM kill, or runaway wall clock) becomes a structured
+  /// result instead of daemon death. Off = PR 8's in-process execution
+  /// (unit tests; debugging).
+  bool supervise = false;
+  /// Worker supervision knobs: crash circuit breaker, per-request
+  /// deadline, SIGTERM grace, restart backoff.
+  SupervisorConfig supervisor;
+  /// Quarantine-bundle directory for poisoned requests ("" keeps the
+  /// breaker in memory only; poison then dies with the daemon).
+  std::string poison_dir;
   /// Test hook: replaces the real campaign runner (build generator, run
   /// engine). Receives the validated plan and the fully wired
-  /// CampaignConfig (budget, cancel token, journal path).
+  /// CampaignConfig (budget, cancel token, journal path). Under
+  /// supervision the override runs inside the forked worker, so it must
+  /// be fork-safe (no parent threads/locks).
   CampaignRunner runner_override;
 };
 
@@ -84,6 +118,12 @@ struct ServiceStats {
   std::uint64_t completed = 0;  ///< flights run to completion
   std::uint64_t cancelled = 0;  ///< flights stopped by cancel()
   std::uint64_t coalesced = 0;  ///< submissions attached to in-flight work
+  std::uint64_t worker_crashes = 0;   ///< supervised workers that died
+  std::uint64_t worker_restarts = 0;  ///< crashed flights re-forked
+  std::uint64_t deadline_kills = 0;   ///< flights stopped by the deadline
+  std::uint64_t rejected_poisoned = 0;  ///< submissions of quarantined keys
+  std::uint64_t spool_gc = 0;   ///< progress journals reclaimed
+  std::size_t poisoned = 0;     ///< snapshot: quarantined request keys
   std::size_t queued = 0;       ///< snapshot: flights waiting
   std::size_t running = 0;      ///< snapshot: flights executing
   ResultCacheStats cache;
@@ -92,9 +132,15 @@ struct ServiceStats {
 struct SubmitResult {
   bool ok = false;    ///< admitted, coalesced, or answered from cache
   std::string error;  ///< when !ok
+  /// A rejection the client may retry (queue full, draining) as opposed
+  /// to a terminal one (invalid request).
+  bool transient = false;
   std::uint64_t id = 0;
   std::string key;
   bool cached = false;     ///< done callback already fired, synchronously
+  /// The key is quarantined: `done` already fired, synchronously, with a
+  /// terminal poisoned outcome.
+  bool poisoned = false;
   bool coalesced = false;  ///< attached to an identical in-flight request
   std::string journal_path;  ///< spool journal to tail for progress ("")
 };
@@ -144,10 +190,17 @@ class CampaignService {
 
   void executor_loop();
   void run_flight(const std::shared_ptr<Flight>& fl);
+  CampaignConfig flight_config(const Flight& fl) const;
+  void execute_inproc(const std::shared_ptr<Flight>& fl, RequestOutcome* o);
+  void execute_supervised(const std::shared_ptr<Flight>& fl,
+                          RequestOutcome* o);
+  WorkerJob make_worker_job(const std::shared_ptr<Flight>& fl);
+  void gc_spool(std::size_t keep);
 
   const DlxModel& model_;
   ServiceConfig cfg_;
   ResultCache cache_;
+  CrashBreaker breaker_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -157,6 +210,9 @@ class CampaignService {
   std::deque<std::shared_ptr<Flight>> queue_;
   std::map<std::string, std::shared_ptr<Flight>> inflight_by_key_;
   std::map<std::uint64_t, std::shared_ptr<Flight>> inflight_by_id_;
+  /// Spool journals of completed flights, oldest first; GC'd beyond
+  /// cfg_.spool_keep (and entirely at drain).
+  std::deque<std::string> spool_done_;
   ServiceStats stats_;
   std::vector<std::thread> executors_;
 };

@@ -1,0 +1,136 @@
+// Process supervision for campaign workers (docs/SERVICE.md,
+// docs/ROBUSTNESS.md "Poisoned requests").
+//
+// PR 8's daemon ran every campaign in-process: one assertion failure,
+// OOM kill, or bug in a new DUT model took down the daemon and every
+// in-flight request. This module isolates campaign execution into forked
+// worker processes so the service survives anything a campaign can do:
+//
+//   run_worker()   fork one worker per admitted flight, stream its result
+//                  back over a pipe in the store's CRC-framed record
+//                  format (solver/store.h), harvest the exit status, and
+//                  enforce a per-request wall-clock deadline with
+//                  SIGTERM -> SIGKILL escalation. A crash (signal, nonzero
+//                  exit, torn result) is reported as a structured
+//                  WorkerExit, never daemon death.
+//   CrashBreaker   crash-count circuit breaker: a request key whose
+//                  workers die max_crashes times is quarantined as
+//                  POISONED - written as a quarantine bundle, served as a
+//                  terminal error, never run again (bundles reload on
+//                  daemon restart, so poison survives the process).
+//   backoff_delay_ms
+//                  jittered exponential backoff for restarting crashed
+//                  capacity (the service sleeps this long between worker
+//                  attempts of the same flight).
+//
+// The parent/child contract: the child writes a kind-1 summary record
+// (flat JSON: ok/cancelled/error/total/attempted/detected), optionally a
+// kind-2 CSV record and kind-3 Table-1 record, then exits 0. Anything
+// else - death by signal, nonzero exit, missing or CRC-invalid summary -
+// is a crash. Records are CRC32-framed even over a pipe so a worker that
+// dies mid-write can never smuggle a torn payload into the result cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hltg {
+
+/// Record kinds on the worker->supervisor result pipe.
+inline constexpr std::uint32_t kWorkerRecSummary = 1;  ///< flat JSON summary
+inline constexpr std::uint32_t kWorkerRecCsv = 2;      ///< campaign_csv bytes
+inline constexpr std::uint32_t kWorkerRecTable1 = 3;   ///< Table-1 block
+
+struct SupervisorConfig {
+  /// Circuit breaker: total worker deaths (across resubmissions) at which
+  /// a request key is quarantined as poisoned.
+  unsigned max_crashes = 3;
+  /// Per-request wall-clock deadline in seconds (0 = unlimited). On
+  /// expiry the worker gets SIGTERM (cooperative cancel) and, after
+  /// term_grace_seconds, SIGKILL.
+  double deadline_seconds = 0;
+  double term_grace_seconds = 2.0;  ///< SIGTERM -> SIGKILL escalation grace
+  /// Jittered exponential backoff between worker attempts of a crashed
+  /// flight: nominal delay = base * 2^(attempt-1), capped at max, scaled
+  /// by a deterministic jitter factor in [0.5, 1.5).
+  double backoff_base_ms = 100;
+  double backoff_max_ms = 2000;
+  std::uint64_t backoff_seed = 0;  ///< jitter seed (0: derived at first use)
+};
+
+/// How one worker attempt ended, as the supervisor saw it.
+struct WorkerExit {
+  bool ran = false;        ///< fork succeeded and the child was reaped
+  bool result_ok = false;  ///< clean exit with a complete CRC-valid summary
+  bool timed_out = false;  ///< the wall-clock deadline triggered escalation
+  int exit_code = -1;      ///< WEXITSTATUS when the child exited
+  int term_signal = 0;     ///< WTERMSIG when a signal killed it
+  std::string summary_json;  ///< kind-1 record payload (when result_ok)
+  std::string csv;           ///< kind-2 record payload
+  std::string table1;        ///< kind-3 record payload
+
+  /// Human-readable exit status: "signal 9 (SIGKILL)", "exit 134", ...
+  std::string describe() const;
+};
+
+/// Child-side job. Runs in the forked worker; receives the write end of
+/// the result pipe and returns the process exit code (0 = result
+/// delivered). Must be fork-safe: no touching the parent's threads,
+/// sockets, or locks.
+using WorkerJob = std::function<int(int wfd)>;
+
+/// Write one CRC-framed record (marker | kind | length | crc32 | payload,
+/// all u32 little-endian, crc over the payload) to `fd`. Full write with
+/// EINTR retry; false on any error.
+bool write_worker_record(int fd, std::uint32_t kind,
+                         const std::string& payload);
+
+/// Fork a worker, run `job` in the child, stream records from the pipe,
+/// enforce the deadline, and reap. `cancel_requested` (nullable) is
+/// polled every tick; when it turns true the child gets SIGTERM - its
+/// cooperative-cancel path - then SIGKILL after the grace period.
+WorkerExit run_worker(const WorkerJob& job, const SupervisorConfig& cfg,
+                      const std::function<bool()>& cancel_requested);
+
+/// Jittered exponential backoff delay before worker attempt
+/// `attempt` (>= 2; attempt 1 never waits). `salt` decorrelates flights.
+double backoff_delay_ms(const SupervisorConfig& cfg, unsigned attempt,
+                        std::uint64_t salt);
+
+/// Crash-count circuit breaker over request cache keys. Thread-safe.
+///
+/// With a quarantine directory configured, poisoning a key writes a
+/// bundle `poisoned_<key>.json` (crash count, last exit status, the
+/// request's own JSON fields) and the constructor reloads every bundle -
+/// poison is durable across daemon restarts until an operator deletes
+/// the bundle.
+class CrashBreaker {
+ public:
+  CrashBreaker(unsigned max_crashes, std::string quarantine_dir);
+
+  /// Record one worker death for `key`. Returns the cumulative crash
+  /// count; at max_crashes the key is poisoned (bundle written).
+  unsigned record_crash(const std::string& key, const std::string& what,
+                        const std::string& request_json);
+
+  /// True when `key` is quarantined; *why (nullable) gets the terminal
+  /// error message to serve.
+  bool poisoned(const std::string& key, std::string* why = nullptr) const;
+
+  std::size_t poisoned_count() const;
+
+ private:
+  void poison_locked(const std::string& key, unsigned crashes,
+                     const std::string& what, const std::string& request_json);
+
+  mutable std::mutex mu_;
+  unsigned max_crashes_;
+  std::string dir_;
+  std::map<std::string, unsigned> crashes_;
+  std::map<std::string, std::string> poisoned_;  ///< key -> why
+};
+
+}  // namespace hltg

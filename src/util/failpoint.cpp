@@ -216,6 +216,26 @@ int checked_rename(const char* from, const char* to, const char* site) {
   return -1;  // unreachable
 }
 
+int checked_remove(const char* path, const char* site) {
+  if (!enabled()) return std::remove(path);
+  int err = 0;
+  switch (hit(site, &err)) {
+    case Action::kNone:
+      return std::remove(path);
+    case Action::kShortWrite:
+    case Action::kError:
+      errno = err ? err : EIO;
+      return -1;
+    case Action::kKill:
+      die();  // crash before the unlink: the entry survives
+    case Action::kKillAfter: {
+      std::remove(path);
+      die();
+    }
+  }
+  return -1;  // unreachable
+}
+
 }  // namespace hltg::failpoint
 
 namespace hltg {

@@ -80,6 +80,11 @@ int checked_fsync(int fd, const char* site);
 /// rename() with a failpoint at `site`. Returns 0 or -1 (errno set).
 int checked_rename(const char* from, const char* to, const char* site);
 
+/// remove() with a failpoint at `site`. Returns 0 or -1 (errno set). Used
+/// by the result cache's LRU eviction ("cache.evict") so eviction
+/// crash-safety is provable the same way publication is.
+int checked_remove(const char* path, const char* site);
+
 }  // namespace hltg::failpoint
 
 namespace hltg {

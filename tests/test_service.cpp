@@ -5,14 +5,19 @@
 // admission, cancellation, byte-identical cached replies), and the
 // unix-socket server end to end with concurrent clients.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iterator>
@@ -28,6 +33,7 @@
 #include "service/request.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "service/supervisor.h"
 #include "util/failpoint.h"
 #include "util/minijson.h"
 
@@ -745,6 +751,555 @@ TEST(ServiceServer, ControlOpsAnswer) {
   EXPECT_EQ(line, "{\"event\":\"shutdown\"}");
   EXPECT_TRUE(server.shutdown_requested());
   server.stop();
+}
+
+// ------------------------------------------------------ worker supervision
+
+TEST(Supervisor, WorkerRecordsCrossThePipeCrcFramed) {
+  const WorkerExit we = run_worker(
+      [](int wfd) {
+        if (!write_worker_record(wfd, kWorkerRecSummary, "{\"ok\":true}"))
+          return 2;
+        if (!write_worker_record(wfd, kWorkerRecCsv, "a,b\n1,2\n")) return 2;
+        if (!write_worker_record(wfd, kWorkerRecTable1, "Table 1")) return 2;
+        return 0;
+      },
+      SupervisorConfig{}, {});
+  ASSERT_TRUE(we.ran);
+  EXPECT_TRUE(we.result_ok) << we.describe();
+  EXPECT_EQ(we.summary_json, "{\"ok\":true}");
+  EXPECT_EQ(we.csv, "a,b\n1,2\n");
+  EXPECT_EQ(we.table1, "Table 1");
+}
+
+TEST(Supervisor, NonzeroExitIsACrashEvenWithASummary) {
+  const WorkerExit we = run_worker(
+      [](int wfd) {
+        write_worker_record(wfd, kWorkerRecSummary, "{\"ok\":true}");
+        return 7;
+      },
+      SupervisorConfig{}, {});
+  ASSERT_TRUE(we.ran);
+  EXPECT_FALSE(we.result_ok);
+  EXPECT_EQ(we.exit_code, 7);
+  EXPECT_EQ(we.describe(), "exit 7");
+}
+
+TEST(Supervisor, SignalDeathIsAStructuredCrashNotSupervisorDeath) {
+  const WorkerExit we =
+      run_worker([](int) -> int { std::abort(); }, SupervisorConfig{}, {});
+  ASSERT_TRUE(we.ran);
+  EXPECT_FALSE(we.result_ok);
+  EXPECT_EQ(we.term_signal, SIGABRT);
+  EXPECT_NE(we.describe().find("signal 6"), std::string::npos);
+}
+
+TEST(Supervisor, TornRecordIsDiscardedAndNotAResult) {
+  const WorkerExit we = run_worker(
+      [](int wfd) {
+        // Valid frame start, then death mid-payload: the CRC check must
+        // reject the tail and the missing summary makes this a crash.
+        const char partial[] = "WREC\x01\x00\x00\x00\xff\x00\x00\x00";
+        (void)!::write(wfd, partial, sizeof partial - 1);
+        return 0;
+      },
+      SupervisorConfig{}, {});
+  ASSERT_TRUE(we.ran);
+  EXPECT_FALSE(we.result_ok);
+  EXPECT_TRUE(we.summary_json.empty());
+}
+
+TEST(Supervisor, DeadlineEscalatesSigtermToSigkill) {
+  SupervisorConfig cfg;
+  cfg.deadline_seconds = 0.2;
+  cfg.term_grace_seconds = 0.15;
+  const WorkerExit we = run_worker(
+      [](int) {
+        std::signal(SIGTERM, SIG_IGN);  // worst case: ignores the grace
+        for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return 0;
+      },
+      cfg, {});
+  ASSERT_TRUE(we.ran);
+  EXPECT_TRUE(we.timed_out);
+  EXPECT_FALSE(we.result_ok);
+  EXPECT_EQ(we.term_signal, SIGKILL);
+}
+
+TEST(Supervisor, BackoffIsZeroThenJitteredExponentialCapped) {
+  SupervisorConfig cfg;
+  cfg.backoff_base_ms = 100;
+  cfg.backoff_max_ms = 2000;
+  EXPECT_EQ(backoff_delay_ms(cfg, 1, 42), 0);  // first attempt never waits
+  const double d2 = backoff_delay_ms(cfg, 2, 42);
+  EXPECT_GE(d2, 50.0);
+  EXPECT_LT(d2, 150.0);
+  const double d3 = backoff_delay_ms(cfg, 3, 42);
+  EXPECT_GE(d3, 100.0);
+  EXPECT_LT(d3, 300.0);
+  const double big = backoff_delay_ms(cfg, 30, 42);
+  EXPECT_GE(big, 1000.0);
+  EXPECT_LE(big, 3000.0);  // capped nominal, jitter < 1.5
+  // Deterministic per (seed, salt, attempt); salted flights decorrelate.
+  EXPECT_EQ(backoff_delay_ms(cfg, 2, 42), d2);
+  EXPECT_NE(backoff_delay_ms(cfg, 2, 43), d2);
+}
+
+TEST(CrashBreaker, PoisonsAtMaxCrashesAndReloadsFromBundles) {
+  const std::string dir = temp_dir("breaker");
+  const std::string key = "00112233445566aa";
+  CrashBreaker b(2, dir);
+  EXPECT_FALSE(b.poisoned(key));
+  EXPECT_EQ(b.record_crash(key, "signal 6 (Aborted)", "{}"), 1u);
+  EXPECT_FALSE(b.poisoned(key));
+  EXPECT_EQ(b.record_crash(key, "signal 9 (Killed)", "{}"), 2u);
+  std::string why;
+  ASSERT_TRUE(b.poisoned(key, &why));
+  EXPECT_NE(why.find("poisoned"), std::string::npos);
+  EXPECT_EQ(b.poisoned_count(), 1u);
+
+  // The bundle is durable: a fresh breaker (daemon restart) reloads it.
+  ASSERT_TRUE(
+      std::ifstream(dir + "/poisoned_" + key + ".json").good());
+  CrashBreaker b2(2, dir);
+  std::string why2;
+  ASSERT_TRUE(b2.poisoned(key, &why2));
+  EXPECT_NE(why2.find("reloaded"), std::string::npos);
+}
+
+// ---------------------------------------------------- supervised service
+
+TEST(ServiceSupervised, WorkerResultMatchesInprocBytes) {
+  RequestSpec spec;
+  std::string inproc_csv;
+  {
+    ServiceConfig scfg;
+    scfg.executors = 1;
+    scfg.runner_override = truncating_runner(2);
+    CampaignService svc(model(), scfg);
+    Waiter w;
+    ASSERT_TRUE(svc.submit(spec, w.fn()).ok);
+    const RequestOutcome& o = w.wait();
+    ASSERT_TRUE(o.ok) << o.error;
+    inproc_csv = o.csv;
+  }
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.supervise = true;
+  scfg.runner_override = truncating_runner(2);
+  CampaignService svc(model(), scfg);
+  Waiter w;
+  ASSERT_TRUE(svc.submit(spec, w.fn()).ok);
+  const RequestOutcome& o = w.wait();
+  ASSERT_TRUE(o.ok) << o.error;
+  // The fork boundary must not change results. Columns 1-8 are the
+  // deterministic ones; 9-12 are wall-clock timings that differ per run.
+  auto stable = [](const std::string& csv) {
+    std::istringstream in(csv);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      std::size_t pos = 0;
+      for (int commas = 0; commas < 8 && pos != std::string::npos; ++commas)
+        pos = line.find(',', pos + 1);
+      out += line.substr(0, pos);
+      out += '\n';
+    }
+    return out;
+  };
+  EXPECT_EQ(stable(o.csv), stable(inproc_csv));
+  EXPECT_EQ(o.attempted, 2u);
+  EXPECT_FALSE(o.table1.empty());
+
+  // The parent inserted the worker's payload: the repeat is a cache hit
+  // answered with the identical bytes the worker piped back.
+  Waiter w2;
+  const SubmitResult r2 = svc.submit(spec, w2.fn());
+  EXPECT_TRUE(r2.cached);
+  EXPECT_EQ(w2.wait().csv, o.csv);
+}
+
+TEST(ServiceSupervised, CrashedWorkerIsRetriedAndSucceeds) {
+  const std::string marker = temp_dir("crash_once") + "/crashed";
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.supervise = true;
+  scfg.supervisor.max_crashes = 3;
+  scfg.supervisor.backoff_base_ms = 1;
+  scfg.supervisor.backoff_max_ms = 2;
+  // First worker attempt crashes (leaving the marker); the re-forked one
+  // finds the marker and completes. Disk state is the only channel that
+  // survives the worker process boundary.
+  scfg.runner_override = [marker](const RequestPlan& plan,
+                                  const CampaignConfig& ccfg) {
+    if (!std::ifstream(marker).good()) {
+      std::ofstream(marker) << "1";
+      std::abort();
+    }
+    return truncating_runner(1)(plan, ccfg);
+  };
+  CampaignService svc(model(), scfg);
+  Waiter w;
+  RequestSpec spec;
+  ASSERT_TRUE(svc.submit(spec, w.fn()).ok);
+  const RequestOutcome& o = w.wait();
+  EXPECT_TRUE(o.ok) << o.error;
+  EXPECT_FALSE(o.csv.empty());
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.worker_crashes, 1u);
+  EXPECT_EQ(s.worker_restarts, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.poisoned, 0u);
+}
+
+TEST(ServiceSupervised, RepeatCrashesPoisonTheKeyTerminally) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.supervise = true;
+  scfg.supervisor.max_crashes = 2;
+  scfg.supervisor.backoff_base_ms = 1;
+  scfg.supervisor.backoff_max_ms = 2;
+  scfg.poison_dir = temp_dir("poison");
+  scfg.runner_override = [](const RequestPlan&,
+                            const CampaignConfig&) -> CampaignResult {
+    std::abort();
+  };
+  CampaignService svc(model(), scfg);
+  RequestSpec spec;
+  Waiter w;
+  const SubmitResult r = svc.submit(spec, w.fn());
+  ASSERT_TRUE(r.ok);
+  const RequestOutcome& o = w.wait();
+  EXPECT_FALSE(o.ok);
+  EXPECT_TRUE(o.poisoned);
+  EXPECT_FALSE(o.transient);  // terminal: clients must not retry this
+  EXPECT_NE(o.error.find("poisoned"), std::string::npos);
+  {
+    const ServiceStats s = svc.stats();
+    EXPECT_EQ(s.worker_crashes, 2u);
+    EXPECT_EQ(s.worker_restarts, 1u);
+    EXPECT_EQ(s.poisoned, 1u);
+  }
+
+  // A resubmission of the same key is rejected synchronously - no queue
+  // slot, no fork, the done callback fires inline with the terminal error.
+  Waiter w2;
+  const SubmitResult r2 = svc.submit(spec, w2.fn());
+  EXPECT_TRUE(r2.ok);
+  EXPECT_TRUE(r2.poisoned);
+  const RequestOutcome& o2 = w2.wait();
+  EXPECT_TRUE(o2.poisoned);
+  EXPECT_EQ(svc.stats().rejected_poisoned, 1u);
+
+  // The quarantine bundle is durable: a restarted service (same poison
+  // dir, now with a runner that WOULD succeed) still refuses the key.
+  ASSERT_TRUE(
+      std::ifstream(scfg.poison_dir + "/poisoned_" + r.key + ".json").good());
+  svc.drain();
+  ServiceConfig scfg2 = scfg;
+  scfg2.runner_override = truncating_runner(1);
+  CampaignService svc2(model(), scfg2);
+  Waiter w3;
+  const SubmitResult r3 = svc2.submit(spec, w3.fn());
+  EXPECT_TRUE(r3.poisoned);
+  EXPECT_TRUE(w3.wait().poisoned);
+}
+
+TEST(ServiceSupervised, DeadlineKillIsTerminalNotRetried) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.supervise = true;
+  scfg.supervisor.deadline_seconds = 0.2;
+  scfg.supervisor.term_grace_seconds = 0.15;
+  scfg.runner_override = [](const RequestPlan&,
+                            const CampaignConfig&) -> CampaignResult {
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  CampaignService svc(model(), scfg);
+  Waiter w;
+  ASSERT_TRUE(svc.submit(RequestSpec{}, w.fn()).ok);
+  const RequestOutcome& o = w.wait();
+  EXPECT_FALSE(o.ok);
+  EXPECT_FALSE(o.poisoned);
+  EXPECT_NE(o.error.find("deadline"), std::string::npos);
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.deadline_kills, 1u);
+  EXPECT_EQ(s.worker_restarts, 0u);  // rerunning would time out identically
+}
+
+TEST(ServiceSupervised, CancelCrossesTheProcessBoundary) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.supervise = true;
+  // The runner honours the cancel token the worker's SIGTERM handler
+  // flips - the cooperative path, no SIGKILL involved.
+  scfg.runner_override = [](const RequestPlan& plan,
+                            const CampaignConfig& ccfg) {
+    CampaignResult res;
+    res.stats.total = plan.errors.size();
+    while (!ccfg.cancel->stop_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    res.interrupted = true;
+    return res;
+  };
+  CampaignService svc(model(), scfg);
+  Waiter w;
+  const SubmitResult r = svc.submit(RequestSpec{}, w.fn());
+  ASSERT_TRUE(r.ok);
+  wait_until_running(svc, 1);
+  ASSERT_TRUE(svc.cancel(r.id));
+  const RequestOutcome& o = w.wait();
+  EXPECT_TRUE(o.cancelled) << o.error;
+  EXPECT_FALSE(o.ok);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+  EXPECT_EQ(svc.stats().worker_crashes, 0u);  // a cancel is not a crash
+}
+
+TEST(Service, SpoolJournalsAreGarbageCollected) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.spool_dir = temp_dir("spool_gc");
+  scfg.spool_keep = 1;
+  scfg.runner_override = truncating_runner(1);
+  CampaignService svc(model(), scfg);
+  std::vector<std::string> journals;
+  for (unsigned win : {10u, 11u, 12u}) {
+    RequestSpec spec;
+    spec.window = win;
+    Waiter w;
+    const SubmitResult r = svc.submit(spec, w.fn());
+    ASSERT_TRUE(r.ok) << r.error;
+    journals.push_back(r.journal_path);
+    ASSERT_TRUE(w.wait().ok);
+  }
+  EXPECT_EQ(svc.stats().spool_gc, 2u);  // keep=1: two of three reclaimed
+  EXPECT_FALSE(std::ifstream(journals[0]).good());
+  EXPECT_FALSE(std::ifstream(journals[1]).good());
+  EXPECT_TRUE(std::ifstream(journals[2]).good());
+  svc.drain();  // drain reclaims the rest: nobody will tail them again
+  EXPECT_FALSE(std::ifstream(journals[2]).good());
+}
+
+TEST(Service, DrainingRejectionIsFlaggedTransient) {
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.runner_override = truncating_runner(1);
+  CampaignService svc(model(), scfg);
+  svc.drain();
+  const SubmitResult r = svc.submit(RequestSpec{}, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.transient);  // a restarted daemon can serve this request
+}
+
+// ---------------------------------------------------- bounded disk cache
+
+std::string hexkey(char c) { return std::string(16, c); }
+
+TEST(ResultCacheBound, InsertEvictsLeastRecentlyUsedToFit) {
+  const std::string dir = temp_dir("bound_insert");
+  const std::string payload(100, 'x');  // 112 bytes per entry with header
+  ResultCacheConfig cfg{dir, 8, 250};
+  {
+    ResultCache c(cfg);
+    ASSERT_TRUE(c.insert(hexkey('1'), payload));
+    ASSERT_TRUE(c.insert(hexkey('2'), payload));
+    EXPECT_EQ(c.stats().disk_bytes, 224u);
+    EXPECT_EQ(c.stats().evictions, 0u);
+    ASSERT_TRUE(c.insert(hexkey('3'), payload));  // 336 > 250: evict '1'
+    EXPECT_EQ(c.stats().evictions, 1u);
+    EXPECT_EQ(c.stats().disk_bytes, 224u);
+    EXPECT_EQ(c.stats().disk_entries, 2u);
+  }
+  EXPECT_FALSE(std::ifstream(dir + "/" + hexkey('1') + ".res").good());
+
+  // The restart sees only the survivors, and a disk hit promotes its
+  // entry to MRU: after touching '2', overflow evicts '3', not '2'.
+  ResultCache c(cfg);
+  std::string p;
+  EXPECT_FALSE(c.lookup(hexkey('1'), &p));
+  ASSERT_TRUE(c.lookup(hexkey('2'), &p));
+  EXPECT_EQ(p, payload);
+  ASSERT_TRUE(c.insert(hexkey('4'), payload));
+  EXPECT_FALSE(std::ifstream(dir + "/" + hexkey('3') + ".res").good());
+  ASSERT_TRUE(std::ifstream(dir + "/" + hexkey('2') + ".res").good());
+}
+
+TEST(ResultCacheBound, StartupEnforcesATightenedBudget) {
+  const std::string dir = temp_dir("bound_startup");
+  const std::string payload(100, 'y');
+  {
+    ResultCache c(ResultCacheConfig{dir, 8, 0});  // unbounded first life
+    ASSERT_TRUE(c.insert(hexkey('a'), payload));
+    ASSERT_TRUE(c.insert(hexkey('b'), payload));
+    ASSERT_TRUE(c.insert(hexkey('c'), payload));
+    EXPECT_EQ(c.stats().disk_bytes, 336u);
+  }
+  // The operator lowers --cache-max-bytes: startup evicts oldest-first
+  // (the persisted index order) down to the new budget.
+  ResultCache c(ResultCacheConfig{dir, 8, 250});
+  EXPECT_EQ(c.stats().disk_entries, 2u);
+  EXPECT_LE(c.stats().disk_bytes, 250u);
+  std::string p;
+  EXPECT_FALSE(c.lookup(hexkey('a'), &p));
+  EXPECT_TRUE(c.lookup(hexkey('b'), &p));
+  EXPECT_TRUE(c.lookup(hexkey('c'), &p));
+}
+
+TEST(ResultCacheBoundCrash, KillMidEvictionLeavesEveryEntryServable) {
+  const std::string dir = temp_dir("bound_kill_evict");
+  const std::string payload(100, 'z');
+  {
+    ResultCache c(ResultCacheConfig{dir, 8, 0});
+    ASSERT_TRUE(c.insert(hexkey('d'), payload));
+    ASSERT_TRUE(c.insert(hexkey('e'), payload));
+  }
+  expect_killed([&] {
+    failpoint::configure("cache.evict=kill@1");
+    ResultCache c(ResultCacheConfig{dir, 8, 150});  // startup must evict
+  });
+  // The kill struck before (or at) the unlink: whatever survived on disk
+  // must be complete and servable, and a clean restart converges to the
+  // budget - eviction is idempotent.
+  ResultCache c(ResultCacheConfig{dir, 8, 150});
+  EXPECT_LE(c.stats().disk_bytes, 150u);
+  EXPECT_EQ(c.stats().quarantined, 0u);
+  std::string p;
+  std::size_t served = 0;
+  for (const char k : {'d', 'e'})
+    if (c.lookup(hexkey(k), &p)) {
+      EXPECT_EQ(p, payload);
+      ++served;
+    }
+  EXPECT_EQ(served, 1u);
+}
+
+TEST(ResultCacheBoundCrash, KillAtIndexPublishIsReconciledAtRestart) {
+  const std::string dir = temp_dir("bound_kill_index");
+  const std::string payload(100, 'w');
+  expect_killed([&] {
+    // Hit 1 of cache.rename publishes the entry; hit 2 is the index
+    // sidecar. Killing there leaves a published entry the index missed.
+    failpoint::configure("cache.rename=kill@2");
+    ResultCache c(ResultCacheConfig{dir, 8, 1000});
+    c.insert(hexkey('f'), payload);
+  });
+  ResultCache c(ResultCacheConfig{dir, 8, 1000});
+  std::string p;
+  ASSERT_TRUE(c.lookup(hexkey('f'), &p));  // adopted despite the stale index
+  EXPECT_EQ(p, payload);
+  EXPECT_EQ(c.stats().disk_entries, 1u);
+  EXPECT_EQ(c.stats().disk_bytes, 112u);
+}
+
+// --------------------------------------------- server/client robustness
+
+TEST(ServiceServer, RefusesToStartOverALiveDaemon) {
+  CampaignService svc(model(), ServiceConfig{});
+  ServerConfig srvcfg;
+  srvcfg.socket_path = testing::TempDir() + "hltg_service_live.sock";
+  ServiceServer server(svc, srvcfg);
+  std::string why;
+  ASSERT_TRUE(server.start(&why)) << why;
+
+  // A second daemon on the same path must probe, get a pong, and refuse -
+  // unlinking a live daemon's socket would orphan it silently.
+  ServiceServer usurper(svc, srvcfg);
+  std::string why2;
+  EXPECT_FALSE(usurper.start(&why2));
+  EXPECT_NE(why2.find("refusing"), std::string::npos) << why2;
+
+  // The incumbent is unharmed.
+  ServiceClient c;
+  ASSERT_TRUE(c.connect(srvcfg.socket_path, &why)) << why;
+  ASSERT_TRUE(c.send_line("{\"op\":\"ping\"}"));
+  std::string line;
+  ASSERT_TRUE(c.read_line(&line, 5000));
+  EXPECT_EQ(line, "{\"event\":\"pong\"}");
+  c.close();
+  server.stop();
+
+  // A STALE socket file (bound once, no listener behind it) is replaced:
+  // the probe's connect fails, so startup proceeds.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, srvcfg.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+  ::close(fd);  // leaves the file, kills the listener: a crashed daemon
+  ServiceServer revived(svc, srvcfg);
+  ASSERT_TRUE(revived.start(&why)) << why;
+  revived.stop();
+}
+
+TEST(ServiceClient, ReadStatusDistinguishesOkTimeoutEof) {
+  CampaignService svc(model(), ServiceConfig{});
+  ServerConfig srvcfg;
+  srvcfg.socket_path = testing::TempDir() + "hltg_service_rs.sock";
+  ServiceServer server(svc, srvcfg);
+  std::string why;
+  ASSERT_TRUE(server.start(&why)) << why;
+
+  ServiceClient c;
+  ASSERT_TRUE(c.connect(srvcfg.socket_path, &why)) << why;
+  ASSERT_TRUE(c.send_line("{\"op\":\"ping\"}"));
+  std::string line;
+  EXPECT_EQ(c.read_line_status(&line, 5000), ReadStatus::kOk);
+  EXPECT_EQ(line, "{\"event\":\"pong\"}");
+  // Nothing further is coming: a bounded read times out (and the daemon
+  // being merely quiet must NOT read as EOF - retry logic hangs on the
+  // difference).
+  EXPECT_EQ(c.read_line_status(&line, 80), ReadStatus::kTimeout);
+  // The daemon goes away: now it IS EOF.
+  server.stop();
+  EXPECT_EQ(c.read_line_status(&line, 5000), ReadStatus::kEof);
+}
+
+TEST(ServiceServer, HalfClosedSubscriberDropsWithoutStallingTheFlight) {
+  std::atomic<bool> release{false};
+  ServiceConfig scfg;
+  scfg.executors = 1;
+  scfg.spool_dir = temp_dir("halfclose_spool");
+  scfg.runner_override = [&release](const RequestPlan& plan,
+                                    const CampaignConfig& ccfg) {
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return truncating_runner(2)(plan, ccfg);
+  };
+  CampaignService svc(model(), scfg);
+  ServerConfig srvcfg;
+  srvcfg.socket_path = testing::TempDir() + "hltg_service_halfclose.sock";
+  ServiceServer server(svc, srvcfg);
+  std::string why;
+  ASSERT_TRUE(server.start(&why)) << why;
+
+  // Subscribe, read the ack, then hang up while the flight is still
+  // running - the progress rows the engine writes afterwards hit a dead
+  // socket (MSG_NOSIGNAL path).
+  {
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(srvcfg.socket_path, &why)) << why;
+    RequestSpec spec;
+    spec.subscribe = true;
+    ASSERT_TRUE(
+        c.send_line("{\"op\":\"submit\"," + request_fields_json(spec) + "}"));
+    std::string line;
+    ASSERT_TRUE(c.read_line(&line, 5000));
+    EXPECT_NE(line.find("\"event\":\"ack\""), std::string::npos);
+    c.close();
+  }
+  release.store(true);
+  // The executor must complete the flight despite the dead subscriber.
+  for (int i = 0; i < 500 && svc.stats().completed < 1; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(svc.stats().completed, 1u);
+
+  // And the service is fully healthy: a new client gets the cached bytes.
+  const ClientResult again = run_client(srvcfg.socket_path, RequestSpec{});
+  EXPECT_TRUE(again.ok) << again.error;
+  EXPECT_FALSE(again.csv.empty());
+  server.stop();  // must not hang on the leaked subscription
 }
 
 }  // namespace

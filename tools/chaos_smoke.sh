@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Chaos smoke for the campaign service daemon (docs/ROBUSTNESS.md).
+#
+# Phase 1 - worker SIGKILL chaos: start the daemon with supervision (the
+# default), launch 8 concurrent clients (4 distinct requests, each
+# submitted twice) with retry enabled, and SIGKILL campaign worker
+# processes while they run. The daemon must stay up, every client must
+# converge to exit 0, the service CSVs must be byte-identical to each
+# other, and their stable columns (1-8; 9-12 are wall-clock timings) must
+# match what the offline error_campaign CLI computes.
+#
+# Phase 2 - poisoned lifecycle: a daemon armed with a journal-write kill
+# failpoint crashes EVERY worker (each forked worker inherits the unfired
+# failpoint). With --max-crashes 2 the request key must be quarantined as
+# poisoned: the submitting client exits 4, a resubmission is refused
+# synchronously with the same exit code, the quarantine bundle exists,
+# and the daemon itself never dies.
+#
+# Usage: tools/chaos_smoke.sh BUILD_DIR [WORK_DIR]
+set -euo pipefail
+
+BUILD="${1:?usage: chaos_smoke.sh BUILD_DIR [WORK_DIR]}"
+WORK="${2:-$(mktemp -d /tmp/hltg_chaos.XXXXXX)}"
+SOCK="$WORK/tg.sock"
+SERVER=""
+CHAOS=""
+
+cleanup() {
+  [ -n "$CHAOS" ] && kill "$CHAOS" 2>/dev/null || true
+  [ -n "$SERVER" ] && kill -9 "$SERVER" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  for _ in $(seq 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "chaos_smoke: daemon never opened $1" >&2
+  return 1
+}
+
+echo "== offline references =="
+"$BUILD/examples/error_campaign" --model ssl --stages WB \
+  --csv "$WORK/off_wb.csv" > /dev/null
+"$BUILD/examples/error_campaign" --model ssl --stages MEM \
+  --csv "$WORK/off_mem.csv" > /dev/null
+cut -d, -f1-8 "$WORK/off_wb.csv" > "$WORK/off_wb.norm"
+cut -d, -f1-8 "$WORK/off_mem.csv" > "$WORK/off_mem.norm"
+
+echo "== phase 1: SIGKILL random campaign workers under load =="
+mkdir -p "$WORK/cache" "$WORK/spool" "$WORK/poison"
+# max-crashes is set high: this phase proves crash RECOVERY, so the
+# breaker must not quarantine the keys we keep killing.
+"$BUILD/examples/tg_server" --socket "$SOCK" \
+  --cache-dir "$WORK/cache" --spool-dir "$WORK/spool" \
+  --poison-dir "$WORK/poison" --max-crashes 1000 &
+SERVER=$!
+wait_for_socket "$SOCK"
+
+# Assassin: SIGKILL the newest campaign worker (a direct child of the
+# daemon) as soon as one appears, up to 6 kills, then let them run.
+(
+  kills=0
+  while [ "$kills" -lt 6 ] && kill -0 "$SERVER" 2>/dev/null; do
+    w="$(pgrep -P "$SERVER" 2>/dev/null | tail -1 || true)"
+    if [ -n "$w" ] && kill -9 "$w" 2>/dev/null; then
+      kills=$((kills + 1))
+    fi
+    sleep 0.3
+  done
+) &
+CHAOS=$!
+
+PIDS=""
+for i in 0 1 2 3; do
+  "$BUILD/examples/tg_client" --socket "$SOCK" --model ssl --stages WB \
+    --retries 20 --retry-base-ms 100 --csv "$WORK/svc_wb_$i.csv" \
+    2> "$WORK/client_wb_$i.log" &
+  PIDS="$PIDS $!"
+  "$BUILD/examples/tg_client" --socket "$SOCK" --model ssl --stages MEM \
+    --retries 20 --retry-base-ms 100 --csv "$WORK/svc_mem_$i.csv" \
+    2> "$WORK/client_mem_$i.log" &
+  PIDS="$PIDS $!"
+done
+FAIL=0
+for p in $PIDS; do
+  wait "$p" || { FAIL=$?; echo "client $p failed (exit $FAIL)" >&2; }
+done
+kill "$CHAOS" 2>/dev/null || true
+wait "$CHAOS" 2>/dev/null || true
+CHAOS=""
+[ "$FAIL" -eq 0 ] || { cat "$WORK"/client_*.log >&2; exit 1; }
+
+# The daemon survived every worker SIGKILL.
+kill -0 "$SERVER"
+
+# Convergence: every client got the full sweep, byte-identical across
+# clients, stable columns identical to the offline engine.
+for i in 0 1 2 3; do
+  cut -d, -f1-8 "$WORK/svc_wb_$i.csv" | diff - "$WORK/off_wb.norm"
+  cut -d, -f1-8 "$WORK/svc_mem_$i.csv" | diff - "$WORK/off_mem.norm"
+  cmp "$WORK/svc_wb_$i.csv" "$WORK/svc_wb_0.csv"
+  cmp "$WORK/svc_mem_$i.csv" "$WORK/svc_mem_0.csv"
+done
+
+"$BUILD/examples/tg_client" --socket "$SOCK" --stats > "$WORK/stats.json"
+cat "$WORK/stats.json"
+if grep -q '"worker_crashes":0,' "$WORK/stats.json"; then
+  echo "chaos_smoke: no worker was ever killed - chaos did not engage" >&2
+  exit 1
+fi
+if ! grep -q '"poisoned":0' "$WORK/stats.json"; then
+  echo "chaos_smoke: recovery phase must not poison anything" >&2
+  exit 1
+fi
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+SERVER=""
+
+echo "== phase 2: every-crash request is poisoned, daemon survives =="
+SOCK2="$WORK/tg2.sock"
+mkdir -p "$WORK/spool2" "$WORK/poison2"
+HLTG_WORKER_BACKOFF_BASE_MS=10 HLTG_WORKER_BACKOFF_MAX_MS=20 \
+  "$BUILD/examples/tg_server" --socket "$SOCK2" \
+  --spool-dir "$WORK/spool2" --poison-dir "$WORK/poison2" \
+  --max-crashes 2 --failpoints 'journal.write=kill' &
+SERVER=$!
+wait_for_socket "$SOCK2"
+
+EXIT4=0
+"$BUILD/examples/tg_client" --socket "$SOCK2" --model ssl --stages WB \
+  2> "$WORK/poison_client.log" || EXIT4=$?
+test "$EXIT4" -eq 4 || {
+  echo "expected poisoned exit 4, got $EXIT4" >&2
+  cat "$WORK/poison_client.log" >&2
+  exit 1
+}
+grep -q "poisoned" "$WORK/poison_client.log"
+
+# Resubmission (even with retries: poisoned is terminal, never retried)
+# is refused synchronously with the same exit code.
+EXIT4=0
+"$BUILD/examples/tg_client" --socket "$SOCK2" --model ssl --stages WB \
+  --retries 5 2> "$WORK/poison_again.log" || EXIT4=$?
+test "$EXIT4" -eq 4
+ls "$WORK/poison2"/poisoned_*.json > /dev/null
+
+# The daemon took 2 worker crashes and a quarantine in stride.
+kill -0 "$SERVER"
+"$BUILD/examples/tg_client" --socket "$SOCK2" --stats > "$WORK/stats2.json"
+grep -q '"rejected_poisoned":1' "$WORK/stats2.json"
+kill -TERM "$SERVER"
+wait "$SERVER"
+SERVER=""
+
+echo "chaos_smoke: OK"
