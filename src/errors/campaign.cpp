@@ -61,6 +61,14 @@ std::string CampaignStats::table1(const std::string& title) const {
     t.add_kv("Phase time: CTRLJUST [ms]", fmt_double(ctrljust_ns / 1e6, 1));
     t.add_kv("Phase time: DPRELAX [ms]", fmt_double(dprelax_ns / 1e6, 1));
   }
+  // Probe tallies render only when probing ran (default-off keeps the
+  // summary byte-identical to pre-probe releases).
+  if (probe_batches > 0 || probe_lanes > 0 || probe_prunes > 0) {
+    t.add_kv("Probe: batched window sweeps", std::to_string(probe_batches));
+    t.add_kv("Probe: candidate lanes", std::to_string(probe_lanes));
+    t.add_kv("Probe: branch points pruned", std::to_string(probe_prunes));
+    t.add_kv("Phase time: PROBE [ms]", fmt_double(probe_ns / 1e6, 1));
+  }
   t.add_kv("CPU time [minutes]", fmt_double(cpu_seconds / 60.0, 2));
   return t.to_string();
 }
@@ -80,6 +88,10 @@ void CampaignStats::add_attempt(const ErrorAttempt& a,
     dptrace_ns += a.dptrace_ns;
     ctrljust_ns += a.ctrljust_ns;
     dprelax_ns += a.dprelax_ns;
+    probe_ns += a.probe_ns;
+    probe_batches += a.probe_batches;
+    probe_lanes += a.probe_lanes;
+    probe_prunes += a.probe_prunes;
     cpu_seconds += a.seconds;
     return;
   }
@@ -113,6 +125,10 @@ void CampaignStats::add_attempt(const ErrorAttempt& a,
   dptrace_ns += a.dptrace_ns;
   ctrljust_ns += a.ctrljust_ns;
   dprelax_ns += a.dprelax_ns;
+  probe_ns += a.probe_ns;
+  probe_batches += a.probe_batches;
+  probe_lanes += a.probe_lanes;
+  probe_prunes += a.probe_prunes;
   cpu_seconds += a.seconds;
 }
 
@@ -361,6 +377,9 @@ CampaignResult run_campaign(const Netlist& nl,
         std::fprintf(stderr, "  [trace %.2fms just %.2fms relax %.2fms]",
                      a.dptrace_ns / 1e6, a.ctrljust_ns / 1e6,
                      a.dprelax_ns / 1e6);
+      if (a.probe_batches || a.probe_prunes)
+        std::fprintf(stderr, "  [probe %.2fms prunes %llu]", a.probe_ns / 1e6,
+                     static_cast<unsigned long long>(a.probe_prunes));
       std::fprintf(stderr, "\n");
     }
     res.rows.push_back({err, std::move(a)});

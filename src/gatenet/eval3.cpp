@@ -1,5 +1,7 @@
 #include "gatenet/eval3.h"
 
+#include "gatenet/evalw.h"
+
 namespace hltg {
 
 void eval_cycle2(const GateNet& gn, std::vector<bool>& vals) {
@@ -45,34 +47,64 @@ void clock_dffs2(const GateNet& gn, const std::vector<bool>& vals,
   for (GateId g : gn.dffs()) next[g] = vals[gn.gate(g).fanin[0]];
 }
 
+// The 3-valued evaluators are thin shims over the lane engine's 01X kernel
+// (gatenet/evalw): values are packed into one-word bit-pair planes, the
+// shared kernel runs at width 1, and the planes are unpacked back to L3.
+// There is exactly one implementation of 01X gate semantics in the tree -
+// the lane engine's - so the scalar and SIMD paths can never drift apart.
+namespace {
+
+/// Per-thread plane scratch so the hot per-cycle imply path of
+/// core/unroll.cpp stays allocation-free. Campaign workers each get their
+/// own copy; nets of different sizes just grow the buffers.
+struct PlaneScratch {
+  std::vector<std::uint64_t> ones, zeros;
+  void fit(std::size_t n) {
+    if (ones.size() < n) {
+      ones.resize(n);
+      zeros.resize(n);
+    }
+  }
+};
+
+PlaneScratch& scratch() {
+  thread_local PlaneScratch s;
+  return s;
+}
+
+inline void pack1(L3 v, std::uint64_t* one, std::uint64_t* zero) {
+  *one = v == L3::T ? 1u : 0u;
+  *zero = v == L3::F ? 1u : 0u;
+}
+
+inline L3 unpack1(std::uint64_t one, std::uint64_t zero) {
+  if (one & 1) return L3::T;
+  if (zero & 1) return L3::F;
+  return L3::X;
+}
+
+}  // namespace
+
+void eval_cycle3(const GateNet& gn, std::vector<L3>& vals) {
+  const std::size_t n = gn.num_gates();
+  PlaneScratch& s = scratch();
+  s.fit(n);
+  for (std::size_t g = 0; g < n; ++g)
+    pack1(vals[g], &s.ones[g], &s.zeros[g]);
+  eval_cycle3w(gn, s.ones.data(), s.zeros.data(), 1, LaneBackend::kScalar);
+  for (std::size_t g = 0; g < n; ++g) vals[g] = unpack1(s.ones[g], s.zeros[g]);
+}
+
 L3 eval_gate3(const GateNet& gn, GateId g, const std::vector<L3>& vals) {
   const Gate& gate = gn.gate(g);
-  switch (gate.kind) {
-    case GateKind::kVar:
-    case GateKind::kDff:
-      return vals[g];
-    case GateKind::kConst0:
-      return L3::F;
-    case GateKind::kConst1:
-      return L3::T;
-    case GateKind::kBuf:
-      return vals[gate.fanin[0]];
-    case GateKind::kNot:
-      return l3_not(vals[gate.fanin[0]]);
-    case GateKind::kAnd: {
-      L3 v = L3::T;
-      for (GateId in : gate.fanin) v = l3_and(v, vals[in]);
-      return v;
-    }
-    case GateKind::kOr: {
-      L3 v = L3::F;
-      for (GateId in : gate.fanin) v = l3_or(v, vals[in]);
-      return v;
-    }
-    case GateKind::kXor:
-      return l3_xor(vals[gate.fanin[0]], vals[gate.fanin[1]]);
-  }
-  return L3::X;
+  if (gate.kind == GateKind::kVar || gate.kind == GateKind::kDff)
+    return vals[g];
+  PlaneScratch& s = scratch();
+  s.fit(gn.num_gates());
+  for (GateId in : gate.fanin) pack1(vals[in], &s.ones[in], &s.zeros[in]);
+  eval_gates3w(gn, &g, 1, s.ones.data(), s.zeros.data(), 1,
+               LaneBackend::kScalar);
+  return unpack1(s.ones[g], s.zeros[g]);
 }
 
 bool eval_gate2(const GateNet& gn, GateId g, const std::vector<bool>& vals) {
@@ -103,14 +135,6 @@ bool eval_gate2(const GateNet& gn, GateId g, const std::vector<bool>& vals) {
       return vals[gate.fanin[0]] != vals[gate.fanin[1]];
   }
   return false;
-}
-
-void eval_cycle3(const GateNet& gn, std::vector<L3>& vals) {
-  for (GateId g : gn.topo_order()) {
-    const Gate& gate = gn.gate(g);
-    if (gate.kind == GateKind::kVar || gate.kind == GateKind::kDff) continue;
-    vals[g] = eval_gate3(gn, g, vals);
-  }
 }
 
 void load_reset2(const GateNet& gn, std::vector<bool>& vals) {

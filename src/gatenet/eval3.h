@@ -2,6 +2,9 @@
 //
 // The cycle-accurate simulator uses the 2-valued path; CTRLJUST's implication
 // engine uses the 3-valued path over an unrolled window (src/core/unroll).
+// The 3-valued entry points are thin shims over the lane engine's 01X
+// bit-pair kernel (gatenet/evalw) run at width 1 - evalw is the single
+// source of truth for 01X gate semantics.
 #pragma once
 
 #include <vector>

@@ -93,6 +93,18 @@ void eval_cycle3w(const GateNet& gn, std::uint64_t* ones, std::uint64_t* zeros,
 void eval_cycle3w(const GateNet& gn, std::uint64_t* ones, std::uint64_t* zeros,
                   unsigned words, LaneBackend b);
 
+/// Cone-masked 01X evaluation: evaluate ONLY the listed gates, in the given
+/// order, over bit-pair planes. `gates` must be internally topologically
+/// ordered (every listed gate's listed fanins precede it); kVar / kDff /
+/// out-of-cone entries are left untouched, so callers can sweep just the
+/// fanout cone of a set of assigned literals instead of the whole network.
+/// The batched probe layer (src/solver/probe_batch) is the main consumer.
+void eval_gates3w(const GateNet& gn, const GateId* gates, std::size_t n,
+                  std::uint64_t* ones, std::uint64_t* zeros, unsigned words);
+void eval_gates3w(const GateNet& gn, const GateId* gates, std::size_t n,
+                  std::uint64_t* ones, std::uint64_t* zeros, unsigned words,
+                  LaneBackend b);
+
 /// Clock edge in place over both planes.
 void clock_dffs3w(const GateNet& gn, std::uint64_t* ones, std::uint64_t* zeros,
                   unsigned words, std::vector<std::uint64_t>& scratch);

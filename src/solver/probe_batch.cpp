@@ -1,0 +1,232 @@
+#include "solver/probe_batch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gatenet/evalw.h"
+
+namespace hltg {
+
+namespace {
+/// Cone cache bound: probe sets repeat heavily within one solve (the same
+/// objectives backtrace to the same variables), but a pathological caller
+/// must not grow the cache without limit.
+constexpr std::size_t kConeCacheCap = 64;
+}  // namespace
+
+ProbeBatch::ProbeBatch(const GateNet& gn, unsigned cycles, ProbeBatchConfig cfg)
+    : gn_(gn), cycles_(cycles), cfg_(cfg) {
+  chunk_ = cfg_.serial ? 1 : std::min(resolve_lanes(cfg_.lanes), kMaxLanes);
+  if (chunk_ == 0) chunk_ = 1;
+}
+
+const ProbeBatch::Cone& ProbeBatch::cone_for(const std::vector<ProbeCand>& cands,
+                                             const ProbeAnchor* anchor) {
+  key_.clear();
+  for (const ProbeCand& c : cands) key_.push_back(c.gate);
+  if (anchor) key_.push_back(anchor->gate);
+  std::sort(key_.begin(), key_.end());
+  key_.erase(std::unique(key_.begin(), key_.end()), key_.end());
+  for (const Cone& c : cones_)
+    if (c.key == key_) return c;
+
+  if (cones_.size() >= kConeCacheCap) cones_.clear();
+  Cone cone;
+  cone.key = key_;
+  // Forward closure over fanouts; DFFs are crossed like any gate (the cone
+  // is time-collapsed: one gate set valid for every cycle of the sweep).
+  std::vector<char> member(gn_.num_gates(), 0);
+  std::vector<GateId> queue(key_);
+  for (GateId g : key_) member[g] = 1;
+  const auto& fanouts = gn_.fanouts();
+  while (!queue.empty()) {
+    const GateId u = queue.back();
+    queue.pop_back();
+    for (GateId f : fanouts[u])
+      if (!member[f]) {
+        member[f] = 1;
+        queue.push_back(f);
+      }
+  }
+  for (GateId g : gn_.topo_order()) {
+    if (!member[g]) continue;
+    const GateKind k = gn_.gate(g).kind;
+    if (k != GateKind::kVar && k != GateKind::kDff) cone.eval.push_back(g);
+  }
+  for (GateId d : gn_.dffs())
+    if (member[d]) cone.dffs.emplace_back(d, gn_.gate(d).fanin[0]);
+  cones_.push_back(std::move(cone));
+  return cones_.back();
+}
+
+void ProbeBatch::run(const ControllerWindow& win,
+                     const std::vector<CtrlObjective>& objectives,
+                     const std::vector<ProbeCand>& cands,
+                     std::vector<ProbeOutcome>* out) {
+  run([&win](GateId g, unsigned t) { return win.value(g, t); }, objectives,
+      cands, out);
+}
+
+void ProbeBatch::run(const BaseFn& base,
+                     const std::vector<CtrlObjective>& objectives,
+                     const std::vector<ProbeCand>& cands,
+                     std::vector<ProbeOutcome>* out) {
+  run_impl(base, objectives, nullptr, cands, out);
+}
+
+void ProbeBatch::run(const BaseFn& base,
+                     const std::vector<CtrlObjective>& objectives,
+                     const ProbeAnchor& anchor,
+                     const std::vector<ProbeCand>& cands,
+                     std::vector<ProbeOutcome>* out) {
+  run_impl(base, objectives, &anchor, cands, out);
+}
+
+void ProbeBatch::run_impl(const BaseFn& base,
+                          const std::vector<CtrlObjective>& objectives,
+                          const ProbeAnchor* anchor,
+                          const std::vector<ProbeCand>& cands,
+                          std::vector<ProbeOutcome>* out) {
+  out->assign(cands.size(), ProbeOutcome{});
+  if (cands.empty()) return;
+  // The search only ever reads cycles up to the latest objective; later
+  // cycles cannot doom anything (same argument as the justification cache's
+  // window independence, solver/justcache.h).
+  unsigned tmax = 0;
+  for (const CtrlObjective& o : objectives)
+    tmax = std::max(tmax, o.cycle + 1);
+  tmax = std::min(tmax, cycles_);
+  if (tmax == 0) return;
+
+  const Cone& cone = cone_for(cands, anchor);
+  const std::size_t pairs = cands.size() * 2;
+  stats_.lanes += pairs;
+  for (std::size_t p0 = 0; p0 < pairs; p0 += chunk_) {
+    const std::size_t p1 = std::min(pairs, p0 + chunk_);
+    sweep_span(base, objectives, anchor, cands, cone, p0, p1, tmax, out);
+    ++stats_.batches;
+  }
+}
+
+void ProbeBatch::sweep_span(const BaseFn& base,
+                            const std::vector<CtrlObjective>& objectives,
+                            const ProbeAnchor* anchor,
+                            const std::vector<ProbeCand>& cands,
+                            const Cone& cone, std::size_t p0, std::size_t p1,
+                            unsigned tmax, std::vector<ProbeOutcome>* out) {
+  const unsigned lanes = static_cast<unsigned>(p1 - p0);
+  const unsigned words = lane_words(lanes);
+  const std::size_t ngates = gn_.num_gates();
+  ones_.resize(ngates * words);
+  zeros_.resize(ngates * words);
+  doomed_.assign(words, 0);
+  carry1_.resize(cone.dffs.size() * words);
+  carry0_.resize(cone.dffs.size() * words);
+  if (cfg_.count_implied) implied_.assign(lanes, 0);
+
+  for (unsigned t = 0; t < tmax; ++t) {
+    // Broadcast the base trajectory into every lane. Lanes past `lanes`
+    // simply carry the base and are never read back.
+    for (GateId g = 0; g < ngates; ++g) {
+      const L3 v = base(g, t);
+      std::fill_n(ones_.data() + std::size_t{g} * words, words,
+                  v == L3::T ? ~std::uint64_t{0} : 0);
+      std::fill_n(zeros_.data() + std::size_t{g} * words, words,
+                  v == L3::F ? ~std::uint64_t{0} : 0);
+    }
+    // Cone DFFs diverge from the base once a candidate fires: restore the
+    // lanes latched from the previous cycle's D values. (Cycle 0 is the
+    // reset state, lane-uniform by construction.)
+    if (t > 0) {
+      for (std::size_t i = 0; i < cone.dffs.size(); ++i) {
+        std::copy_n(carry1_.data() + i * words, words,
+                    ones_.data() + std::size_t{cone.dffs[i].first} * words);
+        std::copy_n(carry0_.data() + i * words, words,
+                    zeros_.data() + std::size_t{cone.dffs[i].first} * words);
+      }
+    }
+    // Anchor override: every lane of an anchored sweep carries the branch
+    // assignment on top of the base (the anchor must be base-free).
+    if (anchor && anchor->cycle == t) {
+      assert(base(anchor->gate, t) == L3::X && "probe anchor must be free");
+      std::uint64_t* plane = (anchor->value ? ones_ : zeros_).data() +
+                             std::size_t{anchor->gate} * words;
+      std::fill_n(plane, words, ~std::uint64_t{0});
+    }
+    // Candidate overrides: pair p assigns cands[p/2].gate := (p & 1) at its
+    // cycle, in lane p - p0 only.
+    for (std::size_t p = p0; p < p1; ++p) {
+      const ProbeCand& c = cands[p / 2];
+      if (c.cycle != t) continue;
+      assert(base(c.gate, t) == L3::X && "probe candidates must be free");
+      std::uint64_t* plane =
+          ((p & 1) ? ones_ : zeros_).data() + std::size_t{c.gate} * words;
+      const std::size_t lane = p - p0;
+      plane[lane >> 6] |= std::uint64_t{1} << (lane & 63);
+    }
+    eval_gates3w(gn_, cone.eval.data(), cone.eval.size(), ones_.data(),
+                 zeros_.data(), words);
+    // A lane is doomed the moment its forward consequences contradict ANY
+    // base-determined fact - an objective literal, or any value the
+    // caller's implication state (forward window or backward engine
+    // deduction) has already fixed. Checking every determined cone gate
+    // instead of just the objective literals is what lets the probe see
+    // conflicts the serial search only finds after descending.
+    for (GateId g : cone.eval) {
+      const L3 bv = base(g, t);
+      if (bv == L3::X) continue;
+      const std::uint64_t* viol =
+          (bv == L3::T ? zeros_ : ones_).data() + std::size_t{g} * words;
+      for (unsigned w = 0; w < words; ++w) doomed_[w] |= viol[w];
+    }
+    // Cone DFFs carry lane-diverged state: a carried value contradicting
+    // the base-determined state bit is the same conflict one cycle later.
+    for (const auto& [dff, din] : cone.dffs) {
+      const L3 bv = base(dff, t);
+      if (bv == L3::X) continue;
+      const std::uint64_t* viol =
+          (bv == L3::T ? zeros_ : ones_).data() + std::size_t{dff} * words;
+      for (unsigned w = 0; w < words; ++w) doomed_[w] |= viol[w];
+    }
+    for (const CtrlObjective& o : objectives) {
+      if (o.cycle != t) continue;
+      const std::uint64_t* viol =
+          (o.value ? zeros_ : ones_).data() + std::size_t{o.gate} * words;
+      for (unsigned w = 0; w < words; ++w) doomed_[w] |= viol[w];
+    }
+    if (cfg_.count_implied) {
+      for (GateId g : cone.eval) {
+        const std::uint64_t* o1 = ones_.data() + std::size_t{g} * words;
+        const std::uint64_t* z1 = zeros_.data() + std::size_t{g} * words;
+        for (unsigned w = 0; w < words; ++w) {
+          std::uint64_t m = o1[w] | z1[w];
+          while (m) {
+            const unsigned b = static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            const std::size_t lane = std::size_t{w} * 64 + b;
+            if (lane < lanes) ++implied_[lane];
+          }
+        }
+      }
+    }
+    // Latch cone-DFF D inputs for the next cycle's restore.
+    if (t + 1 < tmax) {
+      for (std::size_t i = 0; i < cone.dffs.size(); ++i) {
+        std::copy_n(ones_.data() + std::size_t{cone.dffs[i].second} * words,
+                    words, carry1_.data() + i * words);
+        std::copy_n(zeros_.data() + std::size_t{cone.dffs[i].second} * words,
+                    words, carry0_.data() + i * words);
+      }
+    }
+  }
+
+  for (std::size_t p = p0; p < p1; ++p) {
+    const std::size_t lane = p - p0;
+    ProbeOutcome& oc = (*out)[p / 2];
+    oc.doomed[p & 1] = (doomed_[lane >> 6] >> (lane & 63)) & 1;
+    if (cfg_.count_implied)
+      oc.implied[p & 1] = implied_[static_cast<std::size_t>(lane)];
+  }
+}
+
+}  // namespace hltg

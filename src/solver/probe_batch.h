@@ -1,0 +1,166 @@
+// Batched decision probing for CTRLJUST: many speculative assignments per
+// window sweep through the lane engine's 01X kernels.
+//
+// At every branch point the engine-assisted search holds a set of forward
+// implications (the ControllerWindow trajectory) and a set of candidate
+// decision assignments - the backtrace targets of the open objectives, in
+// both polarities. Serially, finding out that a candidate is doomed costs a
+// decision, a full-window imply and a backtrack. The probe layer instead
+// packs one candidate-polarity per SIMD lane (bit-pair 01X planes, up to
+// kMaxLanes lanes per sweep) and runs ONE masked window evaluation over the
+// fanout cone of the probed variables (gatenet/evalw eval_gates3w): lane j
+// carries the base trajectory plus candidate j's assignment, and an
+// objective forced to the opposite of its required value in lane j proves
+// that candidate doomed by forward implication.
+//
+// Soundness (why a doomed probe can prune without changing the witness):
+// 3-valued forward evaluation is monotone in the assignment set. If
+// base + {x=v} forces an objective g to the wrong value, then every
+// extension S of the current node's assignments forces it too
+// (S + {x=v} refines base + {x=v}); a success leaf that assigned x=v is
+// therefore impossible, and a success leaf that left x at X would stay
+// satisfied under x=v by the same monotonicity - contradiction when BOTH
+// polarities are doomed. Skipping a doomed branch (or collapsing a node
+// whose candidate is doomed both ways) therefore never changes the first
+// success leaf the chronological flip-search reaches - only how many
+// decisions + backtracks it burns getting there (docs/SOLVER.md,
+// "Batched probing").
+//
+// Determinism: per-lane results are independent of how lanes are grouped
+// into sweeps, and every lane backend computes bit-identical plane words,
+// so outcomes are the same for any --lanes width and any
+// scalar/AVX2/AVX-512 backend. The serial reference path (config.serial)
+// evaluates one candidate-polarity per sweep through the same kernels and
+// must produce byte-identical outcomes - the equivalence corpus in
+// tests/test_probe_batch.cpp holds the two paths together.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/objectives.h"
+#include "core/unroll.h"
+#include "gatenet/gatenet.h"
+
+namespace hltg {
+
+/// One candidate decision point: a free kVar bit of one window cycle. Both
+/// polarities are probed. The variable must be unassigned in the window the
+/// probe runs against.
+struct ProbeCand {
+  GateId gate;
+  unsigned cycle;
+};
+
+/// A speculative assignment applied to EVERY lane of a sweep (the anchored
+/// run): probing candidates under "branch variable := value" yields the
+/// pair verdicts of the dilemma rule - if some candidate conflicts in both
+/// polarities beneath the anchor, the anchor assignment itself has no
+/// success leaf (see "Pair probing" in docs/SOLVER.md).
+struct ProbeAnchor {
+  GateId gate;
+  unsigned cycle;
+  bool value;
+};
+
+/// Per-candidate probe verdicts, indexed by the probed value.
+struct ProbeOutcome {
+  /// doomed[v]: assigning the candidate value v forces some objective to
+  /// the opposite of its required value - every extension conflicts.
+  bool doomed[2] = {false, false};
+  /// implied[v]: determined (non-X) cone-gate values over the swept window
+  /// after assigning v. Only filled when count_implied is set; used by the
+  /// --probe-order ranking. Base-determined cone values are included (a
+  /// per-probe-set constant, irrelevant to the ranking comparisons).
+  std::uint32_t implied[2] = {0, 0};
+};
+
+struct ProbeBatchStats {
+  std::uint64_t batches = 0;  ///< masked window sweeps issued
+  std::uint64_t lanes = 0;    ///< candidate-polarity lanes evaluated
+};
+
+struct ProbeBatchConfig {
+  /// Lanes per sweep; 0 = resolve_lanes() (HLTG_LANES / CPUID auto).
+  unsigned lanes = 0;
+  /// Scalar reference path: one candidate-polarity per sweep. Outcomes are
+  /// byte-identical to the batched path; only ProbeBatchStats::batches
+  /// differs (one sweep per lane instead of per chunk).
+  bool serial = false;
+  /// Count implied literals per lane (needed by --probe-order ranking;
+  /// skipped otherwise - dooming needs no per-lane popcounts).
+  bool count_implied = false;
+};
+
+class ProbeBatch {
+ public:
+  ProbeBatch(const GateNet& gn, unsigned cycles, ProbeBatchConfig cfg = {});
+
+  /// Base-trajectory source: the value the caller's sound implication state
+  /// assigns to (gate, cycle). Any sound refinement works - the stronger
+  /// the base, the more dooms the probe sees (CTRLJUST feeds the window
+  /// trajectory merged with the engine's backward-derived facts).
+  using BaseFn = std::function<L3(GateId, unsigned)>;
+
+  /// Probe every candidate, both polarities, against the given base
+  /// trajectory. `out` is resized to cands.size(). Candidates must be free
+  /// (base(gate, cycle) == L3::X) kVar bits.
+  void run(const BaseFn& base, const std::vector<CtrlObjective>& objectives,
+           const std::vector<ProbeCand>& cands, std::vector<ProbeOutcome>* out);
+
+  /// Anchored sweep: like run(), but every lane additionally carries the
+  /// anchor assignment (a free variable the caller is about to decide).
+  /// A candidate doomed both ways here refutes the ANCHOR, not the node.
+  void run(const BaseFn& base, const std::vector<CtrlObjective>& objectives,
+           const ProbeAnchor& anchor, const std::vector<ProbeCand>& cands,
+           std::vector<ProbeOutcome>* out);
+
+  /// Convenience overload: base = the window's implied trajectory.
+  void run(const ControllerWindow& win,
+           const std::vector<CtrlObjective>& objectives,
+           const std::vector<ProbeCand>& cands, std::vector<ProbeOutcome>* out);
+
+  const ProbeBatchStats& stats() const { return stats_; }
+
+ private:
+  /// Static fanout closure of a probed variable set, time-collapsed: the
+  /// gates a candidate assignment can reach in ANY later cycle (DFTs cross
+  /// cycles through the cone DFF carry). Everything outside holds its
+  /// lane-uniform base value, so the sweep evaluates only `eval`.
+  struct Cone {
+    std::vector<GateId> key;   ///< sorted unique probed var gates
+    std::vector<GateId> eval;  ///< combinational members, topo order
+    /// (DFF gate, D input) pairs inside the cone; lanes are latched across
+    /// cycles instead of re-broadcast from the base trajectory.
+    std::vector<std::pair<GateId, GateId>> dffs;
+  };
+
+  const Cone& cone_for(const std::vector<ProbeCand>& cands,
+                       const ProbeAnchor* anchor);
+  void run_impl(const BaseFn& base,
+                const std::vector<CtrlObjective>& objectives,
+                const ProbeAnchor* anchor, const std::vector<ProbeCand>& cands,
+                std::vector<ProbeOutcome>* out);
+  /// Evaluate candidate-polarity pairs [p0, p1) as one lane batch.
+  void sweep_span(const BaseFn& base,
+                  const std::vector<CtrlObjective>& objectives,
+                  const ProbeAnchor* anchor,
+                  const std::vector<ProbeCand>& cands, const Cone& cone,
+                  std::size_t p0, std::size_t p1, unsigned tmax,
+                  std::vector<ProbeOutcome>* out);
+
+  const GateNet& gn_;
+  unsigned cycles_;
+  ProbeBatchConfig cfg_;
+  unsigned chunk_;  ///< pairs per sweep (1 on the serial path)
+  ProbeBatchStats stats_;
+  std::vector<Cone> cones_;  ///< bounded cone cache (probe sets repeat)
+  // Reused scratch: plane pairs, doomed accumulator, DFF lane carry,
+  // per-lane implied counts, cone-cache key.
+  std::vector<std::uint64_t> ones_, zeros_, doomed_, carry1_, carry0_;
+  std::vector<std::uint32_t> implied_;
+  std::vector<GateId> key_;
+};
+
+}  // namespace hltg

@@ -1,0 +1,406 @@
+// Batched decision probing (solver/probe_batch, docs/SOLVER.md "Batched
+// probing"): lane packing of block+tail probe-set shapes, serial-vs-batched
+// byte equivalence across lane widths, cross-cycle doom detection through
+// the cone DFF carry, and the CTRLJUST / TG / campaign-level equivalence
+// corpus - probe-assisted search must change effort counters only, never a
+// detection outcome, and must not depend on --jobs or --lanes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ctrljust.h"
+#include "core/tg.h"
+#include "core/unroll.h"
+#include "dlx/dlx.h"
+#include "errors/bus_ssl.h"
+#include "errors/inject.h"
+#include "errors/journal.h"
+#include "errors/parallel_campaign.h"
+#include "gatenet/gate_builder.h"
+#include "solver/probe_batch.h"
+
+namespace hltg {
+namespace {
+
+const DlxModel& model() {
+  static const DlxModel m = build_dlx();
+  return m;
+}
+
+GateId ctrl_bit(const char* net_name, unsigned bit = 0) {
+  const NetId n = model().dp.find_net(net_name);
+  EXPECT_NE(n, kNoNet) << net_name;
+  return model().find_ctrl(n)->bits[bit];
+}
+
+ProbeBatch::BaseFn all_x() {
+  return [](GateId, unsigned) { return L3::X; };
+}
+
+// ------------------------------------------------------------ lane packing
+
+// A small combinational net where one candidate polarity is provably
+// doomed: objective AND(a, b) = 1 dies the moment a = 0 is probed.
+struct TinyNet {
+  GateNet gn;
+  GateId a, b, y;
+  std::vector<GateId> extra;
+  TinyNet(std::size_t n_extra = 0) {
+    GateBuilder g(gn);
+    a = g.var("a", SigRole::kCPI);
+    b = g.var("b", SigRole::kCPI);
+    for (std::size_t i = 0; i < n_extra; ++i)
+      extra.push_back(g.var("x" + std::to_string(i), SigRole::kCPI));
+    y = g.and_("y", {a, b});
+  }
+};
+
+TEST(ProbeBatchPacking, TailOnlySweep) {
+  TinyNet net(3);
+  ProbeBatchConfig cfg;
+  cfg.lanes = 64;
+  ProbeBatch pb(net.gn, 1, cfg);
+  std::vector<ProbeCand> cands = {{net.a, 0}, {net.b, 0}};
+  for (GateId x : net.extra) cands.push_back({x, 0});
+  std::vector<ProbeOutcome> out;
+  pb.run(all_x(), {{net.y, 0, true}}, cands, &out);
+  // 5 candidates = 10 polarity lanes: one partial 64-lane sweep.
+  EXPECT_EQ(pb.stats().batches, 1u);
+  EXPECT_EQ(pb.stats().lanes, 10u);
+  EXPECT_TRUE(out[0].doomed[0]);   // a=0 forces y=0, objective wants 1
+  EXPECT_FALSE(out[0].doomed[1]);  // a=1 leaves y open
+  EXPECT_TRUE(out[1].doomed[0]);
+  for (std::size_t i = 2; i < out.size(); ++i) {
+    EXPECT_FALSE(out[i].doomed[0]) << i;  // extras never reach y
+    EXPECT_FALSE(out[i].doomed[1]) << i;
+  }
+}
+
+TEST(ProbeBatchPacking, BlockPlusTailSweeps) {
+  TinyNet net(38);  // 40 candidates = 80 lanes = 64-block + 16-tail
+  ProbeBatchConfig cfg;
+  cfg.lanes = 64;
+  ProbeBatch pb(net.gn, 1, cfg);
+  std::vector<ProbeCand> cands = {{net.a, 0}, {net.b, 0}};
+  for (GateId x : net.extra) cands.push_back({x, 0});
+  std::vector<ProbeOutcome> out;
+  pb.run(all_x(), {{net.y, 0, true}}, cands, &out);
+  EXPECT_EQ(pb.stats().batches, 2u);
+  EXPECT_EQ(pb.stats().lanes, 80u);
+  EXPECT_TRUE(out[0].doomed[0]);
+  EXPECT_TRUE(out[1].doomed[0]);
+}
+
+TEST(ProbeBatchPacking, SerialReferenceOneLanePerSweep) {
+  TinyNet net(3);
+  ProbeBatchConfig serial;
+  serial.serial = true;
+  ProbeBatch pb(net.gn, 1, serial);
+  std::vector<ProbeCand> cands = {{net.a, 0}, {net.b, 0}};
+  for (GateId x : net.extra) cands.push_back({x, 0});
+  std::vector<ProbeOutcome> out;
+  pb.run(all_x(), {{net.y, 0, true}}, cands, &out);
+  EXPECT_EQ(pb.stats().batches, 10u);  // one sweep per polarity lane
+  EXPECT_EQ(pb.stats().lanes, 10u);
+  EXPECT_TRUE(out[0].doomed[0]);
+  EXPECT_FALSE(out[0].doomed[1]);
+}
+
+TEST(ProbeBatchPacking, OutcomesIdenticalAcrossWidthsAndSerial) {
+  // Per-lane verdicts must not depend on how lanes are grouped into
+  // sweeps: every width and the serial reference produce the same bytes.
+  TinyNet net(70);  // 72 cands = 144 lanes: tails at every width
+  std::vector<ProbeCand> cands = {{net.a, 0}, {net.b, 0}};
+  for (GateId x : net.extra) cands.push_back({x, 0});
+  const std::vector<CtrlObjective> objs = {{net.y, 0, true}};
+
+  auto verdicts = [&](unsigned lanes, bool serial) {
+    ProbeBatchConfig cfg;
+    cfg.lanes = lanes;
+    cfg.serial = serial;
+    cfg.count_implied = true;
+    ProbeBatch pb(net.gn, 1, cfg);
+    std::vector<ProbeOutcome> out;
+    pb.run(all_x(), objs, cands, &out);
+    std::string sig;
+    for (const ProbeOutcome& o : out) {
+      sig += o.doomed[0] ? 'D' : '.';
+      sig += o.doomed[1] ? 'D' : '.';
+      sig += std::to_string(o.implied[0]) + "," + std::to_string(o.implied[1]);
+      sig += ';';
+    }
+    return sig;
+  };
+
+  const std::string ref = verdicts(64, false);
+  EXPECT_EQ(ref, verdicts(128, false));
+  EXPECT_EQ(ref, verdicts(256, false));
+  EXPECT_EQ(ref, verdicts(512, false));
+  EXPECT_EQ(ref, verdicts(64, true));
+}
+
+// ----------------------------------------------- cross-cycle cone DFF carry
+
+TEST(ProbeBatchCone, DffCarryDetectsNextCycleDoom) {
+  // v feeds a DFF observed one cycle later: probing v=0 at cycle 0 must
+  // doom the objective d=1 at cycle 1 through the lane carry, not the
+  // (lane-uniform) base re-broadcast.
+  GateNet gn;
+  GateBuilder g(gn);
+  const GateId v = g.var("v", SigRole::kCPI);
+  const GateId d = g.dff("d", v);
+  ProbeBatch pb(gn, 2, {});
+  std::vector<ProbeOutcome> out;
+  pb.run(all_x(), {{d, 1, true}}, {{v, 0}}, &out);
+  EXPECT_TRUE(out[0].doomed[0]);
+  EXPECT_FALSE(out[0].doomed[1]);
+}
+
+TEST(ProbeBatchCone, AnchoredSweepAppliesBranchToEveryLane) {
+  // Dilemma-rule ingredient: beneath anchor a=0, candidate b conflicts in
+  // BOTH polarities against objective y=1 (y is already dead), while
+  // beneath a=1 only b=0 is doomed.
+  TinyNet net;
+  ProbeBatch pb(net.gn, 1, {});
+  const std::vector<CtrlObjective> objs = {{net.y, 0, true}};
+  std::vector<ProbeOutcome> under0, under1;
+  pb.run(all_x(), objs, ProbeAnchor{net.a, 0, false}, {{net.b, 0}}, &under0);
+  pb.run(all_x(), objs, ProbeAnchor{net.a, 0, true}, {{net.b, 0}}, &under1);
+  EXPECT_TRUE(under0[0].doomed[0]);
+  EXPECT_TRUE(under0[0].doomed[1]);  // y=0 either way: anchor a=0 refuted
+  EXPECT_TRUE(under1[0].doomed[0]);
+  EXPECT_FALSE(under1[0].doomed[1]);
+}
+
+// ------------------------------------------------ CTRLJUST solve equivalence
+
+std::vector<std::vector<CtrlObjective>> objective_corpus() {
+  std::vector<std::vector<CtrlObjective>> corpus;
+  corpus.push_back({{ctrl_bit("ctrl.mem_we"), 3, true}});
+  corpus.push_back({{ctrl_bit("ctrl.rf_we"), 2, true}});  // unreachable
+  corpus.push_back({{ctrl_bit("ctrl.rf_we"), 4, true}});
+  corpus.push_back({{ctrl_bit("ctrl.alu_sel", 1), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 0), 4, false}});
+  corpus.push_back({{ctrl_bit("ctrl.alu_sel", 0), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 1), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 2), 4, true},
+                    {ctrl_bit("ctrl.alu_sel", 3), 4, true}});  // no such op
+  corpus.push_back({{ctrl_bit("ctrl.mem_we"), 3, true},
+                    {ctrl_bit("ctrl.rf_we"), 5, true}});
+  corpus.push_back({{ctrl_bit("ctrl.fwd_a"), 4, true}});
+  return corpus;
+}
+
+bool witness_satisfies(const CtrlJustResult& r,
+                       const std::vector<CtrlObjective>& objs,
+                       unsigned cycles) {
+  ControllerWindow w(model().ctrl, cycles);
+  for (auto [g, t, v] : r.cpi_assignments) w.assign(g, t, l3_from_bool(v));
+  for (auto [g, t, v] : r.sts_assignments) w.assign(g, t, l3_from_bool(v));
+  w.imply();
+  for (const CtrlObjective& o : objs)
+    if (w.value(o.gate, o.cycle) != l3_from_bool(o.value)) return false;
+  return true;
+}
+
+CtrlJustResult solve_probed(const std::vector<CtrlObjective>& objs,
+                            unsigned lanes, bool serial) {
+  CtrlJustConfig cfg;
+  cfg.use_probes = true;
+  cfg.probe_lanes = lanes;
+  cfg.probe_serial = serial;
+  cfg.record_trace = true;
+  CtrlJust cj(model().ctrl, 10, cfg);
+  return cj.solve(objs);
+}
+
+TEST(ProbeEquivalence, BatchedMatchesSerialAcrossWidthsOnCorpus) {
+  // The equivalence corpus of the tentpole: batched probing must produce
+  // byte-identical decisions, witnesses, and effort counters for every
+  // lane width and for the serial reference path. Only the sweep count
+  // (probe_batches) may differ - narrower lanes need more sweeps.
+  std::size_t idx = 0;
+  for (const auto& objs : objective_corpus()) {
+    SCOPED_TRACE("objective set #" + std::to_string(idx++));
+    const CtrlJustResult ref = solve_probed(objs, 64, false);
+    for (unsigned lanes : {256u, 512u}) {
+      const CtrlJustResult r = solve_probed(objs, lanes, false);
+      EXPECT_EQ(ref.status, r.status);
+      EXPECT_EQ(ref.cpi_assignments, r.cpi_assignments);
+      EXPECT_EQ(ref.sts_assignments, r.sts_assignments);
+      EXPECT_EQ(ref.stats.decisions, r.stats.decisions);
+      EXPECT_EQ(ref.stats.backtracks, r.stats.backtracks);
+      EXPECT_EQ(ref.stats.probe_prunes, r.stats.probe_prunes);
+      EXPECT_EQ(ref.stats.probe_lanes, r.stats.probe_lanes);
+      EXPECT_EQ(ref.trace.size(), r.trace.size());
+    }
+    const CtrlJustResult sr = solve_probed(objs, 0, true);
+    EXPECT_EQ(ref.status, sr.status);
+    EXPECT_EQ(ref.cpi_assignments, sr.cpi_assignments);
+    EXPECT_EQ(ref.sts_assignments, sr.sts_assignments);
+    EXPECT_EQ(ref.stats.decisions, sr.stats.decisions);
+    EXPECT_EQ(ref.stats.backtracks, sr.stats.backtracks);
+    EXPECT_EQ(ref.stats.probe_prunes, sr.stats.probe_prunes);
+    EXPECT_EQ(ref.stats.probe_lanes, sr.stats.probe_lanes);
+    // The serial hatch issues one sweep per polarity lane.
+    EXPECT_EQ(sr.stats.probe_batches, sr.stats.probe_lanes);
+    EXPECT_LE(ref.stats.probe_batches, sr.stats.probe_batches);
+  }
+}
+
+TEST(ProbeEquivalence, ProbedSolveMatchesUnprobedStatus) {
+  // Probing is an effort optimization: solve status identical, witnesses
+  // still satisfy the objectives, decisions + backtracks never higher.
+  std::size_t idx = 0;
+  for (const auto& objs : objective_corpus()) {
+    SCOPED_TRACE("objective set #" + std::to_string(idx++));
+    CtrlJust plain(model().ctrl, 10);
+    const CtrlJustResult pr = plain.solve(objs);
+    const CtrlJustResult br = solve_probed(objs, 0, false);
+    EXPECT_EQ(pr.status, br.status);
+    if (br.status == TgStatus::kSuccess)
+      EXPECT_TRUE(witness_satisfies(br, objs, 10));
+    EXPECT_LE(br.stats.decisions + br.stats.backtracks,
+              pr.stats.decisions + pr.stats.backtracks);
+  }
+}
+
+TEST(ProbeEquivalence, ProbeOrderKeepsStatusMayReorderDecisions) {
+  // --probe-order on may change the decision order (and thus the witness)
+  // but never whether a solve succeeds.
+  for (const auto& objs : objective_corpus()) {
+    CtrlJustConfig cfg;
+    cfg.use_probes = true;
+    cfg.probe_order = true;
+    CtrlJust cj(model().ctrl, 10, cfg);
+    const CtrlJustResult r = cj.solve(objs);
+    CtrlJust plain(model().ctrl, 10);
+    EXPECT_EQ(plain.solve(objs).status, r.status);
+    if (r.status == TgStatus::kSuccess)
+      EXPECT_TRUE(witness_satisfies(r, objs, 10));
+  }
+}
+
+// ------------------------------------------------ TG / campaign equivalence
+
+TEST(ProbeEquivalence, TgDetectionOutcomesMatchEngineOn) {
+  // Probe-assisted TG must detect exactly the errors the engine-on default
+  // detects, at strictly lower decisions + backtracks. A subset of the
+  // Table-1 SSL population keeps the test fast; bench_solver + the CI
+  // guard (tools/check_bench.py) hold the full set to the >= 1.5x floor.
+  std::vector<DesignError> errors;
+  for (const BusSslError& e : enumerate_bus_ssl(model().dp)) {
+    errors.push_back(DesignError{e});
+    if (errors.size() == 40) break;
+  }
+
+  auto run = [&](bool probes) {
+    TgConfig cfg;
+    cfg.ctrljust.use_probes = probes;
+    TestGenerator tg(model(), cfg);
+    std::vector<bool> det;
+    std::uint64_t effort = 0;
+    for (const DesignError& e : errors) {
+      const TgResult r = tg.generate(e);
+      det.push_back(r.status == TgStatus::kSuccess);
+      effort += r.stats.decisions + r.stats.backtracks;
+    }
+    return std::make_pair(det, effort);
+  };
+
+  const auto [det_off, effort_off] = run(false);
+  const auto [det_on, effort_on] = run(true);
+  EXPECT_EQ(det_off, det_on);
+  EXPECT_LT(effort_on, effort_off);
+}
+
+TEST(ProbeEquivalence, CampaignRowsIdenticalAcrossJobs) {
+  // Probe-on campaign rows must not depend on --jobs: same per-error
+  // counters, outcomes, and witnesses on 1, 2, and 8 workers.
+  std::vector<DesignError> errors;
+  for (const BusSslError& e : enumerate_bus_ssl(model().dp)) {
+    errors.push_back(DesignError{e});
+    if (errors.size() == 16) break;
+  }
+
+  auto run_jobs = [&](unsigned jobs) {
+    ParallelCampaignConfig cfg;
+    cfg.jobs = jobs;
+    return run_campaign_parallel(
+        model().dp, errors,
+        [&](unsigned) {
+          TgConfig tcfg;
+          tcfg.ctrljust.use_probes = true;
+          auto tg = std::make_shared<TestGenerator>(model(), tcfg);
+          BudgetedGenFn s = tg->budgeted_strategy();
+          return [tg, s](const DesignError& e, Budget& b) { return s(e, b); };
+        },
+        cfg);
+  };
+
+  auto render = [](const CampaignResult& r) {
+    std::string s;
+    for (std::size_t i = 0; i < r.rows.size(); ++i) {
+      ErrorAttempt a = r.rows[i].attempt;
+      a.seconds = 0;  // wall clock is the only nondeterministic field
+      a.dptrace_ns = a.ctrljust_ns = a.dprelax_ns = a.probe_ns = 0;
+      s += journal_row_line(i, a) + "\n";
+    }
+    return s;
+  };
+
+  const CampaignResult r1 = run_jobs(1);
+  const CampaignResult r2 = run_jobs(2);
+  const CampaignResult r8 = run_jobs(8);
+  EXPECT_EQ(render(r1), render(r2));
+  EXPECT_EQ(render(r1), render(r8));
+}
+
+// --------------------------------------------------- journal compatibility
+
+TEST(ProbeJournal, RowsWithoutProbeFieldsStayByteIdenticalAndReplay) {
+  // Probe counters are emitted only when nonzero, so probe-off journals
+  // keep the pre-probe byte format; loading a row without probe keys (any
+  // old journal) yields zero counters.
+  ErrorAttempt off;
+  off.generated = off.sim_confirmed = true;
+  off.test_length = 4;
+  off.decisions = 7;
+  const std::string off_line = journal_row_line(0, off);
+  EXPECT_EQ(off_line.find("probe"), std::string::npos);
+
+  ErrorAttempt on = off;
+  on.probe_batches = 3;
+  on.probe_lanes = 96;
+  on.probe_prunes = 2;
+  on.probe_ns = 1234;
+  const std::string on_line = journal_row_line(1, on);
+  EXPECT_NE(on_line.find("probe_lanes"), std::string::npos);
+
+  const std::string path = testing::TempDir() + "hltg_probe_journal.jsonl";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << journal_header_line(2, 42) << "\n" << off_line << "\n" << on_line
+      << "\n";
+  }
+  const JournalReplay rep = load_journal(path);
+  ASSERT_TRUE(rep.header_ok);
+  ASSERT_EQ(rep.rows.size(), 2u);
+  EXPECT_EQ(rep.rows.at(0).probe_batches, 0u);
+  EXPECT_EQ(rep.rows.at(0).probe_lanes, 0u);
+  EXPECT_EQ(rep.rows.at(0).probe_prunes, 0u);
+  EXPECT_EQ(rep.rows.at(0).probe_ns, 0u);
+  EXPECT_EQ(rep.rows.at(1).probe_batches, 3u);
+  EXPECT_EQ(rep.rows.at(1).probe_lanes, 96u);
+  EXPECT_EQ(rep.rows.at(1).probe_prunes, 2u);
+  EXPECT_EQ(rep.rows.at(1).probe_ns, 1234u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hltg
